@@ -1,0 +1,114 @@
+//! Criterion timings for the figure-regeneration kernels: one benchmark per
+//! table/figure, each running a reduced-budget slice of the corresponding
+//! experiment so regressions in simulator throughput are caught. The actual
+//! paper-shaped outputs come from the `das-bench` binaries (`fig7a`…).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use das_sim::config::{Design, SystemConfig};
+use das_sim::experiments::run_one;
+use das_workloads::{mixes, spec};
+
+fn quick_cfg() -> SystemConfig {
+    let mut c = SystemConfig::scaled_by(64, 120_000);
+    c.refresh = false;
+    c
+}
+
+fn bench_single(c: &mut Criterion, id: &str, design: Design, bench: &str) {
+    let cfg = quick_cfg();
+    let wl = vec![spec::by_name(bench)];
+    c.bench_function(id, |b| b.iter(|| black_box(run_one(&cfg, design, &wl).ipc())));
+}
+
+fn table1_config_build(c: &mut Criterion) {
+    c.bench_function("table1/config_and_layout_build", |b| {
+        b.iter(|| {
+            let cfg = SystemConfig::paper_scaled();
+            black_box(cfg.bank_layout().fast_rows())
+        })
+    });
+}
+
+fn table2_generators(c: &mut Criterion) {
+    c.bench_function("table2/all_generators_1k_items", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for w in spec::spec2006() {
+                let g = das_workloads::TraceGen::new(w.scaled(64), 1, 0);
+                total += g.take(100).map(|i| i.insts()).sum::<u64>();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn fig7a_single_das(c: &mut Criterion) {
+    bench_single(c, "fig7a/das_mcf_slice", Design::DasDram, "mcf");
+}
+
+fn fig7b_stats_run(c: &mut Criterion) {
+    bench_single(c, "fig7b/stats_omnetpp_slice", Design::DasDram, "omnetpp");
+}
+
+fn fig7c_access_mix(c: &mut Criterion) {
+    bench_single(c, "fig7c/mix_sas_soplex_slice", Design::SasDram, "soplex");
+}
+
+fn fig7def_multi(c: &mut Criterion) {
+    let mut cfg = quick_cfg();
+    cfg.inst_budget = 60_000;
+    let wl: Vec<_> = mixes::mix("M5").iter().map(|w| w.scaled(2)).collect();
+    c.bench_function("fig7def/multi_m5_slice", |b| {
+        b.iter(|| black_box(run_one(&cfg, Design::DasDram, &wl).ipc_sum()))
+    });
+}
+
+fn fig8_threshold(c: &mut Criterion) {
+    let cfg = quick_cfg().with_threshold(4);
+    let wl = vec![spec::by_name("milc")];
+    c.bench_function("fig8/threshold4_milc_slice", |b| {
+        b.iter(|| black_box(run_one(&cfg, Design::DasDram, &wl).promotions))
+    });
+}
+
+fn fig9a_tcache(c: &mut Criterion) {
+    let cfg = quick_cfg().with_tcache_bytes(32 << 10);
+    let wl = vec![spec::by_name("mcf")];
+    c.bench_function("fig9a/tcache32_mcf_slice", |b| {
+        b.iter(|| black_box(run_one(&cfg, Design::DasDram, &wl).translation.misses))
+    });
+}
+
+fn fig9b_groups(c: &mut Criterion) {
+    let cfg = quick_cfg().with_group_size(64);
+    let wl = vec![spec::by_name("astar")];
+    c.bench_function("fig9b/group64_astar_slice", |b| {
+        b.iter(|| black_box(run_one(&cfg, Design::DasDram, &wl).promotions))
+    });
+}
+
+fn fig9cd_ratio(c: &mut Criterion) {
+    let cfg = quick_cfg().with_fast_ratio(das_dram::geometry::FastRatio::new(1, 16));
+    let wl = vec![spec::by_name("milc")];
+    c.bench_function("fig9cd/ratio16_milc_slice", |b| {
+        b.iter(|| black_box(run_one(&cfg, Design::DasDram, &wl).fast_activation_ratio()))
+    });
+}
+
+fn power_energy(c: &mut Criterion) {
+    let cfg = quick_cfg();
+    let wl = vec![spec::by_name("lbm")];
+    c.bench_function("power/energy_lbm_slice", |b| {
+        b.iter(|| black_box(run_one(&cfg, Design::DasDram, &wl).energy.total_nj()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table1_config_build, table2_generators, fig7a_single_das, fig7b_stats_run,
+        fig7c_access_mix, fig7def_multi, fig8_threshold, fig9a_tcache, fig9b_groups,
+        fig9cd_ratio, power_energy
+}
+criterion_main!(benches);

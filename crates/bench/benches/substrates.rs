@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks for the substrate crates: DRAM command
+//! cycling, cache hierarchy walks, translation-cache lookups, migration
+//! group updates, core dispatch, and trace generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use das_core::groups::BankGroups;
+use das_core::translation::TranslationCache;
+use das_cpu::core::{Core, CoreConfig};
+use das_cpu::trace::TraceItem;
+use das_dram::channel::ChannelDevice;
+use das_dram::command::DramCommand;
+use das_dram::geometry::{Arrangement, BankCoord, BankLayout, FastRatio, GlobalRowId};
+use das_dram::tick::Tick;
+use das_dram::timing::TimingSet;
+use das_cache::hierarchy::{CacheHierarchy, HierarchyConfig};
+use das_workloads::{spec, TraceGen};
+
+fn dram_command_cycle(c: &mut Criterion) {
+    c.bench_function("dram/act_rd_pre_cycle", |b| {
+        let layout =
+            BankLayout::build(4096, FastRatio::new(1, 8), Arrangement::default(), 128, 512);
+        let mut dev = ChannelDevice::new(0, 2, 8, layout, TimingSet::asymmetric(), false);
+        let bank = BankCoord::new(0, 0, 0);
+        let row = dev.layout().slow_to_phys(0);
+        let mut now = Tick::ZERO;
+        b.iter(|| {
+            let act = DramCommand::Activate { bank, phys_row: row };
+            let t = dev.earliest_issue(&act, now).unwrap();
+            dev.issue(&act, t);
+            let rd = DramCommand::Read { bank, phys_row: row, col: 0 };
+            let t = dev.earliest_issue(&rd, t).unwrap();
+            dev.issue(&rd, t);
+            let pre = DramCommand::Precharge { bank, phys_row: row };
+            let t = dev.earliest_issue(&pre, t).unwrap();
+            dev.issue(&pre, t);
+            now = t;
+            black_box(now)
+        });
+    });
+}
+
+fn cache_walk(c: &mut Criterion) {
+    c.bench_function("cache/hierarchy_miss_fill_hit", |b| {
+        let mut h = CacheHierarchy::new(HierarchyConfig::paper_scaled(64), 1);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64) & 0xff_ffff;
+            let out = h.access(0, addr, false);
+            if out.level == das_cache::hierarchy::CacheLevel::Memory {
+                h.fill_from_memory(0, addr, false);
+            }
+            black_box(out.lookup_cycles)
+        });
+    });
+}
+
+fn tcache_lookup(c: &mut Criterion) {
+    c.bench_function("translation/tcache_lookup_insert", |b| {
+        let mut t = TranslationCache::new(2048, 8);
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1) % 4096;
+            let row = GlobalRowId(n);
+            if t.lookup(row) == das_core::translation::TranslationSource::TableFetch {
+                t.insert(row);
+            }
+            black_box(n)
+        });
+    });
+}
+
+fn group_swap(c: &mut Criterion) {
+    c.bench_function("groups/swap_logical", |b| {
+        let mut g = BankGroups::new(4096, 32, FastRatio::new(1, 8));
+        let mut i = 0u32;
+        b.iter(|| {
+            let group = i % 128;
+            g.swap_logical(group * 32 + 5, group * 32 + (i % 4));
+            i = i.wrapping_add(1);
+            black_box(group)
+        });
+    });
+}
+
+fn core_dispatch(c: &mut Criterion) {
+    c.bench_function("cpu/dispatch_complete_cycle", |b| {
+        b.iter(|| {
+            let mut core = Core::new(CoreConfig::paper_default(), 100_000);
+            let mut out = Vec::new();
+            let mut items = (0..500u64).map(|i| TraceItem::load(47, i * 64));
+            core.dispatch_from(&mut items, &mut out);
+            while !out.is_empty() {
+                let pending = std::mem::take(&mut out);
+                for r in pending {
+                    core.complete(r.id, r.issue_at + 800, &mut out);
+                }
+                core.dispatch_from(&mut items, &mut out);
+            }
+            black_box(core.insts_retired())
+        });
+    });
+}
+
+fn trace_generation(c: &mut Criterion) {
+    c.bench_function("workloads/mcf_trace_item", |b| {
+        let mut g = TraceGen::new(spec::by_name("mcf").scaled(64), 1, 0);
+        b.iter(|| black_box(g.next()));
+    });
+}
+
+criterion_group!(
+    benches,
+    dram_command_cycle,
+    cache_walk,
+    tcache_lookup,
+    group_swap,
+    core_dispatch,
+    trace_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation: open-page vs closed-page row-buffer management under each
+//! design. Table 1 uses open-page; this quantifies how much of DAS-DRAM's
+//! benefit depends on that choice (fast activations help *more* under
+//! closed-page, where every access pays an activation).
+
+use das_bench::{pct, single_names, single_workloads, HarnessArgs};
+use das_memctrl::controller::PagePolicy;
+use das_sim::config::Design;
+use das_sim::experiments::{improvement, run_one};
+use das_sim::stats::gmean_improvement;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Ablation: Page Policy (improvement over open-page Std-DRAM)");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "Std closed", "DAS open", "DAS closed", "FS open"
+    );
+    let names = single_names(&args);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for name in &names {
+        let wl = single_workloads(name);
+        let base = run_one(&args.config(), Design::Standard, &wl);
+        let mut vals = Vec::new();
+        for (design, policy) in [
+            (Design::Standard, PagePolicy::Closed),
+            (Design::DasDram, PagePolicy::Open),
+            (Design::DasDram, PagePolicy::Closed),
+            (Design::FsDram, PagePolicy::Open),
+        ] {
+            let mut cfg = args.config();
+            cfg.controller.page_policy = policy;
+            vals.push(improvement(&run_one(&cfg, design, &wl), &base));
+        }
+        print!("{name:<12}");
+        for (i, v) in vals.iter().enumerate() {
+            cols[i].push(*v);
+            print!(" {:>12}", pct(*v));
+        }
+        println!();
+    }
+    print!("{:<12}", "gmean");
+    for col in &cols {
+        print!(" {:>12}", pct(gmean_improvement(col)));
+    }
+    println!();
+}

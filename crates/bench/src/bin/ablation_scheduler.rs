@@ -1,0 +1,30 @@
+//! Ablation: FR-FCFS vs plain FCFS scheduling, for the Std-DRAM baseline
+//! and for DAS-DRAM (does migration interact with the scheduler?).
+
+use das_bench::{single_names, single_workloads, HarnessArgs};
+use das_memctrl::controller::SchedulerKind;
+use das_sim::config::Design;
+use das_sim::experiments::run_one;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Ablation: Scheduler (IPC under FR-FCFS vs FCFS)");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "Std frfcfs", "Std fcfs", "DAS frfcfs", "DAS fcfs"
+    );
+    for name in single_names(&args) {
+        let wl = single_workloads(name);
+        let mut vals = Vec::new();
+        for design in [Design::Standard, Design::DasDram] {
+            for sched in [SchedulerKind::FrFcfs, SchedulerKind::Fcfs] {
+                let cfg = args.config().with_scheduler(sched);
+                vals.push(run_one(&cfg, design, &wl).ipc());
+            }
+        }
+        println!(
+            "{:<12} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            name, vals[0], vals[1], vals[2], vals[3]
+        );
+    }
+}

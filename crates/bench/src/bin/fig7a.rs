@@ -1,0 +1,25 @@
+//! Regenerates Figure 7a: single-programming performance improvement over
+//! Std-DRAM for SAS-DRAM, CHARM, DAS-DRAM, DAS-DRAM (FM) and FS-DRAM.
+
+use das_bench::{
+    figure7_designs, print_improvement_table, run_with_baseline, single_names, single_workloads,
+    HarnessArgs,
+};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let cfg = args.config();
+    let names = single_names(&args);
+    let designs = figure7_designs();
+    let mut rows = Vec::new();
+    for name in &names {
+        let (_, results) = run_with_baseline(&cfg, &designs, &single_workloads(name));
+        rows.push(results.iter().map(|(_, _, imp)| *imp).collect());
+    }
+    print_improvement_table(
+        "Figure 7a: Single-Programming Performance Improvements",
+        &names,
+        &designs,
+        &rows,
+    );
+}

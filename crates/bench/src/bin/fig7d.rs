@@ -1,0 +1,25 @@
+//! Regenerates Figure 7d: multi-programming (M1-M8) performance
+//! improvement over Std-DRAM.
+
+use das_bench::{
+    figure7_designs, mix_names, multi_config, mix_workloads, print_improvement_table,
+    run_with_baseline, HarnessArgs,
+};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let cfg = multi_config(&args);
+    let names = mix_names(&args);
+    let designs = figure7_designs();
+    let mut rows = Vec::new();
+    for name in &names {
+        let (_, results) = run_with_baseline(&cfg, &designs, &mix_workloads(name));
+        rows.push(results.iter().map(|(_, _, imp)| *imp).collect());
+    }
+    print_improvement_table(
+        "Figure 7d: Multi-Programming Performance Improvements",
+        &names,
+        &designs,
+        &rows,
+    );
+}

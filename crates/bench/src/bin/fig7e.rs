@@ -1,0 +1,23 @@
+//! Regenerates Figure 7e: MPKI, PPKM and footprints for the M1-M8 mixes
+//! (measured on DAS-DRAM).
+
+use das_bench::{mix_names, multi_config, mix_workloads, HarnessArgs};
+use das_sim::config::Design;
+use das_sim::experiments::run_one;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let cfg = multi_config(&args);
+    println!("# Figure 7e: MPKI; PPKM; Footprints (multi-programming, DAS-DRAM)");
+    println!("{:<4} {:>8} {:>8} {:>14}", "mix", "MPKI", "PPKM", "footprint(MB)");
+    for name in mix_names(&args) {
+        let m = run_one(&cfg, Design::DasDram, &mix_workloads(name));
+        println!(
+            "{:<4} {:>8.1} {:>8.1} {:>14.1}",
+            name,
+            m.mpki(),
+            m.ppkm(),
+            m.footprint_bytes as f64 / (1 << 20) as f64
+        );
+    }
+}

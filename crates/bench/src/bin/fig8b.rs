@@ -1,0 +1,19 @@
+//! Regenerates Figure 8b: access-location distribution vs promotion
+//! threshold (filtering degrades fast-level utilisation).
+
+use das_bench::{print_access_mix, single_names, single_workloads, HarnessArgs};
+use das_sim::config::Design;
+use das_sim::experiments::run_one;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Figure 8b: Access Locations vs Promotion Threshold");
+    for name in single_names(&args) {
+        println!("## {name}");
+        for t in [8u32, 4, 2, 1] {
+            let cfg = args.config().with_threshold(t);
+            let m = run_one(&cfg, Design::DasDram, &single_workloads(name));
+            print_access_mix(&format!("threshold {t}"), &m);
+        }
+    }
+}

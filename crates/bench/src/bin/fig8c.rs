@@ -1,0 +1,24 @@
+//! Regenerates Figure 8c: row promotions per memory access vs threshold.
+
+use das_bench::{single_names, single_workloads, HarnessArgs};
+use das_sim::config::Design;
+use das_sim::experiments::run_one;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Figure 8c: Promotion/Access Ratio vs Threshold");
+    print!("{:<12}", "workload");
+    for t in [8u32, 4, 2, 1] {
+        print!(" {:>12}", format!("threshold {t}"));
+    }
+    println!();
+    for name in single_names(&args) {
+        print!("{name:<12}");
+        for t in [8u32, 4, 2, 1] {
+            let cfg = args.config().with_threshold(t);
+            let m = run_one(&cfg, Design::DasDram, &single_workloads(name));
+            print!(" {:>11.2}%", m.promotions_per_access() * 100.0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates Figure 9a: DAS-DRAM performance improvement vs translation
+//! cache capacity (full-scale 32/64/128/256 KB, scaled with the system).
+
+use das_bench::{pct, single_names, single_workloads, HarnessArgs};
+use das_sim::config::Design;
+use das_sim::experiments::{improvement, run_one};
+use das_sim::stats::gmean_improvement;
+
+const CAPS_KB: [u64; 4] = [32, 64, 128, 256];
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let names = single_names(&args);
+    println!("# Figure 9a: Translation Cache Capacities (full-scale labels)");
+    print!("{:<12}", "workload");
+    for kb in CAPS_KB {
+        print!(" {:>10}", format!("{kb} KB"));
+    }
+    println!();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); CAPS_KB.len()];
+    for name in &names {
+        let wl = single_workloads(name);
+        let base = run_one(&args.config(), Design::Standard, &wl);
+        print!("{name:<12}");
+        for (i, kb) in CAPS_KB.iter().enumerate() {
+            let cfg = args.config().with_tcache_bytes(kb << 10);
+            let m = run_one(&cfg, Design::DasDram, &wl);
+            let imp = improvement(&m, &base);
+            cols[i].push(imp);
+            print!(" {:>10}", pct(imp));
+        }
+        println!();
+    }
+    print!("{:<12}", "gmean");
+    for col in &cols {
+        print!(" {:>10}", pct(gmean_improvement(col)));
+    }
+    println!();
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 9d: DAS-DRAM improvement vs fast-level capacity ratio
+//! (1/32, 1/16, 1/8, 1/4) under LRU replacement.
+
+use das_bench::{ratio_sweep, HarnessArgs};
+use das_core::replacement::ReplacementPolicy;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    ratio_sweep(
+        "Figure 9d: Ratios of Fast Level with LRU Replacement",
+        &args,
+        ReplacementPolicy::Lru,
+    );
+}

@@ -1,0 +1,245 @@
+//! # das-bench — figure/table regeneration harness
+//!
+//! One binary per table and figure of the paper's evaluation (§6–§7), plus
+//! ablation studies for the design choices called out in `DESIGN.md`. Each
+//! binary prints the same rows/series the paper reports; `EXPERIMENTS.md`
+//! records paper-vs-measured values.
+//!
+//! Shared here: run-matrix helpers, percentage formatting, and the common
+//! command-line convention (`--insts N` to change the per-core instruction
+//! budget, `--scale N` to change the capacity scale).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use das_sim::config::{Design, SystemConfig};
+use das_sim::experiments::{improvement, run_one};
+use das_sim::stats::{gmean_improvement, RunMetrics};
+use das_workloads::config::WorkloadConfig;
+use das_workloads::{mixes, spec};
+
+/// Command-line options shared by every figure binary.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Per-core instruction budget.
+    pub insts: u64,
+    /// Capacity scale factor.
+    pub scale: u32,
+    /// Restrict to a subset of benchmarks/mixes (empty = all).
+    pub only: Vec<String>,
+}
+
+impl HarnessArgs {
+    /// Parses `--insts N`, `--scale N` and `--only a,b,c` from `args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        let mut out = HarnessArgs { insts: 3_000_000, scale: 64, only: Vec::new() };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--insts" => {
+                    out.insts = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--insts needs an integer");
+                }
+                "--scale" => {
+                    out.scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs an integer");
+                }
+                "--only" => {
+                    out.only = args
+                        .next()
+                        .expect("--only needs a comma-separated list")
+                        .split(',')
+                        .map(str::to_string)
+                        .collect();
+                }
+                other => panic!("unknown argument {other:?} (use --insts/--scale/--only)"),
+            }
+        }
+        out
+    }
+
+    /// The system configuration these arguments select.
+    pub fn config(&self) -> SystemConfig {
+        SystemConfig::scaled_by(self.scale, self.insts)
+    }
+
+    /// Filters a name list by `--only`.
+    pub fn filter<'a>(&self, names: Vec<&'a str>) -> Vec<&'a str> {
+        if self.only.is_empty() {
+            names
+        } else {
+            names.into_iter().filter(|n| self.only.iter().any(|o| o == n)).collect()
+        }
+    }
+}
+
+/// The single-programming benchmark list (Table 2 order).
+pub fn single_names(args: &HarnessArgs) -> Vec<&'static str> {
+    args.filter(spec::names())
+}
+
+/// The multi-programming mix list (Table 2 order).
+pub fn mix_names(args: &HarnessArgs) -> Vec<&'static str> {
+    args.filter(mixes::names())
+}
+
+/// Workload set for one single-programming benchmark.
+pub fn single_workloads(name: &str) -> Vec<WorkloadConfig> {
+    vec![spec::by_name(name)]
+}
+
+/// Workload set for one mix. Per-benchmark footprints are halved relative
+/// to the single-programming episodes: the paper's multi-programming runs
+/// sample a different execution point whose footprints (Fig. 7e) are
+/// smaller than the single-programming ones (Fig. 7b).
+pub fn mix_workloads(name: &str) -> Vec<WorkloadConfig> {
+    mixes::mix(name).iter().map(|w| w.scaled(2)).collect()
+}
+
+/// Runs `designs` plus the Std-DRAM baseline over one workload set and
+/// returns `(baseline, per-design (metrics, improvement))`.
+pub fn run_with_baseline(
+    cfg: &SystemConfig,
+    designs: &[Design],
+    workloads: &[WorkloadConfig],
+) -> (RunMetrics, Vec<(Design, RunMetrics, f64)>) {
+    let base = run_one(cfg, Design::Standard, workloads);
+    let rows = designs
+        .iter()
+        .map(|&d| {
+            let m = run_one(cfg, d, workloads);
+            let imp = improvement(&m, &base);
+            (d, m, imp)
+        })
+        .collect();
+    (base, rows)
+}
+
+/// The non-baseline designs of Fig. 7 in paper order.
+pub fn figure7_designs() -> [Design; 5] {
+    [Design::SasDram, Design::Charm, Design::DasDram, Design::DasDramFm, Design::FsDram]
+}
+
+/// Formats a fraction as a percentage with sign.
+pub fn pct(x: f64) -> String {
+    format!("{:+.2}%", x * 100.0)
+}
+
+/// Prints one improvement table: rows = workloads, columns = designs, plus
+/// a gmean row, matching the bar groups of Figs. 7a/7d.
+pub fn print_improvement_table(title: &str, names: &[&str], columns: &[Design], rows: &[Vec<f64>]) {
+    println!("# {title}");
+    print!("{:<12}", "workload");
+    for d in columns {
+        print!(" {:>14}", d.label());
+    }
+    println!();
+    for (name, row) in names.iter().zip(rows) {
+        print!("{name:<12}");
+        for v in row {
+            print!(" {:>14}", pct(*v));
+        }
+        println!();
+    }
+    print!("{:<12}", "gmean");
+    for c in 0..columns.len() {
+        let col: Vec<f64> = rows.iter().map(|r| r[c]).collect();
+        print!(" {:>14}", pct(gmean_improvement(&col)));
+    }
+    println!();
+}
+
+/// Prints the Fig. 7c/7f-style access-location distribution for one run.
+pub fn print_access_mix(label: &str, m: &RunMetrics) {
+    let (rb, f, s) = m.access_mix.fractions();
+    println!(
+        "{label:<14} slow={:5.1}%  fast={:5.1}%  row-buffer={:5.1}%",
+        s * 100.0,
+        f * 100.0,
+        rb * 100.0
+    );
+}
+
+/// Configuration for the multi-programming experiments: the paper samples
+/// multi-programming at a different execution point with smaller
+/// per-benchmark footprints (Fig. 7e) and runs 400 M instructions total;
+/// we halve the per-core budget relative to singles.
+pub fn multi_config(args: &HarnessArgs) -> SystemConfig {
+    let mut cfg = args.config();
+    cfg.inst_budget = (args.insts / 2).max(1);
+    cfg
+}
+
+/// Shared runner for Figs. 9c/9d: fast-level ratio sweep under one
+/// replacement policy, printed as an improvement table plus gmean.
+pub fn ratio_sweep(
+    title: &str,
+    args: &HarnessArgs,
+    policy: das_core::replacement::ReplacementPolicy,
+) {
+    use das_dram::geometry::FastRatio;
+    let dens: [u32; 4] = [32, 16, 8, 4];
+    let names = single_names(args);
+    println!("# {title}");
+    print!("{:<12}", "workload");
+    for d in dens {
+        print!(" {:>10}", format!("1/{d}"));
+    }
+    println!();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); dens.len()];
+    for name in &names {
+        let wl = single_workloads(name);
+        let base = run_one(&args.config(), Design::Standard, &wl);
+        print!("{name:<12}");
+        for (i, den) in dens.iter().enumerate() {
+            let cfg = args
+                .config()
+                .with_fast_ratio(FastRatio::new(1, *den))
+                .with_replacement(policy);
+            let m = run_one(&cfg, Design::DasDram, &wl);
+            let imp = improvement(&m, &base);
+            cols[i].push(imp);
+            print!(" {:>10}", pct(imp));
+        }
+        println!();
+    }
+    print!("{:<12}", "gmean");
+    for col in &cols {
+        print!(" {:>10}", pct(gmean_improvement(col)));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_sign() {
+        assert_eq!(pct(0.0725), "+7.25%");
+        assert_eq!(pct(-0.01), "-1.00%");
+    }
+
+    #[test]
+    fn figure7_designs_are_five() {
+        assert_eq!(figure7_designs().len(), 5);
+    }
+
+    #[test]
+    fn name_helpers_cover_table2() {
+        let args = HarnessArgs { insts: 1, scale: 64, only: vec![] };
+        assert_eq!(single_names(&args).len(), 10);
+        assert_eq!(mix_names(&args).len(), 8);
+        let only = HarnessArgs { insts: 1, scale: 64, only: vec!["mcf".into()] };
+        assert_eq!(single_names(&only), vec!["mcf"]);
+        assert_eq!(mix_workloads("M1").len(), 4);
+    }
+}

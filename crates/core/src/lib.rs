@@ -1,0 +1,59 @@
+//! # das-core — Dynamic Asymmetric-Subarray DRAM management
+//!
+//! The primary contribution of Lu, Lin & Yang (MICRO 2015), *Improving DRAM
+//! Latency with Dynamic Asymmetric Subarray*:
+//!
+//! * [`migration`] — the migration-cell row mechanism (§4): Fig. 3d step
+//!   decomposition, 1.5 tRC single migrations, the 3 tRC four-step swap of
+//!   Fig. 6, and hop-cost extrapolations for arrangement ablations;
+//! * [`groups`] — migration groups (§5.2): bounded-freedom permutations
+//!   keeping translation entries at one byte;
+//! * [`translation`] — the in-memory translation table and the controller's
+//!   fast-level-only translation cache (§5.2, §7.4);
+//! * [`promotion`] — threshold promotion filtering with a bounded counter
+//!   file (§5.3, §7.3);
+//! * [`replacement`] — LRU / Random / Sequential / global-counter victim
+//!   selection (§5.3, §7.6);
+//! * [`management`] — [`management::DasManager`], the controller-side state
+//!   machine combining all of the above, plus the static-profiled placement
+//!   used by the SAS-DRAM and CHARM baselines;
+//! * [`inclusive`] — the §5 inclusive-cache management alternative the
+//!   paper weighs against the adopted exclusive scheme.
+//!
+//! # Examples
+//!
+//! ```
+//! use das_core::management::{DasManager, ManagementConfig};
+//! use das_dram::geometry::{Arrangement, BankCoord, BankLayout, DramGeometry, FastRatio};
+//!
+//! let geom = DramGeometry::paper_scaled(64);
+//! let layout = BankLayout::build(geom.rows_per_bank, FastRatio::PAPER_DEFAULT,
+//!     Arrangement::ReducedInterleaving, 128, 512);
+//! let cfg = ManagementConfig { tcache_bytes: 2 << 10, ..ManagementConfig::paper_default() };
+//! let mut mgr = DasManager::new(cfg, geom, layout);
+//! let bank = BankCoord::new(0, 0, 0);
+//! let t = mgr.translate(bank, 17);
+//! assert!(!t.in_fast, "row 17 starts in the slow level");
+//! let swap = mgr.on_data_access(bank, 17, 1).expect("promote on slow hit");
+//! mgr.commit_swap(&swap, 2);
+//! assert!(mgr.translate(bank, 17).in_fast);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod groups;
+pub mod inclusive;
+pub mod management;
+pub mod migration;
+pub mod promotion;
+pub mod replacement;
+pub mod translation;
+
+pub use groups::{BankGroups, GroupId};
+pub use inclusive::{FillRequest, InclusiveManager};
+pub use management::{DasManager, ManagementConfig, ManagementStats, SwapRequest, Translation};
+pub use migration::{MigrationModel, MigrationStep};
+pub use promotion::{FilterStats, PromotionFilter};
+pub use replacement::{ReplacementPolicy, Replacer};
+pub use translation::{TableAddressMap, TranslationCache, TranslationSource, TranslationStats};

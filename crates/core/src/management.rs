@@ -1,0 +1,538 @@
+//! The hardware exclusive-cache management mechanism of §5: translation,
+//! promotion triggering/filtering, and replacement, packaged as the state
+//! machine the memory controller consults on every request.
+//!
+//! The manager is authoritative for *where every logical row currently
+//! lives*; the translation cache only affects **timing** (whether a lookup
+//! costs a table fetch), never correctness.
+
+use std::collections::{HashMap, HashSet};
+
+use das_dram::geometry::{BankCoord, BankLayout, DramGeometry, FastRatio, GlobalRowId};
+
+use crate::groups::{BankGroups, GroupId};
+use crate::promotion::{FilterStats, PromotionFilter};
+use crate::replacement::{ReplacementPolicy, Replacer};
+use crate::translation::{
+    TableAddressMap, TranslationCache, TranslationSource, TranslationStats,
+};
+
+/// Configuration of the management mechanism (§5, Table 1 defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct ManagementConfig {
+    /// Rows per migration group (Table 1: 32).
+    pub group_size: u32,
+    /// Fast-level capacity share (Table 1: 1/8).
+    pub fast_ratio: FastRatio,
+    /// Translation cache capacity in bytes (§7.4 default: 128 KB full
+    /// scale; callers scale it with the system).
+    pub tcache_bytes: u64,
+    /// Translation cache associativity.
+    pub tcache_ways: usize,
+    /// Promotion threshold (§7.3; the adopted DAS-DRAM uses 1).
+    pub promotion_threshold: u32,
+    /// Promotion-filter counter file size (§7.3: 1024).
+    pub filter_counters: usize,
+    /// Fast-level replacement policy (§5.3).
+    pub replacement: ReplacementPolicy,
+    /// Seed for randomized policies.
+    pub seed: u64,
+    /// Static mode: translation is fixed at initialisation (SAS/CHARM), so
+    /// lookups never pay a table fetch and no promotions occur.
+    pub static_mapping: bool,
+}
+
+impl ManagementConfig {
+    /// The paper's DAS-DRAM defaults.
+    pub fn paper_default() -> Self {
+        ManagementConfig {
+            group_size: 32,
+            fast_ratio: FastRatio::PAPER_DEFAULT,
+            tcache_bytes: 128 << 10,
+            tcache_ways: 8,
+            promotion_threshold: 1,
+            filter_counters: 1024,
+            replacement: ReplacementPolicy::Lru,
+            seed: 1,
+            static_mapping: false,
+        }
+    }
+
+    /// The static-profiled variant used by the SAS-DRAM / CHARM baselines.
+    pub fn static_profiled() -> Self {
+        ManagementConfig { static_mapping: true, ..Self::paper_default() }
+    }
+}
+
+/// Result of translating one request's logical row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// Physical DRAM row within the bank.
+    pub phys_row: u32,
+    /// Whether the row currently resides in the fast level.
+    pub in_fast: bool,
+    /// Whether the lookup hit the translation cache (timing-free) or needs
+    /// a table fetch.
+    pub source: TranslationSource,
+    /// Byte address of the table line to fetch when `source` is
+    /// `TableFetch` (already line-aligned).
+    pub table_line: u64,
+}
+
+/// A promotion the controller should perform: swap the promotee's and
+/// victim's rows through the migration mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapRequest {
+    /// Bank holding the group.
+    pub bank: BankCoord,
+    /// Migration group.
+    pub group: u32,
+    /// Logical row being promoted (currently slow).
+    pub promotee: u32,
+    /// Logical row being demoted (currently fast).
+    pub victim: u32,
+    /// Physical row of the promotee.
+    pub promotee_phys: u32,
+    /// Physical row of the victim.
+    pub victim_phys: u32,
+}
+
+/// Aggregate management statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ManagementStats {
+    /// Data accesses that found their row in the fast level.
+    pub fast_hits: u64,
+    /// Data accesses serviced from the slow level.
+    pub slow_hits: u64,
+    /// Swaps committed.
+    pub promotions: u64,
+    /// Promotions skipped because the group already had one in flight.
+    pub deferred_busy: u64,
+}
+
+/// The §5 management mechanism. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct DasManager {
+    cfg: ManagementConfig,
+    geometry: DramGeometry,
+    layout: BankLayout,
+    groups: Vec<BankGroups>,
+    tcache: TranslationCache,
+    table_map: TableAddressMap,
+    replacer: Replacer,
+    filter: PromotionFilter,
+    /// Groups with a swap in flight (no second promotion may start).
+    busy_groups: HashSet<GroupId>,
+    stats: ManagementStats,
+}
+
+impl DasManager {
+    /// Creates the manager for a system of `geometry` with bank `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group size / ratio do not divide the geometry exactly.
+    pub fn new(cfg: ManagementConfig, geometry: DramGeometry, layout: BankLayout) -> Self {
+        let banks = geometry.total_banks() as usize;
+        let groups = (0..banks)
+            .map(|b| {
+                BankGroups::with_rotation(
+                    geometry.rows_per_bank,
+                    cfg.group_size,
+                    cfg.fast_ratio,
+                    b as u32 * 13,
+                )
+            })
+            .collect();
+        // The table occupies a reserved region at the top of DRAM (one byte
+        // per row), hidden from the OS; demand regions must stay below it.
+        let table_map =
+            TableAddressMap::new(geometry.total_bytes() - geometry.total_rows());
+        DasManager {
+            cfg,
+            geometry,
+            layout,
+            groups,
+            tcache: TranslationCache::new(cfg.tcache_bytes, cfg.tcache_ways),
+            table_map,
+            replacer: Replacer::new(cfg.replacement, cfg.seed),
+            filter: PromotionFilter::new(cfg.promotion_threshold, cfg.filter_counters),
+            busy_groups: HashSet::new(),
+            stats: ManagementStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ManagementConfig {
+        &self.cfg
+    }
+
+    /// The bank layout the manager was built against.
+    pub fn layout(&self) -> &BankLayout {
+        &self.layout
+    }
+
+    /// Reads the current mapping of a logical row without modelling any
+    /// lookup (used when the controller already holds the translation,
+    /// e.g. from a just-translated request to the same row).
+    pub fn peek(&self, bank: BankCoord, logical_row: u32) -> (u32, bool) {
+        let bank_idx = self.geometry.bank_index(bank);
+        let g = &self.groups[bank_idx];
+        (g.phys_row_of_logical(logical_row, &self.layout), g.is_fast(logical_row))
+    }
+
+    /// Translates the logical row of a request.
+    pub fn translate(&mut self, bank: BankCoord, logical_row: u32) -> Translation {
+        let bank_idx = self.geometry.bank_index(bank);
+        let g = &self.groups[bank_idx];
+        let in_fast = g.is_fast(logical_row);
+        let phys_row = g.phys_row_of_logical(logical_row, &self.layout);
+        let row_id = self.geometry.global_row_id(bank, logical_row);
+        let source = if self.cfg.static_mapping {
+            // Static designs hard-wire the mapping: no lookup cost.
+            TranslationSource::Cache
+        } else {
+            let src = self.tcache.lookup(row_id);
+            if src == TranslationSource::TableFetch && in_fast {
+                // The fetched entry maps to the fast level: cache it.
+                self.tcache.insert(row_id);
+            }
+            src
+        };
+        Translation {
+            phys_row,
+            in_fast,
+            source,
+            table_line: self.table_map.entry_line(row_id, self.geometry.line_bytes as u64),
+        }
+    }
+
+    /// Records a serviced data access and, for slow-level hits under a
+    /// dynamic configuration, decides whether to trigger a promotion.
+    ///
+    /// `now` is any monotonically increasing stamp (ticks) used for LRU.
+    pub fn on_data_access(&mut self, bank: BankCoord, logical_row: u32, now: u64) -> Option<SwapRequest> {
+        let bank_idx = self.geometry.bank_index(bank);
+        let (group, _) = self.groups[bank_idx].locate(logical_row);
+        let gid = GroupId { bank: bank_idx, group };
+        if self.groups[bank_idx].is_fast(logical_row) {
+            self.stats.fast_hits += 1;
+            let slot = self.groups[bank_idx].phys_slot(logical_row);
+            let fast_slots = self.groups[bank_idx].fast_slots();
+            self.replacer.note_fast_access(gid, slot, fast_slots, now);
+            return None;
+        }
+        self.stats.slow_hits += 1;
+        if self.cfg.static_mapping {
+            return None;
+        }
+        let row_id = self.geometry.global_row_id(bank, logical_row);
+        if !self.filter.observe(row_id) {
+            return None;
+        }
+        if self.busy_groups.contains(&gid) {
+            self.stats.deferred_busy += 1;
+            return None;
+        }
+        let groups = &self.groups[bank_idx];
+        let fast_slots = groups.fast_slots();
+        let victim_slot = self.replacer.choose_victim(gid, fast_slots);
+        let victim_logical_slot = groups.logical_slot(group, victim_slot);
+        let victim = group * groups.group_size() + victim_logical_slot as u32;
+        debug_assert_ne!(victim, logical_row);
+        let req = SwapRequest {
+            bank,
+            group,
+            promotee: logical_row,
+            victim,
+            promotee_phys: groups.phys_row_of_logical(logical_row, &self.layout),
+            victim_phys: groups.phys_row_of_logical(victim, &self.layout),
+        };
+        self.busy_groups.insert(gid);
+        Some(req)
+    }
+
+    /// Commits a completed swap: updates the group permutation, keeps the
+    /// translation cache coherent (insert promotee, drop victim), and marks
+    /// the promotee's slot most-recently-used so an immediately following
+    /// promotion in the group does not evict it.
+    pub fn commit_swap(&mut self, req: &SwapRequest, now: u64) {
+        let bank_idx = self.geometry.bank_index(req.bank);
+        self.groups[bank_idx].swap_logical(req.promotee, req.victim);
+        let gid = GroupId { bank: bank_idx, group: req.group };
+        let slot = self.groups[bank_idx].phys_slot(req.promotee);
+        let fast_slots = self.groups[bank_idx].fast_slots();
+        self.replacer.note_fast_access(gid, slot, fast_slots, now);
+        self.busy_groups.remove(&gid);
+        if !self.cfg.static_mapping {
+            let promotee_id = self.geometry.global_row_id(req.bank, req.promotee);
+            let victim_id = self.geometry.global_row_id(req.bank, req.victim);
+            self.tcache.insert(promotee_id);
+            self.tcache.invalidate(victim_id);
+            self.filter.forget(promotee_id);
+        }
+        self.stats.promotions += 1;
+    }
+
+    /// Abandons a swap that could not be scheduled (frees the group).
+    pub fn abort_swap(&mut self, req: &SwapRequest) {
+        let bank_idx = self.geometry.bank_index(req.bank);
+        self.busy_groups.remove(&GroupId { bank: bank_idx, group: req.group });
+    }
+
+    /// Pre-places the most frequently used rows of each group into its fast
+    /// slots, given profiled per-row access counts — the SAS-DRAM / CHARM
+    /// methodology of §7 ("each workload is profiled first and the
+    /// most-frequently-used portion of its footprint is pre-assigned to the
+    /// fast level").
+    pub fn static_place(&mut self, counts: &HashMap<GlobalRowId, u64>) {
+        for bank in self.geometry.banks() {
+            let bank_idx = self.geometry.bank_index(bank);
+            let group_size = self.groups[bank_idx].group_size();
+            let fast_slots = self.groups[bank_idx].fast_slots();
+            for group in 0..self.groups[bank_idx].groups() {
+                let base = group * group_size;
+                let mut ranked: Vec<(u64, u32)> = (0..group_size)
+                    .map(|s| {
+                        let row = base + s;
+                        let id = self.geometry.global_row_id(bank, row);
+                        (counts.get(&id).copied().unwrap_or(0), row)
+                    })
+                    .collect();
+                ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                // Move each of the top rows into a fast slot.
+                for (i, &(_, hot_row)) in ranked.iter().take(fast_slots as usize).enumerate() {
+                    let g = &self.groups[bank_idx];
+                    if (g.phys_slot(hot_row) as u32) < fast_slots {
+                        continue; // already fast
+                    }
+                    // Swap with the occupant of fast slot `i` unless that
+                    // occupant is itself one of the chosen hot rows.
+                    let mut target_slot = i as u8;
+                    let chosen: HashSet<u32> = ranked
+                        .iter()
+                        .take(fast_slots as usize)
+                        .map(|&(_, r)| r)
+                        .collect();
+                    let mut occupant =
+                        base + g.logical_slot(group, target_slot) as u32;
+                    if chosen.contains(&occupant) {
+                        // Find any fast slot holding a non-chosen row.
+                        let mut found = None;
+                        for s in 0..fast_slots as u8 {
+                            let occ = base + g.logical_slot(group, s) as u32;
+                            if !chosen.contains(&occ) {
+                                found = Some((s, occ));
+                                break;
+                            }
+                        }
+                        match found {
+                            Some((s, occ)) => {
+                                target_slot = s;
+                                occupant = occ;
+                            }
+                            None => continue, // all fast slots already hold chosen rows
+                        }
+                    }
+                    let _ = target_slot;
+                    self.groups[bank_idx].swap_logical(hot_row, occupant);
+                }
+            }
+        }
+    }
+
+    /// Whether logical row `row` of `bank` currently resides in fast.
+    pub fn is_fast(&self, bank: BankCoord, row: u32) -> bool {
+        self.groups[self.geometry.bank_index(bank)].is_fast(row)
+    }
+
+    /// First byte of the reserved in-DRAM translation-table region; demand
+    /// data must live below this address.
+    pub fn table_region_base(&self) -> u64 {
+        self.geometry.total_bytes() - self.geometry.total_rows()
+    }
+
+    /// Management statistics.
+    pub fn stats(&self) -> ManagementStats {
+        self.stats
+    }
+
+    /// Translation-cache statistics.
+    pub fn translation_stats(&self) -> TranslationStats {
+        self.tcache.stats()
+    }
+
+    /// Promotion-filter statistics.
+    pub fn filter_stats(&self) -> FilterStats {
+        self.filter.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_dram::geometry::Arrangement;
+
+    fn geometry() -> DramGeometry {
+        DramGeometry::paper_scaled(64) // 512 rows/bank: quick tests
+    }
+
+    fn layout(g: &DramGeometry) -> BankLayout {
+        BankLayout::build(g.rows_per_bank, FastRatio::new(1, 8), Arrangement::default(), 128, 512)
+    }
+
+    fn manager(cfg: ManagementConfig) -> DasManager {
+        let g = geometry();
+        let l = layout(&g);
+        DasManager::new(cfg, g, l)
+    }
+
+    fn cfg_scaled() -> ManagementConfig {
+        ManagementConfig { tcache_bytes: 2 << 10, ..ManagementConfig::paper_default() }
+    }
+
+    fn bank0() -> BankCoord {
+        BankCoord::new(0, 0, 0)
+    }
+
+    #[test]
+    fn initial_translation_is_identityish() {
+        let mut m = manager(cfg_scaled());
+        let t = m.translate(bank0(), 0);
+        assert!(t.in_fast, "slot 0 of each group starts fast");
+        let t = m.translate(bank0(), 17);
+        assert!(!t.in_fast);
+        assert_eq!(t.source, TranslationSource::TableFetch, "cold cache");
+    }
+
+    #[test]
+    fn slow_hit_triggers_promotion_and_commit_moves_row() {
+        let mut m = manager(cfg_scaled());
+        let row = 17u32;
+        assert!(!m.is_fast(bank0(), row));
+        let req = m.on_data_access(bank0(), row, 1).expect("threshold 1 promotes");
+        assert_eq!(req.promotee, row);
+        assert!(m.is_fast(bank0(), req.victim));
+        m.commit_swap(&req, 1);
+        assert!(m.is_fast(bank0(), row));
+        assert!(!m.is_fast(bank0(), req.victim));
+        assert_eq!(m.stats().promotions, 1);
+    }
+
+    #[test]
+    fn fast_hit_never_promotes() {
+        let mut m = manager(cfg_scaled());
+        assert!(m.on_data_access(bank0(), 0, 1).is_none());
+        assert_eq!(m.stats().fast_hits, 1);
+    }
+
+    #[test]
+    fn busy_group_defers_second_promotion() {
+        let mut m = manager(cfg_scaled());
+        let r1 = m.on_data_access(bank0(), 17, 1).expect("first promotes");
+        // Another slow row of the same group: deferred while swap in flight.
+        assert!(m.on_data_access(bank0(), 18, 2).is_none());
+        assert_eq!(m.stats().deferred_busy, 1);
+        m.commit_swap(&r1, 2);
+        assert!(m.on_data_access(bank0(), 18, 3).is_some());
+    }
+
+    #[test]
+    fn abort_frees_group() {
+        let mut m = manager(cfg_scaled());
+        let r1 = m.on_data_access(bank0(), 17, 1).unwrap();
+        m.abort_swap(&r1);
+        assert!(m.on_data_access(bank0(), 18, 2).is_some());
+        assert_eq!(m.stats().promotions, 0);
+    }
+
+    #[test]
+    fn translation_cache_tracks_promotions() {
+        let mut m = manager(cfg_scaled());
+        let row = 17u32;
+        let req = m.on_data_access(bank0(), row, 1).unwrap();
+        m.commit_swap(&req, 1);
+        // Promotee now hits the cache.
+        let t = m.translate(bank0(), row);
+        assert!(t.in_fast);
+        assert_eq!(t.source, TranslationSource::Cache);
+        // Victim was invalidated; its lookup must fetch.
+        let t = m.translate(bank0(), req.victim);
+        assert!(!t.in_fast);
+        assert_eq!(t.source, TranslationSource::TableFetch);
+    }
+
+    #[test]
+    fn static_mode_never_promotes_and_never_fetches() {
+        let mut m = manager(ManagementConfig {
+            static_mapping: true,
+            tcache_bytes: 2 << 10,
+            ..ManagementConfig::paper_default()
+        });
+        assert!(m.on_data_access(bank0(), 17, 1).is_none());
+        let t = m.translate(bank0(), 17);
+        assert_eq!(t.source, TranslationSource::Cache);
+    }
+
+    #[test]
+    fn static_place_puts_hot_rows_in_fast() {
+        let g = geometry();
+        let l = layout(&g);
+        let mut m = DasManager::new(ManagementConfig {
+            static_mapping: true,
+            tcache_bytes: 2 << 10,
+            ..ManagementConfig::paper_default()
+        }, g.clone(), l);
+        // Profile: rows 16..20 of bank0 are the hottest of group 0.
+        let mut counts = HashMap::new();
+        for (i, row) in (16u32..20).enumerate() {
+            counts.insert(g.global_row_id(bank0(), row), 100 - i as u64);
+        }
+        m.static_place(&counts);
+        for row in 16u32..20 {
+            assert!(m.is_fast(bank0(), row), "hot row {row} should be fast");
+        }
+        // Group invariants hold.
+        for b in g.banks() {
+            let idx = g.bank_index(b);
+            let _ = idx;
+        }
+    }
+
+    #[test]
+    fn static_place_keeps_already_fast_hot_rows() {
+        let g = geometry();
+        let l = layout(&g);
+        let mut m = DasManager::new(ManagementConfig::static_profiled(), g.clone(), l);
+        let mut counts = HashMap::new();
+        // Hottest rows include two already-fast rows (0, 1) and two slow.
+        for row in [0u32, 1, 30, 31] {
+            counts.insert(g.global_row_id(bank0(), row), 50);
+        }
+        m.static_place(&counts);
+        for row in [0u32, 1, 30, 31] {
+            assert!(m.is_fast(bank0(), row), "row {row}");
+        }
+    }
+
+    #[test]
+    fn table_lines_live_in_the_reserved_top_region() {
+        let mut m = manager(cfg_scaled());
+        let g = geometry();
+        let t = m.translate(bank0(), 5);
+        assert!(t.table_line >= g.total_bytes() - g.total_rows());
+        assert!(t.table_line < g.total_bytes());
+    }
+
+    #[test]
+    fn promotions_update_phys_rows_consistently() {
+        let mut m = manager(cfg_scaled());
+        let before = m.translate(bank0(), 17).phys_row;
+        let req = m.on_data_access(bank0(), 17, 1).unwrap();
+        assert_eq!(req.promotee_phys, before);
+        m.commit_swap(&req, 1);
+        let after = m.translate(bank0(), 17).phys_row;
+        assert_eq!(after, req.victim_phys);
+        assert_eq!(m.translate(bank0(), req.victim).phys_row, req.promotee_phys);
+    }
+}

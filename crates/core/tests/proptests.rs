@@ -1,0 +1,140 @@
+//! Property-based tests for the management structures: permutation
+//! invariants under arbitrary swap sequences, translation-cache bounds,
+//! filter and replacement behaviour.
+
+use proptest::prelude::*;
+
+use das_core::groups::{BankGroups, GroupId};
+use das_core::management::{DasManager, ManagementConfig};
+use das_core::promotion::PromotionFilter;
+use das_core::replacement::{ReplacementPolicy, Replacer};
+use das_core::translation::TranslationCache;
+use das_dram::geometry::{
+    Arrangement, BankCoord, BankLayout, DramGeometry, FastRatio, GlobalRowId,
+};
+
+proptest! {
+    /// Group permutations stay bijective under any in-group swap sequence,
+    /// and the number of fast residents per group is constant.
+    #[test]
+    fn group_swaps_preserve_permutation(swaps in prop::collection::vec((0u32..128, 0u32..32, 0u32..32), 1..200)) {
+        let mut g = BankGroups::new(4096, 32, FastRatio::new(1, 8));
+        for (grp, a, b) in swaps {
+            let (ra, rb) = (grp * 32 + a, grp * 32 + b);
+            if ra == rb {
+                continue;
+            }
+            g.swap_logical(ra, rb);
+            g.check_invariants();
+            prop_assert_eq!(g.fast_residents(grp).len(), 4);
+        }
+    }
+
+    /// After promoting row A over victim B, A is fast, B is slow, and every
+    /// other row of the group is untouched.
+    #[test]
+    fn swap_is_local(a in 0u32..32, b in 0u32..32) {
+        prop_assume!(a != b);
+        let mut g = BankGroups::new(4096, 32, FastRatio::new(1, 8));
+        let before: Vec<u8> = (0..32).map(|s| g.phys_slot(s)).collect();
+        g.swap_logical(a, b);
+        for s in 0..32u32 {
+            if s == a {
+                prop_assert_eq!(g.phys_slot(s), before[b as usize]);
+            } else if s == b {
+                prop_assert_eq!(g.phys_slot(s), before[a as usize]);
+            } else {
+                prop_assert_eq!(g.phys_slot(s), before[s as usize]);
+            }
+        }
+    }
+
+    /// The translation cache never reports more residents than capacity and
+    /// lookups after insert always hit (no spurious eviction of the line
+    /// just inserted).
+    #[test]
+    fn tcache_insert_then_hit(rows in prop::collection::vec(0u64..100_000, 1..300)) {
+        let mut t = TranslationCache::new(256, 8);
+        for &r in &rows {
+            t.insert(GlobalRowId(r));
+            prop_assert!(t.contains(GlobalRowId(r)));
+        }
+        let stats = t.stats();
+        prop_assert!(stats.fills <= rows.len() as u64);
+    }
+
+    /// A threshold-T filter grants exactly floor(n/T) promotions for n
+    /// accesses to one row (given enough counter capacity).
+    #[test]
+    fn filter_threshold_arithmetic(t in 1u32..6, n in 1u32..40) {
+        let mut f = PromotionFilter::new(t, 64);
+        let mut grants = 0;
+        for _ in 0..n {
+            if f.observe(GlobalRowId(7)) {
+                grants += 1;
+            }
+        }
+        prop_assert_eq!(grants, n / t);
+    }
+
+    /// Every replacement policy returns victims strictly below the slot
+    /// count, for any access history.
+    #[test]
+    fn replacement_victims_in_range(
+        policy_idx in 0usize..4,
+        history in prop::collection::vec((0u32..16, 0u8..4), 0..100),
+        fast_slots in 1u32..8,
+    ) {
+        let policy = [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Random,
+            ReplacementPolicy::Sequential,
+            ReplacementPolicy::GlobalCounter,
+        ][policy_idx];
+        let mut r = Replacer::new(policy, 42);
+        for (i, (grp, slot)) in history.into_iter().enumerate() {
+            let gid = GroupId { bank: 0, group: grp };
+            r.note_fast_access(gid, slot % fast_slots as u8, fast_slots, i as u64);
+            let v = r.choose_victim(gid, fast_slots);
+            prop_assert!((v as u32) < fast_slots);
+        }
+    }
+
+    /// Manager end-to-end: any sequence of accesses with immediate swap
+    /// commits keeps translation consistent — the physical rows of all
+    /// logical rows in a touched group remain a permutation.
+    #[test]
+    fn manager_accesses_keep_translation_consistent(rows in prop::collection::vec(0u32..512, 1..150)) {
+        let geometry = DramGeometry::paper_scaled(64);
+        let layout = BankLayout::build(
+            geometry.rows_per_bank,
+            FastRatio::new(1, 8),
+            Arrangement::ReducedInterleaving,
+            128,
+            512,
+        );
+        let cfg = ManagementConfig {
+            tcache_bytes: 1 << 10,
+            ..ManagementConfig::paper_default()
+        };
+        let mut m = DasManager::new(cfg, geometry, layout);
+        let bank = BankCoord::new(0, 0, 0);
+        for (i, &row) in rows.iter().enumerate() {
+            if let Some(swap) = m.on_data_access(bank, row, i as u64) {
+                m.commit_swap(&swap, i as u64);
+                prop_assert!(m.is_fast(bank, row), "promotee must be fast after commit");
+                prop_assert!(!m.is_fast(bank, swap.victim), "victim must be slow");
+            }
+            // Translation is always self-consistent.
+            let tr = m.translate(bank, row);
+            let (peek_phys, peek_fast) = m.peek(bank, row);
+            prop_assert_eq!(tr.phys_row, peek_phys);
+            prop_assert_eq!(tr.in_fast, peek_fast);
+        }
+        // All physical rows across the bank are still distinct.
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..512u32 {
+            prop_assert!(seen.insert(m.peek(bank, row).0), "row {row} aliased");
+        }
+    }
+}

@@ -1,0 +1,585 @@
+//! Event-driven out-of-order core model.
+//!
+//! The model approximates the paper's 3 GHz, 4-wide, 192-entry-ROB cores
+//! (Table 1) with a reorder-window occupancy machine:
+//!
+//! * references **dispatch** into the window as frontend bandwidth allows
+//!   (`width` instructions per cycle) while window space remains;
+//! * loads **issue** to the memory hierarchy at dispatch (full MLP across
+//!   the window), except references marked dependent, which wait for the
+//!   previous reference's completion;
+//! * the window **retires** in order at `width` instructions per cycle; a
+//!   load at the head blocks retirement until its data returns — the
+//!   classic ROB-full stall that makes IPC latency-sensitive;
+//! * stores retire without waiting (store-buffer semantics) but still
+//!   access the hierarchy.
+//!
+//! Time is an abstract `u64` tick count; the caller supplies
+//! `ticks_per_cycle` (8 at 3 GHz with the 1/24 ns tick base).
+
+use std::collections::VecDeque;
+
+use crate::trace::TraceItem;
+
+/// Core shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Reorder window capacity in instructions (Table 1: 192).
+    pub rob_entries: u32,
+    /// Dispatch/retire width in instructions per cycle (Table 1: 4).
+    pub width: u32,
+    /// Simulation ticks per CPU cycle.
+    pub ticks_per_cycle: u64,
+}
+
+impl CoreConfig {
+    /// The paper's core: 3 GHz, 4-wide issue, 192-entry ROB.
+    pub fn paper_default() -> Self {
+        CoreConfig { rob_entries: 192, width: 4, ticks_per_cycle: 8 }
+    }
+
+    fn frontend_ticks(&self, insts: u64) -> u64 {
+        insts.div_ceil(self.width as u64) * self.ticks_per_cycle
+    }
+}
+
+/// A memory request the core wants serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Core-local request id; pass back to [`Core::complete`].
+    pub id: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// Store or load.
+    pub is_write: bool,
+    /// Tick at which the request enters the memory hierarchy.
+    pub issue_at: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WindowEntry {
+    id: u64,
+    insts: u64,
+    window_cost: u64,
+    is_write: bool,
+    /// Completion time; set at dispatch for stores, on `complete` for loads.
+    completed_at: Option<u64>,
+    /// Dependent reference not yet released by its predecessor.
+    waiting_on_prev: bool,
+    addr: u64,
+    issue_at: u64,
+}
+
+/// Cumulative core statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub insts_retired: u64,
+    /// Loads issued to the hierarchy.
+    pub loads: u64,
+    /// Stores issued to the hierarchy.
+    pub stores: u64,
+}
+
+/// The out-of-order core model. See the [module docs](self) for semantics.
+///
+/// Drive it with:
+/// 1. [`Core::dispatch_from`] whenever window space may exist, collecting
+///    issueable [`MemRequest`]s;
+/// 2. [`Core::complete`] when the hierarchy finishes a request, again
+///    collecting newly issueable requests;
+/// 3. [`Core::is_finished`] / [`Core::finish_time`] to detect the end.
+#[derive(Debug)]
+pub struct Core {
+    cfg: CoreConfig,
+    window: VecDeque<WindowEntry>,
+    window_insts: u64,
+    /// An item pulled from the trace that did not fit in the window yet.
+    staged: Option<TraceItem>,
+    /// Time up to which the frontend has dispatched.
+    dispatch_clock: u64,
+    /// Time up to which instructions have retired.
+    retire_clock: u64,
+    next_id: u64,
+    /// Completion time of the most recently dispatched reference, if known
+    /// (for dependence chains).
+    prev_ref_completion: Option<u64>,
+    /// Id of the previous reference when its completion is still unknown.
+    prev_ref_id: Option<u64>,
+    inst_budget: u64,
+    insts_dispatched: u64,
+    stats: CoreStats,
+    trace_done: bool,
+}
+
+impl Core {
+    /// Creates a core that will run until `inst_budget` instructions have
+    /// been dispatched (the trace may end earlier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration field is zero.
+    pub fn new(cfg: CoreConfig, inst_budget: u64) -> Self {
+        assert!(cfg.rob_entries > 0 && cfg.width > 0 && cfg.ticks_per_cycle > 0);
+        Core {
+            cfg,
+            window: VecDeque::new(),
+            window_insts: 0,
+            staged: None,
+            dispatch_clock: 0,
+            retire_clock: 0,
+            next_id: 0,
+            prev_ref_completion: Some(0),
+            prev_ref_id: None,
+            inst_budget,
+            insts_dispatched: 0,
+            stats: CoreStats::default(),
+            trace_done: false,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Pulls trace items into the window while space and budget remain,
+    /// appending the requests that become issueable to `out`.
+    pub fn dispatch_from(
+        &mut self,
+        trace: &mut dyn Iterator<Item = TraceItem>,
+        out: &mut Vec<MemRequest>,
+    ) {
+        loop {
+            let budget_left = self.inst_budget.saturating_sub(self.insts_dispatched);
+            // The staged item (if any) must dispatch before anything new.
+            let item = match self.staged.take() {
+                Some(item) => item,
+                None => {
+                    if self.trace_done || budget_left == 0 {
+                        return;
+                    }
+                    match trace.next() {
+                        Some(item) => item,
+                        None => {
+                            self.trace_done = true;
+                            return;
+                        }
+                    }
+                }
+            };
+            let insts = item.insts().min(budget_left.max(1));
+            let window_cost = insts.min(self.cfg.rob_entries as u64);
+            if self.window_insts + window_cost > self.cfg.rob_entries as u64 {
+                self.staged = Some(item);
+                return;
+            }
+            self.admit(item, insts, window_cost, out);
+        }
+    }
+
+    fn admit(&mut self, item: TraceItem, insts: u64, window_cost: u64, out: &mut Vec<MemRequest>) {
+        // Frontend takes insts/width cycles to reach this reference, and
+        // cannot run ahead of what has already retired plus the window.
+        self.dispatch_clock = self.dispatch_clock.max(self.retire_clock);
+        self.dispatch_clock += self.cfg.frontend_ticks(insts);
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut issue_at = self.dispatch_clock;
+        let mut waiting = false;
+        if item.depends_on_prev {
+            match self.prev_ref_completion {
+                Some(t) => issue_at = issue_at.max(t),
+                None => waiting = true,
+            }
+        }
+        let completed_at = if item.is_write && !waiting { Some(issue_at) } else { None };
+        self.window.push_back(WindowEntry {
+            id,
+            insts,
+            window_cost,
+            is_write: item.is_write,
+            completed_at,
+            waiting_on_prev: waiting,
+            addr: item.addr,
+            issue_at,
+        });
+        self.window_insts += window_cost;
+        self.insts_dispatched += insts;
+        if item.is_write {
+            self.stats.stores += 1;
+            if !waiting {
+                self.prev_ref_completion = Some(issue_at);
+                self.prev_ref_id = None;
+            } else {
+                // Completion (and hence issue time) resolves on release.
+                self.prev_ref_completion = None;
+                self.prev_ref_id = Some(id);
+            }
+        } else {
+            self.stats.loads += 1;
+            self.prev_ref_completion = None;
+            self.prev_ref_id = Some(id);
+        }
+        if !waiting {
+            out.push(MemRequest { id, addr: item.addr, is_write: item.is_write, issue_at });
+        }
+        // Stores (and anything already complete) may retire immediately.
+        self.retire_ready();
+    }
+
+    /// Records the completion of request `id` at time `at`, retiring what
+    /// can retire and releasing a dependent successor. Newly issueable
+    /// requests are appended to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on double or unknown completion.
+    pub fn complete(&mut self, id: u64, at: u64, out: &mut Vec<MemRequest>) {
+        let pos = self.window.iter().position(|e| e.id == id);
+        let Some(pos) = pos else {
+            debug_assert!(false, "completion of unknown request {id}");
+            return;
+        };
+        {
+            let e = &mut self.window[pos];
+            debug_assert!(e.completed_at.is_none(), "double completion of {id}");
+            e.completed_at = Some(at);
+        }
+        if self.prev_ref_id == Some(id) {
+            self.prev_ref_completion = Some(at);
+            self.prev_ref_id = None;
+        }
+        // Only the immediately following reference can depend on `id`
+        // (dependencies are chained through adjacent trace items).
+        if let Some(next) = self.window.get_mut(pos + 1) {
+            if next.waiting_on_prev {
+                next.waiting_on_prev = false;
+                next.issue_at = next.issue_at.max(at);
+                if next.is_write {
+                    next.completed_at = Some(next.issue_at);
+                    if self.prev_ref_id == Some(next.id) {
+                        self.prev_ref_completion = Some(next.issue_at);
+                        self.prev_ref_id = None;
+                    }
+                }
+                out.push(MemRequest {
+                    id: next.id,
+                    addr: next.addr,
+                    is_write: next.is_write,
+                    issue_at: next.issue_at,
+                });
+            }
+        }
+        self.retire_ready();
+    }
+
+    fn retire_ready(&mut self) {
+        while let Some(head) = self.window.front() {
+            if head.waiting_on_prev {
+                break;
+            }
+            let Some(done) = head.completed_at else { break };
+            let head = self.window.pop_front().expect("nonempty");
+            self.window_insts -= head.window_cost;
+            self.retire_clock =
+                (self.retire_clock + self.cfg.frontend_ticks(head.insts)).max(done);
+            self.stats.insts_retired += head.insts;
+        }
+    }
+
+    /// Whether the trace is exhausted (or budget reached) and the window
+    /// fully drained.
+    pub fn is_finished(&self) -> bool {
+        (self.trace_done || self.insts_dispatched >= self.inst_budget)
+            && self.window.is_empty()
+            && self.staged.is_none()
+    }
+
+    /// Whether the window can currently accept at least one instruction
+    /// (and no item is staged waiting for more space).
+    pub fn window_has_space(&self) -> bool {
+        self.staged.is_none() && self.window_insts < self.cfg.rob_entries as u64
+    }
+
+    /// Outstanding (unretired) references in the window.
+    pub fn in_flight(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Time at which the last retired instruction retired.
+    pub fn finish_time(&self) -> u64 {
+        self.retire_clock
+    }
+
+    /// Instructions dispatched so far (including the compute gaps).
+    pub fn insts_dispatched(&self) -> u64 {
+        self.insts_dispatched
+    }
+
+    /// Instructions retired so far.
+    pub fn insts_retired(&self) -> u64 {
+        self.stats.insts_retired
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// Instructions per cycle over the whole run so far.
+    pub fn ipc(&self) -> f64 {
+        if self.retire_clock == 0 {
+            0.0
+        } else {
+            self.stats.insts_retired as f64
+                / (self.retire_clock as f64 / self.cfg.ticks_per_cycle as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TPC: u64 = 8;
+
+    fn cfg() -> CoreConfig {
+        CoreConfig::paper_default()
+    }
+
+    fn drain(core: &mut Core, items: Vec<TraceItem>) -> Vec<MemRequest> {
+        let mut out = Vec::new();
+        let mut it = items.into_iter();
+        core.dispatch_from(&mut it, &mut out);
+        out
+    }
+
+    #[test]
+    fn pure_compute_retires_at_full_width() {
+        let mut core = Core::new(cfg(), 400);
+        // One store after 399 compute instructions: all retire freely.
+        let reqs = drain(&mut core, vec![TraceItem::store(399, 0)]);
+        assert_eq!(reqs.len(), 1);
+        assert!(core.is_finished());
+        // 400 insts at 4-wide = 100 cycles = 800 ticks.
+        assert_eq!(core.finish_time(), 100 * TPC);
+        assert!((core.ipc() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_blocks_retirement_until_completion() {
+        let mut core = Core::new(cfg(), 4);
+        let reqs = drain(&mut core, vec![TraceItem::load(3, 0x40)]);
+        assert_eq!(reqs.len(), 1);
+        assert!(!core.is_finished(), "load outstanding");
+        let mut out = Vec::new();
+        core.complete(reqs[0].id, 1000, &mut out);
+        assert!(core.is_finished());
+        assert_eq!(core.finish_time(), 1000);
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        let mut core = Core::new(cfg(), 8);
+        let reqs =
+            drain(&mut core, vec![TraceItem::load(3, 0x40), TraceItem::load(3, 0x80)]);
+        assert_eq!(reqs.len(), 2, "both issue without waiting");
+        assert!(reqs[1].issue_at - reqs[0].issue_at <= 2 * TPC);
+        let mut out = Vec::new();
+        core.complete(reqs[0].id, 500, &mut out);
+        core.complete(reqs[1].id, 510, &mut out);
+        assert!(core.is_finished());
+        // Overlapped: total time ~ one memory latency, not two.
+        assert_eq!(core.finish_time(), 510);
+    }
+
+    #[test]
+    fn dependent_load_serialises() {
+        let mut core = Core::new(cfg(), 8);
+        let reqs = drain(
+            &mut core,
+            vec![TraceItem::load(3, 0x40), TraceItem::dependent_load(3, 0x80)],
+        );
+        assert_eq!(reqs.len(), 1, "dependent load must wait");
+        let mut out = Vec::new();
+        core.complete(reqs[0].id, 500, &mut out);
+        assert_eq!(out.len(), 1, "dependent released on completion");
+        assert!(out[0].issue_at >= 500);
+        core.complete(out[0].id, 900, &mut out);
+        assert!(core.is_finished());
+        assert_eq!(core.finish_time(), 900);
+    }
+
+    #[test]
+    fn dependent_chain_of_three_serialises_fully() {
+        let mut core = Core::new(cfg(), 12);
+        let reqs = drain(
+            &mut core,
+            vec![
+                TraceItem::load(3, 0x40),
+                TraceItem::dependent_load(3, 0x80),
+                TraceItem::dependent_load(3, 0xc0),
+            ],
+        );
+        assert_eq!(reqs.len(), 1);
+        let mut out = Vec::new();
+        core.complete(reqs[0].id, 100, &mut out);
+        assert_eq!(out.len(), 1);
+        let second = out.pop().unwrap();
+        core.complete(second.id, 250, &mut out);
+        assert_eq!(out.len(), 1);
+        let third = out.pop().unwrap();
+        assert!(third.issue_at >= 250);
+        core.complete(third.id, 400, &mut out);
+        assert!(core.is_finished());
+        assert_eq!(core.finish_time(), 400);
+    }
+
+    #[test]
+    fn dependent_store_releases_and_retires() {
+        let mut core = Core::new(cfg(), 8);
+        let reqs = drain(
+            &mut core,
+            vec![TraceItem::load(3, 0x40), TraceItem {
+                gap: 3,
+                addr: 0x80,
+                is_write: true,
+                depends_on_prev: true,
+            }],
+        );
+        assert_eq!(reqs.len(), 1);
+        let mut out = Vec::new();
+        core.complete(reqs[0].id, 600, &mut out);
+        assert_eq!(out.len(), 1, "store released");
+        assert!(out[0].is_write);
+        assert!(core.is_finished(), "released store retires eagerly");
+    }
+
+    #[test]
+    fn window_fills_and_unblocks_on_retirement() {
+        let mut core = Core::new(cfg(), 10_000);
+        // Each load occupies 48 insts: window of 192 fits exactly 4.
+        let items: Vec<_> = (0..8).map(|i| TraceItem::load(47, 0x40 * i)).collect();
+        let mut out = Vec::new();
+        let mut it = items.into_iter();
+        core.dispatch_from(&mut it, &mut out);
+        assert_eq!(out.len(), 4, "window capacity 192/48 = 4");
+        assert_eq!(core.in_flight(), 4);
+        assert!(!core.window_has_space(), "a fifth item is staged");
+        // Completing the head frees space for the staged item.
+        let head = out[0].id;
+        core.complete(head, 2000, &mut out);
+        core.dispatch_from(&mut it, &mut out);
+        assert_eq!(out.len(), 5);
+        assert!(out[4].issue_at >= 2000, "new dispatch gated by retirement");
+    }
+
+    #[test]
+    fn staged_item_dispatches_before_new_trace_items() {
+        let mut core = Core::new(cfg(), 10_000);
+        let mut out = Vec::new();
+        let mut it = (0..8u64).map(|i| TraceItem::load(47, 0x40 * i));
+        core.dispatch_from(&mut it, &mut out);
+        let first_staged_addr = 0x40 * 4;
+        core.complete(out[0].id, 100, &mut out);
+        core.dispatch_from(&mut it, &mut out);
+        assert_eq!(out[4].addr, first_staged_addr, "order preserved across staging");
+    }
+
+    #[test]
+    fn stores_do_not_block_retirement() {
+        let mut core = Core::new(cfg(), 2);
+        let reqs = drain(&mut core, vec![TraceItem::store(0, 0), TraceItem::store(0, 64)]);
+        assert_eq!(reqs.len(), 2);
+        assert!(core.is_finished(), "stores retire eagerly");
+        assert_eq!(core.stats().stores, 2);
+    }
+
+    #[test]
+    fn giant_gap_is_window_clamped_but_counted() {
+        let mut core = Core::new(cfg(), 100_000);
+        let reqs = drain(&mut core, vec![TraceItem::load(9_999, 0)]);
+        assert_eq!(reqs.len(), 1);
+        let mut out = Vec::new();
+        core.complete(reqs[0].id, 1, &mut out);
+        assert!(core.is_finished());
+        assert_eq!(core.insts_retired(), 10_000);
+        // Frontend-bound: 10 000 insts / 4-wide = 2 500 cycles.
+        assert_eq!(core.finish_time(), 2_500 * TPC);
+    }
+
+    #[test]
+    fn inst_budget_truncates_dispatch() {
+        let mut core = Core::new(cfg(), 10);
+        let mut out = Vec::new();
+        let mut it = (0..100u64).map(|i| TraceItem::load(3, 64 * i));
+        core.dispatch_from(&mut it, &mut out);
+        assert!(core.insts_dispatched() <= 12, "stops near budget");
+        for r in out.clone() {
+            let mut tmp = Vec::new();
+            core.complete(r.id, 10, &mut tmp);
+        }
+        assert!(core.is_finished());
+        assert!(core.insts_retired() >= 10);
+    }
+
+    #[test]
+    fn latency_sensitivity_shows_in_ipc() {
+        // The same dependent-load trace at two memory latencies: slower
+        // memory must yield lower IPC.
+        let run = |lat: u64| {
+            let mut core = Core::new(cfg(), 100_000);
+            let mut out = Vec::new();
+            let mut it =
+                (0..500u64).map(|i| TraceItem::dependent_load(99, 64 * i)).collect::<Vec<_>>()
+                    .into_iter();
+            core.dispatch_from(&mut it, &mut out);
+            while !out.is_empty() {
+                let pending = std::mem::take(&mut out);
+                for r in pending {
+                    core.complete(r.id, r.issue_at + lat, &mut out);
+                }
+                core.dispatch_from(&mut it, &mut out);
+            }
+            assert!(core.is_finished());
+            core.ipc()
+        };
+        let fast = run(100);
+        let slow = run(1000);
+        assert!(fast > slow, "fast {fast} !> slow {slow}");
+    }
+
+    #[test]
+    fn mlp_improves_throughput_vs_serial_chain() {
+        // Independent loads overlap; dependent loads do not. Same latency,
+        // same count — the independent trace must finish sooner.
+        let run = |dependent: bool| {
+            let mut core = Core::new(cfg(), 1_000_000);
+            let mut out = Vec::new();
+            let items: Vec<_> = (0..200u64)
+                .map(|i| {
+                    if dependent {
+                        TraceItem::dependent_load(7, 64 * i)
+                    } else {
+                        TraceItem::load(7, 64 * i)
+                    }
+                })
+                .collect();
+            let mut it = items.into_iter();
+            core.dispatch_from(&mut it, &mut out);
+            while !out.is_empty() {
+                let pending = std::mem::take(&mut out);
+                for r in pending {
+                    core.complete(r.id, r.issue_at + 2000, &mut out);
+                }
+                core.dispatch_from(&mut it, &mut out);
+            }
+            assert!(core.is_finished());
+            core.finish_time()
+        };
+        let parallel = run(false);
+        let serial = run(true);
+        assert!(parallel * 4 < serial, "MLP should be ≫: parallel {parallel}, serial {serial}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the core model: instruction conservation,
+//! monotone timing, and window discipline.
+
+use proptest::prelude::*;
+
+use das_cpu::core::{Core, CoreConfig};
+use das_cpu::trace::TraceItem;
+
+fn run_to_completion(items: Vec<TraceItem>, latency: u64) -> Core {
+    let mut core = Core::new(CoreConfig::paper_default(), u64::MAX);
+    let mut out = Vec::new();
+    let mut it = items.into_iter();
+    core.dispatch_from(&mut it, &mut out);
+    let mut guard = 0;
+    while !out.is_empty() {
+        let pending = std::mem::take(&mut out);
+        for r in pending {
+            // Stores are posted: the core retires them at dispatch and the
+            // memory system never calls back (mirrors `das-sim`).
+            if !r.is_write {
+                core.complete(r.id, r.issue_at + latency, &mut out);
+            }
+        }
+        core.dispatch_from(&mut it, &mut out);
+        guard += 1;
+        assert!(guard < 100_000, "no forward progress");
+    }
+    core
+}
+
+fn arb_items() -> impl Strategy<Value = Vec<TraceItem>> {
+    prop::collection::vec(
+        (0u32..64, 0u64..(1 << 20), any::<bool>(), any::<bool>()).prop_map(
+            |(gap, addr, w, dep)| TraceItem {
+                gap,
+                addr: addr & !63,
+                is_write: w,
+                depends_on_prev: dep && !w,
+            },
+        ),
+        1..120,
+    )
+}
+
+proptest! {
+    /// Every dispatched instruction retires exactly once.
+    #[test]
+    fn instructions_are_conserved(items in arb_items()) {
+        let expected: u64 = items.iter().map(|i| i.insts()).sum();
+        let core = run_to_completion(items, 500);
+        prop_assert!(core.is_finished());
+        prop_assert_eq!(core.insts_retired(), expected);
+    }
+
+    /// Higher memory latency never makes the run finish earlier.
+    #[test]
+    fn finish_time_monotone_in_latency(items in arb_items(), lat_a in 1u64..500, extra in 1u64..2000) {
+        let fast = run_to_completion(items.clone(), lat_a).finish_time();
+        let slow = run_to_completion(items, lat_a + extra).finish_time();
+        prop_assert!(slow >= fast, "slower memory finished earlier: {slow} < {fast}");
+    }
+
+    /// The number of memory requests equals the number of trace items
+    /// (each reference is issued exactly once).
+    #[test]
+    fn one_request_per_reference(items in arb_items()) {
+        let n = items.len() as u64;
+        let core = run_to_completion(items, 100);
+        let s = core.stats();
+        prop_assert_eq!(s.loads + s.stores, n);
+    }
+
+    /// Retirement is frontend-bound from below: a trace can never finish
+    /// faster than insts/width cycles (8 ticks per cycle, width 4).
+    #[test]
+    fn frontend_bandwidth_is_a_lower_bound(items in arb_items()) {
+        let insts: u64 = items.iter().map(|i| i.insts()).sum();
+        let core = run_to_completion(items, 1);
+        let min_ticks = insts.div_ceil(4) * 8;
+        prop_assert!(core.finish_time() >= min_ticks.saturating_sub(8),
+            "finish {} below frontend bound {}", core.finish_time(), min_ticks);
+    }
+}

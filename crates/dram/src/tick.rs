@@ -1,0 +1,265 @@
+//! Simulation time base.
+//!
+//! All simulator time is expressed in integer [`Tick`]s of **1/24 ns**
+//! ([`TICKS_PER_NS`] = 24). This granularity was chosen so that every timing
+//! quantity in the paper's Table 1 is an exact integer:
+//!
+//! | quantity | value | ticks |
+//! |---|---|---|
+//! | CPU cycle (3 GHz) | 1/3 ns | 8 |
+//! | tCK (DDR3-1600) | 1.25 ns | 30 |
+//! | tRCD (slow) | 13.75 ns | 330 |
+//! | tRC (slow) | 48.75 ns | 1170 |
+//! | tRCD (fast) | 8.75 ns | 210 |
+//! | tRC (fast) | 25 ns | 600 |
+//! | one row migration (1.5 tRC) | 73.125 ns | 1755 |
+//! | row swap / migration latency (Table 1) | 146.25 ns | 3510 |
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// Number of [`Tick`]s per nanosecond.
+pub const TICKS_PER_NS: u64 = 24;
+
+/// Number of [`Tick`]s per CPU cycle at the paper's 3 GHz core clock.
+pub const TICKS_PER_CPU_CYCLE: u64 = TICKS_PER_NS / 3;
+
+/// A point in simulated time (or a duration), in units of 1/24 ns.
+///
+/// `Tick` is a transparent newtype over `u64` implementing saturating-free
+/// checked-by-debug arithmetic through the standard operators. Construct
+/// values with [`Tick::from_ns`], [`Tick::from_ns_int`], [`Tick::from_cpu_cycles`]
+/// or the raw [`Tick::new`].
+///
+/// # Examples
+///
+/// ```
+/// use das_dram::tick::Tick;
+///
+/// let trcd = Tick::from_ns(13.75);
+/// assert_eq!(trcd.as_ns(), 13.75);
+/// assert_eq!(trcd + trcd, Tick::from_ns(27.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tick(u64);
+
+impl Tick {
+    /// Time zero / zero-length duration.
+    pub const ZERO: Tick = Tick(0);
+    /// The largest representable time, used as "never".
+    pub const MAX: Tick = Tick(u64::MAX);
+
+    /// Creates a `Tick` from a raw count of 1/24-ns units.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Tick(raw)
+    }
+
+    /// Creates a `Tick` from a (possibly fractional) number of nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `ns` is negative or does not convert to an
+    /// exact integer number of ticks (all paper parameters do).
+    #[inline]
+    pub fn from_ns(ns: f64) -> Self {
+        let raw = ns * TICKS_PER_NS as f64;
+        debug_assert!(raw >= 0.0, "negative time");
+        debug_assert!(
+            (raw - raw.round()).abs() < 1e-6,
+            "{ns} ns is not an integer number of ticks"
+        );
+        Tick(raw.round() as u64)
+    }
+
+    /// Creates a `Tick` from an integer number of nanoseconds.
+    #[inline]
+    pub const fn from_ns_int(ns: u64) -> Self {
+        Tick(ns * TICKS_PER_NS)
+    }
+
+    /// Creates a `Tick` from a number of CPU cycles at 3 GHz.
+    #[inline]
+    pub const fn from_cpu_cycles(cycles: u64) -> Self {
+        Tick(cycles * TICKS_PER_CPU_CYCLE)
+    }
+
+    /// The raw tick count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / TICKS_PER_NS as f64
+    }
+
+    /// This time expressed in CPU cycles (3 GHz), rounded down.
+    #[inline]
+    pub const fn as_cpu_cycles(self) -> u64 {
+        self.0 / TICKS_PER_CPU_CYCLE
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs > self`.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Tick) -> Tick {
+        Tick(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, rhs: Tick) -> Option<Tick> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Tick(v)),
+            None => None,
+        }
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: Tick) -> Tick {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: Tick) -> Tick {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Tick {
+    type Output = Tick;
+    #[inline]
+    fn add(self, rhs: Tick) -> Tick {
+        Tick(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Tick {
+    #[inline]
+    fn add_assign(&mut self, rhs: Tick) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Tick {
+    type Output = Tick;
+    #[inline]
+    fn sub(self, rhs: Tick) -> Tick {
+        debug_assert!(self.0 >= rhs.0, "tick subtraction underflow");
+        Tick(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Tick {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Tick) {
+        debug_assert!(self.0 >= rhs.0, "tick subtraction underflow");
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Tick {
+    type Output = Tick;
+    #[inline]
+    fn mul(self, rhs: u64) -> Tick {
+        Tick(self.0 * rhs)
+    }
+}
+
+impl Mul<Tick> for u64 {
+    type Output = Tick;
+    #[inline]
+    fn mul(self, rhs: Tick) -> Tick {
+        Tick(self * rhs.0)
+    }
+}
+
+impl Sum for Tick {
+    fn sum<I: Iterator<Item = Tick>>(iter: I) -> Tick {
+        iter.fold(Tick::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ns", self.as_ns())
+    }
+}
+
+impl From<Tick> for u64 {
+    #[inline]
+    fn from(t: Tick) -> u64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quantities_are_exact() {
+        assert_eq!(Tick::from_ns(13.75).raw(), 330);
+        assert_eq!(Tick::from_ns(48.75).raw(), 1170);
+        assert_eq!(Tick::from_ns(8.75).raw(), 210);
+        assert_eq!(Tick::from_ns(25.0).raw(), 600);
+        assert_eq!(Tick::from_ns(146.25).raw(), 3510);
+        assert_eq!(Tick::from_ns(73.125).raw(), 1755);
+        assert_eq!(Tick::from_ns(1.25).raw(), 30);
+    }
+
+    #[test]
+    fn cpu_cycle_is_8_ticks() {
+        assert_eq!(TICKS_PER_CPU_CYCLE, 8);
+        assert_eq!(Tick::from_cpu_cycles(3).raw(), 24);
+        assert_eq!(Tick::from_ns_int(1).as_cpu_cycles(), 3);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Tick::from_ns_int(10);
+        let b = Tick::from_ns_int(4);
+        assert_eq!((a + b).as_ns(), 14.0);
+        assert_eq!((a - b).as_ns(), 6.0);
+        assert_eq!((a * 3).as_ns(), 30.0);
+        assert_eq!(3 * b, b * 3);
+        assert_eq!(b.saturating_sub(a), Tick::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Tick::from_ns_int(1) < Tick::from_ns_int(2));
+        assert_eq!(format!("{}", Tick::from_ns(1.25)), "1.250ns");
+        assert_eq!(Tick::default(), Tick::ZERO);
+    }
+
+    #[test]
+    fn sum_of_ticks() {
+        let total: Tick = [1u64, 2, 3].iter().map(|&n| Tick::from_ns_int(n)).sum();
+        assert_eq!(total, Tick::from_ns_int(6));
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(Tick::MAX.checked_add(Tick::new(1)), None);
+        assert_eq!(
+            Tick::new(1).checked_add(Tick::new(2)),
+            Some(Tick::new(3))
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # das-memctrl — memory controller
+//!
+//! The controller substrate of the DAS-DRAM reproduction: one controller
+//! per channel with the Table 1 configuration (32-entry request queue,
+//! open-page policy, FR-FCFS), watermark-based write draining, refresh
+//! management, and scheduling of the paper's in-array row swaps with a
+//! starvation bound.
+//!
+//! Requests arrive already translated to **physical** rows; the management
+//! layer (`das-core`) performs translation, and the full-system simulator
+//! (`das-sim`) models its timing consequences.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod controller;
+pub mod request;
+
+pub use controller::{ControllerConfig, ControllerStats, MemoryController, PagePolicy, SchedulerKind};
+pub use request::{Completion, Request, ServiceClass, SwapOp};

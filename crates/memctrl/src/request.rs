@@ -1,0 +1,90 @@
+//! Request and completion-event types exchanged with the controller.
+
+use das_dram::command::MigrationKind;
+use das_dram::geometry::{BankCoord, MemCoord};
+use das_dram::tick::Tick;
+
+/// How a data access was ultimately serviced — the paper's Fig. 7c/7f
+/// "access location" categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceClass {
+    /// The target row was already open: column access only.
+    RowBufferHit,
+    /// A fast-subarray row had to be activated.
+    FastMiss,
+    /// A slow-subarray row had to be activated.
+    SlowMiss,
+}
+
+/// A translated memory request (row is **physical**).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-chosen identifier, echoed in the completion event.
+    pub id: u64,
+    /// Target coordinates; `coord.row` is the physical row.
+    pub coord: MemCoord,
+    /// Write (from LLC eviction or store drain) or read.
+    pub is_write: bool,
+    /// Arrival tick at the controller (FCFS age).
+    pub arrival: Tick,
+}
+
+/// An in-array row swap the controller should perform when the bank is free
+/// (the promotion of §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapOp {
+    /// Caller-chosen token, echoed on completion.
+    pub token: u64,
+    /// Target bank.
+    pub bank: BankCoord,
+    /// Physical row of the promotee.
+    pub phys_a: u32,
+    /// Physical row of the victim.
+    pub phys_b: u32,
+    /// Exchange (exclusive cache) or copy (inclusive cache).
+    pub kind: MigrationKind,
+    /// Arrival tick (for starvation control).
+    pub arrival: Tick,
+}
+
+/// Completion events produced by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// A read's data burst finished at `at`.
+    ReadDone {
+        /// The request id.
+        id: u64,
+        /// Data-available tick.
+        at: Tick,
+        /// How it was serviced.
+        service: ServiceClass,
+    },
+    /// A write's data burst finished at `at` (informational; writes are
+    /// posted).
+    WriteDone {
+        /// The request id.
+        id: u64,
+        /// Burst-end tick.
+        at: Tick,
+        /// How it was serviced.
+        service: ServiceClass,
+    },
+    /// A row swap finished at `at`.
+    SwapDone {
+        /// The swap token.
+        token: u64,
+        /// Completion tick.
+        at: Tick,
+    },
+}
+
+impl Completion {
+    /// The completion tick of any event kind.
+    pub fn at(&self) -> Tick {
+        match *self {
+            Completion::ReadDone { at, .. }
+            | Completion::WriteDone { at, .. }
+            | Completion::SwapDone { at, .. } => at,
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # das-sim — full-system simulator and experiment runners
+//!
+//! Ties every substrate of the DAS-DRAM reproduction together: trace-driven
+//! out-of-order cores (`das-cpu`), the Table 1 cache hierarchy
+//! (`das-cache`), the §5 management mechanism (`das-core`), per-channel
+//! FR-FCFS memory controllers (`das-memctrl`) and the command-level DRAM
+//! device (`das-dram`), driven by a global event queue.
+//!
+//! * [`config`] — [`config::SystemConfig`] (Table 1) and the six
+//!   [`config::Design`]s of §7;
+//! * [`system`] — the event-driven [`system::System`];
+//! * [`experiments`] — profiling pre-pass, suite runners and the
+//!   improvement metric;
+//! * [`stats`] — everything the paper's figures report.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use das_sim::config::{Design, SystemConfig};
+//! use das_sim::experiments::{improvement, run_one};
+//! use das_workloads::spec;
+//!
+//! let cfg = SystemConfig::test_small();
+//! let wl = vec![spec::by_name("mcf")];
+//! let base = run_one(&cfg, Design::Standard, &wl);
+//! let das = run_one(&cfg, Design::DasDram, &wl);
+//! println!("DAS-DRAM improvement: {:+.2}%", improvement(&das, &base) * 100.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod experiments;
+pub mod stats;
+pub mod system;
+
+pub use config::{Design, SystemConfig};
+pub use experiments::{improvement, profile_row_counts, run_one, run_recorded, run_suite};
+pub use stats::{AccessMix, CoreMetrics, EnergyBreakdown, EnergyModel, RunMetrics};
+pub use system::{AddressMap, System, TraceSource};

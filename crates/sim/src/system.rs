@@ -1,0 +1,1155 @@
+//! The full-system simulator: cores + cache hierarchy + management +
+//! per-channel memory controllers, driven by a global event queue.
+//!
+//! Event kinds:
+//! * `CoreIssue` — a core's memory reference enters the cache hierarchy;
+//! * `CtrlEnqueue` — a translated DRAM request reaches its channel's
+//!   controller (delayed by translation-fetch latency when applicable);
+//! * `CtrlWake` — a controller should try to issue commands.
+//!
+//! Cache lookups are resolved synchronously (their latency added to the
+//! completion time); only DRAM-bound traffic is event-scheduled. The
+//! translation flow of §5.2 is modelled faithfully: a translation-cache hit
+//! costs nothing (overlapped with the LLC lookup); a miss costs an LLC
+//! access for the table line; an LLC miss on the table line costs a real
+//! DRAM read that precedes the data access.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+use das_cache::hierarchy::{CacheHierarchy, CacheLevel};
+use das_cache::mshr::Mshr;
+use das_core::inclusive::{FillRequest, InclusiveManager};
+use das_core::management::{DasManager, SwapRequest};
+use das_core::translation::TranslationSource;
+use das_cpu::core::{Core, MemRequest};
+use das_dram::channel::ChannelDevice;
+use das_dram::geometry::{BankCoord, GlobalRowId, MemCoord};
+use das_dram::tick::Tick;
+use das_memctrl::controller::MemoryController;
+use das_memctrl::request::{Completion, Request, ServiceClass, SwapOp};
+use das_cpu::trace::TraceItem;
+use das_workloads::config::WorkloadConfig;
+use das_workloads::gen::TraceGen;
+
+use crate::config::{Design, SystemConfig};
+use crate::stats::{AccessMix, CoreMetrics, EnergyBreakdown, EnergyModel, RunMetrics};
+
+/// Capacity of the controller's recently-translated-row registers (a few
+/// per bank, matching the set of rows plausibly open or in the queues).
+const RECENT_TRANSLATIONS: usize = 64;
+
+#[derive(Debug, Clone, Copy)]
+#[allow(clippy::large_enum_variant)]
+enum EventKind {
+    CoreIssue { core: usize, id: u64, addr: u64, is_write: bool },
+    CtrlEnqueue { req: Request },
+    CtrlWake { ch: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    at: Tick,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ReqCtx {
+    /// A demand line fill (DRAM read, possibly on behalf of a store miss).
+    DemandRead { line: u64, bank: BankCoord, logical_row: u32, fill_core: usize },
+    /// A posted write-back.
+    DemandWrite { bank: BankCoord, logical_row: u32 },
+    /// A translation-table line fetch; on completion the deferred demand
+    /// request (if any) is released.
+    TableRead { then: Option<Request> },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    core: usize,
+    id: u64,
+    is_load: bool,
+}
+
+/// The management flavour in force: the paper's adopted exclusive scheme
+/// or the §5 inclusive alternative.
+#[derive(Debug)]
+enum Management {
+    Exclusive(DasManager),
+    Inclusive(InclusiveManager),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PendingMigration {
+    Swap(SwapRequest),
+    Fill(FillRequest),
+}
+
+impl Management {
+    fn peek(&self, bank: BankCoord, row: u32) -> (u32, bool) {
+        match self {
+            Management::Exclusive(m) => m.peek(bank, row),
+            Management::Inclusive(m) => m.peek(bank, row),
+        }
+    }
+
+    fn translate(&mut self, bank: BankCoord, row: u32) -> das_core::management::Translation {
+        match self {
+            Management::Exclusive(m) => m.translate(bank, row),
+            Management::Inclusive(m) => m.translate(bank, row),
+        }
+    }
+
+    fn promotions(&self) -> u64 {
+        match self {
+            Management::Exclusive(m) => m.stats().promotions,
+            Management::Inclusive(m) => m.stats().promotions,
+        }
+    }
+
+    fn translation_stats(&self) -> das_core::translation::TranslationStats {
+        match self {
+            Management::Exclusive(m) => m.translation_stats(),
+            Management::Inclusive(m) => m.translation_stats(),
+        }
+    }
+
+    fn filter_stats(&self) -> das_core::promotion::FilterStats {
+        match self {
+            Management::Exclusive(m) => m.filter_stats(),
+            Management::Inclusive(m) => m.filter_stats(),
+        }
+    }
+}
+
+/// A per-core reference stream: a synthetic generator or a recorded trace
+/// (see `das_workloads::trace_file`).
+#[derive(Debug)]
+pub enum TraceSource {
+    /// Synthetic generator (boxed: generators carry per-stream state).
+    Gen(Box<TraceGen>),
+    /// Pre-recorded reference list.
+    Recorded(std::vec::IntoIter<TraceItem>),
+}
+
+impl Iterator for TraceSource {
+    type Item = TraceItem;
+
+    fn next(&mut self) -> Option<TraceItem> {
+        match self {
+            TraceSource::Gen(g) => g.next(),
+            TraceSource::Recorded(it) => it.next(),
+        }
+    }
+}
+
+/// OS-like physical page placement: each workload's row-granular pages are
+/// scattered pseudo-randomly across the *whole* usable row space, with
+/// per-workload interleaving keeping co-scheduled workloads disjoint.
+///
+/// This mirrors how a real OS allocates physical frames: a workload's hot
+/// pages end up spread over all banks and migration groups, so (as in the
+/// paper) the entire fast level — 1/8 of total memory, not 1/8 of the
+/// workload's own footprint — is available to hold its hot rows.
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    row_bytes: u64,
+    slots_per_core: u64,
+    ncores: u64,
+    muls: Vec<u64>,
+    alt_muls: Vec<u64>,
+    /// When set, a `realloc_fraction` of pages see the alternate mapping —
+    /// the profile run's view (see [`AddressMap::profile_view`]).
+    profile_view: bool,
+    realloc_fraction: f64,
+}
+
+impl AddressMap {
+    /// Builds the placement for `workloads` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any workload's footprint exceeds its share of the usable
+    /// row space (everything below the reserved translation-table region).
+    pub fn new(cfg: &SystemConfig, workloads: &[WorkloadConfig]) -> Self {
+        let row = cfg.geometry.row_bytes as u64;
+        let usable_rows = (cfg.geometry.total_bytes() - cfg.geometry.total_rows()) / row;
+        Self::with_usable_rows(cfg, workloads, usable_rows)
+    }
+
+    /// Like [`AddressMap::new`] with an explicit usable-row budget — the
+    /// inclusive design loses the duplicated fast-level capacity (§5's
+    /// argument for the exclusive scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any workload's footprint exceeds its share.
+    pub fn with_usable_rows(
+        cfg: &SystemConfig,
+        workloads: &[WorkloadConfig],
+        usable_rows: u64,
+    ) -> Self {
+        let row = cfg.geometry.row_bytes as u64;
+        let n = workloads.len() as u64;
+        let slots_per_core = usable_rows / n;
+        for w in workloads {
+            assert!(
+                w.footprint_rows() <= slots_per_core,
+                "{}'s footprint ({} rows) exceeds its share of memory ({} rows)",
+                w.name,
+                w.footprint_rows(),
+                slots_per_core
+            );
+        }
+        let coprime = |start: u64| {
+            let mut m = start | 1;
+            while gcd(m, slots_per_core) != 1 {
+                m += 2;
+            }
+            m
+        };
+        let muls = (0..workloads.len() as u64)
+            .map(|i| coprime((slots_per_core as f64 * 0.618_033_9) as u64 + 2 * i + 1))
+            .collect();
+        let alt_muls = (0..workloads.len() as u64)
+            .map(|i| coprime((slots_per_core as f64 * 0.414_213_5) as u64 + 2 * i + 1))
+            .collect();
+        AddressMap {
+            row_bytes: row,
+            slots_per_core,
+            ncores: n,
+            muls,
+            alt_muls,
+            profile_view: false,
+            realloc_fraction: cfg.profile_realloc,
+        }
+    }
+
+    /// The mapping as seen by the *profiling* execution: the paper's static
+    /// designs profile a separate run of the workload, and the OS does not
+    /// reproduce physical page placement across executions — a
+    /// `profile_realloc` fraction of pages land in different frames. Static
+    /// placement by physical row is only correct for pages whose frames
+    /// happened to survive.
+    pub fn profile_view(&self) -> AddressMap {
+        AddressMap { profile_view: true, ..self.clone() }
+    }
+
+    /// Maps a workload-local address of `core` to its physical address.
+    pub fn map(&self, core: usize, addr: u64) -> u64 {
+        let vrow = addr / self.row_bytes;
+        let off = addr % self.row_bytes;
+        debug_assert!(vrow < self.slots_per_core, "address outside footprint share");
+        let v = vrow % self.slots_per_core;
+        let reallocated = self.profile_view
+            && (mix64(v ^ 0x72_6561_6c6c_6f63) as f64 / u64::MAX as f64)
+                < self.realloc_fraction;
+        let mul = if reallocated { self.alt_muls[core] } else { self.muls[core] };
+        let slot = v.wrapping_mul(mul) % self.slots_per_core;
+        (slot * self.ncores + core as u64) * self.row_bytes + off
+    }
+}
+
+/// SplitMix64 finaliser.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds placeholder workload descriptors for recorded traces: only the
+/// name and footprint (from the maximum address) matter to the placement
+/// machinery.
+pub(crate) fn recorded_workload_stubs(cfg: &SystemConfig, traces: &[Vec<TraceItem>]) -> Vec<WorkloadConfig> {
+    assert!(!traces.is_empty(), "need at least one trace");
+    traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            assert!(!t.is_empty(), "trace {i} is empty");
+            let max_addr = t.iter().map(|r| r.addr).max().unwrap_or(0);
+            let row = cfg.geometry.row_bytes as u64;
+            WorkloadConfig {
+                name: format!("trace-{i}"),
+                mpki: 1.0,
+                footprint_bytes: (max_addr / row + 1) * row,
+                write_frac: 0.0,
+                dep_frac: 0.0,
+                pattern: das_workloads::config::Pattern::stream(),
+                run_lines: 1,
+                phase_insts: None,
+            }
+        })
+        .collect()
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// One full-system simulation of `workloads` (one per core) on `design`.
+pub struct System {
+    cfg: SystemConfig,
+    design: Design,
+    addr_map: AddressMap,
+    cores: Vec<Core>,
+    traces: Vec<TraceSource>,
+    hierarchy: CacheHierarchy,
+    ctrls: Vec<MemoryController>,
+    manager: Option<Management>,
+    mshr: Mshr<Waiter>,
+    line_dirty: HashMap<u64, bool>,
+    events: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    clock: Tick,
+    next_req_id: u64,
+    ctxs: HashMap<u64, ReqCtx>,
+    overflow: Vec<VecDeque<Request>>,
+    next_wake: Vec<Tick>,
+    pending_swaps: HashMap<u64, PendingMigration>,
+    next_swap_token: u64,
+    /// Recently translated rows (the controller holds a handful of live row
+    /// translations — one per open row — so a burst of misses to one row
+    /// pays the translation lookup once).
+    recent_translations: VecDeque<(BankCoord, u32)>,
+    // --- statistics ---
+    workload_label: String,
+    access_mix: AccessMix,
+    memory_accesses: u64,
+    table_fetch_reads: u64,
+    core_misses: Vec<u64>,
+    footprint_rows: HashSet<u64>,
+    /// Activations per (flat bank, subarray) — drives the §1 partial
+    /// power-down analysis (idle subarrays could be powered down).
+    subarray_activity: HashMap<(usize, usize), u64>,
+    warm_core: Vec<Option<(u64, u64, u64)>>, // (insts, retire_ticks, misses)
+    warm_global: Option<(AccessMix, u64, u64, u64)>, // (mix, promos, accesses, table reads)
+    events_processed: u64,
+    same_tick_wakes: u32,
+}
+
+impl System {
+    /// Builds the system. `profile` carries per-row access counts for the
+    /// static designs (SAS/CHARM); it must be `Some` exactly when
+    /// [`Design::needs_profile`] holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on configuration mismatches (wrong workload count, missing or
+    /// spurious profile, footprints exceeding memory).
+    pub fn new(
+        cfg: SystemConfig,
+        design: Design,
+        workloads: &[WorkloadConfig],
+        profile: Option<&HashMap<GlobalRowId, u64>>,
+    ) -> Self {
+        let traces: Vec<TraceSource> = workloads
+            .iter()
+            .map(|w| TraceSource::Gen(Box::new(TraceGen::new(w.clone(), cfg.seed, 0))))
+            .collect();
+        Self::assemble(cfg, design, workloads, traces, profile)
+    }
+
+    /// Builds the system over pre-recorded reference streams (one per
+    /// core), e.g. parsed with [`das_workloads::trace_file::read_trace`].
+    /// Footprints are inferred from the traces' maximum addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design` needs a profile (use
+    /// [`crate::experiments::run_recorded`], which derives one) without one
+    /// being supplied, or if a trace is empty.
+    pub fn from_recorded(
+        cfg: SystemConfig,
+        design: Design,
+        traces: Vec<Vec<TraceItem>>,
+        profile: Option<&HashMap<GlobalRowId, u64>>,
+    ) -> Self {
+        let workloads = recorded_workload_stubs(&cfg, &traces);
+        let sources = traces.into_iter().map(|t| TraceSource::Recorded(t.into_iter())).collect();
+        Self::assemble(cfg, design, &workloads, sources, profile)
+    }
+
+    fn assemble(
+        cfg: SystemConfig,
+        design: Design,
+        workloads: &[WorkloadConfig],
+        traces: Vec<TraceSource>,
+        profile: Option<&HashMap<GlobalRowId, u64>>,
+    ) -> Self {
+        assert!(!workloads.is_empty(), "need at least one workload");
+        assert_eq!(
+            design.needs_profile(),
+            profile.is_some(),
+            "static designs need a profile; dynamic designs must not get one"
+        );
+        let mut cfg = cfg;
+        design.apply_overrides(&mut cfg);
+        let n = workloads.len();
+        let addr_map = if design.is_inclusive() {
+            // Fast rows duplicate slow rows: the OS-visible space shrinks
+            // to the slow capacity (minus the reserved table region).
+            let layout = cfg.bank_layout();
+            let usable = layout.slow_rows() as u64 * cfg.geometry.total_banks() as u64
+                - cfg.geometry.total_rows().div_ceil(cfg.geometry.row_bytes as u64);
+            AddressMap::with_usable_rows(&cfg, workloads, usable)
+        } else {
+            AddressMap::new(&cfg, workloads)
+        };
+        let cores = (0..n).map(|_| Core::new(cfg.core, cfg.inst_budget)).collect();
+        let hierarchy = CacheHierarchy::new(cfg.hierarchy, n);
+        let timing = cfg.timing_override.unwrap_or_else(|| design.timing());
+        let layout = cfg.bank_layout();
+        let ctrls: Vec<MemoryController> = (0..cfg.geometry.channels)
+            .map(|ch| {
+                let dev = ChannelDevice::with_salp(
+                    ch,
+                    cfg.geometry.ranks_per_channel,
+                    cfg.geometry.banks_per_rank,
+                    layout.clone(),
+                    timing,
+                    cfg.refresh,
+                    cfg.salp,
+                );
+                MemoryController::new(cfg.controller, dev)
+            })
+            .collect();
+        let manager = if design.is_inclusive() {
+            let mcfg = cfg.scaled_management(false);
+            Some(Management::Inclusive(InclusiveManager::new(
+                mcfg,
+                cfg.geometry.clone(),
+                cfg.bank_layout(),
+            )))
+        } else if design.is_asymmetric() {
+            let mcfg = cfg.scaled_management(design.needs_profile());
+            let mut m = DasManager::new(mcfg, cfg.geometry.clone(), layout);
+            if let Some(counts) = profile {
+                m.static_place(counts);
+            }
+            Some(Management::Exclusive(m))
+        } else {
+            None
+        };
+        let channels = cfg.geometry.channels as usize;
+        let label = workloads.iter().map(|w| w.name.as_str()).collect::<Vec<_>>().join("+");
+        System {
+            cfg,
+            design,
+            addr_map,
+            cores,
+            traces,
+            hierarchy,
+            ctrls,
+            manager,
+            mshr: Mshr::new(1 << 16),
+            line_dirty: HashMap::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            clock: Tick::ZERO,
+            next_req_id: 0,
+            ctxs: HashMap::new(),
+            overflow: (0..channels).map(|_| VecDeque::new()).collect(),
+            next_wake: vec![Tick::MAX; channels],
+            pending_swaps: HashMap::new(),
+            next_swap_token: 0,
+            recent_translations: VecDeque::with_capacity(RECENT_TRANSLATIONS + 1),
+            workload_label: label,
+            access_mix: AccessMix::default(),
+            memory_accesses: 0,
+            table_fetch_reads: 0,
+            core_misses: vec![0; n],
+            footprint_rows: HashSet::new(),
+            subarray_activity: HashMap::new(),
+            warm_core: vec![None; n],
+            warm_global: None,
+            events_processed: 0,
+            same_tick_wakes: 0,
+        }
+    }
+
+    fn push(&mut self, at: Tick, kind: EventKind) {
+        let at = at.max(self.clock);
+        self.seq += 1;
+        self.events.push(Reverse(Ev { at, seq: self.seq, kind }));
+    }
+
+    /// Runs the simulation to completion and returns the measured metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event queue drains while cores are unfinished (an
+    /// internal deadlock — should be unreachable) or the event budget is
+    /// exceeded.
+    pub fn run(mut self) -> RunMetrics {
+        for i in 0..self.cores.len() {
+            self.dispatch_core(i);
+        }
+        while !self.all_finished() {
+            let Some(Reverse(ev)) = self.events.pop() else {
+                panic!("event queue drained with unfinished cores (deadlock)");
+            };
+            self.events_processed += 1;
+            if std::env::var_os("DAS_TRACE").is_some() {
+                if ev.at == self.clock && matches!(ev.kind, EventKind::CtrlWake { .. }) {
+                    self.same_tick_wakes += 1;
+                    if self.same_tick_wakes > 1000 {
+                        let EventKind::CtrlWake { ch } = ev.kind else { unreachable!() };
+                        eprintln!(
+                            "WEDGE ch={ch} clock={} queued={} swaps={} next_action={:?} dbg={:?}",
+                            self.clock,
+                            self.ctrls[ch].queued(),
+                            self.ctrls[ch].queued_swaps(),
+                            self.ctrls[ch].next_action_time(self.clock),
+                            self.ctrls[ch],
+                        );
+                        panic!("same-tick wake storm");
+                    }
+                } else {
+                    self.same_tick_wakes = 0;
+                }
+            }
+            if self.events_processed >= 50_000_000 {
+                panic!(
+                    "event budget exceeded; runaway simulation: clock={} ev={ev:?} \
+                     cores_finished={:?} queued={:?} swaps={:?} overflow={:?} \
+                     insts={:?}",
+                    self.clock,
+                    self.cores.iter().map(|c| c.is_finished()).collect::<Vec<_>>(),
+                    self.ctrls.iter().map(|c| c.queued()).collect::<Vec<_>>(),
+                    self.ctrls.iter().map(|c| c.queued_swaps()).collect::<Vec<_>>(),
+                    self.overflow.iter().map(|o| o.len()).collect::<Vec<_>>(),
+                    self.cores.iter().map(|c| c.insts_retired()).collect::<Vec<_>>(),
+                );
+            }
+            self.clock = ev.at;
+            match ev.kind {
+                EventKind::CoreIssue { core, id, addr, is_write } => {
+                    self.handle_core_issue(core, id, addr, is_write)
+                }
+                EventKind::CtrlEnqueue { req } => self.handle_enqueue(req),
+                EventKind::CtrlWake { ch } => self.handle_wake(ch),
+            }
+        }
+        self.finalize()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.cores.iter().all(|c| c.is_finished())
+    }
+
+    // ---- core side -------------------------------------------------------
+
+    fn dispatch_core(&mut self, i: usize) {
+        let mut out: Vec<MemRequest> = Vec::new();
+        self.cores[i].dispatch_from(&mut self.traces[i], &mut out);
+        self.schedule_core_requests(i, out);
+        self.check_warm(i);
+    }
+
+    fn complete_core(&mut self, i: usize, id: u64, at: Tick) {
+        let mut out: Vec<MemRequest> = Vec::new();
+        self.cores[i].complete(id, at.raw(), &mut out);
+        self.schedule_core_requests(i, out);
+        self.check_warm(i);
+        self.dispatch_core(i);
+    }
+
+    fn schedule_core_requests(&mut self, i: usize, reqs: Vec<MemRequest>) {
+        for r in reqs {
+            self.push(
+                Tick::new(r.issue_at),
+                EventKind::CoreIssue { core: i, id: r.id, addr: r.addr, is_write: r.is_write },
+            );
+        }
+    }
+
+    fn check_warm(&mut self, i: usize) {
+        if self.warm_core[i].is_none()
+            && self.cores[i].insts_retired() >= self.cfg.warmup_insts()
+        {
+            self.warm_core[i] =
+                Some((self.cores[i].insts_retired(), self.cores[i].finish_time(), self.core_misses[i]));
+            if self.warm_core.iter().all(Option::is_some) && self.warm_global.is_none() {
+                self.warm_global = Some((
+                    self.access_mix,
+                    self.manager.as_ref().map_or(0, |m| m.promotions()),
+                    self.memory_accesses,
+                    self.table_fetch_reads,
+                ));
+            }
+        }
+    }
+
+    fn handle_core_issue(&mut self, core: usize, id: u64, addr: u64, is_write: bool) {
+        let t = self.clock;
+        // OS-style physical placement: scatter the workload-local address
+        // over the whole usable row space.
+        let addr = self.addr_map.map(core, addr);
+        self.footprint_rows.insert(addr / self.cfg.geometry.row_bytes as u64);
+        let outcome = self.hierarchy.access(core, addr, is_write);
+        let wbs = outcome.dram_writebacks.clone();
+        for wb in wbs {
+            self.issue_writeback(wb);
+        }
+        if outcome.level != CacheLevel::Memory {
+            let done = t + self.cfg.cycles_to_ticks(outcome.lookup_cycles);
+            if !is_write {
+                self.complete_core(core, id, done);
+            }
+            return;
+        }
+        // LLC miss.
+        self.core_misses[core] += 1;
+        let line = addr & !(self.cfg.hierarchy.line_bytes - 1);
+        let waiter = Waiter { core, id, is_load: !is_write };
+        let dirty = self.line_dirty.entry(line).or_insert(false);
+        *dirty |= is_write;
+        match self.mshr.register(line, waiter) {
+            Some(true) => {
+                let t_found = t + self.cfg.cycles_to_ticks(outcome.lookup_cycles);
+                self.start_demand_read(line, t_found, core);
+            }
+            Some(false) => {} // merged
+            None => unreachable!("MSHR sized above any possible concurrency"),
+        }
+    }
+
+    // ---- DRAM request construction ---------------------------------------
+
+    fn new_req_id(&mut self) -> u64 {
+        self.next_req_id += 1;
+        self.next_req_id
+    }
+
+    /// Translates `(bank, logical row)`; returns the physical row plus any
+    /// extra latency (LLC lookup) and, when the table line missed the LLC,
+    /// the table-read request that must precede the access.
+    fn translate(
+        &mut self,
+        bank: BankCoord,
+        logical_row: u32,
+        now: Tick,
+    ) -> (u32, Tick, Option<Request>) {
+        if self.manager.is_none() {
+            return (logical_row, now, None);
+        }
+        // A row translated moments ago is still held in the controller's
+        // per-row registers: no lookup needed.
+        if self.recent_translations.contains(&(bank, logical_row)) {
+            let (phys, _) = self.manager.as_ref().expect("checked").peek(bank, logical_row);
+            return (phys, now, None);
+        }
+        self.note_recent(bank, logical_row);
+        let manager = self.manager.as_mut().expect("checked");
+        let tr = manager.translate(bank, logical_row);
+        match tr.source {
+            TranslationSource::Cache => (tr.phys_row, now, None),
+            TranslationSource::TableFetch => {
+                let llc_lat =
+                    self.cfg.cycles_to_ticks(self.cfg.hierarchy.llc_latency);
+                let (hit, wbs) = self.hierarchy.llc_side_access(tr.table_line);
+                for wb in wbs {
+                    self.issue_writeback_at(wb, now);
+                }
+                if hit {
+                    (tr.phys_row, now + llc_lat, None)
+                } else {
+                    // The table line must be read from DRAM first.
+                    let coord = self.cfg.geometry.decode(tr.table_line);
+                    let id = self.new_req_id();
+                    let table_req = Request {
+                        id,
+                        coord, // identity mapping: the table region is not permuted
+                        is_write: false,
+                        arrival: now + llc_lat,
+                    };
+                    self.table_fetch_reads += 1;
+                    (tr.phys_row, now + llc_lat, Some(table_req))
+                }
+            }
+        }
+    }
+
+    fn start_demand_read(&mut self, line: u64, t: Tick, fill_core: usize) {
+        let coord = self.cfg.geometry.decode(line);
+        let (phys_row, ready, table_req) = self.translate(coord.bank, coord.row, t);
+        let id = self.new_req_id();
+        let demand = Request {
+            id,
+            coord: MemCoord { bank: coord.bank, row: phys_row, col: coord.col },
+            is_write: false,
+            arrival: ready,
+        };
+        self.ctxs.insert(
+            id,
+            ReqCtx::DemandRead { line, bank: coord.bank, logical_row: coord.row, fill_core },
+        );
+        match table_req {
+            Some(tr) => {
+                self.ctxs.insert(tr.id, ReqCtx::TableRead { then: Some(demand) });
+                self.push(tr.arrival, EventKind::CtrlEnqueue { req: tr });
+            }
+            None => self.push(ready, EventKind::CtrlEnqueue { req: demand }),
+        }
+    }
+
+    fn note_recent(&mut self, bank: BankCoord, logical_row: u32) {
+        self.recent_translations.push_back((bank, logical_row));
+        if self.recent_translations.len() > RECENT_TRANSLATIONS {
+            self.recent_translations.pop_front();
+        }
+    }
+
+    fn forget_recent(&mut self, bank: BankCoord, logical_row: u32) {
+        self.recent_translations.retain(|&e| e != (bank, logical_row));
+    }
+
+    fn issue_writeback(&mut self, line: u64) {
+        self.issue_writeback_at(line, self.clock);
+    }
+
+    fn issue_writeback_at(&mut self, line: u64, t: Tick) {
+        // Write-backs carry a physical-location hint with the dirty line
+        // (recorded at fill time), so no translation lookup is needed: the
+        // manager's authoritative mapping stands in for the hint. The
+        // paper does not specify write-back translation; hint forwarding is
+        // the natural implementation and keeps the translation overhead at
+        // the §7 level (see DESIGN.md).
+        let coord = self.cfg.geometry.decode(line);
+        let phys_row = match self.manager.as_ref() {
+            Some(m) => m.peek(coord.bank, coord.row).0,
+            None => coord.row,
+        };
+        let id = self.new_req_id();
+        let req = Request {
+            id,
+            coord: MemCoord { bank: coord.bank, row: phys_row, col: coord.col },
+            is_write: true,
+            arrival: t,
+        };
+        self.ctxs
+            .insert(id, ReqCtx::DemandWrite { bank: coord.bank, logical_row: coord.row });
+        self.push(t, EventKind::CtrlEnqueue { req });
+    }
+
+    // ---- controller side ---------------------------------------------------
+
+    fn handle_enqueue(&mut self, req: Request) {
+        let ch = req.coord.bank.channel as usize;
+        let accept = if req.is_write {
+            self.ctrls[ch].can_accept_write()
+        } else {
+            self.ctrls[ch].can_accept_read()
+        };
+        if accept {
+            self.ctrls[ch].enqueue(req);
+            self.schedule_wake(ch);
+        } else {
+            self.overflow[ch].push_back(req);
+        }
+    }
+
+    fn handle_wake(&mut self, ch: usize) {
+        // Only the event matching the currently scheduled wake is live;
+        // anything else was superseded by an earlier push (processing it
+        // would multiplicatively re-spawn wake events).
+        if self.next_wake[ch] != self.clock {
+            return;
+        }
+        self.next_wake[ch] = Tick::MAX;
+        let completions = self.ctrls[ch].advance(self.clock);
+        for c in completions {
+            self.handle_completion(c);
+        }
+        // Drain overflow into freed queue slots (FIFO, reads and writes
+        // interleaved as they arrived).
+        while let Some(req) = self.overflow[ch].front().copied() {
+            let ok = if req.is_write {
+                self.ctrls[ch].can_accept_write()
+            } else {
+                self.ctrls[ch].can_accept_read()
+            };
+            if !ok {
+                break;
+            }
+            self.overflow[ch].pop_front();
+            self.ctrls[ch].enqueue(req);
+        }
+        self.schedule_wake(ch);
+    }
+
+    fn schedule_wake(&mut self, ch: usize) {
+        if let Some(t) = self.ctrls[ch].next_action_time(self.clock) {
+            let t = t.max(self.clock);
+            if t < self.next_wake[ch] {
+                self.next_wake[ch] = t;
+                self.push(t, EventKind::CtrlWake { ch });
+            }
+        }
+    }
+
+    fn record_subarray(&mut self, bank: BankCoord, logical_row: u32) {
+        let table_rows_start = self.table_region_first_row(bank);
+        if logical_row >= table_rows_start {
+            return;
+        }
+        let phys = match self.manager.as_ref() {
+            Some(m) => m.peek(bank, logical_row).0,
+            None => logical_row,
+        };
+        let layout = self.ctrls[bank.channel as usize].channel().layout();
+        let (sub, _) = layout.classify(phys);
+        let key = (self.cfg.geometry.bank_index(bank), sub);
+        *self.subarray_activity.entry(key).or_insert(0) += 1;
+    }
+
+    fn record_mix(&mut self, service: ServiceClass) {
+        // Homogeneous designs report their single kind regardless of the
+        // layout's nominal classification.
+        let adjusted = match (self.design, service) {
+            (_, ServiceClass::RowBufferHit) => ServiceClass::RowBufferHit,
+            (Design::Standard, _) => ServiceClass::SlowMiss,
+            (Design::FsDram, _) => ServiceClass::FastMiss,
+            (_, s) => s,
+        };
+        self.access_mix.record(adjusted);
+        self.memory_accesses += 1;
+    }
+
+    fn handle_completion(&mut self, c: Completion) {
+        match c {
+            Completion::ReadDone { id, at, service } => {
+                let ctx = self.ctxs.remove(&id).expect("unknown read completion");
+                match ctx {
+                    ReqCtx::DemandRead { line, bank, logical_row, fill_core } => {
+                        self.record_mix(service);
+                        self.record_subarray(bank, logical_row);
+                        self.after_data_access(bank, logical_row, false, at);
+                        let dirty = self.line_dirty.remove(&line).unwrap_or(false);
+                        let wbs = self.hierarchy.fill_from_memory(fill_core, line, dirty);
+                        for wb in wbs {
+                            self.issue_writeback_at(wb, at);
+                        }
+                        let waiters = self.mshr.complete(line);
+                        let mut touched = HashSet::new();
+                        for w in &waiters {
+                            if w.is_load {
+                                let mut out = Vec::new();
+                                self.cores[w.core].complete(w.id, at.raw(), &mut out);
+                                self.schedule_core_requests(w.core, out);
+                            }
+                            touched.insert(w.core);
+                        }
+                        for core in touched {
+                            self.check_warm(core);
+                            self.dispatch_core(core);
+                        }
+                    }
+                    ReqCtx::TableRead { then } => {
+                        if let Some(mut demand) = then {
+                            demand.arrival = at;
+                            self.push(at, EventKind::CtrlEnqueue { req: demand });
+                        }
+                    }
+                    ReqCtx::DemandWrite { .. } => unreachable!("write ctx on read"),
+                }
+            }
+            Completion::WriteDone { id, at, service } => {
+                let ctx = self.ctxs.remove(&id).expect("unknown write completion");
+                match ctx {
+                    ReqCtx::DemandWrite { bank, logical_row } => {
+                        self.record_mix(service);
+                        self.record_subarray(bank, logical_row);
+                        // The managers decide internally what a write may
+                        // trigger (exclusive: gated by `promote_on_writes`;
+                        // inclusive: dirty tracking, never allocation).
+                        self.after_data_access(bank, logical_row, true, at);
+                    }
+                    _ => unreachable!("non-write ctx on write completion"),
+                }
+            }
+            Completion::SwapDone { token, at: _ } => {
+                let req = self.pending_swaps.remove(&token).expect("unknown swap token");
+                let now = self.clock.raw();
+                match req {
+                    PendingMigration::Swap(swap) => {
+                        self.forget_recent(swap.bank, swap.promotee);
+                        self.forget_recent(swap.bank, swap.victim);
+                        match self.manager.as_mut() {
+                            Some(Management::Exclusive(m)) => m.commit_swap(&swap, now),
+                            _ => unreachable!("swap committed without exclusive manager"),
+                        }
+                    }
+                    PendingMigration::Fill(fill) => {
+                        // The fill moves the promotee and displaces an
+                        // unknown-to-us victim: drop all held translations.
+                        self.recent_translations.clear();
+                        match self.manager.as_mut() {
+                            Some(Management::Inclusive(m)) => m.commit_fill(&fill, now),
+                            _ => unreachable!("fill committed without inclusive manager"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn after_data_access(&mut self, bank: BankCoord, logical_row: u32, is_write: bool, at: Tick) {
+        // Table-region traffic is not subject to management.
+        let table_rows_start = self.table_region_first_row(bank);
+        if logical_row >= table_rows_start {
+            return;
+        }
+        let op = match self.manager.as_mut() {
+            None => return,
+            Some(Management::Exclusive(m)) => {
+                if is_write && !self.cfg.promote_on_writes {
+                    return;
+                }
+                m.on_data_access(bank, logical_row, at.raw()).map(|swap| {
+                    (
+                        PendingMigration::Swap(swap),
+                        SwapOp {
+                            token: 0,
+                            bank,
+                            phys_a: swap.promotee_phys,
+                            phys_b: swap.victim_phys,
+                            kind: das_dram::command::MigrationKind::Swap,
+                            arrival: at,
+                        },
+                    )
+                })
+            }
+            Some(Management::Inclusive(m)) => {
+                // The inclusive manager always observes writes (dirty
+                // tracking) even though they never allocate.
+                m.on_data_access(bank, logical_row, is_write, at.raw()).map(|fill| {
+                    (
+                        PendingMigration::Fill(fill),
+                        SwapOp {
+                            token: 0,
+                            bank,
+                            phys_a: fill.promotee_phys,
+                            phys_b: fill.slot_phys,
+                            kind: fill.kind,
+                            arrival: at,
+                        },
+                    )
+                })
+            }
+        };
+        if let Some((pending, mut op)) = op {
+            self.next_swap_token += 1;
+            op.token = self.next_swap_token;
+            self.pending_swaps.insert(op.token, pending);
+            let ch = bank.channel as usize;
+            self.ctrls[ch].enqueue_swap(op);
+            self.schedule_wake(ch);
+        }
+    }
+
+    /// First logical row of `bank` that belongs to the reserved table
+    /// region (rows at the very top of the address space).
+    fn table_region_first_row(&self, _bank: BankCoord) -> u32 {
+        // The table occupies the top `total_rows` bytes; with row-
+        // interleaved mapping those bytes are the final rows of every bank.
+        let g = &self.cfg.geometry;
+        let table_rows_total = g.total_rows().div_ceil(g.row_bytes as u64);
+        let per_bank = table_rows_total.div_ceil(g.total_banks() as u64) as u32;
+        g.rows_per_bank - per_bank.min(g.rows_per_bank)
+    }
+
+    // ---- finalisation ------------------------------------------------------
+
+    fn finalize(self) -> RunMetrics {
+        let warm_global = self.warm_global.unwrap_or((
+            AccessMix::default(),
+            0,
+            0,
+            0,
+        ));
+        let tpc = self.cfg.core.ticks_per_cycle;
+        let cores: Vec<CoreMetrics> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let (wi, wt, wm) = self.warm_core[i].unwrap_or((0, 0, 0));
+                CoreMetrics {
+                    insts: c.insts_retired() - wi,
+                    cycles: (c.finish_time() - wt) / tpc,
+                    llc_misses: self.core_misses[i] - wm,
+                }
+            })
+            .collect();
+        let promotions_total = self.manager.as_ref().map_or(0, |m| m.promotions());
+        let mix = self.access_mix.since(&warm_global.0);
+        let promotions = promotions_total - warm_global.1;
+        let accesses = self.memory_accesses - warm_global.2;
+        let table_reads = self.table_fetch_reads - warm_global.3;
+        let llc_misses = cores.iter().map(|c| c.llc_misses).sum();
+        let window_cycles = cores.iter().map(|c| c.cycles).max().unwrap_or(0);
+        let model = EnergyModel::default();
+        let energy = EnergyBreakdown {
+            act_pre_nj: mix.fast as f64 * model.act_pre_fast_nj
+                + mix.slow as f64 * model.act_pre_slow_nj,
+            burst_nj: accesses as f64 * (model.read_nj + model.write_nj) / 2.0,
+            migration_nj: promotions as f64 * model.swap_nj,
+            background_nj: {
+                let ns = window_cycles as f64 / 3.0; // 3 GHz
+                self.ctrls.len() as f64 * model.background_mw * 1e-3 * ns
+            },
+        };
+        let total_subarrays = {
+            let per_bank = self.ctrls[0].channel().layout().subarrays().len();
+            per_bank * self.cfg.geometry.total_banks() as usize
+        };
+        RunMetrics {
+            design: self.design.label().to_string(),
+            workload: self.workload_label,
+            cores,
+            access_mix: mix,
+            promotions,
+            memory_accesses: accesses,
+            llc_misses,
+            footprint_bytes: self.footprint_rows.len() as u64
+                * self.cfg.geometry.row_bytes as u64,
+            translation: self.manager.as_ref().map(|m| m.translation_stats()).unwrap_or_default(),
+            filter: self.manager.as_ref().map(|m| m.filter_stats()).unwrap_or_default(),
+            table_fetch_reads: table_reads,
+            energy,
+            window_cycles,
+            active_subarrays: self.subarray_activity.len(),
+            total_subarrays,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_workloads::spec;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::test_small()
+    }
+
+    fn workloads4() -> Vec<WorkloadConfig> {
+        ["astar", "omnetpp", "soplex", "leslie3d"]
+            .iter()
+            .map(|n| spec::by_name(n).scaled(64))
+            .collect()
+    }
+
+    #[test]
+    fn address_map_is_injective_and_disjoint_across_cores() {
+        let cfg = cfg();
+        let wls = workloads4();
+        let map = AddressMap::new(&cfg, &wls);
+        let mut seen = std::collections::HashSet::new();
+        for (core, w) in wls.iter().enumerate() {
+            for vrow in 0..w.footprint_rows().min(500) {
+                let p = map.map(core, vrow * cfg.geometry.row_bytes as u64);
+                assert_eq!(p % cfg.geometry.row_bytes as u64, 0);
+                assert!(
+                    p < cfg.geometry.total_bytes() - cfg.geometry.total_rows(),
+                    "must stay below the table region"
+                );
+                assert!(seen.insert(p), "core {core} row {vrow} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn address_map_preserves_offsets_within_rows() {
+        let cfg = cfg();
+        let wls = vec![spec::by_name("libquantum").scaled(64)];
+        let map = AddressMap::new(&cfg, &wls);
+        let a = map.map(0, 3 * 8192 + 128);
+        let b = map.map(0, 3 * 8192 + 256);
+        assert_eq!(a % 8192, 128);
+        assert_eq!(b - a, 128, "same row, consecutive offsets");
+    }
+
+    #[test]
+    fn profile_view_differs_for_some_rows_only() {
+        let cfg = cfg();
+        let wls = vec![spec::by_name("mcf").scaled(64)];
+        let map = AddressMap::new(&cfg, &wls);
+        let prof = map.profile_view();
+        let rows = wls[0].footprint_rows();
+        let moved = (0..rows)
+            .filter(|&v| map.map(0, v * 8192) != prof.map(0, v * 8192))
+            .count();
+        let frac = moved as f64 / rows as f64;
+        assert!(
+            (frac - cfg.profile_realloc).abs() < 0.1,
+            "≈{} of pages should be reallocated, got {frac}",
+            cfg.profile_realloc
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds its share")]
+    fn oversized_footprints_are_rejected() {
+        let cfg = cfg();
+        let mut w = spec::by_name("mcf");
+        w.footprint_bytes = cfg.geometry.total_bytes() * 2;
+        let _ = AddressMap::new(&cfg, &[w]);
+    }
+
+    #[test]
+    fn recorded_stubs_capture_footprints() {
+        let cfg = cfg();
+        let traces = vec![vec![
+            das_cpu::trace::TraceItem::load(1, 0),
+            das_cpu::trace::TraceItem::load(1, 100 * 8192 + 64),
+        ]];
+        let stubs = recorded_workload_stubs(&cfg, &traces);
+        assert_eq!(stubs.len(), 1);
+        assert_eq!(stubs[0].footprint_bytes, 101 * 8192);
+    }
+
+    #[test]
+    fn trace_source_recorded_drains() {
+        let items = vec![das_cpu::trace::TraceItem::load(1, 0); 3];
+        let mut src = TraceSource::Recorded(items.into_iter());
+        assert_eq!(src.by_ref().count(), 3);
+        assert!(src.next().is_none());
+    }
+
+    #[test]
+    fn table_region_occupies_top_rows() {
+        let sys = System::new(cfg(), Design::Standard, &workloads4(), None);
+        let bank = BankCoord::new(0, 0, 0);
+        let first = sys.table_region_first_row(bank);
+        assert!(first < sys.cfg.geometry.rows_per_bank);
+        assert!(
+            first >= sys.cfg.geometry.rows_per_bank - 2,
+            "table needs only the very top rows at this scale: {first}"
+        );
+    }
+}

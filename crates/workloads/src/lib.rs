@@ -1,0 +1,32 @@
+//! # das-workloads — synthetic SPEC CPU2006 stand-ins
+//!
+//! Workload substrate for the DAS-DRAM reproduction. The paper evaluates on
+//! ten memory-bound SPEC CPU2006 benchmarks (Table 2); since SPEC binaries
+//! and reference inputs cannot ship with this repository, each benchmark is
+//! replaced by a parameterised synthetic generator calibrated to its
+//! published memory character: MPKI band, footprint, streaming vs.
+//! pointer-chasing structure, store intensity and phase drift (see
+//! `DESIGN.md` for the substitution argument).
+//!
+//! # Examples
+//!
+//! ```
+//! use das_workloads::{spec, TraceGen};
+//!
+//! let mcf = spec::by_name("mcf").scaled(8);
+//! let mut gen = TraceGen::new(mcf, 42, 0);
+//! let item = gen.next().expect("infinite stream");
+//! assert!(item.insts() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod gen;
+pub mod mixes;
+pub mod spec;
+pub mod trace_file;
+
+pub use config::{Pattern, WorkloadConfig, LINE_BYTES, ROW_BYTES};
+pub use gen::TraceGen;

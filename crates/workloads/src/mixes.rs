@@ -1,0 +1,72 @@
+//! The multi-programming mixes M1–M8 of Table 2.
+
+use crate::config::WorkloadConfig;
+use crate::spec::by_name;
+
+/// The eight 4-program mixes exactly as listed in Table 2.
+pub const MIXES: [(&str, [&str; 4]); 8] = [
+    ("M1", ["cactusADM", "mcf", "milc", "omnetpp"]),
+    ("M2", ["cactusADM", "GemsFDTD", "lbm", "mcf"]),
+    ("M3", ["cactusADM", "lbm", "leslie3d", "omnetpp"]),
+    ("M4", ["astar", "cactusADM", "lbm", "milc"]),
+    ("M5", ["astar", "libquantum", "omnetpp", "soplex"]),
+    ("M6", ["GemsFDTD", "leslie3d", "libquantum", "soplex"]),
+    ("M7", ["leslie3d", "libquantum", "milc", "soplex"]),
+    ("M8", ["lbm", "libquantum", "mcf", "soplex"]),
+];
+
+/// The four full-scale workload configurations of mix `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is not `M1`..`M8`.
+pub fn mix(name: &str) -> [WorkloadConfig; 4] {
+    let (_, benches) =
+        MIXES.iter().find(|(n, _)| *n == name).unwrap_or_else(|| panic!("unknown mix {name:?}"));
+    [by_name(benches[0]), by_name(benches[1]), by_name(benches[2]), by_name(benches[3])]
+}
+
+/// Mix names in Table 2 order.
+pub fn names() -> Vec<&'static str> {
+    MIXES.iter().map(|(n, _)| *n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_mixes_of_four() {
+        assert_eq!(MIXES.len(), 8);
+        for (name, benches) in MIXES {
+            let cfgs = mix(name);
+            assert_eq!(cfgs.len(), 4);
+            for (c, b) in cfgs.iter().zip(benches) {
+                assert_eq!(c.name, b);
+            }
+        }
+    }
+
+    #[test]
+    fn m1_matches_table2() {
+        let cfgs = mix("M1");
+        let names: Vec<_> = cfgs.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["cactusADM", "mcf", "milc", "omnetpp"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown mix")]
+    fn unknown_mix_panics() {
+        mix("M9");
+    }
+
+    #[test]
+    fn every_benchmark_appears_in_some_mix() {
+        for b in crate::spec::names() {
+            assert!(
+                MIXES.iter().any(|(_, bs)| bs.contains(&b)),
+                "{b} unused in multi-programming"
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The ten memory-bound SPEC CPU2006 stand-ins of Table 2.
+//!
+//! Parameters are set from the public memory characterisation of the suite
+//! (Jaleel's instrumentation-driven profiles, the paper's reference \[15\]):
+//! approximate LLC MPKI bands, resident footprints, streaming vs.
+//! pointer-chasing structure, and store intensity. Absolute values are
+//! full-scale; callers scale footprints alongside the system configuration.
+
+use crate::config::{Layer, Pattern, WorkloadConfig};
+
+/// Builds the full-scale configuration for one benchmark of Table 2.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the ten benchmarks.
+pub fn by_name(name: &str) -> WorkloadConfig {
+    spec2006()
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name:?}"))
+}
+
+/// All ten single-programming workloads of Table 2, full-scale.
+pub fn spec2006() -> Vec<WorkloadConfig> {
+    let mk = |name: &str,
+              mpki: f64,
+              footprint_mb: u64,
+              write_frac: f64,
+              dep_frac: f64,
+              pattern: Pattern,
+              run_lines: u32,
+              phase_insts: Option<u64>| WorkloadConfig {
+        name: name.to_string(),
+        mpki,
+        footprint_bytes: footprint_mb << 20,
+        write_frac,
+        dep_frac,
+        pattern,
+        run_lines,
+        phase_insts,
+    };
+    vec![
+        // astar/BigLakes2048: graph search, modest MPKI, strong hot region
+        // that moves with the search frontier.
+        mk("astar", 4.0, 176, 0.20, 0.55, Pattern::Layered { layers: vec![Layer::new(0.04, 0.75), Layer::new(0.20, 0.15)] }, 2, Some(400_000)),
+        // cactusADM/benchADM: stencil sweeps over a large grid.
+        mk("cactusADM", 5.5, 416, 0.30, 0.08, Pattern::Stream { streams: 8 }, 3, None),
+        // GemsFDTD/ref: multi-array FDTD streaming, large footprint.
+        mk("GemsFDTD", 17.0, 800, 0.33, 0.05, Pattern::Stream { streams: 12 }, 3, None),
+        // lbm/lbm: lattice-Boltzmann; the classic write-heavy streamer.
+        mk("lbm", 28.0, 408, 0.44, 0.0, Pattern::Stream { streams: 19 }, 3, None),
+        // leslie3d: compact streaming CFD kernel.
+        mk("leslie3d", 13.0, 88, 0.28, 0.05, Pattern::Stream { streams: 8 }, 3, None),
+        // libquantum/ref: small footprint swept sequentially at high rate.
+        mk("libquantum", 24.0, 64, 0.25, 0.0, Pattern::Stream { streams: 3 }, 8, None),
+        // mcf/ref: pointer-chasing over a huge network; highest MPKI,
+        // phase-drifting hot arcs.
+        mk("mcf", 34.0, 1248, 0.15, 0.80, Pattern::Layered { layers: vec![Layer::new(0.05, 0.55), Layer::new(0.18, 0.33)] }, 1, Some(600_000)),
+        // milc/su3imp: scattered lattice accesses over a large footprint.
+        mk("milc", 19.0, 576, 0.30, 0.18, Pattern::Layered { layers: vec![Layer::new(0.12, 0.52), Layer::new(0.30, 0.36)] }, 2, Some(800_000)),
+        // omnetpp: event simulation, scattered small objects, hot queues.
+        mk("omnetpp", 9.0, 152, 0.30, 0.60, Pattern::Layered { layers: vec![Layer::new(0.05, 0.70), Layer::new(0.25, 0.20)] }, 1, Some(500_000)),
+        // soplex/pds-50: sparse LP; mixed stream + hot working set.
+        mk("soplex", 23.0, 256, 0.22, 0.30, Pattern::Layered { layers: vec![Layer::new(0.10, 0.60), Layer::new(0.30, 0.25)] }, 3, Some(700_000)),
+    ]
+}
+
+/// The benchmark names in Table 2 order.
+pub fn names() -> Vec<&'static str> {
+    vec![
+        "astar", "cactusADM", "GemsFDTD", "lbm", "leslie3d", "libquantum", "mcf", "milc",
+        "omnetpp", "soplex",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_benchmarks_match_table2() {
+        let all = spec2006();
+        assert_eq!(all.len(), 10);
+        for n in names() {
+            assert!(all.iter().any(|c| c.name == n), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrips() {
+        for n in names() {
+            assert_eq!(by_name(n).name, n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn by_name_rejects_unknown() {
+        by_name("gcc");
+    }
+
+    #[test]
+    fn mcf_is_the_heaviest() {
+        let all = spec2006();
+        let mcf = all.iter().find(|c| c.name == "mcf").unwrap();
+        for c in &all {
+            assert!(c.mpki <= mcf.mpki, "{} out-misses mcf", c.name);
+            assert!(c.footprint_bytes <= mcf.footprint_bytes);
+        }
+    }
+
+    #[test]
+    fn streaming_benchmarks_have_no_phases() {
+        for n in ["libquantum", "lbm", "GemsFDTD", "leslie3d", "cactusADM"] {
+            assert!(by_name(n).phase_insts.is_none(), "{n} should be phase-stable");
+        }
+        for n in ["mcf", "omnetpp", "soplex", "astar", "milc"] {
+            assert!(by_name(n).phase_insts.is_some(), "{n} should drift");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the trace generators.
+
+use proptest::prelude::*;
+
+use das_workloads::config::{Layer, Pattern, WorkloadConfig, ROW_BYTES};
+use das_workloads::gen::TraceGen;
+
+fn arb_config() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        2u64..64,            // footprint MB
+        1.0f64..40.0,        // mpki
+        0.0f64..0.6,         // write frac
+        0.0f64..0.9,         // dep frac
+        1u32..16,            // run lines
+        prop::option::of(50_000u64..500_000),
+        prop_oneof![
+            (1u32..20).prop_map(|s| Pattern::Stream { streams: s }),
+            (0.01f64..0.4, 0.3f64..0.95)
+                .prop_map(|(f, p)| Pattern::Layered { layers: vec![Layer::new(f, p)] }),
+        ],
+    )
+        .prop_map(|(mb, mpki, wf, df, run, phase, pattern)| WorkloadConfig {
+            name: "prop".into(),
+            mpki,
+            footprint_bytes: mb << 20,
+            write_frac: wf,
+            dep_frac: df,
+            pattern,
+            run_lines: run,
+            phase_insts: phase,
+        })
+}
+
+proptest! {
+    /// Addresses always stay inside `[base, base + footprint)`.
+    #[test]
+    fn addresses_in_bounds(cfg in arb_config(), seed in 0u64..1000, base in 0u64..(1u64 << 32)) {
+        let base = base & !(ROW_BYTES - 1);
+        let fp = cfg.footprint_bytes;
+        let g = TraceGen::new(cfg, seed, base);
+        for item in g.take(500) {
+            prop_assert!(item.addr >= base && item.addr < base + fp,
+                "addr {:#x} outside [{:#x}, {:#x})", item.addr, base, base + fp);
+        }
+    }
+
+    /// Generators are pure functions of (config, seed, base).
+    #[test]
+    fn reproducible(cfg in arb_config(), seed in 0u64..1000) {
+        let a: Vec<_> = TraceGen::new(cfg.clone(), seed, 0).take(200).collect();
+        let b: Vec<_> = TraceGen::new(cfg, seed, 0).take(200).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Writes never carry the dependent flag (stores are posted).
+    #[test]
+    fn writes_are_never_dependent(cfg in arb_config(), seed in 0u64..100) {
+        for item in TraceGen::new(cfg, seed, 0).take(500) {
+            if item.is_write {
+                prop_assert!(!item.depends_on_prev);
+            }
+        }
+    }
+
+    /// Achieved miss density lands within a factor of two of the target
+    /// MPKI (the gap distribution is exponential, so allow slack).
+    #[test]
+    fn mpki_calibration(cfg in arb_config(), seed in 0u64..50) {
+        let target = cfg.mpki;
+        let mut g = TraceGen::new(cfg, seed, 0);
+        let n = 4000;
+        for _ in 0..n {
+            g.next();
+        }
+        let achieved = n as f64 * 1000.0 / g.insts_emitted() as f64;
+        prop_assert!(achieved > target * 0.5 && achieved < target * 2.0,
+            "target {target}, achieved {achieved}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Policy study: sweep the management knobs the paper studies in §7.3–§7.6
+//! (promotion threshold, replacement policy, fast-level ratio) on one
+//! phase-drifting workload.
+//!
+//! Run with: `cargo run --release --example policy_study`
+
+use das_core::replacement::ReplacementPolicy;
+use das_dram::geometry::FastRatio;
+use das_sim::config::{Design, SystemConfig};
+use das_sim::experiments::{improvement, run_one};
+use das_workloads::spec;
+
+fn main() {
+    let mut cfg = SystemConfig::paper_scaled();
+    cfg.inst_budget = 1_000_000;
+    let wl = vec![spec::by_name("soplex")];
+    let base = run_one(&cfg, Design::Standard, &wl);
+    println!("workload: soplex (phase-drifting LP solver stand-in)\n");
+
+    println!("promotion threshold (Fig. 8): higher thresholds suppress promotions");
+    for t in [8u32, 4, 2, 1] {
+        let c = cfg.clone().with_threshold(t);
+        let m = run_one(&c, Design::DasDram, &wl);
+        println!(
+            "  threshold {t}: {:+.2}%  promotions/access {:.2}%  fast activations {:.0}%",
+            improvement(&m, &base) * 100.0,
+            m.promotions_per_access() * 100.0,
+            m.fast_activation_ratio() * 100.0
+        );
+    }
+
+    println!("\nreplacement policy (Fig. 9c/9d): nearly irrelevant at ratio 1/8");
+    for (label, p) in [
+        ("LRU", ReplacementPolicy::Lru),
+        ("Random", ReplacementPolicy::Random),
+        ("Sequential", ReplacementPolicy::Sequential),
+        ("GlobalCounter", ReplacementPolicy::GlobalCounter),
+    ] {
+        let c = cfg.clone().with_replacement(p);
+        let m = run_one(&c, Design::DasDram, &wl);
+        println!("  {label:<14}: {:+.2}%", improvement(&m, &base) * 100.0);
+    }
+
+    println!("\nfast-level ratio (Fig. 9): diminishing returns past 1/8");
+    for den in [32u32, 16, 8, 4] {
+        let c = cfg.clone().with_fast_ratio(FastRatio::new(1, den));
+        let m = run_one(&c, Design::DasDram, &wl);
+        println!("  ratio 1/{den:<3}: {:+.2}%", improvement(&m, &base) * 100.0);
+    }
+}

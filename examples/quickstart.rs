@@ -1,0 +1,39 @@
+//! Quickstart: simulate one memory-bound workload on conventional DRAM and
+//! on DAS-DRAM, and print the headline comparison.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use das_sim::config::{Design, SystemConfig};
+use das_sim::experiments::{improvement, run_one};
+use das_workloads::spec;
+
+fn main() {
+    // The paper's Table 1 system with every capacity scaled by 64 so the
+    // whole thing runs in about a second (see DESIGN.md for the scaling
+    // argument), executing 1M instructions of an mcf-like pointer chase.
+    let mut cfg = SystemConfig::paper_scaled();
+    cfg.inst_budget = 1_000_000;
+    let workload = vec![spec::by_name("mcf")];
+
+    println!("simulating {} on four DRAM designs...", workload[0].name);
+    let base = run_one(&cfg, Design::Standard, &workload);
+    println!(
+        "  Std-DRAM  : IPC {:.3}  (MPKI {:.1}, row-buffer hits {:.0}%)",
+        base.ipc(),
+        base.mpki(),
+        base.access_mix.fractions().0 * 100.0
+    );
+    for design in [Design::SasDram, Design::DasDram, Design::FsDram] {
+        let m = run_one(&cfg, design, &workload);
+        println!(
+            "  {:<10}: IPC {:.3}  ({:+.2}% vs Std, fast-level activations {:.0}%, {} promotions)",
+            m.design,
+            m.ipc(),
+            improvement(&m, &base) * 100.0,
+            m.fast_activation_ratio() * 100.0,
+            m.promotions
+        );
+    }
+    println!("\nDAS-DRAM should land between the static asymmetric design and");
+    println!("the all-fast FS-DRAM upper bound, migrating hot rows on demand.");
+}

@@ -1,0 +1,38 @@
+//! # das — Dynamic Asymmetric-Subarray DRAM (umbrella crate)
+//!
+//! Re-exports every layer of the DAS-DRAM reproduction (Lu, Lin & Yang,
+//! *Improving DRAM Latency with Dynamic Asymmetric Subarray*, MICRO 2015)
+//! under one dependency:
+//!
+//! * [`dram`] — command-level DRAM device model;
+//! * [`core`] — migration mechanism + exclusive/inclusive management;
+//! * [`cache`] — the Table 1 cache hierarchy;
+//! * [`cpu`] — trace-driven out-of-order cores;
+//! * [`workloads`] — SPEC CPU2006 stand-ins and trace-file I/O;
+//! * [`memctrl`] — open-page FR-FCFS controllers with migration scheduling;
+//! * [`sim`] — the event-driven full-system simulator and experiments.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use das::sim::config::{Design, SystemConfig};
+//! use das::sim::experiments::{improvement, run_one};
+//! use das::workloads::spec;
+//!
+//! let cfg = SystemConfig::paper_scaled();
+//! let wl = vec![spec::by_name("omnetpp")];
+//! let base = run_one(&cfg, Design::Standard, &wl);
+//! let das = run_one(&cfg, Design::DasDram, &wl);
+//! println!("{:+.2}%", improvement(&das, &base) * 100.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use das_cache as cache;
+pub use das_core as core;
+pub use das_cpu as cpu;
+pub use das_dram as dram;
+pub use das_memctrl as memctrl;
+pub use das_sim as sim;
+pub use das_workloads as workloads;

@@ -1,0 +1,151 @@
+//! Shape tests: reduced-budget versions of the claims each figure of the
+//! paper makes, asserted as inequalities rather than absolute numbers.
+
+use das_dram::geometry::FastRatio;
+use das_sim::config::{Design, SystemConfig};
+use das_sim::experiments::{improvement, run_one};
+use das_workloads::config::WorkloadConfig;
+use das_workloads::spec;
+
+fn cfg() -> SystemConfig {
+    SystemConfig::test_small()
+}
+
+fn wl(name: &str) -> Vec<WorkloadConfig> {
+    vec![spec::by_name(name)]
+}
+
+/// Fig. 7a: DAS-DRAM recovers a large share of the FS-DRAM potential on a
+/// workload whose hot set fits the fast level.
+#[test]
+fn fig7a_das_recovers_most_of_fs_potential() {
+    let base = run_one(&cfg(), Design::Standard, &wl("omnetpp"));
+    let das = improvement(&run_one(&cfg(), Design::DasDram, &wl("omnetpp")), &base);
+    let fs = improvement(&run_one(&cfg(), Design::FsDram, &wl("omnetpp")), &base);
+    // At the full 3M-instruction budget DAS recovers >90% on omnetpp
+    // (see EXPERIMENTS.md); the reduced test budget leaves proportionally
+    // more cold-start migration in the measured window, so gate at 40%.
+    assert!(das > 0.4 * fs, "DAS {das:.3} should recover >40% of FS {fs:.3}");
+}
+
+/// Fig. 7c: dynamic migration raises the fast-level share of activations
+/// far above static profiling on a phase-drifting workload.
+#[test]
+fn fig7c_dynamic_beats_static_fast_utilisation() {
+    let sas = run_one(&cfg(), Design::SasDram, &wl("soplex"));
+    let das = run_one(&cfg(), Design::DasDram, &wl("soplex"));
+    assert!(
+        das.fast_activation_ratio() > sas.fast_activation_ratio() + 0.15,
+        "dynamic {:.2} vs static {:.2}",
+        das.fast_activation_ratio(),
+        sas.fast_activation_ratio()
+    );
+}
+
+/// Fig. 8c: the paper's finding is that filtering "is not very effective
+/// at reducing row promotion frequency" — rates stay in a narrow band —
+/// while fast-level utilisation degrades at high thresholds (Fig. 8b).
+#[test]
+fn fig8_threshold_filtering_is_ineffective_but_costs_utilisation() {
+    let mut rates = Vec::new();
+    let mut fast_ratio = Vec::new();
+    for t in [1u32, 2, 4, 8] {
+        let c = cfg().with_threshold(t);
+        let m = run_one(&c, Design::DasDram, &wl("milc"));
+        rates.push(m.promotions_per_access());
+        fast_ratio.push(m.fast_activation_ratio());
+    }
+    assert!(rates[0] > 0.0);
+    let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+    let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max < min * 2.5, "promotion rates should stay in a band: {rates:?}");
+    assert!(
+        fast_ratio[3] <= fast_ratio[0] + 0.02,
+        "high thresholds must not improve utilisation: {fast_ratio:?}"
+    );
+}
+
+/// Fig. 9a: a translation cache too small to cover the fast level costs
+/// performance relative to the paper's 128 KB (scaled) capacity.
+#[test]
+fn fig9a_small_translation_cache_hurts() {
+    let base = run_one(&cfg(), Design::Standard, &wl("mcf"));
+    // 4 KB full-scale equivalent: far below fast-level coverage.
+    let tiny = cfg().with_tcache_bytes(4 << 10);
+    let small = improvement(&run_one(&tiny, Design::DasDram, &wl("mcf")), &base);
+    let full = cfg().with_tcache_bytes(128 << 10);
+    let big = improvement(&run_one(&full, Design::DasDram, &wl("mcf")), &base);
+    assert!(
+        big > small,
+        "covering tcache ({big:.4}) must beat a starved one ({small:.4})"
+    );
+}
+
+/// Fig. 9b: migration group size has only a subtle effect.
+#[test]
+fn fig9b_group_size_effect_is_subtle() {
+    let base = run_one(&cfg(), Design::Standard, &wl("omnetpp"));
+    let mut imps = Vec::new();
+    for g in [8u32, 32, 64] {
+        let c = cfg().with_group_size(g);
+        imps.push(improvement(&run_one(&c, Design::DasDram, &wl("omnetpp")), &base));
+    }
+    let max = imps.iter().cloned().fold(f64::MIN, f64::max);
+    let min = imps.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max - min < 0.06, "group size should be a second-order effect: {imps:?}");
+}
+
+/// Fig. 9c: shrinking the fast level to 1/32 hurts a large-footprint
+/// workload relative to 1/4.
+#[test]
+fn fig9c_small_fast_level_hurts_large_footprints() {
+    let base = run_one(&cfg(), Design::Standard, &wl("mcf"));
+    let tiny = cfg().with_fast_ratio(FastRatio::new(1, 32));
+    let small = improvement(&run_one(&tiny, Design::DasDram, &wl("mcf")), &base);
+    let big_cfg = cfg().with_fast_ratio(FastRatio::new(1, 4));
+    let big = improvement(&run_one(&big_cfg, Design::DasDram, &wl("mcf")), &base);
+    assert!(big > small + 0.01, "1/4 ({big:.3}) must clearly beat 1/32 ({small:.3})");
+}
+
+/// Fig. 9d: LRU vs Random replacement is a wash at the default ratio.
+#[test]
+fn fig9d_replacement_policy_is_negligible() {
+    use das_core::replacement::ReplacementPolicy;
+    let base = run_one(&cfg(), Design::Standard, &wl("soplex"));
+    let lru_cfg = cfg().with_replacement(ReplacementPolicy::Lru);
+    let lru = improvement(&run_one(&lru_cfg, Design::DasDram, &wl("soplex")), &base);
+    let rnd_cfg = cfg().with_replacement(ReplacementPolicy::Random);
+    let rnd = improvement(&run_one(&rnd_cfg, Design::DasDram, &wl("soplex")), &base);
+    assert!((lru - rnd).abs() < 0.04, "LRU {lru:.3} vs Random {rnd:.3} should be close");
+}
+
+/// §7.7: DAS-DRAM consumes no more DRAM energy than the standard design's
+/// run (fast activations are cheaper; migrations are rare).
+#[test]
+fn power_das_energy_is_competitive() {
+    let base = run_one(&cfg(), Design::Standard, &wl("omnetpp"));
+    let das = run_one(&cfg(), Design::DasDram, &wl("omnetpp"));
+    assert!(
+        das.energy.total_nj() < base.energy.total_nj() * 1.05,
+        "DAS {:.0} nJ vs Std {:.0} nJ",
+        das.energy.total_nj(),
+        base.energy.total_nj()
+    );
+    assert!(das.energy.migration_nj > 0.0);
+}
+
+/// §4.2/§5.1 ablation: the overlapped 3 tRC swap beats a naive
+/// 3-migration software swap.
+#[test]
+fn ablation_fast_swap_beats_naive_swap() {
+    use das_dram::tick::Tick;
+    use das_dram::timing::TimingSet;
+    let base = run_one(&cfg(), Design::Standard, &wl("mcf"));
+    let paper = improvement(&run_one(&cfg(), Design::DasDram, &wl("mcf")), &base);
+    let mut naive_cfg = cfg();
+    let mut t = TimingSet::asymmetric();
+    t.swap = Tick::new(t.slow.trc().raw() * 6); // three untightened migrations
+    naive_cfg.timing_override = Some(t);
+    let naive = improvement(&run_one(&naive_cfg, Design::DasDram, &wl("mcf")), &base);
+    assert!(paper > naive, "paper swap {paper:.4} must beat naive {naive:.4}");
+}

@@ -1,0 +1,95 @@
+//! Accounting cross-checks: the relationships between RunMetrics fields
+//! that must hold for any run (catching stats-plumbing regressions).
+
+use das_sim::config::{Design, SystemConfig};
+use das_sim::experiments::run_one;
+use das_workloads::spec;
+
+fn run(design: Design) -> das_sim::stats::RunMetrics {
+    let cfg = SystemConfig::test_small();
+    run_one(&cfg, design, &vec![spec::by_name("soplex")])
+}
+
+#[test]
+fn access_mix_total_equals_memory_accesses() {
+    for design in [Design::Standard, Design::DasDram, Design::FsDram] {
+        let m = run(design);
+        assert_eq!(
+            m.access_mix.total(),
+            m.memory_accesses,
+            "{}: every serviced access must be classified",
+            m.design
+        );
+    }
+}
+
+#[test]
+fn reads_dominate_memory_traffic_for_read_heavy_workloads() {
+    let m = run(Design::Standard);
+    // Write-backs can only come from previously fetched (read) lines.
+    assert!(m.memory_accesses >= m.llc_misses / 2, "{m:?}");
+}
+
+#[test]
+fn derived_ratios_match_raw_counters() {
+    let m = run(Design::DasDram);
+    let insts: u64 = m.cores.iter().map(|c| c.insts).sum();
+    assert!((m.mpki() - m.llc_misses as f64 * 1000.0 / insts as f64).abs() < 1e-9);
+    assert!(
+        (m.ppkm() - m.promotions as f64 * 1000.0 / m.llc_misses as f64).abs() < 1e-9
+    );
+    let (rb, f, s) = m.access_mix.fractions();
+    assert!((rb + f + s - 1.0).abs() < 1e-12);
+    assert!(m.fast_activation_ratio() >= 0.0 && m.fast_activation_ratio() <= 1.0);
+}
+
+#[test]
+fn footprint_bounded_by_workload_definition() {
+    let cfg = SystemConfig::test_small();
+    let w = spec::by_name("soplex");
+    let scaled_fp = w.scaled(cfg.scale as u64).footprint_bytes;
+    let m = run_one(&cfg, Design::Standard, &vec![w]);
+    assert!(m.footprint_bytes <= scaled_fp, "footprint cannot exceed the region");
+    assert!(m.footprint_bytes > scaled_fp / 100, "episode should touch real data");
+}
+
+#[test]
+fn energy_components_are_nonnegative_and_dominated_by_background_or_dynamic() {
+    let m = run(Design::DasDram);
+    let e = &m.energy;
+    assert!(e.act_pre_nj >= 0.0 && e.burst_nj > 0.0 && e.background_nj > 0.0);
+    assert!(e.migration_nj >= 0.0);
+    assert!(e.total_nj() > e.burst_nj);
+}
+
+#[test]
+fn subarray_accounting_is_bounded() {
+    let m = run(Design::DasDram);
+    assert!(m.active_subarrays > 0);
+    assert!(m.active_subarrays <= m.total_subarrays);
+    let idle = m.idle_subarray_fraction();
+    assert!((0.0..=1.0).contains(&idle));
+}
+
+#[test]
+fn translation_stats_only_for_managed_designs() {
+    let std = run(Design::Standard);
+    assert_eq!(std.translation.hits + std.translation.misses, 0);
+    assert_eq!(std.table_fetch_reads, 0);
+    let das = run(Design::DasDram);
+    assert!(das.translation.hits + das.translation.misses > 0);
+}
+
+#[test]
+fn window_cycles_scale_with_budget() {
+    let mut cfg = SystemConfig::test_small();
+    let short = run_one(&cfg, Design::Standard, &vec![spec::by_name("soplex")]);
+    cfg.inst_budget *= 2;
+    let long = run_one(&cfg, Design::Standard, &vec![spec::by_name("soplex")]);
+    assert!(
+        long.window_cycles > short.window_cycles * 3 / 2,
+        "doubling the budget must lengthen the window: {} vs {}",
+        long.window_cycles,
+        short.window_cycles
+    );
+}
