@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use das_sim::config::{Design, SystemConfig};
-use das_sim::experiments::run_one;
+use das_bench::must_run as run_one;
 use das_workloads::{mixes, spec};
 
 fn quick_cfg() -> SystemConfig {

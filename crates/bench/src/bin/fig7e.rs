@@ -3,7 +3,7 @@
 
 use das_bench::{mix_names, multi_config, mix_workloads, HarnessArgs};
 use das_sim::config::Design;
-use das_sim::experiments::run_one;
+use das_bench::must_run as run_one;
 
 fn main() {
     let args = HarnessArgs::parse();

@@ -3,7 +3,8 @@
 
 use das_bench::{pct, single_names, single_workloads, HarnessArgs};
 use das_sim::config::Design;
-use das_sim::experiments::{improvement, run_one};
+use das_bench::must_run as run_one;
+use das_sim::experiments::improvement;
 use das_sim::stats::gmean_improvement;
 
 const THRESHOLDS: [u32; 4] = [8, 4, 2, 1];

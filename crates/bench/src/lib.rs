@@ -104,6 +104,16 @@ pub fn mix_workloads(name: &str) -> Vec<WorkloadConfig> {
     mixes::mix(name).iter().map(|w| w.scaled(2)).collect()
 }
 
+/// Runs one simulation, terminating the process with a readable message if
+/// it cannot finish — a figure harness has nothing to report without it.
+pub fn must_run(cfg: &SystemConfig, design: Design, workloads: &[WorkloadConfig]) -> RunMetrics {
+    run_one(cfg, design, workloads).unwrap_or_else(|e| {
+        let names: Vec<&str> = workloads.iter().map(|w| w.name.as_str()).collect();
+        eprintln!("simulation failed: {} over {}: {e}", design.label(), names.join("+"));
+        std::process::exit(1);
+    })
+}
+
 /// Runs `designs` plus the Std-DRAM baseline over one workload set and
 /// returns `(baseline, per-design (metrics, improvement))`.
 pub fn run_with_baseline(
@@ -111,11 +121,11 @@ pub fn run_with_baseline(
     designs: &[Design],
     workloads: &[WorkloadConfig],
 ) -> (RunMetrics, Vec<(Design, RunMetrics, f64)>) {
-    let base = run_one(cfg, Design::Standard, workloads);
+    let base = must_run(cfg, Design::Standard, workloads);
     let rows = designs
         .iter()
         .map(|&d| {
-            let m = run_one(cfg, d, workloads);
+            let m = must_run(cfg, d, workloads);
             let imp = improvement(&m, &base);
             (d, m, imp)
         })
@@ -197,14 +207,14 @@ pub fn ratio_sweep(
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); dens.len()];
     for name in &names {
         let wl = single_workloads(name);
-        let base = run_one(&args.config(), Design::Standard, &wl);
+        let base = must_run(&args.config(), Design::Standard, &wl);
         print!("{name:<12}");
         for (i, den) in dens.iter().enumerate() {
             let cfg = args
                 .config()
                 .with_fast_ratio(FastRatio::new(1, *den))
                 .with_replacement(policy);
-            let m = run_one(&cfg, Design::DasDram, &wl);
+            let m = must_run(&cfg, Design::DasDram, &wl);
             let imp = improvement(&m, &base);
             cols[i].push(imp);
             print!(" {:>10}", pct(imp));

@@ -202,24 +202,76 @@ impl BankGroups {
         }
     }
 
-    /// Verifies the permutation invariant for every group (test support).
-    pub fn check_invariants(&self) {
+    /// Verifies the permutation invariant for every group, returning the
+    /// first violation instead of panicking: each logical row maps to
+    /// exactly one physical slot and the inverse map agrees.
+    pub fn verify(&self) -> Result<(), GroupInvariantError> {
         for g in 0..self.groups() {
             let base = (g * self.group_size) as usize;
             let mut seen = vec![false; self.group_size as usize];
             for s in 0..self.group_size as usize {
                 let p = self.to_phys[base + s] as usize;
-                assert!(!seen[p], "group {g}: duplicate physical slot {p}");
+                if p >= seen.len() || seen[p] {
+                    return Err(GroupInvariantError::DuplicatePhysicalSlot {
+                        group: g,
+                        slot: p as u32,
+                    });
+                }
                 seen[p] = true;
-                assert_eq!(
-                    self.to_logical[base + p] as usize,
-                    s,
-                    "group {g}: inverse mismatch"
-                );
+                if self.to_logical[base + p] as usize != s {
+                    return Err(GroupInvariantError::InverseMismatch {
+                        group: g,
+                        logical_slot: s as u32,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the permutation invariant for every group (test support;
+    /// panicking wrapper over [`BankGroups::verify`]).
+    pub fn check_invariants(&self) {
+        if let Err(e) = self.verify() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// A violation of the group-permutation invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupInvariantError {
+    /// Two logical rows of a group claim the same physical slot — the
+    /// exclusive-cache "one logical row per physical location" rule broke.
+    DuplicatePhysicalSlot {
+        /// Offending group.
+        group: u32,
+        /// Physical slot claimed twice (or out of range).
+        slot: u32,
+    },
+    /// The forward and inverse permutations disagree.
+    InverseMismatch {
+        /// Offending group.
+        group: u32,
+        /// Logical slot whose round-trip failed.
+        logical_slot: u32,
+    },
+}
+
+impl core::fmt::Display for GroupInvariantError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GroupInvariantError::DuplicatePhysicalSlot { group, slot } => {
+                write!(f, "group {group}: duplicate physical slot {slot}")
+            }
+            GroupInvariantError::InverseMismatch { group, logical_slot } => {
+                write!(f, "group {group}: inverse mismatch at logical slot {logical_slot}")
             }
         }
     }
 }
+
+impl std::error::Error for GroupInvariantError {}
 
 #[cfg(test)]
 mod tests {

@@ -6,16 +6,56 @@
 //! lives*; the translation cache only affects **timing** (whether a lookup
 //! costs a table fetch), never correctness.
 
+use core::fmt;
 use std::collections::{HashMap, HashSet};
 
 use das_dram::geometry::{BankCoord, BankLayout, DramGeometry, FastRatio, GlobalRowId};
 
-use crate::groups::{BankGroups, GroupId};
+use crate::groups::{BankGroups, GroupId, GroupInvariantError};
 use crate::promotion::{FilterStats, PromotionFilter};
 use crate::replacement::{ReplacementPolicy, Replacer};
 use crate::translation::{
-    TableAddressMap, TranslationCache, TranslationSource, TranslationStats,
+    TableAddressMap, TranslationCache, TranslationError, TranslationSource, TranslationStats,
 };
+
+/// A violation of the exclusive-cache consistency contract, found by
+/// [`DasManager::check_invariants`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyError {
+    /// A bank's group permutation is no longer a bijection (some logical
+    /// row lost its unique physical location).
+    BrokenPermutation {
+        /// Flat bank index.
+        bank: usize,
+        /// The underlying permutation violation.
+        source: GroupInvariantError,
+    },
+    /// The translation cache failed its integrity audit.
+    CacheCorrupt(TranslationError),
+    /// A translation-cache entry disagrees with the device state: the
+    /// cached row is not actually resident in the fast level (or does not
+    /// exist at all).
+    CacheDeviceDisagreement {
+        /// The row the cache claims is fast.
+        row: GlobalRowId,
+    },
+}
+
+impl fmt::Display for ConsistencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyError::BrokenPermutation { bank, source } => {
+                write!(f, "bank {bank}: {source}")
+            }
+            ConsistencyError::CacheCorrupt(e) => write!(f, "{e}"),
+            ConsistencyError::CacheDeviceDisagreement { row } => {
+                write!(f, "translation cache claims {row} is fast but the device disagrees")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConsistencyError {}
 
 /// Configuration of the management mechanism (§5, Table 1 defaults).
 #[derive(Debug, Clone, Copy)]
@@ -352,6 +392,61 @@ impl DasManager {
         self.geometry.total_bytes() - self.geometry.total_rows()
     }
 
+    /// Exclusive-cache invariant sweep: every bank's permutation is a
+    /// bijection (each logical row has exactly one physical location), the
+    /// translation cache passes its integrity audit, and every cached
+    /// translation agrees with the device state (the cached row really is
+    /// fast-resident). Returns the first violation found.
+    pub fn check_invariants(&self) -> Result<(), ConsistencyError> {
+        for (bank, g) in self.groups.iter().enumerate() {
+            g.verify()
+                .map_err(|source| ConsistencyError::BrokenPermutation { bank, source })?;
+        }
+        if self.cfg.static_mapping {
+            return Ok(());
+        }
+        self.tcache.audit().map_err(ConsistencyError::CacheCorrupt)?;
+        let rows_per_bank = self.geometry.rows_per_bank as u64;
+        for row in self.tcache.resident_rows() {
+            let bank_idx = (row.0 / rows_per_bank) as usize;
+            let logical = (row.0 % rows_per_bank) as u32;
+            let fast = self
+                .groups
+                .get(bank_idx)
+                .map(|g| g.is_fast(logical))
+                .unwrap_or(false);
+            if !fast {
+                return Err(ConsistencyError::CacheDeviceDisagreement { row });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault-injection hook: corrupts one translation-cache entry
+    /// (deterministically selected by `r`). Returns whether an entry was
+    /// actually corrupted (the cache may be empty).
+    pub fn corrupt_translation_entry(&mut self, r: u64) -> bool {
+        self.tcache.corrupt_entry(r)
+    }
+
+    /// Recovery path: declares the translation cache corrupt and rebuilds
+    /// it from the authoritative group state, re-installing every current
+    /// fast-level resident. Mirrors a controller re-walking the in-DRAM
+    /// table after a failed audit.
+    pub fn rebuild_translation_cache(&mut self) {
+        let mut fast_rows = Vec::new();
+        for bank in self.geometry.banks() {
+            let bank_idx = self.geometry.bank_index(bank);
+            let g = &self.groups[bank_idx];
+            for group in 0..g.groups() {
+                for logical in g.fast_residents(group) {
+                    fast_rows.push(self.geometry.global_row_id(bank, logical));
+                }
+            }
+        }
+        self.tcache.rebuild(fast_rows);
+    }
+
     /// Management statistics.
     pub fn stats(&self) -> ManagementStats {
         self.stats
@@ -522,6 +617,54 @@ mod tests {
         let t = m.translate(bank0(), 5);
         assert!(t.table_line >= g.total_bytes() - g.total_rows());
         assert!(t.table_line < g.total_bytes());
+    }
+
+    #[test]
+    fn invariants_hold_through_promotions() {
+        let mut m = manager(cfg_scaled());
+        assert_eq!(m.check_invariants(), Ok(()));
+        for (i, row) in [17u32, 40, 70, 100, 130].into_iter().enumerate() {
+            if let Some(req) = m.on_data_access(bank0(), row, i as u64) {
+                m.commit_swap(&req, i as u64);
+            }
+            assert_eq!(m.check_invariants(), Ok(()), "after promoting row {row}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_and_rebuild_recovers() {
+        let mut m = manager(cfg_scaled());
+        // Warm the cache with some fast-resident rows.
+        for row in 0..8u32 {
+            let req = m.on_data_access(bank0(), 32 * row + 17, row as u64);
+            if let Some(req) = req {
+                m.commit_swap(&req, row as u64);
+            }
+        }
+        assert_eq!(m.check_invariants(), Ok(()));
+        assert!(m.corrupt_translation_entry(99));
+        let err = m.check_invariants().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ConsistencyError::CacheCorrupt(_) | ConsistencyError::CacheDeviceDisagreement { .. }
+            ),
+            "unexpected error {err:?}"
+        );
+        m.rebuild_translation_cache();
+        assert_eq!(m.check_invariants(), Ok(()));
+        // Rebuilt entries serve fast rows from the cache again (hash
+        // conflicts may evict a few, but the bulk must hit cold).
+        let fast_rows: Vec<u32> = (0..512).filter(|&r| m.is_fast(bank0(), r)).collect();
+        let hits = fast_rows
+            .iter()
+            .filter(|&&r| m.translate(bank0(), r).source == TranslationSource::Cache)
+            .count();
+        assert!(
+            hits * 2 > fast_rows.len(),
+            "rebuilt cache should serve most fast rows: {hits}/{}",
+            fast_rows.len()
+        );
     }
 
     #[test]

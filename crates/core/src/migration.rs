@@ -13,8 +13,50 @@
 //! four-step schedule (Fig. 6) overlaps the two middle movements, and
 //! Table 1 charges **146.25 ns = 3 tRC** total.
 
+use core::fmt;
+
 use das_dram::tick::Tick;
 use das_dram::timing::TimingSet;
+
+/// Why a migration or swap could not be carried out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationError {
+    /// The underlying device has no migration support (its migration
+    /// latency is the `Tick::MAX` "never" sentinel).
+    Unsupported,
+    /// A (possibly fault-injected) step failed mid-flight; the swap can be
+    /// retried.
+    StepFailed {
+        /// Which of the Fig. 3d phases failed.
+        step: MigrationStep,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+    },
+    /// The bounded retry budget is exhausted; the management layer must
+    /// fall back to demoting (abandoning) the promotion.
+    AttemptsExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrationError::Unsupported => {
+                write!(f, "device does not support row migration")
+            }
+            MigrationError::StepFailed { step, attempt } => {
+                write!(f, "migration step {step:?} failed on attempt {attempt}")
+            }
+            MigrationError::AttemptsExhausted { attempts } => {
+                write!(f, "migration abandoned after {attempts} failed attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
 
 /// One phase of the Fig. 3d single-row migration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,19 +112,34 @@ impl MigrationModel {
         self.timing.supports_migration()
     }
 
+    /// `base + per_hop * units`, saturating at `Tick::MAX` so pathological
+    /// hop counts or per-hop costs degrade to "never" instead of wrapping.
+    fn saturating_hop_total(base: Tick, per_hop: Tick, units: u64) -> Tick {
+        let extra = per_hop.raw().saturating_mul(units);
+        Tick::new(base.raw().saturating_add(extra))
+    }
+
     /// Latency of one row migration crossing `hops` subarray boundaries.
+    ///
+    /// Returns `Tick::MAX` when the device does not support migration.
+    /// `hops` of 0 or 1 cost the base latency (the paper's adjacent-subarray
+    /// case); overflow saturates to `Tick::MAX`.
     pub fn single_migration(&self, hops: u32) -> Tick {
         let base = self.timing.single_migration;
         if base == Tick::MAX {
             return Tick::MAX;
         }
         match self.per_hop {
-            Some(h) if hops > 1 => base + h * (hops - 1) as u64,
+            Some(h) if hops > 1 => Self::saturating_hop_total(base, h, (hops - 1) as u64),
             _ => base,
         }
     }
 
     /// Latency of a full swap (Fig. 6) across `hops` boundaries.
+    ///
+    /// Same saturation and boundary behaviour as [`single_migration`].
+    ///
+    /// [`single_migration`]: MigrationModel::single_migration
     pub fn swap(&self, hops: u32) -> Tick {
         let base = self.timing.swap;
         if base == Tick::MAX {
@@ -90,8 +147,27 @@ impl MigrationModel {
         }
         match self.per_hop {
             // Both directions of the exchange pay the relay.
-            Some(h) if hops > 1 => base + h * (2 * (hops - 1)) as u64,
+            Some(h) if hops > 1 => {
+                Self::saturating_hop_total(base, h, 2 * (hops - 1) as u64)
+            }
             _ => base,
+        }
+    }
+
+    /// Fallible variant of [`single_migration`](MigrationModel::single_migration):
+    /// `Err(MigrationError::Unsupported)` instead of the `Tick::MAX` sentinel.
+    pub fn try_single_migration(&self, hops: u32) -> Result<Tick, MigrationError> {
+        match self.single_migration(hops) {
+            Tick::MAX => Err(MigrationError::Unsupported),
+            t => Ok(t),
+        }
+    }
+
+    /// Fallible variant of [`swap`](MigrationModel::swap).
+    pub fn try_swap(&self, hops: u32) -> Result<Tick, MigrationError> {
+        match self.swap(hops) {
+            Tick::MAX => Err(MigrationError::Unsupported),
+            t => Ok(t),
         }
     }
 
@@ -161,6 +237,61 @@ mod tests {
         let m = MigrationModel::paper(TimingSet::asymmetric_free_migration());
         assert_eq!(m.swap(5), Tick::ZERO);
         assert_eq!(m.single_migration(2), Tick::ZERO);
+    }
+
+    #[test]
+    fn hops_zero_and_one_cost_the_base_latency() {
+        // hops = 0 (same subarray, degenerate) and hops = 1 (adjacent) both
+        // charge the paper's fixed latency, with or without a hop model.
+        let paper = MigrationModel::paper(TimingSet::asymmetric());
+        assert_eq!(paper.single_migration(0), paper.single_migration(1));
+        assert_eq!(paper.swap(0), paper.swap(1));
+        let hop = MigrationModel::with_hop_cost(TimingSet::asymmetric(), Tick::from_ns(24.375));
+        assert_eq!(hop.single_migration(0), Tick::from_ns(73.125));
+        assert_eq!(hop.single_migration(1), Tick::from_ns(73.125));
+        assert_eq!(hop.swap(0), hop.swap(1));
+        // The first boundary beyond adjacency is where cost starts accruing.
+        assert!(hop.single_migration(2) > hop.single_migration(1));
+    }
+
+    #[test]
+    fn per_hop_overflow_saturates_to_never() {
+        // A pathological per-hop cost must saturate to Tick::MAX, not wrap
+        // into a tiny latency.
+        let m = MigrationModel::with_hop_cost(
+            TimingSet::asymmetric(),
+            Tick::new(u64::MAX / 2),
+        );
+        assert_eq!(m.single_migration(u32::MAX), Tick::MAX);
+        assert_eq!(m.swap(u32::MAX), Tick::MAX);
+        // Saturated results are reported as unsupported by the fallible API.
+        assert_eq!(m.try_swap(u32::MAX), Err(MigrationError::Unsupported));
+        // A moderate hop count with a sane cost still adds up exactly.
+        let sane = MigrationModel::with_hop_cost(TimingSet::asymmetric(), Tick::new(10));
+        assert_eq!(
+            sane.single_migration(3),
+            TimingSet::asymmetric().single_migration + Tick::new(20)
+        );
+    }
+
+    #[test]
+    fn fallible_api_reports_unsupported() {
+        let none = MigrationModel::paper(TimingSet::homogeneous_slow());
+        assert_eq!(none.try_single_migration(1), Err(MigrationError::Unsupported));
+        assert_eq!(none.try_swap(1), Err(MigrationError::Unsupported));
+        let some = MigrationModel::paper(TimingSet::asymmetric());
+        assert_eq!(some.try_swap(1), Ok(Tick::from_ns(146.25)));
+        assert_eq!(some.try_single_migration(1), Ok(Tick::from_ns(73.125)));
+    }
+
+    #[test]
+    fn migration_error_displays() {
+        let e = MigrationError::StepFailed { step: MigrationStep::ActivateSource, attempt: 2 };
+        assert!(e.to_string().contains("attempt 2"));
+        assert!(MigrationError::Unsupported.to_string().contains("support"));
+        assert!(MigrationError::AttemptsExhausted { attempts: 3 }
+            .to_string()
+            .contains("3"));
     }
 
     #[test]

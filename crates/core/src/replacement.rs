@@ -8,8 +8,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use das_faults::Prng;
 
 use crate::groups::GroupId;
 
@@ -40,7 +39,7 @@ struct GroupState {
 #[derive(Debug, Clone)]
 pub struct Replacer {
     policy: ReplacementPolicy,
-    rng: StdRng,
+    rng: Prng,
     global_counter: u64,
     groups: HashMap<GroupId, GroupState>,
 }
@@ -50,7 +49,7 @@ impl Replacer {
     pub fn new(policy: ReplacementPolicy, seed: u64) -> Self {
         Replacer {
             policy,
-            rng: StdRng::seed_from_u64(seed ^ 0x72_6570_6c61_6365),
+            rng: Prng::new(seed ^ 0x72_6570_6c61_6365),
             global_counter: 0,
             groups: HashMap::new(),
         }
@@ -95,7 +94,7 @@ impl Replacer {
                     .map(|(i, _)| i as u8)
                     .expect("nonempty")
             }
-            ReplacementPolicy::Random => self.rng.gen_range(0..fast_slots) as u8,
+            ReplacementPolicy::Random => self.rng.range_u32(0, fast_slots) as u8,
             ReplacementPolicy::Sequential => {
                 let st = self.groups.entry(group).or_default();
                 let v = st.cursor % fast_slots as u8;

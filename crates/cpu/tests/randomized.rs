@@ -1,0 +1,108 @@
+//! Seeded randomized tests for the core model (formerly proptest; rewritten
+//! on the deterministic `das-faults` PRNG): instruction conservation,
+//! monotone timing, and window discipline.
+
+use das_cpu::core::{Core, CoreConfig};
+use das_cpu::trace::TraceItem;
+use das_faults::Prng;
+
+fn run_to_completion(items: Vec<TraceItem>, latency: u64) -> Core {
+    let mut core = Core::new(CoreConfig::paper_default(), u64::MAX);
+    let mut out = Vec::new();
+    let mut it = items.into_iter();
+    core.dispatch_from(&mut it, &mut out);
+    let mut guard = 0;
+    while !out.is_empty() {
+        let pending = std::mem::take(&mut out);
+        for r in pending {
+            // Stores are posted: the core retires them at dispatch and the
+            // memory system never calls back (mirrors `das-sim`).
+            if !r.is_write {
+                core.complete(r.id, r.issue_at + latency, &mut out);
+            }
+        }
+        core.dispatch_from(&mut it, &mut out);
+        guard += 1;
+        assert!(guard < 100_000, "no forward progress");
+    }
+    core
+}
+
+fn random_items(rng: &mut Prng) -> Vec<TraceItem> {
+    let n = rng.range_usize(1, 120);
+    (0..n)
+        .map(|_| {
+            let w = rng.gen_bool(0.5);
+            let dep = rng.gen_bool(0.5);
+            TraceItem {
+                gap: rng.range_u32(0, 64),
+                addr: rng.range_u64(0, 1 << 20) & !63,
+                is_write: w,
+                depends_on_prev: dep && !w,
+            }
+        })
+        .collect()
+}
+
+/// Every dispatched instruction retires exactly once.
+#[test]
+fn instructions_are_conserved() {
+    for seed in 0..40u64 {
+        let mut rng = Prng::new(seed);
+        let items = random_items(&mut rng);
+        let expected: u64 = items.iter().map(|i| i.insts()).sum();
+        let core = run_to_completion(items, 500);
+        assert!(core.is_finished(), "seed {seed}");
+        assert_eq!(core.insts_retired(), expected, "seed {seed}");
+    }
+}
+
+/// Higher memory latency never makes the run finish earlier.
+#[test]
+fn finish_time_monotone_in_latency() {
+    for seed in 0..40u64 {
+        let mut rng = Prng::new(seed ^ 0x10a7);
+        let items = random_items(&mut rng);
+        let lat_a = rng.range_u64(1, 500);
+        let extra = rng.range_u64(1, 2000);
+        let fast = run_to_completion(items.clone(), lat_a).finish_time();
+        let slow = run_to_completion(items, lat_a + extra).finish_time();
+        assert!(
+            slow >= fast,
+            "seed {seed}: slower memory finished earlier: {slow} < {fast}"
+        );
+    }
+}
+
+/// The number of memory requests equals the number of trace items (each
+/// reference is issued exactly once).
+#[test]
+fn one_request_per_reference() {
+    for seed in 0..40u64 {
+        let mut rng = Prng::new(seed ^ 0x0e0e);
+        let items = random_items(&mut rng);
+        let n = items.len() as u64;
+        let core = run_to_completion(items, 100);
+        let s = core.stats();
+        assert_eq!(s.loads + s.stores, n, "seed {seed}");
+    }
+}
+
+/// Retirement is frontend-bound from below: a trace can never finish
+/// faster than insts/width cycles (8 ticks per cycle, width 4).
+#[test]
+fn frontend_bandwidth_is_a_lower_bound() {
+    for seed in 0..40u64 {
+        let mut rng = Prng::new(seed ^ 0xf0f0);
+        let items = random_items(&mut rng);
+        let insts: u64 = items.iter().map(|i| i.insts()).sum();
+        let core = run_to_completion(items, 1);
+        let min_ticks = insts.div_ceil(4) * 8;
+        assert!(
+            core.finish_time() >= min_ticks.saturating_sub(8),
+            "seed {seed}: finish {} below frontend bound {}",
+            core.finish_time(),
+            min_ticks
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Seeded randomized tests for the DRAM substrate (formerly proptest;
+//! rewritten on the deterministic `das-faults` PRNG): address-mapping
+//! bijections, layout invariants, and timing-legality properties.
+
+use das_dram::channel::ChannelDevice;
+use das_dram::command::DramCommand;
+use das_dram::geometry::{Arrangement, BankCoord, BankLayout, DramGeometry, FastRatio};
+use das_dram::tick::Tick;
+use das_dram::timing::TimingSet;
+use das_faults::Prng;
+
+/// decode∘encode is the identity for any line-aligned in-range address.
+#[test]
+fn decode_encode_roundtrip() {
+    let g = DramGeometry::paper_scaled(8);
+    let mut rng = Prng::new(1);
+    for _ in 0..2000 {
+        let aligned = rng.range_u64(0, 1 << 30) & !63;
+        let coord = g.decode(aligned);
+        assert_eq!(g.encode(coord), aligned % g.total_bytes());
+    }
+}
+
+/// Every in-range coordinate encodes to an address that decodes back.
+#[test]
+fn encode_decode_roundtrip() {
+    let g = DramGeometry::paper_scaled(8);
+    let mut rng = Prng::new(2);
+    for _ in 0..2000 {
+        let coord = das_dram::geometry::MemCoord {
+            bank: BankCoord::new(
+                rng.range_u32(0, 2) as u8,
+                rng.range_u32(0, 2) as u8,
+                rng.range_u32(0, 8) as u8,
+            ),
+            row: rng.range_u32(0, 4096) % g.rows_per_bank,
+            col: rng.range_u32(0, 128),
+        };
+        assert_eq!(g.decode(g.encode(coord)), coord);
+    }
+}
+
+/// Bank layouts partition the physical rows exactly for every ratio and
+/// arrangement combination that divides evenly.
+#[test]
+fn layout_partitions_rows() {
+    let rows = 4096u32;
+    for den in [4u32, 8, 16, 32] {
+        for arrangement in [
+            Arrangement::Partitioning,
+            Arrangement::Interleaving,
+            Arrangement::ReducedInterleaving,
+        ] {
+            let layout = BankLayout::build(rows, FastRatio::new(1, den), arrangement, 128, 512);
+            assert_eq!(layout.fast_rows() + layout.slow_rows(), rows);
+            assert_eq!(layout.fast_rows(), rows / den);
+            // Subarray extents tile the bank exactly.
+            let mut expected_start = 0u32;
+            for sa in layout.subarrays() {
+                assert_eq!(sa.phys_start, expected_start);
+                expected_start += sa.rows;
+            }
+            assert_eq!(expected_start, rows);
+            // Kind-space maps are bijective into the right kinds.
+            for i in 0..layout.fast_rows() {
+                assert_eq!(
+                    layout.row_kind(layout.fast_to_phys(i)),
+                    das_dram::SubarrayKind::Fast
+                );
+            }
+        }
+    }
+}
+
+/// `earliest_issue` is self-consistent: a later `now` never yields an
+/// earlier tick.
+#[test]
+fn earliest_issue_is_monotone_in_now() {
+    let mut rng = Prng::new(3);
+    for _ in 0..300 {
+        let layout = BankLayout::build(
+            512,
+            FastRatio::new(1, 8),
+            Arrangement::ReducedInterleaving,
+            128,
+            512,
+        );
+        let dev = ChannelDevice::new(0, 1, 2, layout, TimingSet::asymmetric(), false);
+        let bank = BankCoord::new(0, 0, 0);
+        let row_sel = rng.range_u32(0, 448);
+        let later = rng.range_u64(1, 10_000);
+        let row = dev.layout().slow_to_phys(row_sel % dev.layout().slow_rows());
+        let cmd = DramCommand::Activate { bank, phys_row: row };
+        let t0 = dev.earliest_issue(&cmd, Tick::ZERO).unwrap();
+        let t1 = dev.earliest_issue(&cmd, Tick::new(later)).unwrap();
+        assert!(t1 >= t0);
+        assert!(t1 >= Tick::new(later));
+    }
+}
+
+/// A random but *legal* command sequence (always issuing at the device's
+/// own earliest-issue tick) never trips a constraint assertion, and reads
+/// always produce in-order data on the shared bus.
+#[test]
+fn random_legal_sequences_hold_invariants() {
+    for seed in 0..50u64 {
+        let mut rng = Prng::new(seed ^ 0xd7a8);
+        let n = rng.range_usize(1, 60);
+        let layout = BankLayout::build(
+            512,
+            FastRatio::new(1, 8),
+            Arrangement::ReducedInterleaving,
+            128,
+            512,
+        );
+        let mut dev = ChannelDevice::new(0, 1, 4, layout, TimingSet::asymmetric(), false);
+        let mut now = Tick::ZERO;
+        let mut last_data = Tick::ZERO;
+        for i in 0..n {
+            let op = rng.range_u32(0, 4);
+            let bank = BankCoord::new(0, 0, (i % 4) as u8);
+            let open = dev.open_row(bank);
+            let cmd = match op {
+                0 => DramCommand::Activate {
+                    bank,
+                    phys_row: dev
+                        .layout()
+                        .slow_to_phys((i as u32 * 7) % dev.layout().slow_rows()),
+                },
+                1 => DramCommand::Read {
+                    bank,
+                    phys_row: open.unwrap_or(0),
+                    col: (i % 128) as u32,
+                },
+                2 => DramCommand::Write {
+                    bank,
+                    phys_row: open.unwrap_or(0),
+                    col: (i % 128) as u32,
+                },
+                _ => DramCommand::Precharge { bank, phys_row: open.unwrap_or(0) },
+            };
+            let Some(t) = dev.earliest_issue(&cmd, now) else { continue };
+            let out = dev.issue(&cmd, t);
+            now = t;
+            if let Some(d) = out.data_end {
+                assert!(d > t, "seed {seed}: data cannot precede the command");
+                assert!(d >= last_data, "seed {seed}: bus bursts must not reorder");
+                last_data = d;
+            }
+        }
+    }
+}

@@ -7,12 +7,49 @@
 //! command that has become legal, and [`MemoryController::next_action_time`]
 //! to learn when to wake it next.
 
+use core::fmt;
+
 use das_dram::channel::ChannelDevice;
 use das_dram::command::DramCommand;
 use das_dram::geometry::BankCoord;
 use das_dram::tick::Tick;
 
 use crate::request::{Completion, Request, ServiceClass, SwapOp};
+
+/// Errors the controller reports instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerError {
+    /// [`MemoryController::enqueue`] was called with the corresponding
+    /// queue already full; callers should check `can_accept_*` first.
+    QueueOverflow {
+        /// Whether the rejected request was a write.
+        is_write: bool,
+        /// Capacity of the queue that rejected it.
+        capacity: usize,
+    },
+    /// The device produced no data edge for a column command — a device
+    /// model inconsistency the simulation must surface, not swallow.
+    MissingDataEdge {
+        /// Id of the request whose data edge is missing.
+        id: u64,
+    },
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerError::QueueOverflow { is_write, capacity } => {
+                let kind = if *is_write { "write" } else { "read" };
+                write!(f, "{kind} queue overflow (capacity {capacity})")
+            }
+            ControllerError::MissingDataEdge { id } => {
+                write!(f, "column command for request {id} returned no data edge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
 
 /// Row-buffer management policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -164,20 +201,28 @@ impl MemoryController {
         self.swaps.len()
     }
 
-    /// Enqueues a demand request.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the corresponding queue is full (callers must check
-    /// `can_accept_*`).
-    pub fn enqueue(&mut self, req: Request) {
+    /// Enqueues a demand request, rejecting it with
+    /// [`ControllerError::QueueOverflow`] when the corresponding queue is
+    /// full (callers should check `can_accept_*` first).
+    pub fn enqueue(&mut self, req: Request) -> Result<(), ControllerError> {
         if req.is_write {
-            assert!(self.can_accept_write(), "write queue overflow");
+            if !self.can_accept_write() {
+                return Err(ControllerError::QueueOverflow {
+                    is_write: true,
+                    capacity: self.cfg.write_queue,
+                });
+            }
             self.writes.push(Pending { req, activated: None });
         } else {
-            assert!(self.can_accept_read(), "read queue overflow");
+            if !self.can_accept_read() {
+                return Err(ControllerError::QueueOverflow {
+                    is_write: false,
+                    capacity: self.cfg.read_queue,
+                });
+            }
             self.reads.push(Pending { req, activated: None });
         }
+        Ok(())
     }
 
     /// Enqueues a row swap.
@@ -200,7 +245,7 @@ impl MemoryController {
     /// Issues every command that is legal at or before `now`, returning the
     /// completions generated. Call again at
     /// [`MemoryController::next_action_time`].
-    pub fn advance(&mut self, now: Tick) -> Vec<Completion> {
+    pub fn advance(&mut self, now: Tick) -> Result<Vec<Completion>, ControllerError> {
         let mut out = Vec::new();
         // Cap iterations defensively; each loop issues at most one command.
         for _ in 0..4096 {
@@ -214,11 +259,8 @@ impl MemoryController {
             self.first_cmd_issued = true;
             match role {
                 Role::Refresh => self.stats.refreshes += 1,
-                Role::Activate { list, idx } => {
-                    let service = match self.channel.row_kind(match cmd {
-                        DramCommand::Activate { phys_row, .. } => phys_row,
-                        _ => unreachable!(),
-                    }) {
+                Role::Activate { list, idx, phys_row } => {
+                    let service = match self.channel.row_kind(phys_row) {
                         das_dram::SubarrayKind::Fast => ServiceClass::FastMiss,
                         das_dram::SubarrayKind::Slow => ServiceClass::SlowMiss,
                     };
@@ -228,7 +270,9 @@ impl MemoryController {
                 Role::Column { list, idx } => {
                     let p = self.remove_pending(list, idx);
                     let service = p.activated.unwrap_or(ServiceClass::RowBufferHit);
-                    let at_done = outcome.data_end.expect("column commands return data");
+                    let Some(at_done) = outcome.data_end else {
+                        return Err(ControllerError::MissingDataEdge { id: p.req.id });
+                    };
                     match service {
                         ServiceClass::RowBufferHit => self.stats.row_hits += 1,
                         ServiceClass::FastMiss => self.stats.fast_misses += 1,
@@ -251,7 +295,7 @@ impl MemoryController {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// The earliest tick at which [`MemoryController::advance`] could make
@@ -437,7 +481,9 @@ impl MemoryController {
         let t = self.bus_ready(t);
         let role = match cmd {
             DramCommand::Precharge { .. } => Role::Precharge,
-            DramCommand::Activate { .. } => Role::Activate { list, idx: oldest },
+            DramCommand::Activate { phys_row, .. } => {
+                Role::Activate { list, idx: oldest, phys_row }
+            }
             _ => Role::Column { list, idx: oldest },
         };
         Some((cmd, t, role))
@@ -509,7 +555,7 @@ enum List {
 enum Role {
     Refresh,
     Precharge,
-    Activate { list: List, idx: usize },
+    Activate { list: List, idx: usize, phys_row: u32 },
     Column { list: List, idx: usize },
     Swap { idx: usize },
 }
@@ -542,7 +588,7 @@ mod tests {
     fn run_until_idle(c: &mut MemoryController, mut now: Tick) -> Vec<Completion> {
         let mut all = Vec::new();
         for _ in 0..100_000 {
-            all.extend(c.advance(now));
+            all.extend(c.advance(now).unwrap());
             match c.next_action_time(now) {
                 Some(t) if c.queued() > 0 || c.queued_swaps() > 0 => {
                     now = t.max(now + Tick::new(1));
@@ -557,7 +603,7 @@ mod tests {
     fn single_read_closed_bank_latency() {
         let mut c = ctrl(TimingSet::homogeneous_slow());
         let slow_row = c.channel().layout().slow_to_phys(0);
-        c.enqueue(read(1, 0, slow_row, 5, Tick::ZERO));
+        c.enqueue(read(1, 0, slow_row, 5, Tick::ZERO)).unwrap();
         let done = run_until_idle(&mut c, Tick::ZERO);
         assert_eq!(done.len(), 1);
         let Completion::ReadDone { id, at, service } = done[0] else { panic!() };
@@ -571,8 +617,8 @@ mod tests {
     fn second_read_same_row_is_row_hit() {
         let mut c = ctrl(TimingSet::homogeneous_slow());
         let row = c.channel().layout().slow_to_phys(3);
-        c.enqueue(read(1, 0, row, 0, Tick::ZERO));
-        c.enqueue(read(2, 0, row, 1, Tick::ZERO));
+        c.enqueue(read(1, 0, row, 0, Tick::ZERO)).unwrap();
+        c.enqueue(read(2, 0, row, 1, Tick::ZERO)).unwrap();
         let done = run_until_idle(&mut c, Tick::ZERO);
         assert_eq!(done.len(), 2);
         let services: Vec<_> = done
@@ -592,13 +638,13 @@ mod tests {
         let row_a = c.channel().layout().slow_to_phys(0);
         let row_b = c.channel().layout().slow_to_phys(1);
         // Open row_a via request 1 and let it complete (open-page keeps it).
-        c.enqueue(read(1, 0, row_a, 0, Tick::ZERO));
+        c.enqueue(read(1, 0, row_a, 0, Tick::ZERO)).unwrap();
         let first = run_until_idle(&mut c, Tick::ZERO);
         assert_eq!(first.len(), 1);
         // Now: older conflicting request (row_b) and younger row hit (row_a).
         let now = Tick::from_ns(100.0);
-        c.enqueue(read(2, 0, row_b, 0, now));
-        c.enqueue(read(3, 0, row_a, 1, now + Tick::from_ns(1.0)));
+        c.enqueue(read(2, 0, row_b, 0, now)).unwrap();
+        c.enqueue(read(3, 0, row_a, 1, now + Tick::from_ns(1.0))).unwrap();
         let done = run_until_idle(&mut c, now + Tick::from_ns(1.0));
         let ids: Vec<u64> = done
             .iter()
@@ -620,12 +666,12 @@ mod tests {
         let mut c = MemoryController::new(cfg, dev);
         let row_a = c.channel().layout().slow_to_phys(0);
         let row_b = c.channel().layout().slow_to_phys(1);
-        c.enqueue(read(1, 0, row_a, 0, Tick::ZERO));
+        c.enqueue(read(1, 0, row_a, 0, Tick::ZERO)).unwrap();
         let first = run_until_idle(&mut c, Tick::ZERO);
         assert_eq!(first.len(), 1);
         let now = Tick::from_ns(100.0);
-        c.enqueue(read(2, 0, row_b, 0, now));
-        c.enqueue(read(3, 0, row_a, 1, now + Tick::from_ns(1.0)));
+        c.enqueue(read(2, 0, row_b, 0, now)).unwrap();
+        c.enqueue(read(3, 0, row_a, 1, now + Tick::from_ns(1.0))).unwrap();
         let done = run_until_idle(&mut c, now + Tick::from_ns(1.0));
         let ids: Vec<u64> = done
             .iter()
@@ -646,7 +692,8 @@ mod tests {
             coord: MemCoord { bank: BankCoord::new(0, 0, 0), row, col: 0 },
             is_write: true,
             arrival: Tick::ZERO,
-        });
+        })
+        .unwrap();
         let done = run_until_idle(&mut c, Tick::ZERO);
         assert!(matches!(done[0], Completion::WriteDone { id: 9, .. }));
         assert_eq!(c.stats().writes, 1);
@@ -657,7 +704,7 @@ mod tests {
         let mut c = ctrl(TimingSet::asymmetric());
         let fast = c.channel().layout().fast_to_phys(0);
         let slow = c.channel().layout().slow_to_phys(0);
-        c.enqueue(read(1, 0, slow, 0, Tick::ZERO));
+        c.enqueue(read(1, 0, slow, 0, Tick::ZERO)).unwrap();
         c.enqueue_swap(SwapOp {
             token: 77,
             bank: BankCoord::new(0, 0, 0),
@@ -701,7 +748,7 @@ mod tests {
         // Idle until past tREFI; then a read arrives. Refresh must go first.
         let t = Tick::from_ns(7800.0);
         let row = c.channel().layout().slow_to_phys(0);
-        c.enqueue(read(1, 0, row, 0, t));
+        c.enqueue(read(1, 0, row, 0, t)).unwrap();
         let done = run_until_idle(&mut c, t);
         // Both ranks of the channel were due; at least the target's fired.
         assert!(c.stats().refreshes >= 1);
@@ -715,7 +762,7 @@ mod tests {
         let mut c = MemoryController::new(ControllerConfig::paper_default(), dev);
         let row = c.channel().layout().slow_to_phys(0);
         // Open a row; the queue then drains, leaving the bank open (open-page).
-        c.enqueue(read(1, 0, row, 0, Tick::ZERO));
+        c.enqueue(read(1, 0, row, 0, Tick::ZERO)).unwrap();
         let done = run_until_idle(&mut c, Tick::ZERO);
         assert_eq!(done.len(), 1);
         assert!(c.channel().open_row(BankCoord::new(0, 0, 0)).is_some());
@@ -723,7 +770,7 @@ mod tests {
         // forward so the precharge → refresh sequence can play out.
         let mut t = Tick::from_ns(8000.0);
         for _ in 0..64 {
-            let _ = c.advance(t);
+            let _ = c.advance(t).unwrap();
             if c.stats().refreshes >= 1 {
                 break;
             }
@@ -741,14 +788,14 @@ mod tests {
         };
         let mut c = MemoryController::new(cfg, device(TimingSet::homogeneous_slow(), false));
         let row = c.channel().layout().slow_to_phys(0);
-        c.enqueue(read(1, 0, row, 0, Tick::ZERO));
+        c.enqueue(read(1, 0, row, 0, Tick::ZERO)).unwrap();
         let done = run_until_idle(&mut c, Tick::ZERO);
         assert_eq!(done.len(), 1);
         // Step time forward past tRAS: the idle row must get closed.
         let mut now = Tick::from_ns(40.0);
         for _ in 0..16 {
-            let _ = c.advance(now);
-            now = now + Tick::from_ns(10.0);
+            let _ = c.advance(now).unwrap();
+            now += Tick::from_ns(10.0);
         }
         assert!(
             c.channel().open_row(BankCoord::new(0, 0, 0)).is_none(),
@@ -756,7 +803,7 @@ mod tests {
         );
         // Open-page (default) leaves it open.
         let mut c2 = ctrl(TimingSet::homogeneous_slow());
-        c2.enqueue(read(1, 0, row, 0, Tick::ZERO));
+        c2.enqueue(read(1, 0, row, 0, Tick::ZERO)).unwrap();
         let _ = run_until_idle(&mut c2, Tick::ZERO);
         assert!(c2.channel().open_row(BankCoord::new(0, 0, 0)).is_some());
     }
@@ -772,9 +819,10 @@ mod tests {
                 coord: MemCoord { bank: BankCoord::new(0, 0, 1), row, col: i as u32 },
                 is_write: true,
                 arrival: Tick::ZERO,
-            });
+            })
+            .unwrap();
         }
-        c.enqueue(read(1, 0, row, 0, Tick::ZERO));
+        c.enqueue(read(1, 0, row, 0, Tick::ZERO)).unwrap();
         let done = run_until_idle(&mut c, Tick::ZERO);
         // The read completes; once reads drain, writes go too.
         assert_eq!(c.stats().reads, 1);
@@ -787,24 +835,28 @@ mod tests {
         let mut c = ctrl(TimingSet::homogeneous_slow());
         for i in 0..32 {
             assert!(c.can_accept_read());
-            c.enqueue(read(i, (i % 8) as u8, 0, 0, Tick::ZERO));
+            c.enqueue(read(i, (i % 8) as u8, 0, 0, Tick::ZERO)).unwrap();
         }
         assert!(!c.can_accept_read());
         assert!(c.can_accept_write());
+        assert!(matches!(
+            c.enqueue(read(99, 0, 0, 0, Tick::ZERO)),
+            Err(ControllerError::QueueOverflow { is_write: false, capacity: 32 })
+        ));
     }
 
     #[test]
     fn fast_rows_complete_sooner_than_slow() {
         let mut c = ctrl(TimingSet::asymmetric());
         let fast = c.channel().layout().fast_to_phys(0);
-        c.enqueue(read(1, 0, fast, 0, Tick::ZERO));
+        c.enqueue(read(1, 0, fast, 0, Tick::ZERO)).unwrap();
         let done = run_until_idle(&mut c, Tick::ZERO);
         let Completion::ReadDone { at: fast_at, service, .. } = done[0] else { panic!() };
         assert_eq!(service, ServiceClass::FastMiss);
 
         let mut c2 = ctrl(TimingSet::asymmetric());
         let slow = c2.channel().layout().slow_to_phys(0);
-        c2.enqueue(read(1, 0, slow, 0, Tick::ZERO));
+        c2.enqueue(read(1, 0, slow, 0, Tick::ZERO)).unwrap();
         let done2 = run_until_idle(&mut c2, Tick::ZERO);
         let Completion::ReadDone { at: slow_at, .. } = done2[0] else { panic!() };
         assert!(fast_at < slow_at, "fast {fast_at} !< slow {slow_at}");
@@ -832,9 +884,9 @@ mod tests {
         let mut swap_done = false;
         for i in 0..200 {
             if c.can_accept_read() {
-                c.enqueue(read(100 + i, 0, slow, (i % 128) as u32, now));
+                c.enqueue(read(100 + i, 0, slow, (i % 128) as u32, now)).unwrap();
             }
-            for ev in c.advance(now) {
+            for ev in c.advance(now).unwrap() {
                 if matches!(ev, Completion::SwapDone { .. }) {
                     swap_done = true;
                 }

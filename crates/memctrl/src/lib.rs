@@ -16,5 +16,8 @@
 pub mod controller;
 pub mod request;
 
-pub use controller::{ControllerConfig, ControllerStats, MemoryController, PagePolicy, SchedulerKind};
+pub use controller::{
+    ControllerConfig, ControllerError, ControllerStats, MemoryController, PagePolicy,
+    SchedulerKind,
+};
 pub use request::{Completion, Request, ServiceClass, SwapOp};

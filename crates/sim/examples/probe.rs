@@ -7,9 +7,9 @@ fn main() {
     cfg.inst_budget = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3_000_000);
     for bench in ["astar","cactusADM","GemsFDTD","lbm","leslie3d","libquantum","mcf","milc","omnetpp","soplex"] {
         let wl = vec![spec::by_name(bench)];
-        let base = run_one(&cfg, Design::Standard, &wl);
+        let base = run_one(&cfg, Design::Standard, &wl).expect("baseline run");
         for d in [Design::SasDram, Design::DasDram, Design::DasDramFm, Design::FsDram] {
-            let m = run_one(&cfg, d, &wl);
+            let m = run_one(&cfg, d, &wl).expect("design run");
             let (rb, f, s) = m.access_mix.fractions();
             println!(
                 "{bench:12} {:14} imp={:+6.2}% ipc={:.3} mpki={:5.1} promos={:6} ppkm={:7.1} rb/f/s={:.2}/{:.2}/{:.2} tfetch={} tc_hit={} tc_miss={}",

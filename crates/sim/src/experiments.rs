@@ -11,7 +11,7 @@ use das_workloads::gen::TraceGen;
 
 use crate::config::{Design, SystemConfig};
 use crate::stats::RunMetrics;
-use crate::system::{recorded_workload_stubs, AddressMap, System};
+use crate::system::{recorded_workload_stubs, AddressMap, SimError, System};
 
 /// Runs the profiling pre-pass used by the static designs (SAS/CHARM):
 /// the same traces are pushed through a fresh cache hierarchy and LLC-miss
@@ -47,7 +47,10 @@ pub fn profile_row_counts(
                 continue;
             }
             live += 1;
-            let item = g.next().expect("generators are infinite");
+            let Some(item) = g.next() else {
+                insts[i] = horizon;
+                continue;
+            };
             insts[i] += item.insts();
             let addr = addr_map.map(i, item.addr);
             let out = hierarchy.access(i, addr, item.is_write);
@@ -66,7 +69,16 @@ pub fn profile_row_counts(
 
 /// Runs one full-system simulation of `design` over `workloads` (given at
 /// full scale; footprints are scaled by `cfg.scale`).
-pub fn run_one(cfg: &SystemConfig, design: Design, workloads: &[WorkloadConfig]) -> RunMetrics {
+///
+/// # Errors
+///
+/// Returns the [`SimError`] if the run could not finish (deadlock, runaway
+/// event count, stalled controller, unrecoverable consistency violation).
+pub fn run_one(
+    cfg: &SystemConfig,
+    design: Design,
+    workloads: &[WorkloadConfig],
+) -> Result<RunMetrics, SimError> {
     let scaled: Vec<WorkloadConfig> =
         workloads.iter().map(|w| w.scaled(cfg.scale as u64)).collect();
     let profile = if design.needs_profile() {
@@ -82,11 +94,15 @@ pub fn run_one(cfg: &SystemConfig, design: Design, workloads: &[WorkloadConfig])
 /// the profile is derived by replaying the same traces through a fresh
 /// cache hierarchy (an oracle profile: recorded traces *are* the measured
 /// execution).
+///
+/// # Errors
+///
+/// Returns the [`SimError`] if the run could not finish.
 pub fn run_recorded(
     cfg: &SystemConfig,
     design: Design,
     traces: Vec<Vec<TraceItem>>,
-) -> RunMetrics {
+) -> Result<RunMetrics, SimError> {
     let profile = if design.needs_profile() {
         // Trace addresses are workload-local and go through the same
         // physical placement as the timed run (no reallocation: a recorded
@@ -121,11 +137,15 @@ pub fn run_recorded(
 }
 
 /// Runs `designs` over the same workload set, returning results in order.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] encountered.
 pub fn run_suite(
     cfg: &SystemConfig,
     designs: &[Design],
     workloads: &[WorkloadConfig],
-) -> Vec<RunMetrics> {
+) -> Result<Vec<RunMetrics>, SimError> {
     designs.iter().map(|&d| run_one(cfg, d, workloads)).collect()
 }
 
@@ -169,7 +189,7 @@ mod tests {
 
     #[test]
     fn standard_run_completes_and_reports() {
-        let m = run_one(&quick_cfg(), Design::Standard, &libq());
+        let m = run_one(&quick_cfg(), Design::Standard, &libq()).unwrap();
         assert!(m.ipc() > 0.0, "IPC must be positive: {m:?}");
         assert!(m.llc_misses > 0, "libquantum must miss");
         assert_eq!(m.access_mix.fast, 0, "standard DRAM has no fast level");
@@ -180,8 +200,8 @@ mod tests {
     #[test]
     fn fs_dram_beats_standard() {
         let cfg = quick_cfg();
-        let base = run_one(&cfg, Design::Standard, &libq());
-        let fs = run_one(&cfg, Design::FsDram, &libq());
+        let base = run_one(&cfg, Design::Standard, &libq()).unwrap();
+        let fs = run_one(&cfg, Design::FsDram, &libq()).unwrap();
         let imp = improvement(&fs, &base);
         assert!(imp > 0.0, "FS-DRAM must improve on Std-DRAM: {imp}");
         assert_eq!(fs.access_mix.slow, 0, "FS-DRAM has no slow level");
@@ -193,9 +213,9 @@ mod tests {
         // after warm-up, unlike a stream that settles into the fast level.
         let cfg = quick_cfg();
         let wl = vec![spec::by_name("mcf")];
-        let base = run_one(&cfg, Design::Standard, &wl);
-        let das = run_one(&cfg, Design::DasDram, &wl);
-        let fs = run_one(&cfg, Design::FsDram, &wl);
+        let base = run_one(&cfg, Design::Standard, &wl).unwrap();
+        let das = run_one(&cfg, Design::DasDram, &wl).unwrap();
+        let fs = run_one(&cfg, Design::FsDram, &wl).unwrap();
         assert!(das.promotions > 0, "DAS must migrate rows");
         let das_imp = improvement(&das, &base);
         let fs_imp = improvement(&fs, &base);
@@ -216,7 +236,7 @@ mod tests {
     #[test]
     fn sas_uses_fast_level_without_promotions() {
         let cfg = quick_cfg();
-        let sas = run_one(&cfg, Design::SasDram, &libq());
+        let sas = run_one(&cfg, Design::SasDram, &libq()).unwrap();
         assert_eq!(sas.promotions, 0, "static design never migrates");
         assert!(sas.access_mix.fast > 0, "profiled placement must hit fast");
     }

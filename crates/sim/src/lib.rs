@@ -22,8 +22,8 @@
 //!
 //! let cfg = SystemConfig::test_small();
 //! let wl = vec![spec::by_name("mcf")];
-//! let base = run_one(&cfg, Design::Standard, &wl);
-//! let das = run_one(&cfg, Design::DasDram, &wl);
+//! let base = run_one(&cfg, Design::Standard, &wl).expect("baseline run");
+//! let das = run_one(&cfg, Design::DasDram, &wl).expect("DAS run");
 //! println!("DAS-DRAM improvement: {:+.2}%", improvement(&das, &base) * 100.0);
 //! ```
 
@@ -38,4 +38,4 @@ pub mod system;
 pub use config::{Design, SystemConfig};
 pub use experiments::{improvement, profile_row_counts, run_one, run_recorded, run_suite};
 pub use stats::{AccessMix, CoreMetrics, EnergyBreakdown, EnergyModel, RunMetrics};
-pub use system::{AddressMap, System, TraceSource};
+pub use system::{AddressMap, SimError, System, TraceSource};

@@ -177,6 +177,8 @@ pub struct RunMetrics {
     pub active_subarrays: usize,
     /// Total subarrays in the system.
     pub total_subarrays: usize,
+    /// Fault-injection accounting (all zeros under `FaultPlan::none()`).
+    pub faults: das_faults::FaultStats,
 }
 
 impl RunMetrics {

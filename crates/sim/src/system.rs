@@ -14,19 +14,21 @@
 //! access for the table line; an LLC miss on the table line costs a real
 //! DRAM read that precedes the data access.
 
+use core::fmt;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use das_cache::hierarchy::{CacheHierarchy, CacheLevel};
 use das_cache::mshr::Mshr;
 use das_core::inclusive::{FillRequest, InclusiveManager};
-use das_core::management::{DasManager, SwapRequest};
+use das_core::management::{ConsistencyError, DasManager, SwapRequest};
 use das_core::translation::TranslationSource;
 use das_cpu::core::{Core, MemRequest};
 use das_dram::channel::ChannelDevice;
 use das_dram::geometry::{BankCoord, GlobalRowId, MemCoord};
 use das_dram::tick::Tick;
-use das_memctrl::controller::MemoryController;
+use das_faults::{FaultInjector, FaultSite};
+use das_memctrl::controller::{ControllerError, MemoryController};
 use das_memctrl::request::{Completion, Request, ServiceClass, SwapOp};
 use das_cpu::trace::TraceItem;
 use das_workloads::config::WorkloadConfig;
@@ -39,12 +41,134 @@ use crate::stats::{AccessMix, CoreMetrics, EnergyBreakdown, EnergyModel, RunMetr
 /// per bank, matching the set of rows plausibly open or in the queues).
 const RECENT_TRANSLATIONS: usize = 64;
 
+/// Event budget after which a run is declared runaway.
+const EVENT_BUDGET: u64 = 50_000_000;
+
+/// Same-tick controller wakes tolerated before the watchdog declares the
+/// event loop stalled.
+const WATCHDOG_SAME_TICK_WAKES: u32 = 10_000;
+
+/// A fatal simulation error. [`System::run`] returns this instead of
+/// panicking so callers (experiment sweeps, the CLI, fault-injection
+/// harnesses) can report and continue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The event queue drained while cores were still unfinished.
+    Deadlock {
+        /// Simulated time of the stall.
+        clock: Tick,
+        /// Queued demand requests per channel.
+        queued: Vec<usize>,
+        /// Queued migrations per channel.
+        swaps: Vec<usize>,
+        /// Overflowed (not-yet-accepted) requests per channel.
+        overflow: Vec<usize>,
+    },
+    /// The event budget was exceeded — a runaway simulation.
+    EventBudgetExceeded {
+        /// Simulated time when the budget ran out.
+        clock: Tick,
+        /// Events processed.
+        events: u64,
+        /// Queued demand requests per channel.
+        queued: Vec<usize>,
+        /// Queued migrations per channel.
+        swaps: Vec<usize>,
+    },
+    /// The watchdog saw a same-tick wake storm: a controller was woken
+    /// repeatedly at one tick without the clock advancing.
+    Stalled {
+        /// Simulated time of the stall.
+        clock: Tick,
+        /// Channel whose controller is stuck.
+        channel: usize,
+        /// Demand requests queued on that controller.
+        queued: usize,
+        /// Migrations queued on that controller.
+        swaps: usize,
+        /// Same-tick wakes observed.
+        wakes: u32,
+    },
+    /// A completion arrived for a request id the simulator does not know.
+    UnknownCompletion {
+        /// Completion kind ("read", "write" or "swap").
+        kind: &'static str,
+        /// The unknown request id or swap token.
+        id: u64,
+    },
+    /// A completion's recorded context does not match its kind (e.g. a
+    /// write context attached to a read completion).
+    ContextMismatch {
+        /// Completion kind that found the wrong context.
+        kind: &'static str,
+        /// The request id or swap token involved.
+        id: u64,
+    },
+    /// The MSHR rejected a registration despite being sized above any
+    /// legal concurrency.
+    MshrSaturated {
+        /// Line address that could not be registered.
+        line: u64,
+    },
+    /// The memory controller reported an error.
+    Controller(ControllerError),
+    /// The periodic consistency check failed and a translation-cache
+    /// rebuild could not repair it.
+    BrokenInvariant(ConsistencyError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { clock, queued, swaps, overflow } => write!(
+                f,
+                "event queue drained with unfinished cores at {clock} \
+                 (queued {queued:?}, swaps {swaps:?}, overflow {overflow:?})"
+            ),
+            SimError::EventBudgetExceeded { clock, events, queued, swaps } => write!(
+                f,
+                "event budget exceeded after {events} events at {clock} \
+                 (queued {queued:?}, swaps {swaps:?})"
+            ),
+            SimError::Stalled { clock, channel, queued, swaps, wakes } => write!(
+                f,
+                "controller {channel} stalled at {clock}: {wakes} same-tick wakes \
+                 ({queued} requests, {swaps} swaps queued)"
+            ),
+            SimError::UnknownCompletion { kind, id } => {
+                write!(f, "unknown {kind} completion for id {id}")
+            }
+            SimError::ContextMismatch { kind, id } => {
+                write!(f, "mismatched context on {kind} completion for id {id}")
+            }
+            SimError::MshrSaturated { line } => {
+                write!(f, "MSHR rejected line {line:#x}")
+            }
+            SimError::Controller(e) => write!(f, "controller error: {e}"),
+            SimError::BrokenInvariant(e) => {
+                write!(f, "unrecoverable consistency violation: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ControllerError> for SimError {
+    fn from(e: ControllerError) -> Self {
+        SimError::Controller(e)
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 #[allow(clippy::large_enum_variant)]
 enum EventKind {
     CoreIssue { core: usize, id: u64, addr: u64, is_write: bool },
     CtrlEnqueue { req: Request },
     CtrlWake { ch: usize },
+    /// A migration whose hand-off to the controller was delayed (fault-
+    /// injected latency spike).
+    SwapEnqueue { op: SwapOp },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -101,6 +225,29 @@ enum Management {
 enum PendingMigration {
     Swap(SwapRequest),
     Fill(FillRequest),
+}
+
+/// Reconstructs the controller-level migration op for a pending migration —
+/// used to re-enqueue a swap whose data movement step failed.
+fn swap_op_for(req: &PendingMigration, token: u64, arrival: Tick) -> SwapOp {
+    match req {
+        PendingMigration::Swap(swap) => SwapOp {
+            token,
+            bank: swap.bank,
+            phys_a: swap.promotee_phys,
+            phys_b: swap.victim_phys,
+            kind: das_dram::command::MigrationKind::Swap,
+            arrival,
+        },
+        PendingMigration::Fill(fill) => SwapOp {
+            token,
+            bank: fill.bank,
+            phys_a: fill.promotee_phys,
+            phys_b: fill.slot_phys,
+            kind: fill.kind,
+            arrival,
+        },
+    }
 }
 
 impl Management {
@@ -330,6 +477,12 @@ pub struct System {
     next_wake: Vec<Tick>,
     pending_swaps: HashMap<u64, PendingMigration>,
     next_swap_token: u64,
+    /// Deterministic fault injector (inert under `FaultPlan::none()`).
+    injector: FaultInjector,
+    /// Failed attempts per in-flight swap token.
+    swap_attempts: HashMap<u64, u32>,
+    /// Re-read count per in-flight retention-flip retry request id.
+    read_retries: HashMap<u64, u32>,
     /// Recently translated rows (the controller holds a handful of live row
     /// translations — one per open row — so a burst of misses to one row
     /// pays the translation lookup once).
@@ -455,6 +608,7 @@ impl System {
         };
         let channels = cfg.geometry.channels as usize;
         let label = workloads.iter().map(|w| w.name.as_str()).collect::<Vec<_>>().join("+");
+        let injector = FaultInjector::new(cfg.faults.clone());
         System {
             cfg,
             design,
@@ -475,6 +629,9 @@ impl System {
             next_wake: vec![Tick::MAX; channels],
             pending_swaps: HashMap::new(),
             next_swap_token: 0,
+            injector,
+            swap_attempts: HashMap::new(),
+            read_retries: HashMap::new(),
             recent_translations: VecDeque::with_capacity(RECENT_TRANSLATIONS + 1),
             workload_label: label,
             access_mix: AccessMix::default(),
@@ -496,64 +653,100 @@ impl System {
         self.events.push(Reverse(Ev { at, seq: self.seq, kind }));
     }
 
-    /// Runs the simulation to completion and returns the measured metrics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the event queue drains while cores are unfinished (an
-    /// internal deadlock — should be unreachable) or the event budget is
-    /// exceeded.
-    pub fn run(mut self) -> RunMetrics {
+    /// Runs the simulation to completion and returns the measured metrics,
+    /// or a [`SimError`] describing why the run could not finish (deadlock,
+    /// runaway event count, wake storm, or an unrecoverable consistency
+    /// violation). The simulation never panics on these paths.
+    pub fn run(mut self) -> Result<RunMetrics, SimError> {
         for i in 0..self.cores.len() {
             self.dispatch_core(i);
         }
         while !self.all_finished() {
             let Some(Reverse(ev)) = self.events.pop() else {
-                panic!("event queue drained with unfinished cores (deadlock)");
+                return Err(SimError::Deadlock {
+                    clock: self.clock,
+                    queued: self.ctrls.iter().map(|c| c.queued()).collect(),
+                    swaps: self.ctrls.iter().map(|c| c.queued_swaps()).collect(),
+                    overflow: self.overflow.iter().map(|o| o.len()).collect(),
+                });
             };
             self.events_processed += 1;
-            if std::env::var_os("DAS_TRACE").is_some() {
-                if ev.at == self.clock && matches!(ev.kind, EventKind::CtrlWake { .. }) {
-                    self.same_tick_wakes += 1;
-                    if self.same_tick_wakes > 1000 {
-                        let EventKind::CtrlWake { ch } = ev.kind else { unreachable!() };
-                        eprintln!(
-                            "WEDGE ch={ch} clock={} queued={} swaps={} next_action={:?} dbg={:?}",
-                            self.clock,
-                            self.ctrls[ch].queued(),
-                            self.ctrls[ch].queued_swaps(),
-                            self.ctrls[ch].next_action_time(self.clock),
-                            self.ctrls[ch],
-                        );
-                        panic!("same-tick wake storm");
-                    }
-                } else {
-                    self.same_tick_wakes = 0;
+            // Watchdog: a controller woken over and over at one tick is
+            // wedged; surface its queue state instead of spinning forever.
+            if ev.at == self.clock && matches!(ev.kind, EventKind::CtrlWake { .. }) {
+                self.same_tick_wakes += 1;
+                if self.same_tick_wakes > WATCHDOG_SAME_TICK_WAKES {
+                    let EventKind::CtrlWake { ch } = ev.kind else { unreachable!() };
+                    return Err(SimError::Stalled {
+                        clock: self.clock,
+                        channel: ch,
+                        queued: self.ctrls[ch].queued(),
+                        swaps: self.ctrls[ch].queued_swaps(),
+                        wakes: self.same_tick_wakes,
+                    });
                 }
+            } else {
+                self.same_tick_wakes = 0;
             }
-            if self.events_processed >= 50_000_000 {
-                panic!(
-                    "event budget exceeded; runaway simulation: clock={} ev={ev:?} \
-                     cores_finished={:?} queued={:?} swaps={:?} overflow={:?} \
-                     insts={:?}",
-                    self.clock,
-                    self.cores.iter().map(|c| c.is_finished()).collect::<Vec<_>>(),
-                    self.ctrls.iter().map(|c| c.queued()).collect::<Vec<_>>(),
-                    self.ctrls.iter().map(|c| c.queued_swaps()).collect::<Vec<_>>(),
-                    self.overflow.iter().map(|o| o.len()).collect::<Vec<_>>(),
-                    self.cores.iter().map(|c| c.insts_retired()).collect::<Vec<_>>(),
-                );
+            if self.events_processed >= EVENT_BUDGET {
+                return Err(SimError::EventBudgetExceeded {
+                    clock: self.clock,
+                    events: self.events_processed,
+                    queued: self.ctrls.iter().map(|c| c.queued()).collect(),
+                    swaps: self.ctrls.iter().map(|c| c.queued_swaps()).collect(),
+                });
             }
             self.clock = ev.at;
             match ev.kind {
                 EventKind::CoreIssue { core, id, addr, is_write } => {
-                    self.handle_core_issue(core, id, addr, is_write)
+                    self.handle_core_issue(core, id, addr, is_write)?
                 }
-                EventKind::CtrlEnqueue { req } => self.handle_enqueue(req),
-                EventKind::CtrlWake { ch } => self.handle_wake(ch),
+                EventKind::CtrlEnqueue { req } => self.handle_enqueue(req)?,
+                EventKind::CtrlWake { ch } => self.handle_wake(ch)?,
+                EventKind::SwapEnqueue { op } => {
+                    let ch = op.bank.channel as usize;
+                    self.ctrls[ch].enqueue_swap(op);
+                    self.schedule_wake(ch);
+                }
+            }
+            let cadence = self.cfg.invariant_check_events;
+            if cadence > 0 && self.events_processed.is_multiple_of(cadence) {
+                self.check_management_invariants()?;
             }
         }
-        self.finalize()
+        Ok(self.finalize())
+    }
+
+    /// Runs the management-layer consistency checker. Translation-cache
+    /// damage is repaired by rebuilding from the authoritative per-group
+    /// state; a violation that survives the rebuild (or any permutation
+    /// break) is unrecoverable.
+    fn check_management_invariants(&mut self) -> Result<(), SimError> {
+        let Some(Management::Exclusive(m)) = self.manager.as_mut() else {
+            return Ok(());
+        };
+        match m.check_invariants() {
+            Ok(()) => {
+                self.injector.note_invariant_pass();
+                Ok(())
+            }
+            Err(e @ ConsistencyError::BrokenPermutation { .. }) => {
+                Err(SimError::BrokenInvariant(e))
+            }
+            Err(_) => {
+                m.rebuild_translation_cache();
+                self.injector.note_tcache_rebuild();
+                self.recent_translations.clear();
+                match m.check_invariants() {
+                    Ok(()) => {
+                        self.injector.note_recovered(FaultSite::TranslationCorrupt);
+                        self.injector.note_invariant_pass();
+                        Ok(())
+                    }
+                    Err(e) => Err(SimError::BrokenInvariant(e)),
+                }
+            }
+        }
     }
 
     fn all_finished(&self) -> bool {
@@ -603,7 +796,13 @@ impl System {
         }
     }
 
-    fn handle_core_issue(&mut self, core: usize, id: u64, addr: u64, is_write: bool) {
+    fn handle_core_issue(
+        &mut self,
+        core: usize,
+        id: u64,
+        addr: u64,
+        is_write: bool,
+    ) -> Result<(), SimError> {
         let t = self.clock;
         // OS-style physical placement: scatter the workload-local address
         // over the whole usable row space.
@@ -619,7 +818,7 @@ impl System {
             if !is_write {
                 self.complete_core(core, id, done);
             }
-            return;
+            return Ok(());
         }
         // LLC miss.
         self.core_misses[core] += 1;
@@ -633,8 +832,9 @@ impl System {
                 self.start_demand_read(line, t_found, core);
             }
             Some(false) => {} // merged
-            None => unreachable!("MSHR sized above any possible concurrency"),
+            None => return Err(SimError::MshrSaturated { line }),
         }
+        Ok(())
     }
 
     // ---- DRAM request construction ---------------------------------------
@@ -653,18 +853,28 @@ impl System {
         logical_row: u32,
         now: Tick,
     ) -> (u32, Tick, Option<Request>) {
-        if self.manager.is_none() {
-            return (logical_row, now, None);
-        }
         // A row translated moments ago is still held in the controller's
         // per-row registers: no lookup needed.
         if self.recent_translations.contains(&(bank, logical_row)) {
-            let (phys, _) = self.manager.as_ref().expect("checked").peek(bank, logical_row);
-            return (phys, now, None);
+            if let Some(m) = self.manager.as_ref() {
+                let (phys, _) = m.peek(bank, logical_row);
+                return (phys, now, None);
+            }
         }
-        self.note_recent(bank, logical_row);
-        let manager = self.manager.as_mut().expect("checked");
+        let Some(manager) = self.manager.as_mut() else {
+            return (logical_row, now, None);
+        };
         let tr = manager.translate(bank, logical_row);
+        self.note_recent(bank, logical_row);
+        // Soft-error injection on the translation cache: flip a tag bit in
+        // some occupied entry. The damage is latent — caught by the
+        // periodic audit (which rebuilds) or surfaced as extra misses.
+        if self.injector.roll(FaultSite::TranslationCorrupt) {
+            let hint = self.events_processed;
+            if let Some(Management::Exclusive(m)) = self.manager.as_mut() {
+                let _ = m.corrupt_translation_entry(hint);
+            }
+        }
         match tr.source {
             TranslationSource::Cache => (tr.phys_row, now, None),
             TranslationSource::TableFetch => {
@@ -757,7 +967,7 @@ impl System {
 
     // ---- controller side ---------------------------------------------------
 
-    fn handle_enqueue(&mut self, req: Request) {
+    fn handle_enqueue(&mut self, req: Request) -> Result<(), SimError> {
         let ch = req.coord.bank.channel as usize;
         let accept = if req.is_write {
             self.ctrls[ch].can_accept_write()
@@ -765,24 +975,25 @@ impl System {
             self.ctrls[ch].can_accept_read()
         };
         if accept {
-            self.ctrls[ch].enqueue(req);
+            self.ctrls[ch].enqueue(req)?;
             self.schedule_wake(ch);
         } else {
             self.overflow[ch].push_back(req);
         }
+        Ok(())
     }
 
-    fn handle_wake(&mut self, ch: usize) {
+    fn handle_wake(&mut self, ch: usize) -> Result<(), SimError> {
         // Only the event matching the currently scheduled wake is live;
         // anything else was superseded by an earlier push (processing it
         // would multiplicatively re-spawn wake events).
         if self.next_wake[ch] != self.clock {
-            return;
+            return Ok(());
         }
         self.next_wake[ch] = Tick::MAX;
-        let completions = self.ctrls[ch].advance(self.clock);
+        let completions = self.ctrls[ch].advance(self.clock)?;
         for c in completions {
-            self.handle_completion(c);
+            self.handle_completion(c)?;
         }
         // Drain overflow into freed queue slots (FIFO, reads and writes
         // interleaved as they arrived).
@@ -796,9 +1007,10 @@ impl System {
                 break;
             }
             self.overflow[ch].pop_front();
-            self.ctrls[ch].enqueue(req);
+            self.ctrls[ch].enqueue(req)?;
         }
         self.schedule_wake(ch);
+        Ok(())
     }
 
     fn schedule_wake(&mut self, ch: usize) {
@@ -839,12 +1051,33 @@ impl System {
         self.memory_accesses += 1;
     }
 
-    fn handle_completion(&mut self, c: Completion) {
+    fn handle_completion(&mut self, c: Completion) -> Result<(), SimError> {
         match c {
             Completion::ReadDone { id, at, service } => {
-                let ctx = self.ctxs.remove(&id).expect("unknown read completion");
+                let Some(ctx) = self.ctxs.remove(&id) else {
+                    return Err(SimError::UnknownCompletion { kind: "read", id });
+                };
                 match ctx {
                     ReqCtx::DemandRead { line, bank, logical_row, fill_core } => {
+                        // Weak-retention model: a fast-resident row may
+                        // return flipped bits; ECC detects the flip and the
+                        // controller re-reads, up to a bounded budget.
+                        let flipped = self.row_is_fast(bank, logical_row)
+                            && self.injector.roll(FaultSite::RetentionFlip);
+                        if flipped {
+                            let retries = self.read_retries.remove(&id).unwrap_or(0);
+                            if retries < self.injector.plan().max_read_retries {
+                                self.injector.note_retry(FaultSite::RetentionFlip);
+                                self.reissue_read(line, bank, logical_row, fill_core, at, retries + 1);
+                                return Ok(());
+                            }
+                            // Budget exhausted: the access is counted fatal
+                            // (served through the slow ECC-correction path)
+                            // and completes so the simulation can proceed.
+                            self.injector.note_fatal(FaultSite::RetentionFlip);
+                        } else if self.read_retries.remove(&id).is_some() {
+                            self.injector.note_recovered(FaultSite::RetentionFlip);
+                        }
                         self.record_mix(service);
                         self.record_subarray(bank, logical_row);
                         self.after_data_access(bank, logical_row, false, at);
@@ -874,11 +1107,15 @@ impl System {
                             self.push(at, EventKind::CtrlEnqueue { req: demand });
                         }
                     }
-                    ReqCtx::DemandWrite { .. } => unreachable!("write ctx on read"),
+                    ReqCtx::DemandWrite { .. } => {
+                        return Err(SimError::ContextMismatch { kind: "read", id });
+                    }
                 }
             }
             Completion::WriteDone { id, at, service } => {
-                let ctx = self.ctxs.remove(&id).expect("unknown write completion");
+                let Some(ctx) = self.ctxs.remove(&id) else {
+                    return Err(SimError::UnknownCompletion { kind: "write", id });
+                };
                 match ctx {
                     ReqCtx::DemandWrite { bank, logical_row } => {
                         self.record_mix(service);
@@ -888,11 +1125,46 @@ impl System {
                         // inclusive: dirty tracking, never allocation).
                         self.after_data_access(bank, logical_row, true, at);
                     }
-                    _ => unreachable!("non-write ctx on write completion"),
+                    _ => return Err(SimError::ContextMismatch { kind: "write", id }),
                 }
             }
             Completion::SwapDone { token, at: _ } => {
-                let req = self.pending_swaps.remove(&token).expect("unknown swap token");
+                let Some(req) = self.pending_swaps.remove(&token) else {
+                    return Err(SimError::UnknownCompletion { kind: "swap", id: token });
+                };
+                // Migration-step fault: the swap's data movement failed and
+                // nothing was committed. Retry within the bounded budget;
+                // past it, demote — abandon the promotion, which keeps the
+                // exclusive mapping exactly as it was.
+                if self.injector.roll(FaultSite::SwapStep) {
+                    let attempts = self.swap_attempts.remove(&token).unwrap_or(0) + 1;
+                    if attempts < self.injector.plan().max_swap_attempts {
+                        self.injector.note_retry(FaultSite::SwapStep);
+                        self.swap_attempts.insert(token, attempts);
+                        let op = swap_op_for(&req, token, self.clock);
+                        self.pending_swaps.insert(token, req);
+                        let ch = op.bank.channel as usize;
+                        self.ctrls[ch].enqueue_swap(op);
+                        self.schedule_wake(ch);
+                        return Ok(());
+                    }
+                    match (self.manager.as_mut(), &req) {
+                        (Some(Management::Exclusive(m)), PendingMigration::Swap(swap)) => {
+                            m.abort_swap(swap)
+                        }
+                        (Some(Management::Inclusive(m)), PendingMigration::Fill(fill)) => {
+                            m.abort_fill(fill)
+                        }
+                        _ => {
+                            return Err(SimError::ContextMismatch { kind: "swap", id: token })
+                        }
+                    }
+                    self.injector.note_recovered(FaultSite::SwapStep);
+                    return Ok(());
+                }
+                if self.swap_attempts.remove(&token).is_some() {
+                    self.injector.note_recovered(FaultSite::SwapStep);
+                }
                 let now = self.clock.raw();
                 match req {
                     PendingMigration::Swap(swap) => {
@@ -900,7 +1172,12 @@ impl System {
                         self.forget_recent(swap.bank, swap.victim);
                         match self.manager.as_mut() {
                             Some(Management::Exclusive(m)) => m.commit_swap(&swap, now),
-                            _ => unreachable!("swap committed without exclusive manager"),
+                            _ => {
+                                return Err(SimError::ContextMismatch {
+                                    kind: "swap",
+                                    id: token,
+                                })
+                            }
                         }
                     }
                     PendingMigration::Fill(fill) => {
@@ -909,12 +1186,58 @@ impl System {
                         self.recent_translations.clear();
                         match self.manager.as_mut() {
                             Some(Management::Inclusive(m)) => m.commit_fill(&fill, now),
-                            _ => unreachable!("fill committed without inclusive manager"),
+                            _ => {
+                                return Err(SimError::ContextMismatch {
+                                    kind: "swap",
+                                    id: token,
+                                })
+                            }
                         }
                     }
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Whether `logical_row` currently resides in a fast subarray (the
+    /// weak-retention fault site: short bitlines hold less charge). In
+    /// homogeneous fast DRAM every row qualifies.
+    fn row_is_fast(&self, bank: BankCoord, logical_row: u32) -> bool {
+        if self.design == Design::FsDram {
+            return true;
+        }
+        self.manager.as_ref().is_some_and(|m| m.peek(bank, logical_row).1)
+    }
+
+    /// Re-issues a demand read whose data failed the retention check. The
+    /// re-read targets the row's current physical location; `retries` is
+    /// carried on the fresh request id.
+    fn reissue_read(
+        &mut self,
+        line: u64,
+        bank: BankCoord,
+        logical_row: u32,
+        fill_core: usize,
+        at: Tick,
+        retries: u32,
+    ) {
+        let coord = self.cfg.geometry.decode(line);
+        let (phys, _) = match self.manager.as_ref() {
+            Some(m) => m.peek(bank, logical_row),
+            None => (logical_row, false),
+        };
+        let id = self.new_req_id();
+        self.read_retries.insert(id, retries);
+        self.ctxs
+            .insert(id, ReqCtx::DemandRead { line, bank, logical_row, fill_core });
+        let req = Request {
+            id,
+            coord: MemCoord { bank, row: phys, col: coord.col },
+            is_write: false,
+            arrival: at,
+        };
+        self.push(at, EventKind::CtrlEnqueue { req });
     }
 
     fn after_data_access(&mut self, bank: BankCoord, logical_row: u32, is_write: bool, at: Tick) {
@@ -965,6 +1288,15 @@ impl System {
             self.next_swap_token += 1;
             op.token = self.next_swap_token;
             self.pending_swaps.insert(op.token, pending);
+            // Latency-spike fault: the migration's hand-off to the
+            // controller is delayed (e.g. a refresh collision on the
+            // migration cells), not lost.
+            if self.injector.roll(FaultSite::SwapLatency) {
+                let spike = Tick::new(self.injector.plan().swap_latency_spike_ticks);
+                op.arrival = at + spike;
+                self.push(at + spike, EventKind::SwapEnqueue { op });
+                return;
+            }
             let ch = bank.channel as usize;
             self.ctrls[ch].enqueue_swap(op);
             self.schedule_wake(ch);
@@ -1044,6 +1376,7 @@ impl System {
             window_cycles,
             active_subarrays: self.subarray_activity.len(),
             total_subarrays,
+            faults: *self.injector.stats(),
         }
     }
 }

@@ -9,8 +9,7 @@
 //! profiling (SAS/CHARM) cannot.
 
 use das_cpu::TraceItem;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use das_faults::Prng;
 
 use crate::config::{Pattern, WorkloadConfig, LINE_BYTES, ROW_BYTES};
 
@@ -33,7 +32,7 @@ use crate::config::{Pattern, WorkloadConfig, LINE_BYTES, ROW_BYTES};
 #[derive(Debug, Clone)]
 pub struct TraceGen {
     cfg: WorkloadConfig,
-    rng: StdRng,
+    rng: Prng,
     /// Base byte address of this workload's region (keeps multi-programmed
     /// workloads disjoint).
     region_base: u64,
@@ -75,7 +74,7 @@ impl TraceGen {
         }
         TraceGen {
             cfg,
-            rng: StdRng::seed_from_u64(h),
+            rng: Prng::new(h),
             region_base,
             stream_lines: Vec::new(),
             run_left: 0,
@@ -109,7 +108,7 @@ impl TraceGen {
         if self.mean_gap <= 0.0 {
             return 0;
         }
-        let u: f64 = self.rng.gen_range(1e-9..1.0);
+        let u: f64 = self.rng.range_f64(1e-9, 1.0);
         let g = -self.mean_gap * u.ln();
         g.min(self.mean_gap * 8.0).round() as u32
     }
@@ -140,7 +139,7 @@ impl TraceGen {
                     self.stream_lines =
                         (0..k as u64).map(|i| i * total / k as u64).collect();
                 }
-                let which = self.rng.gen_range(0..k);
+                let which = self.rng.range_usize(0, k);
                 let line = self.stream_lines[which];
                 self.stream_lines[which] = (line + runs as u64) % total;
                 (line / lpr, line % lpr, runs)
@@ -152,7 +151,7 @@ impl TraceGen {
                 // profile cannot anticipate them — §7's static-vs-dynamic
                 // gap). The residual probability is uniform everywhere.
                 let mut row = None;
-                let u: f64 = self.rng.gen();
+                let u: f64 = self.rng.next_f64();
                 let mut acc = 0.0;
                 for (li, layer) in layers.iter().enumerate() {
                     let layer_rows = ((rows as f64 * layer.frac) as u64).max(1);
@@ -161,15 +160,15 @@ impl TraceGen {
                             self.phase_salt ^ (li as u64).wrapping_mul(0x9e37_79b9)
                                 ^ self.phase.wrapping_mul(0x85eb_ca6b),
                         ) % rows;
-                        let r = (origin + self.rng.gen_range(0..layer_rows)) % rows;
+                        let r = (origin + self.rng.range_u64(0, layer_rows)) % rows;
                         row = Some(r);
                         break;
                     }
                     acc += layer.prob;
                 }
-                let row = row.unwrap_or_else(|| self.rng.gen_range(0..rows));
-                let len = self.rng.gen_range(1..=runs.max(1));
-                (row, self.rng.gen_range(0..lpr), len)
+                let row = row.unwrap_or_else(|| self.rng.range_u64(0, rows));
+                let len = self.rng.range_u32(1, runs.max(1) + 1);
+                (row, self.rng.range_u64(0, lpr), len)
             }
         }
     }

@@ -19,6 +19,7 @@
 use std::io::{BufRead, Write};
 
 use das_cpu::TraceItem;
+use das_faults::{FaultInjector, FaultSite};
 
 /// Errors raised while parsing a trace line.
 #[derive(Debug)]
@@ -93,6 +94,72 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<TraceItem>, Box<dyn std::
     Ok(items)
 }
 
+/// What a resilient trace read produced: the parsed items plus how many
+/// lines had to be dropped (corrupt syntax, I/O failures, or injected
+/// read faults).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReadOutcome {
+    /// Successfully parsed references, in order.
+    pub items: Vec<TraceItem>,
+    /// Lines dropped on the way.
+    pub skipped: usize,
+}
+
+/// Parses a trace while tolerating up to `max_skipped` bad lines: syntax
+/// errors, I/O errors and (when `injector` is given) injected
+/// [`FaultSite::TraceRead`] faults each drop the offending line instead of
+/// failing the whole read. A run of damage past the budget aborts with the
+/// error that broke it — a trace that corrupt is not worth simulating.
+///
+/// Skips within budget are accounted as recovered on the injector; the
+/// aborting failure as fatal.
+///
+/// # Errors
+///
+/// Returns the first error past the skip budget, with its line number.
+pub fn read_trace_resilient<R: BufRead>(
+    reader: R,
+    mut injector: Option<&mut FaultInjector>,
+    max_skipped: usize,
+) -> Result<TraceReadOutcome, ParseTraceError> {
+    let mut items = Vec::new();
+    let mut skipped = 0usize;
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let injected = injector
+            .as_deref_mut()
+            .is_some_and(|inj| inj.roll(FaultSite::TraceRead));
+        let failure = if injected {
+            Some(ParseTraceError { line: lineno, message: "injected read fault".into() })
+        } else {
+            match line {
+                Err(e) => Some(ParseTraceError { line: lineno, message: format!("I/O error: {e}") }),
+                Ok(text) => match parse_line(&text, lineno) {
+                    Ok(Some(item)) => {
+                        items.push(item);
+                        None
+                    }
+                    Ok(None) => None,
+                    Err(e) => Some(e),
+                },
+            }
+        };
+        if let Some(e) = failure {
+            if skipped >= max_skipped {
+                if let Some(inj) = injector.as_deref_mut() {
+                    inj.note_fatal(FaultSite::TraceRead);
+                }
+                return Err(e);
+            }
+            skipped += 1;
+            if let Some(inj) = injector.as_deref_mut() {
+                inj.note_recovered(FaultSite::TraceRead);
+            }
+        }
+    }
+    Ok(TraceReadOutcome { items, skipped })
+}
+
 /// Writes a trace in the canonical format.
 ///
 /// # Errors
@@ -159,5 +226,63 @@ mod tests {
     fn unknown_kind_is_rejected() {
         assert!(read_trace(BufReader::new("1 0x40 X".as_bytes())).is_err());
         assert!(read_trace(BufReader::new("1 0x40 R dep extra".as_bytes())).is_err());
+    }
+
+    #[test]
+    fn resilient_read_skips_corrupt_lines_within_budget() {
+        let text = "0 0x10 R\nbogus\n1 0x20 W\ngarbage line\n2 0x30 R\n";
+        let out = read_trace_resilient(BufReader::new(text.as_bytes()), None, 2).unwrap();
+        assert_eq!(out.items.len(), 3);
+        assert_eq!(out.skipped, 2);
+        assert_eq!(out.items[2].addr, 0x30);
+    }
+
+    #[test]
+    fn resilient_read_aborts_past_the_budget() {
+        let text = "bogus\nworse\n0 0x10 R\n";
+        let err = read_trace_resilient(BufReader::new(text.as_bytes()), None, 1).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn resilient_read_with_zero_budget_matches_strict_reader() {
+        let text = "0 0x10 R\n1 0x20 W dep\n";
+        let err = read_trace_resilient(BufReader::new(text.as_bytes()), None, 0).unwrap_err();
+        assert!(err.to_string().contains("stores cannot be dependent"));
+        let ok = read_trace_resilient(BufReader::new("0 0x10 R\n".as_bytes()), None, 0).unwrap();
+        assert_eq!(ok.items.len(), 1);
+        assert_eq!(ok.skipped, 0);
+    }
+
+    #[test]
+    fn injected_read_faults_drop_lines_and_are_accounted() {
+        use das_faults::{FaultInjector, FaultPlan, FaultSite};
+        let mut plan = FaultPlan::none();
+        plan.seed = 21;
+        plan.trace_read_error_rate = 0.3;
+        let mut inj = FaultInjector::new(plan);
+        let text: String = (0..200).map(|i| format!("{} {:#x} R\n", i % 7, 0x1000 + i * 64)).collect();
+        let out =
+            read_trace_resilient(BufReader::new(text.as_bytes()), Some(&mut inj), 200).unwrap();
+        let s = inj.stats().site(FaultSite::TraceRead);
+        assert!(s.injected > 20, "30% of 200 lines must fire: {s:?}");
+        assert_eq!(out.skipped as u64, s.recovered);
+        assert_eq!(out.items.len() + out.skipped, 200);
+        assert_eq!(s.fatal, 0);
+    }
+
+    #[test]
+    fn injected_faults_past_budget_are_fatal() {
+        use das_faults::{FaultInjector, FaultPlan, FaultSite};
+        let mut plan = FaultPlan::none();
+        plan.seed = 5;
+        plan.trace_read_error_rate = 1.0;
+        let mut inj = FaultInjector::new(plan);
+        let text = "0 0x10 R\n1 0x20 R\n2 0x30 R\n";
+        let err =
+            read_trace_resilient(BufReader::new(text.as_bytes()), Some(&mut inj), 1).unwrap_err();
+        assert!(err.to_string().contains("injected read fault"), "{err}");
+        assert_eq!(inj.stats().site(FaultSite::TraceRead).fatal, 1);
+        assert_eq!(inj.stats().site(FaultSite::TraceRead).recovered, 1);
     }
 }

@@ -1,0 +1,97 @@
+//! Seeded randomized tests for the trace generators (formerly proptest;
+//! rewritten on the deterministic `das-faults` PRNG).
+
+use das_faults::Prng;
+use das_workloads::config::{Layer, Pattern, WorkloadConfig, ROW_BYTES};
+use das_workloads::gen::TraceGen;
+
+fn random_config(rng: &mut Prng) -> WorkloadConfig {
+    let pattern = if rng.gen_bool(0.5) {
+        Pattern::Stream { streams: rng.range_u32(1, 20) }
+    } else {
+        Pattern::Layered {
+            layers: vec![Layer::new(rng.range_f64(0.01, 0.4), rng.range_f64(0.3, 0.95))],
+        }
+    };
+    WorkloadConfig {
+        name: "prop".into(),
+        mpki: rng.range_f64(1.0, 40.0),
+        footprint_bytes: rng.range_u64(2, 64) << 20,
+        write_frac: rng.range_f64(0.0, 0.6),
+        dep_frac: rng.range_f64(0.0, 0.9),
+        pattern,
+        run_lines: rng.range_u32(1, 16),
+        phase_insts: if rng.gen_bool(0.5) {
+            Some(rng.range_u64(50_000, 500_000))
+        } else {
+            None
+        },
+    }
+}
+
+/// Addresses always stay inside `[base, base + footprint)`.
+#[test]
+fn addresses_in_bounds() {
+    for seed in 0..40u64 {
+        let mut rng = Prng::new(seed);
+        let cfg = random_config(&mut rng);
+        let base = rng.range_u64(0, 1 << 32) & !(ROW_BYTES - 1);
+        let fp = cfg.footprint_bytes;
+        let g = TraceGen::new(cfg, seed, base);
+        for item in g.take(500) {
+            assert!(
+                item.addr >= base && item.addr < base + fp,
+                "seed {seed}: addr {:#x} outside [{base:#x}, {:#x})",
+                item.addr,
+                base + fp
+            );
+        }
+    }
+}
+
+/// Generators are pure functions of (config, seed, base).
+#[test]
+fn reproducible() {
+    for seed in 0..40u64 {
+        let mut rng = Prng::new(seed ^ 0x4e9d);
+        let cfg = random_config(&mut rng);
+        let a: Vec<_> = TraceGen::new(cfg.clone(), seed, 0).take(200).collect();
+        let b: Vec<_> = TraceGen::new(cfg, seed, 0).take(200).collect();
+        assert_eq!(a, b, "seed {seed}");
+    }
+}
+
+/// Writes never carry the dependent flag (stores are posted).
+#[test]
+fn writes_are_never_dependent() {
+    for seed in 0..40u64 {
+        let mut rng = Prng::new(seed ^ 0x11dd);
+        let cfg = random_config(&mut rng);
+        for item in TraceGen::new(cfg, seed, 0).take(500) {
+            if item.is_write {
+                assert!(!item.depends_on_prev, "seed {seed}");
+            }
+        }
+    }
+}
+
+/// Achieved miss density lands within a factor of two of the target MPKI
+/// (the gap distribution is exponential, so allow slack).
+#[test]
+fn mpki_calibration() {
+    for seed in 0..30u64 {
+        let mut rng = Prng::new(seed ^ 0x3014);
+        let cfg = random_config(&mut rng);
+        let target = cfg.mpki;
+        let mut g = TraceGen::new(cfg, seed, 0);
+        let n = 4000;
+        for _ in 0..n {
+            g.next();
+        }
+        let achieved = n as f64 * 1000.0 / g.insts_emitted() as f64;
+        assert!(
+            achieved > target * 0.5 && achieved < target * 2.0,
+            "seed {seed}: target {target}, achieved {achieved}"
+        );
+    }
+}

@@ -14,13 +14,13 @@ fn main() {
     let mut cfg = SystemConfig::paper_scaled();
     cfg.inst_budget = 1_000_000;
     let wl = vec![spec::by_name("soplex")];
-    let base = run_one(&cfg, Design::Standard, &wl);
+    let base = run_one(&cfg, Design::Standard, &wl).expect("simulation must finish");
     println!("workload: soplex (phase-drifting LP solver stand-in)\n");
 
     println!("promotion threshold (Fig. 8): higher thresholds suppress promotions");
     for t in [8u32, 4, 2, 1] {
         let c = cfg.clone().with_threshold(t);
-        let m = run_one(&c, Design::DasDram, &wl);
+        let m = run_one(&c, Design::DasDram, &wl).expect("simulation must finish");
         println!(
             "  threshold {t}: {:+.2}%  promotions/access {:.2}%  fast activations {:.0}%",
             improvement(&m, &base) * 100.0,
@@ -37,14 +37,14 @@ fn main() {
         ("GlobalCounter", ReplacementPolicy::GlobalCounter),
     ] {
         let c = cfg.clone().with_replacement(p);
-        let m = run_one(&c, Design::DasDram, &wl);
+        let m = run_one(&c, Design::DasDram, &wl).expect("simulation must finish");
         println!("  {label:<14}: {:+.2}%", improvement(&m, &base) * 100.0);
     }
 
     println!("\nfast-level ratio (Fig. 9): diminishing returns past 1/8");
     for den in [32u32, 16, 8, 4] {
         let c = cfg.clone().with_fast_ratio(FastRatio::new(1, den));
-        let m = run_one(&c, Design::DasDram, &wl);
+        let m = run_one(&c, Design::DasDram, &wl).expect("simulation must finish");
         println!("  ratio 1/{den:<3}: {:+.2}%", improvement(&m, &base) * 100.0);
     }
 }

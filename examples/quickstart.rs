@@ -16,7 +16,7 @@ fn main() {
     let workload = vec![spec::by_name("mcf")];
 
     println!("simulating {} on four DRAM designs...", workload[0].name);
-    let base = run_one(&cfg, Design::Standard, &workload);
+    let base = run_one(&cfg, Design::Standard, &workload).expect("simulation must finish");
     println!(
         "  Std-DRAM  : IPC {:.3}  (MPKI {:.1}, row-buffer hits {:.0}%)",
         base.ipc(),
@@ -24,7 +24,7 @@ fn main() {
         base.access_mix.fractions().0 * 100.0
     );
     for design in [Design::SasDram, Design::DasDram, Design::FsDram] {
-        let m = run_one(&cfg, design, &workload);
+        let m = run_one(&cfg, design, &workload).expect("simulation must finish");
         println!(
             "  {:<10}: IPC {:.3}  ({:+.2}% vs Std, fast-level activations {:.0}%, {} promotions)",
             m.design,

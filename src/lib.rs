@@ -21,8 +21,8 @@
 //!
 //! let cfg = SystemConfig::paper_scaled();
 //! let wl = vec![spec::by_name("omnetpp")];
-//! let base = run_one(&cfg, Design::Standard, &wl);
-//! let das = run_one(&cfg, Design::DasDram, &wl);
+//! let base = run_one(&cfg, Design::Standard, &wl).expect("baseline run");
+//! let das = run_one(&cfg, Design::DasDram, &wl).expect("DAS run");
 //! println!("{:+.2}%", improvement(&das, &base) * 100.0);
 //! ```
 

@@ -206,11 +206,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let cfg = build_config(&o);
     let wl = workloads_for(&o)?;
     let base = if o.baseline && o.design != Design::Standard {
-        Some(run_one(&cfg, Design::Standard, &wl))
+        Some(run_one(&cfg, Design::Standard, &wl).map_err(|e| format!("baseline run: {e}"))?)
     } else {
         None
     };
-    let m = run_one(&cfg, o.design, &wl);
+    let m = run_one(&cfg, o.design, &wl).map_err(|e| format!("simulation: {e}"))?;
     print_metrics(&m, base.as_ref());
     Ok(())
 }
@@ -225,11 +225,14 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let mut cfg = build_config(&o);
     cfg.inst_budget = u64::MAX;
     let base = if o.baseline && o.design != Design::Standard {
-        Some(run_recorded(&cfg, Design::Standard, vec![items.clone()]))
+        Some(
+            run_recorded(&cfg, Design::Standard, vec![items.clone()])
+                .map_err(|e| format!("baseline run: {e}"))?,
+        )
     } else {
         None
     };
-    let m = run_recorded(&cfg, o.design, vec![items]);
+    let m = run_recorded(&cfg, o.design, vec![items]).map_err(|e| format!("simulation: {e}"))?;
     print_metrics(&m, base.as_ref());
     Ok(())
 }

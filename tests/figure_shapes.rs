@@ -3,7 +3,7 @@
 
 use das_dram::geometry::FastRatio;
 use das_sim::config::{Design, SystemConfig};
-use das_sim::experiments::{improvement, run_one};
+use das_sim::experiments::{improvement, run_one as run_one_checked};
 use das_workloads::config::WorkloadConfig;
 use das_workloads::spec;
 
@@ -13,6 +13,14 @@ fn cfg() -> SystemConfig {
 
 fn wl(name: &str) -> Vec<WorkloadConfig> {
     vec![spec::by_name(name)]
+}
+
+fn run_one(
+    cfg: &SystemConfig,
+    design: Design,
+    workloads: &[WorkloadConfig],
+) -> das_sim::stats::RunMetrics {
+    run_one_checked(cfg, design, workloads).expect("simulation must finish")
 }
 
 /// Fig. 7a: DAS-DRAM recovers a large share of the FS-DRAM potential on a

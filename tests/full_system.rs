@@ -3,13 +3,17 @@
 //! behaviour.
 
 use das_sim::config::{Design, SystemConfig};
-use das_sim::experiments::{improvement, profile_row_counts, run_one};
+use das_sim::experiments::{improvement, profile_row_counts, run_one as run_one_checked};
 use das_sim::stats::RunMetrics;
 use das_workloads::config::WorkloadConfig;
 use das_workloads::{mixes, spec};
 
 fn cfg() -> SystemConfig {
     SystemConfig::test_small()
+}
+
+fn run_one(cfg: &SystemConfig, design: Design, workloads: &[WorkloadConfig]) -> RunMetrics {
+    run_one_checked(cfg, design, workloads).expect("simulation must finish")
 }
 
 fn soplex() -> Vec<WorkloadConfig> {
@@ -196,9 +200,9 @@ fn recorded_traces_run_end_to_end() {
     }
     let mut c = cfg();
     c.inst_budget = u64::MAX;
-    let base = run_recorded(&c, Design::Standard, vec![items.clone()]);
-    let das = run_recorded(&c, Design::DasDram, vec![items.clone()]);
-    let sas = run_recorded(&c, Design::SasDram, vec![items]);
+    let base = run_recorded(&c, Design::Standard, vec![items.clone()]).unwrap();
+    let das = run_recorded(&c, Design::DasDram, vec![items.clone()]).unwrap();
+    let sas = run_recorded(&c, Design::SasDram, vec![items]).unwrap();
     assert!(base.ipc() > 0.0 && das.ipc() > 0.0 && sas.ipc() > 0.0);
     assert!(das.promotions > 0);
     assert!(

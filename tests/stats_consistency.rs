@@ -2,12 +2,20 @@
 //! that must hold for any run (catching stats-plumbing regressions).
 
 use das_sim::config::{Design, SystemConfig};
-use das_sim::experiments::run_one;
+use das_sim::experiments::run_one as run_one_checked;
 use das_workloads::spec;
+
+fn run_one(
+    cfg: &SystemConfig,
+    design: Design,
+    workloads: &[das_workloads::config::WorkloadConfig],
+) -> das_sim::stats::RunMetrics {
+    run_one_checked(cfg, design, workloads).expect("simulation must finish")
+}
 
 fn run(design: Design) -> das_sim::stats::RunMetrics {
     let cfg = SystemConfig::test_small();
-    run_one(&cfg, design, &vec![spec::by_name("soplex")])
+    run_one(&cfg, design, &[spec::by_name("soplex")])
 }
 
 #[test]
@@ -48,7 +56,7 @@ fn footprint_bounded_by_workload_definition() {
     let cfg = SystemConfig::test_small();
     let w = spec::by_name("soplex");
     let scaled_fp = w.scaled(cfg.scale as u64).footprint_bytes;
-    let m = run_one(&cfg, Design::Standard, &vec![w]);
+    let m = run_one(&cfg, Design::Standard, &[w]);
     assert!(m.footprint_bytes <= scaled_fp, "footprint cannot exceed the region");
     assert!(m.footprint_bytes > scaled_fp / 100, "episode should touch real data");
 }
@@ -83,9 +91,9 @@ fn translation_stats_only_for_managed_designs() {
 #[test]
 fn window_cycles_scale_with_budget() {
     let mut cfg = SystemConfig::test_small();
-    let short = run_one(&cfg, Design::Standard, &vec![spec::by_name("soplex")]);
+    let short = run_one(&cfg, Design::Standard, &[spec::by_name("soplex")]);
     cfg.inst_budget *= 2;
-    let long = run_one(&cfg, Design::Standard, &vec![spec::by_name("soplex")]);
+    let long = run_one(&cfg, Design::Standard, &[spec::by_name("soplex")]);
     assert!(
         long.window_cycles > short.window_cycles * 3 / 2,
         "doubling the budget must lengthen the window: {} vs {}",

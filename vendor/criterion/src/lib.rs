@@ -1,0 +1,143 @@
+//! Minimal, offline drop-in replacement for the subset of the `criterion`
+//! API used by the `das-bench` benches.
+//!
+//! The build environment has no registry access, so the real crates.io
+//! `criterion` cannot be resolved. This vendored stand-in implements just
+//! enough — `Criterion::bench_function`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros — to compile and run the
+//! benches as plain timing loops with mean/min reporting. It is only built
+//! when the `das-bench` `criterion` feature is enabled; no statistical
+//! analysis, warm-up scheduling, or plotting is performed.
+
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimiser from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-benchmark timing driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: u64,
+    /// Collected per-iteration nanoseconds for the enclosing bench run.
+    timings_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly, recording wall-clock per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One untimed pass to touch caches before measuring.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one named benchmark and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            timings_ns: Vec::new(),
+        };
+        f(&mut b);
+        if b.timings_ns.is_empty() {
+            println!("{id:<40} (no samples)");
+            return self;
+        }
+        let n = b.timings_ns.len() as f64;
+        let mean = b.timings_ns.iter().sum::<f64>() / n;
+        let min = b.timings_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!("{id:<40} mean {:>12} min {:>12}", fmt_ns(mean), fmt_ns(min));
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a benchmark group: both the `name/config/targets` form and the
+/// positional form of the upstream macro are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $( $target:path ),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $( $target:path ),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $( $target ),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $( $group:path ),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("stub/smoke", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    criterion_group!(group_a, quick);
+    criterion_group! {
+        name = group_b;
+        config = Criterion::default().sample_size(3);
+        targets = quick, quick
+    }
+
+    #[test]
+    fn groups_run_and_collect_samples() {
+        group_a();
+        group_b();
+    }
+}
