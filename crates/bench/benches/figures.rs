@@ -5,8 +5,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use das_sim::config::{Design, SystemConfig};
 use das_bench::must_run as run_one;
+use das_sim::config::{Design, SystemConfig};
 use das_workloads::{mixes, spec};
 
 fn quick_cfg() -> SystemConfig {
@@ -18,7 +18,9 @@ fn quick_cfg() -> SystemConfig {
 fn bench_single(c: &mut Criterion, id: &str, design: Design, bench: &str) {
     let cfg = quick_cfg();
     let wl = vec![spec::by_name(bench)];
-    c.bench_function(id, |b| b.iter(|| black_box(run_one(&cfg, design, &wl).ipc())));
+    c.bench_function(id, |b| {
+        b.iter(|| black_box(run_one(&cfg, design, &wl).ipc()))
+    });
 }
 
 fn table1_config_build(c: &mut Criterion) {

@@ -4,6 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
+use das_cache::hierarchy::{CacheHierarchy, HierarchyConfig};
 use das_core::groups::BankGroups;
 use das_core::translation::TranslationCache;
 use das_cpu::core::{Core, CoreConfig};
@@ -13,7 +14,6 @@ use das_dram::command::DramCommand;
 use das_dram::geometry::{Arrangement, BankCoord, BankLayout, FastRatio, GlobalRowId};
 use das_dram::tick::Tick;
 use das_dram::timing::TimingSet;
-use das_cache::hierarchy::{CacheHierarchy, HierarchyConfig};
 use das_workloads::{spec, TraceGen};
 
 fn dram_command_cycle(c: &mut Criterion) {
@@ -25,13 +25,23 @@ fn dram_command_cycle(c: &mut Criterion) {
         let row = dev.layout().slow_to_phys(0);
         let mut now = Tick::ZERO;
         b.iter(|| {
-            let act = DramCommand::Activate { bank, phys_row: row };
+            let act = DramCommand::Activate {
+                bank,
+                phys_row: row,
+            };
             let t = dev.earliest_issue(&act, now).unwrap();
             dev.issue(&act, t);
-            let rd = DramCommand::Read { bank, phys_row: row, col: 0 };
+            let rd = DramCommand::Read {
+                bank,
+                phys_row: row,
+                col: 0,
+            };
             let t = dev.earliest_issue(&rd, t).unwrap();
             dev.issue(&rd, t);
-            let pre = DramCommand::Precharge { bank, phys_row: row };
+            let pre = DramCommand::Precharge {
+                bank,
+                phys_row: row,
+            };
             let t = dev.earliest_issue(&pre, t).unwrap();
             dev.issue(&pre, t);
             now = t;

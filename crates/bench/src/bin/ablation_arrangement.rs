@@ -4,20 +4,22 @@
 //! to relay across intermediate subarrays, charged here at 0.5 tRC per
 //! extra hop (see `das_core::migration::MigrationModel::with_hop_cost`).
 
+use das_bench::must_run as run_one;
 use das_bench::{pct, single_names, single_workloads, HarnessArgs};
 use das_core::migration::MigrationModel;
 use das_dram::geometry::Arrangement;
 use das_dram::tick::Tick;
 use das_dram::timing::TimingSet;
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 use das_sim::experiments::improvement;
 use das_sim::stats::gmean_improvement;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let arrangements =
-        [("reduced-interleaving", Arrangement::ReducedInterleaving), ("partitioning", Arrangement::Partitioning)];
+    let arrangements = [
+        ("reduced-interleaving", Arrangement::ReducedInterleaving),
+        ("partitioning", Arrangement::Partitioning),
+    ];
     println!("# Ablation: Subarray Arrangement (DAS-DRAM improvement over Std-DRAM)");
     print!("{:<12}", "workload");
     for (label, _) in arrangements {

@@ -7,9 +7,9 @@
 //! (inclusive fills over clean victims are single 1.5 tRC copies). This
 //! binary reports performance side by side plus the capacity forfeited.
 
+use das_bench::must_run as run_one;
 use das_bench::{pct, single_names, single_workloads, HarnessArgs};
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 use das_sim::experiments::improvement;
 use das_sim::stats::gmean_improvement;
 

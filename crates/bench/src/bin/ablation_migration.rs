@@ -8,11 +8,11 @@
 //! * untightened — naive swap without the §4.2 tRAS tightening: three
 //!   serial 2 tRC migrations, 6 tRC.
 
+use das_bench::must_run as run_one;
 use das_bench::{pct, single_names, single_workloads, HarnessArgs};
 use das_dram::tick::Tick;
 use das_dram::timing::TimingSet;
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 use das_sim::experiments::improvement;
 use das_sim::stats::gmean_improvement;
 

@@ -3,10 +3,10 @@
 //! benefit depends on that choice (fast activations help *more* under
 //! closed-page, where every access pays an activation).
 
+use das_bench::must_run as run_one;
 use das_bench::{pct, single_names, single_workloads, HarnessArgs};
 use das_memctrl::controller::PagePolicy;
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 use das_sim::experiments::improvement;
 use das_sim::stats::gmean_improvement;
 

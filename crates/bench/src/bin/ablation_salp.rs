@@ -5,9 +5,9 @@
 //! conflicts within a bank vanish for accesses to different subarrays —
 //! orthogonal to, and stackable with, the fast-subarray latency reduction.
 
+use das_bench::must_run as run_one;
 use das_bench::{pct, single_names, single_workloads, HarnessArgs};
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 use das_sim::experiments::improvement;
 use das_sim::stats::gmean_improvement;
 

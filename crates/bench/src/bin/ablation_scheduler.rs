@@ -1,10 +1,10 @@
 //! Ablation: FR-FCFS vs plain FCFS scheduling, for the Std-DRAM baseline
 //! and for DAS-DRAM (does migration interact with the scheduler?).
 
+use das_bench::must_run as run_one;
 use das_bench::{single_names, single_workloads, HarnessArgs};
 use das_memctrl::controller::SchedulerKind;
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 
 fn main() {
     let args = HarnessArgs::parse();

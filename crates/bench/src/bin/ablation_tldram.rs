@@ -7,10 +7,10 @@
 //! subarrays and pays only 1/8 of capacity in fast subarrays — the paper's
 //! manufacturability argument in numbers.
 
+use das_bench::must_run as run_one;
 use das_bench::{pct, single_names, single_workloads, HarnessArgs};
 use das_dram::area::{AsymmetricAreaModel, TlDramAreaModel};
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 use das_sim::experiments::improvement;
 use das_sim::stats::gmean_improvement;
 

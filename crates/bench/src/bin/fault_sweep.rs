@@ -23,7 +23,12 @@ fn fingerprint(m: &RunMetrics) -> (u64, u64, u64, u64, u64) {
 
 fn main() {
     let args = HarnessArgs::parse();
-    let bench = args.filter(vec!["mcf"]).first().copied().unwrap_or("mcf").to_string();
+    let bench = args
+        .filter(vec!["mcf"])
+        .first()
+        .copied()
+        .unwrap_or("mcf")
+        .to_string();
     let wl = single_workloads(&bench);
     let designs = [
         Design::SasDram,
@@ -61,7 +66,10 @@ fn main() {
                 design.label(),
                 rate,
                 m.faults.total_injected(),
-                FaultSite::ALL.iter().map(|&s| m.faults.site(s).retried).sum::<u64>(),
+                FaultSite::ALL
+                    .iter()
+                    .map(|&s| m.faults.site(s).retried)
+                    .sum::<u64>(),
                 m.faults.total_recovered(),
                 m.faults.total_fatal(),
                 m.faults.invariant_checks_passed,

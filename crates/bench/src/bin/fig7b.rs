@@ -1,15 +1,18 @@
 //! Regenerates Figure 7b: MPKI, PPKM (promotions per kilo-miss) and episode
 //! footprint for each single-programming workload (measured on DAS-DRAM).
 
+use das_bench::must_run as run_one;
 use das_bench::{single_names, single_workloads, HarnessArgs};
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 
 fn main() {
     let args = HarnessArgs::parse();
     let cfg = args.config();
     println!("# Figure 7b: MPKI; PPKM; Footprints (single-programming, DAS-DRAM)");
-    println!("{:<12} {:>8} {:>8} {:>14} {:>16}", "workload", "MPKI", "PPKM", "footprint(MB)", "paper-equiv(MB)");
+    println!(
+        "{:<12} {:>8} {:>8} {:>14} {:>16}",
+        "workload", "MPKI", "PPKM", "footprint(MB)", "paper-equiv(MB)"
+    );
     for name in single_names(&args) {
         let m = run_one(&cfg, Design::DasDram, &single_workloads(name));
         println!(

@@ -1,15 +1,18 @@
 //! Regenerates Figure 7c: distribution of memory access locations
 //! (slow level / fast level / row buffer), static (SAS) vs dynamic (DAS).
 
+use das_bench::must_run as run_one;
 use das_bench::{print_access_mix, single_names, single_workloads, HarnessArgs};
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 
 fn main() {
     let args = HarnessArgs::parse();
     let cfg = args.config();
     println!("# Figure 7c: Access Locations (single-programming)");
-    for (panel, design) in [("Static (SAS-DRAM)", Design::SasDram), ("Dynamic (DAS-DRAM)", Design::DasDram)] {
+    for (panel, design) in [
+        ("Static (SAS-DRAM)", Design::SasDram),
+        ("Dynamic (DAS-DRAM)", Design::DasDram),
+    ] {
         println!("## {panel}");
         for name in single_names(&args) {
             let m = run_one(&cfg, design, &single_workloads(name));

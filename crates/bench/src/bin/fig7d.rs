@@ -2,7 +2,7 @@
 //! improvement over Std-DRAM.
 
 use das_bench::{
-    figure7_designs, mix_names, multi_config, mix_workloads, print_improvement_table,
+    figure7_designs, mix_names, mix_workloads, multi_config, print_improvement_table,
     run_with_baseline, HarnessArgs,
 };
 

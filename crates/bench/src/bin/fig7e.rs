@@ -1,15 +1,18 @@
 //! Regenerates Figure 7e: MPKI, PPKM and footprints for the M1-M8 mixes
 //! (measured on DAS-DRAM).
 
-use das_bench::{mix_names, multi_config, mix_workloads, HarnessArgs};
-use das_sim::config::Design;
 use das_bench::must_run as run_one;
+use das_bench::{mix_names, mix_workloads, multi_config, HarnessArgs};
+use das_sim::config::Design;
 
 fn main() {
     let args = HarnessArgs::parse();
     let cfg = multi_config(&args);
     println!("# Figure 7e: MPKI; PPKM; Footprints (multi-programming, DAS-DRAM)");
-    println!("{:<4} {:>8} {:>8} {:>14}", "mix", "MPKI", "PPKM", "footprint(MB)");
+    println!(
+        "{:<4} {:>8} {:>8} {:>14}",
+        "mix", "MPKI", "PPKM", "footprint(MB)"
+    );
     for name in mix_names(&args) {
         let m = run_one(&cfg, Design::DasDram, &mix_workloads(name));
         println!(

@@ -1,15 +1,18 @@
 //! Regenerates Figure 7f: access-location distribution for M1-M8, static
 //! (SAS) vs dynamic (DAS).
 
-use das_bench::{mix_names, multi_config, mix_workloads, print_access_mix, HarnessArgs};
-use das_sim::config::Design;
 use das_bench::must_run as run_one;
+use das_bench::{mix_names, mix_workloads, multi_config, print_access_mix, HarnessArgs};
+use das_sim::config::Design;
 
 fn main() {
     let args = HarnessArgs::parse();
     let cfg = multi_config(&args);
     println!("# Figure 7f: Access Locations (multi-programming)");
-    for (panel, design) in [("Static (SAS-DRAM)", Design::SasDram), ("Dynamic (DAS-DRAM)", Design::DasDram)] {
+    for (panel, design) in [
+        ("Static (SAS-DRAM)", Design::SasDram),
+        ("Dynamic (DAS-DRAM)", Design::DasDram),
+    ] {
         println!("## {panel}");
         for name in mix_names(&args) {
             let m = run_one(&cfg, design, &mix_workloads(name));

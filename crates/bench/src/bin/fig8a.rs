@@ -1,9 +1,9 @@
 //! Regenerates Figure 8a: performance improvement of DAS-DRAM under
 //! promotion-filter thresholds 8, 4, 2, 1 (1 = promote on every slow hit).
 
+use das_bench::must_run as run_one;
 use das_bench::{pct, single_names, single_workloads, HarnessArgs};
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 use das_sim::experiments::improvement;
 use das_sim::stats::gmean_improvement;
 

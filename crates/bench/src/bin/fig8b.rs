@@ -1,9 +1,9 @@
 //! Regenerates Figure 8b: access-location distribution vs promotion
 //! threshold (filtering degrades fast-level utilisation).
 
+use das_bench::must_run as run_one;
 use das_bench::{print_access_mix, single_names, single_workloads, HarnessArgs};
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 
 fn main() {
     let args = HarnessArgs::parse();

@@ -1,8 +1,8 @@
 //! Regenerates Figure 8c: row promotions per memory access vs threshold.
 
+use das_bench::must_run as run_one;
 use das_bench::{single_names, single_workloads, HarnessArgs};
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 
 fn main() {
     let args = HarnessArgs::parse();

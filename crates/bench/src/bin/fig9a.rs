@@ -1,9 +1,9 @@
 //! Regenerates Figure 9a: DAS-DRAM performance improvement vs translation
 //! cache capacity (full-scale 32/64/128/256 KB, scaled with the system).
 
+use das_bench::must_run as run_one;
 use das_bench::{pct, single_names, single_workloads, HarnessArgs};
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 use das_sim::experiments::improvement;
 use das_sim::stats::gmean_improvement;
 

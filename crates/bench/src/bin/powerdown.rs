@@ -11,9 +11,9 @@
 //!
 //! `pd_residency = max(0, 1 - slow_act_rate_per_subarray * overhead)`.
 
+use das_bench::must_run as run_one;
 use das_bench::{single_names, single_workloads, HarnessArgs};
 use das_sim::config::Design;
-use das_bench::must_run as run_one;
 
 /// Power-down entry + exit + hysteresis charged per slow-subarray access
 /// burst, in nanoseconds.

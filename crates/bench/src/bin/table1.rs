@@ -8,8 +8,14 @@ fn main() {
     let args = HarnessArgs::parse();
     let full = SystemConfig::paper_full();
     let cfg = args.config();
-    println!("# Table 1: System Configuration (paper value -> simulated at scale {})", cfg.scale);
-    println!("Processor        3GHz, {}-wide issue, {}-entry ROB", full.core.width, full.core.rob_entries);
+    println!(
+        "# Table 1: System Configuration (paper value -> simulated at scale {})",
+        cfg.scale
+    );
+    println!(
+        "Processor        3GHz, {}-wide issue, {}-entry ROB",
+        full.core.width, full.core.rob_entries
+    );
     println!(
         "Cache            {}KB 8-way private L1 ({} cyc), {}KB 8-way private L2 ({} cyc), {}MB 8-way shared LLC ({} cyc) -> LLC {}KB",
         full.hierarchy.l1_bytes >> 10,
@@ -32,10 +38,23 @@ fn main() {
         full.geometry.ranks_per_channel,
         cfg.geometry.total_bytes() >> 20,
     );
-    println!("                 tRCD: {:.2}ns, tRC: {:.2}ns", t.slow.trcd.as_ns(), t.slow.trc().as_ns());
-    println!("Asym. DRAM       Fast-level capacity ratio: {}", cfg.management.fast_ratio);
-    println!("                 Migration group size: {} rows", cfg.management.group_size);
-    println!("                 Migration latency: {:.2}ns", t.swap.as_ns());
+    println!(
+        "                 tRCD: {:.2}ns, tRC: {:.2}ns",
+        t.slow.trcd.as_ns(),
+        t.slow.trc().as_ns()
+    );
+    println!(
+        "Asym. DRAM       Fast-level capacity ratio: {}",
+        cfg.management.fast_ratio
+    );
+    println!(
+        "                 Migration group size: {} rows",
+        cfg.management.group_size
+    );
+    println!(
+        "                 Migration latency: {:.2}ns",
+        t.swap.as_ns()
+    );
     println!(
         "                 tRCD (fast/slow): {:.2}/{:.2}ns, tRC (fast/slow): {:.2}/{:.2}ns",
         t.fast.trcd.as_ns(),

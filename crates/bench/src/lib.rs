@@ -12,11 +12,47 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
+
 use das_sim::config::{Design, SystemConfig};
 use das_sim::experiments::{improvement, run_one};
 use das_sim::stats::{gmean_improvement, RunMetrics};
+use das_telemetry::json::Value;
 use das_workloads::config::WorkloadConfig;
 use das_workloads::{mixes, spec};
+
+/// The process-wide JSON run collector behind `--json PATH`: every
+/// [`must_run`] appends its run report and rewrites the file, so the export
+/// is a valid document at all times and no exit hook is needed.
+static JSON_SINK: Mutex<Option<JsonSink>> = Mutex::new(None);
+
+struct JsonSink {
+    path: String,
+    runs: Vec<Value>,
+}
+
+impl JsonSink {
+    fn flush(&self) {
+        let doc = Value::obj()
+            .set("runs", Value::Arr(self.runs.clone()))
+            .render();
+        if let Err(e) = std::fs::write(&self.path, doc) {
+            eprintln!("cannot write {}: {e}", self.path);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Appends one run report to the `--json` export (no-op when the flag was
+/// not given). [`must_run`] calls this for every successful run; call it
+/// directly for runs obtained another way (instrumented, recorded traces).
+pub fn record_run_report(report: Value) {
+    let mut guard = JSON_SINK.lock().expect("json sink poisoned");
+    if let Some(sink) = guard.as_mut() {
+        sink.runs.push(report);
+        sink.flush();
+    }
+}
 
 /// Command-line options shared by every figure binary.
 #[derive(Debug, Clone)]
@@ -27,16 +63,27 @@ pub struct HarnessArgs {
     pub scale: u32,
     /// Restrict to a subset of benchmarks/mixes (empty = all).
     pub only: Vec<String>,
+    /// Machine-readable export path (`--json PATH`): every run's report is
+    /// collected into `{"runs":[...]}` alongside the text tables.
+    pub json: Option<String>,
 }
 
 impl HarnessArgs {
-    /// Parses `--insts N`, `--scale N` and `--only a,b,c` from `args`.
+    /// Parses `--insts N`, `--scale N`, `--only a,b,c` and `--json PATH`
+    /// from `args`. When `--json` is given the export file is created
+    /// immediately (as an empty run list), so even a bin that exits early
+    /// leaves a parseable document.
     ///
     /// # Panics
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse() -> Self {
-        let mut out = HarnessArgs { insts: 3_000_000, scale: 64, only: Vec::new() };
+        let mut out = HarnessArgs {
+            insts: 3_000_000,
+            scale: 64,
+            only: Vec::new(),
+            json: None,
+        };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -60,8 +107,21 @@ impl HarnessArgs {
                         .map(str::to_string)
                         .collect();
                 }
-                other => panic!("unknown argument {other:?} (use --insts/--scale/--only)"),
+                "--json" => {
+                    out.json = Some(args.next().expect("--json needs a path"));
+                }
+                other => {
+                    panic!("unknown argument {other:?} (use --insts/--scale/--only/--json)")
+                }
             }
+        }
+        if let Some(path) = &out.json {
+            let sink = JsonSink {
+                path: path.clone(),
+                runs: Vec::new(),
+            };
+            sink.flush();
+            *JSON_SINK.lock().expect("json sink poisoned") = Some(sink);
         }
         out
     }
@@ -76,7 +136,10 @@ impl HarnessArgs {
         if self.only.is_empty() {
             names
         } else {
-            names.into_iter().filter(|n| self.only.iter().any(|o| o == n)).collect()
+            names
+                .into_iter()
+                .filter(|n| self.only.iter().any(|o| o == n))
+                .collect()
         }
     }
 }
@@ -107,11 +170,17 @@ pub fn mix_workloads(name: &str) -> Vec<WorkloadConfig> {
 /// Runs one simulation, terminating the process with a readable message if
 /// it cannot finish — a figure harness has nothing to report without it.
 pub fn must_run(cfg: &SystemConfig, design: Design, workloads: &[WorkloadConfig]) -> RunMetrics {
-    run_one(cfg, design, workloads).unwrap_or_else(|e| {
+    let m = run_one(cfg, design, workloads).unwrap_or_else(|e| {
         let names: Vec<&str> = workloads.iter().map(|w| w.name.as_str()).collect();
-        eprintln!("simulation failed: {} over {}: {e}", design.label(), names.join("+"));
+        eprintln!(
+            "simulation failed: {} over {}: {e}",
+            design.label(),
+            names.join("+")
+        );
         std::process::exit(1);
-    })
+    });
+    record_run_report(das_sim::report::run_report(&m, None));
+    m
 }
 
 /// Runs `designs` plus the Std-DRAM baseline over one workload set and
@@ -135,7 +204,13 @@ pub fn run_with_baseline(
 
 /// The non-baseline designs of Fig. 7 in paper order.
 pub fn figure7_designs() -> [Design; 5] {
-    [Design::SasDram, Design::Charm, Design::DasDram, Design::DasDramFm, Design::FsDram]
+    [
+        Design::SasDram,
+        Design::Charm,
+        Design::DasDram,
+        Design::DasDramFm,
+        Design::FsDram,
+    ]
 }
 
 /// Formats a fraction as a percentage with sign.
@@ -245,10 +320,20 @@ mod tests {
 
     #[test]
     fn name_helpers_cover_table2() {
-        let args = HarnessArgs { insts: 1, scale: 64, only: vec![] };
+        let args = HarnessArgs {
+            insts: 1,
+            scale: 64,
+            only: vec![],
+            json: None,
+        };
         assert_eq!(single_names(&args).len(), 10);
         assert_eq!(mix_names(&args).len(), 8);
-        let only = HarnessArgs { insts: 1, scale: 64, only: vec!["mcf".into()] };
+        let only = HarnessArgs {
+            insts: 1,
+            scale: 64,
+            only: vec!["mcf".into()],
+            json: None,
+        };
         assert_eq!(single_names(&only), vec!["mcf"]);
         assert_eq!(mix_workloads("M1").len(), 4);
     }

@@ -331,7 +331,7 @@ mod tests {
     fn dirty_data_survives_eviction_chain() {
         let mut h = CacheHierarchy::new(small_cfg(), 1);
         h.fill_from_memory(0, 0, true); // dirty in L1
-        // Conflict-evict from L1; dirty data must land in L2 (resident).
+                                        // Conflict-evict from L1; dirty data must land in L2 (resident).
         h.fill_from_memory(0, 512, false);
         h.fill_from_memory(0, 1024, false);
         // Re-access: L2 hit and the hierarchy still knows the line.

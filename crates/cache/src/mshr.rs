@@ -32,7 +32,10 @@ impl<T> Mshr<T> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");
-        Mshr { capacity, pending: HashMap::new() }
+        Mshr {
+            capacity,
+            pending: HashMap::new(),
+        }
     }
 
     /// Registers a waiter for `line`. Returns `Some(true)` if this is the

@@ -98,7 +98,10 @@ impl SetAssocCache {
     /// must be divisible by `ways * line_bytes` with at least one set).
     pub fn new(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
         assert!(ways > 0 && line_bytes > 0, "degenerate cache shape");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let set_bytes = ways as u64 * line_bytes;
         assert!(
             capacity_bytes >= set_bytes && capacity_bytes.is_multiple_of(set_bytes),
@@ -189,7 +192,11 @@ impl SetAssocCache {
         let sets = self.sets as u64;
         let line_bytes = self.line_bytes;
         // Refresh in place if already present.
-        if let Some(line) = self.set_mut(set).iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(line) = self
+            .set_mut(set)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
             line.stamp = clock;
             line.dirty |= dirty;
             return None;
@@ -209,11 +216,19 @@ impl SetAssocCache {
         let slot = &mut self.set_mut(set)[way];
         let victim = if slot.valid {
             let victim_addr = (slot.tag * sets + set as u64) * line_bytes;
-            Some(Victim { addr: victim_addr, dirty: slot.dirty })
+            Some(Victim {
+                addr: victim_addr,
+                dirty: slot.dirty,
+            })
         } else {
             None
         };
-        *slot = Line { tag, valid: true, dirty, stamp: clock };
+        *slot = Line {
+            tag,
+            valid: true,
+            dirty,
+            stamp: clock,
+        };
         if let Some(v) = victim {
             self.stats.evictions += 1;
             if v.dirty {
@@ -227,7 +242,11 @@ impl SetAssocCache {
     /// write-back from an upper level). Returns whether it was resident.
     pub fn write_back_into(&mut self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
-        if let Some(line) = self.set_mut(set).iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(line) = self
+            .set_mut(set)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
             line.dirty = true;
             true
         } else {
@@ -305,7 +324,13 @@ mod tests {
             c.fill(i * stride, false);
         }
         let victim = c.fill(4 * stride, false).unwrap();
-        assert_eq!(victim, Victim { addr: 0, dirty: true });
+        assert_eq!(
+            victim,
+            Victim {
+                addr: 0,
+                dirty: true
+            }
+        );
         assert_eq!(c.stats().writebacks, 1);
         assert_eq!(c.stats().evictions, 1);
     }

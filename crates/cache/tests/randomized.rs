@@ -35,7 +35,10 @@ fn occupancy_bounded_and_fills_stick() {
         for _ in 0..n {
             let a = rng.range_u64(0, 1 << 20);
             c.fill(a, false);
-            assert!(c.contains(a), "seed {seed}: freshly filled line must be resident");
+            assert!(
+                c.contains(a),
+                "seed {seed}: freshly filled line must be resident"
+            );
             assert!(c.occupancy() <= capacity, "seed {seed}");
         }
     }
@@ -88,7 +91,11 @@ fn hierarchy_access_is_total() {
                 misses += 1;
                 h.fill_from_memory(core, addr & !63, w);
                 let again = h.access(core, addr, false);
-                assert_eq!(again.level, CacheLevel::L1, "seed {seed}: fill must land in L1");
+                assert_eq!(
+                    again.level,
+                    CacheLevel::L1,
+                    "seed {seed}: fill must land in L1"
+                );
                 hits += 1;
             } else {
                 hits += 1;

@@ -71,14 +71,20 @@ impl BankGroups {
         ratio: FastRatio,
         stride: u32,
     ) -> Self {
-        assert!(group_size > 0 && group_size <= 256, "group size must be 1..=256");
+        assert!(
+            group_size > 0 && group_size <= 256,
+            "group size must be 1..=256"
+        );
         assert!(
             rows_per_bank.is_multiple_of(group_size),
             "group size {group_size} does not divide {rows_per_bank} rows"
         );
         let fast_slots = ratio.apply(group_size);
         assert!(fast_slots > 0, "groups must contain at least one fast slot");
-        assert!(fast_slots < group_size, "groups must contain at least one slow slot");
+        assert!(
+            fast_slots < group_size,
+            "groups must contain at least one slow slot"
+        );
         let n = rows_per_bank as usize;
         let gs = group_size as usize;
         let mut to_phys = vec![0u8; n];
@@ -91,7 +97,12 @@ impl BankGroups {
                 to_logical[g * gs + p] = s as u8;
             }
         }
-        BankGroups { group_size, fast_slots, to_phys, to_logical }
+        BankGroups {
+            group_size,
+            fast_slots,
+            to_phys,
+            to_logical,
+        }
     }
 
     /// Rows per group.
@@ -172,9 +183,7 @@ impl BankGroups {
     /// Logical rows of `group` currently in fast slots, in slot order.
     pub fn fast_residents(&self, group: u32) -> Vec<u32> {
         (0..self.fast_slots)
-            .map(|p| {
-                group * self.group_size + self.logical_slot(group, p as u8) as u32
-            })
+            .map(|p| group * self.group_size + self.logical_slot(group, p as u8) as u32)
             .collect()
     }
 
@@ -264,8 +273,14 @@ impl core::fmt::Display for GroupInvariantError {
             GroupInvariantError::DuplicatePhysicalSlot { group, slot } => {
                 write!(f, "group {group}: duplicate physical slot {slot}")
             }
-            GroupInvariantError::InverseMismatch { group, logical_slot } => {
-                write!(f, "group {group}: inverse mismatch at logical slot {logical_slot}")
+            GroupInvariantError::InverseMismatch {
+                group,
+                logical_slot,
+            } => {
+                write!(
+                    f,
+                    "group {group}: inverse mismatch at logical slot {logical_slot}"
+                )
             }
         }
     }
@@ -283,7 +298,13 @@ mod tests {
     }
 
     fn layout() -> BankLayout {
-        BankLayout::build(4096, FastRatio::new(1, 8), Arrangement::ReducedInterleaving, 128, 512)
+        BankLayout::build(
+            4096,
+            FastRatio::new(1, 8),
+            Arrangement::ReducedInterleaving,
+            128,
+            512,
+        )
     }
 
     #[test]
@@ -370,9 +391,8 @@ mod tests {
             assert_eq!(fast, 4, "group {grp}");
         }
         // Different groups rotate differently.
-        let fast_of = |grp: u32| -> Vec<u32> {
-            (0..32).filter(|&s| g.is_fast(grp * 32 + s)).collect()
-        };
+        let fast_of =
+            |grp: u32| -> Vec<u32> { (0..32).filter(|&s| g.is_fast(grp * 32 + s)).collect() };
         assert_ne!(fast_of(0), fast_of(1));
     }
 
@@ -386,8 +406,13 @@ mod tests {
             128,
             512,
         );
-        let part =
-            BankLayout::build(32768, FastRatio::new(1, 8), Arrangement::Partitioning, 128, 512);
+        let part = BankLayout::build(
+            32768,
+            FastRatio::new(1, 8),
+            Arrangement::Partitioning,
+            128,
+            512,
+        );
         let h_ri = g.mean_intra_group_hops(&ri);
         let h_part = g.mean_intra_group_hops(&part);
         assert!(

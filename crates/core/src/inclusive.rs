@@ -116,7 +116,10 @@ impl InclusiveManager {
     }
 
     fn locate(&self, logical_row: u32) -> (u32, u32) {
-        (logical_row / self.slow_per_group, logical_row % self.slow_per_group)
+        (
+            logical_row / self.slow_per_group,
+            logical_row % self.slow_per_group,
+        )
     }
 
     fn tag_index(&self, group: u32, slot: u8) -> usize {
@@ -141,7 +144,8 @@ impl InclusiveManager {
     }
 
     fn slot_phys(&self, group: u32, slot: u8) -> u32 {
-        self.layout.fast_to_phys(group * self.fast_slots + slot as u32)
+        self.layout
+            .fast_to_phys(group * self.fast_slots + slot as u32)
     }
 
     /// Current physical location and cached-ness of a logical row.
@@ -177,7 +181,9 @@ impl InclusiveManager {
             phys_row,
             in_fast,
             source,
-            table_line: self.table_map.entry_line(row_id, self.geometry.line_bytes as u64),
+            table_line: self
+                .table_map
+                .entry_line(row_id, self.geometry.line_bytes as u64),
         }
     }
 
@@ -191,12 +197,16 @@ impl InclusiveManager {
     ) -> Option<FillRequest> {
         let bank_idx = self.geometry.bank_index(bank);
         let (group, _) = self.locate(logical_row);
-        let gid = GroupId { bank: bank_idx, group };
+        let gid = GroupId {
+            bank: bank_idx,
+            group,
+        };
         if let Some(slot) = self.cached_slot(bank_idx, logical_row) {
             self.stats.fast_hits += 1;
             let idx = self.tag_index(group, slot);
             self.tags[bank_idx][idx].dirty |= is_write;
-            self.replacer.note_fast_access(gid, slot, self.fast_slots, now);
+            self.replacer
+                .note_fast_access(gid, slot, self.fast_slots, now);
             return None;
         }
         self.stats.slow_hits += 1;
@@ -243,18 +253,24 @@ impl InclusiveManager {
         let idx = self.tag_index(req.group, req.slot);
         let old = self.tags[bank_idx][idx];
         if old.resident != 0 {
-            let victim_row =
-                req.group * self.slow_per_group + (old.resident as u32 - 1);
+            let victim_row = req.group * self.slow_per_group + (old.resident as u32 - 1);
             let victim_id = self.geometry.global_row_id(req.bank, victim_row);
             self.tcache.invalidate(victim_id);
         }
         let (_, slot_in_group) = self.locate(req.promotee);
-        self.tags[bank_idx][idx] = Tag { resident: slot_in_group as u16 + 1, dirty: false };
+        self.tags[bank_idx][idx] = Tag {
+            resident: slot_in_group as u16 + 1,
+            dirty: false,
+        };
         let id = self.geometry.global_row_id(req.bank, req.promotee);
         self.tcache.insert(id);
         self.filter.forget(id);
-        let gid = GroupId { bank: bank_idx, group: req.group };
-        self.replacer.note_fast_access(gid, req.slot, self.fast_slots, now);
+        let gid = GroupId {
+            bank: bank_idx,
+            group: req.group,
+        };
+        self.replacer
+            .note_fast_access(gid, req.slot, self.fast_slots, now);
         self.busy_groups.remove(&gid);
         self.stats.promotions += 1;
     }
@@ -262,7 +278,11 @@ impl InclusiveManager {
     /// Abandons a fill that could not be scheduled.
     pub fn abort_fill(&mut self, req: &FillRequest) {
         let bank_idx = self.geometry.bank_index(req.bank);
-        self.busy_groups.remove(&GroupId { bank: bank_idx, group: req.group });
+        self.busy_groups.remove(&GroupId {
+            bank: bank_idx,
+            group: req.group,
+        });
+        self.stats.aborted += 1;
     }
 
     /// Management statistics (promotions = fills).
@@ -337,7 +357,9 @@ mod tests {
         let (phys, cached) = m.peek(bank0(), 10);
         assert!(!cached);
         assert_eq!(phys, m.home_phys(10));
-        let fill = m.on_data_access(bank0(), 10, false, 1).expect("threshold 1 fills");
+        let fill = m
+            .on_data_access(bank0(), 10, false, 1)
+            .expect("threshold 1 fills");
         assert_eq!(fill.kind, MigrationKind::Copy, "empty slot: clean fill");
         assert_eq!(fill.promotee_phys, m.home_phys(10));
         m.commit_fill(&fill, 2);
@@ -356,12 +378,19 @@ mod tests {
                 m.commit_fill(&f, row as u64);
             }
         }
-        let dirty_row = (0..8u32).find(|&r| m.peek(bank0(), r).1).expect("something cached");
-        assert!(m.on_data_access(bank0(), dirty_row, true, 100).is_none(), "cached write");
+        let dirty_row = (0..8u32)
+            .find(|&r| m.peek(bank0(), r).1)
+            .expect("something cached");
+        assert!(
+            m.on_data_access(bank0(), dirty_row, true, 100).is_none(),
+            "cached write"
+        );
         // Make the dirty row the LRU resident by touching all others later.
         for row in 0..8u32 {
             if row != dirty_row && m.peek(bank0(), row).1 {
-                assert!(m.on_data_access(bank0(), row, false, 200 + row as u64).is_none());
+                assert!(m
+                    .on_data_access(bank0(), row, false, 200 + row as u64)
+                    .is_none());
             }
         }
         let fill = m.on_data_access(bank0(), 20, false, 300).expect("fills");

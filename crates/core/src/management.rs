@@ -49,7 +49,10 @@ impl fmt::Display for ConsistencyError {
             }
             ConsistencyError::CacheCorrupt(e) => write!(f, "{e}"),
             ConsistencyError::CacheDeviceDisagreement { row } => {
-                write!(f, "translation cache claims {row} is fast but the device disagrees")
+                write!(
+                    f,
+                    "translation cache claims {row} is fast but the device disagrees"
+                )
             }
         }
     }
@@ -100,7 +103,10 @@ impl ManagementConfig {
 
     /// The static-profiled variant used by the SAS-DRAM / CHARM baselines.
     pub fn static_profiled() -> Self {
-        ManagementConfig { static_mapping: true, ..Self::paper_default() }
+        ManagementConfig {
+            static_mapping: true,
+            ..Self::paper_default()
+        }
     }
 }
 
@@ -148,6 +154,8 @@ pub struct ManagementStats {
     pub promotions: u64,
     /// Promotions skipped because the group already had one in flight.
     pub deferred_busy: u64,
+    /// Promotions abandoned after being issued (swap could not complete).
+    pub aborted: u64,
 }
 
 /// The §5 management mechanism. See the [module docs](self).
@@ -186,8 +194,7 @@ impl DasManager {
             .collect();
         // The table occupies a reserved region at the top of DRAM (one byte
         // per row), hidden from the OS; demand regions must stay below it.
-        let table_map =
-            TableAddressMap::new(geometry.total_bytes() - geometry.total_rows());
+        let table_map = TableAddressMap::new(geometry.total_bytes() - geometry.total_rows());
         DasManager {
             cfg,
             geometry,
@@ -218,7 +225,10 @@ impl DasManager {
     pub fn peek(&self, bank: BankCoord, logical_row: u32) -> (u32, bool) {
         let bank_idx = self.geometry.bank_index(bank);
         let g = &self.groups[bank_idx];
-        (g.phys_row_of_logical(logical_row, &self.layout), g.is_fast(logical_row))
+        (
+            g.phys_row_of_logical(logical_row, &self.layout),
+            g.is_fast(logical_row),
+        )
     }
 
     /// Translates the logical row of a request.
@@ -243,7 +253,9 @@ impl DasManager {
             phys_row,
             in_fast,
             source,
-            table_line: self.table_map.entry_line(row_id, self.geometry.line_bytes as u64),
+            table_line: self
+                .table_map
+                .entry_line(row_id, self.geometry.line_bytes as u64),
         }
     }
 
@@ -251,10 +263,18 @@ impl DasManager {
     /// dynamic configuration, decides whether to trigger a promotion.
     ///
     /// `now` is any monotonically increasing stamp (ticks) used for LRU.
-    pub fn on_data_access(&mut self, bank: BankCoord, logical_row: u32, now: u64) -> Option<SwapRequest> {
+    pub fn on_data_access(
+        &mut self,
+        bank: BankCoord,
+        logical_row: u32,
+        now: u64,
+    ) -> Option<SwapRequest> {
         let bank_idx = self.geometry.bank_index(bank);
         let (group, _) = self.groups[bank_idx].locate(logical_row);
-        let gid = GroupId { bank: bank_idx, group };
+        let gid = GroupId {
+            bank: bank_idx,
+            group,
+        };
         if self.groups[bank_idx].is_fast(logical_row) {
             self.stats.fast_hits += 1;
             let slot = self.groups[bank_idx].phys_slot(logical_row);
@@ -299,7 +319,10 @@ impl DasManager {
     pub fn commit_swap(&mut self, req: &SwapRequest, now: u64) {
         let bank_idx = self.geometry.bank_index(req.bank);
         self.groups[bank_idx].swap_logical(req.promotee, req.victim);
-        let gid = GroupId { bank: bank_idx, group: req.group };
+        let gid = GroupId {
+            bank: bank_idx,
+            group: req.group,
+        };
         let slot = self.groups[bank_idx].phys_slot(req.promotee);
         let fast_slots = self.groups[bank_idx].fast_slots();
         self.replacer.note_fast_access(gid, slot, fast_slots, now);
@@ -317,7 +340,11 @@ impl DasManager {
     /// Abandons a swap that could not be scheduled (frees the group).
     pub fn abort_swap(&mut self, req: &SwapRequest) {
         let bank_idx = self.geometry.bank_index(req.bank);
-        self.busy_groups.remove(&GroupId { bank: bank_idx, group: req.group });
+        self.busy_groups.remove(&GroupId {
+            bank: bank_idx,
+            group: req.group,
+        });
+        self.stats.aborted += 1;
     }
 
     /// Pre-places the most frequently used rows of each group into its fast
@@ -354,8 +381,7 @@ impl DasManager {
                         .take(fast_slots as usize)
                         .map(|&(_, r)| r)
                         .collect();
-                    let mut occupant =
-                        base + g.logical_slot(group, target_slot) as u32;
+                    let mut occupant = base + g.logical_slot(group, target_slot) as u32;
                     if chosen.contains(&occupant) {
                         // Find any fast slot holding a non-chosen row.
                         let mut found = None;
@@ -405,7 +431,9 @@ impl DasManager {
         if self.cfg.static_mapping {
             return Ok(());
         }
-        self.tcache.audit().map_err(ConsistencyError::CacheCorrupt)?;
+        self.tcache
+            .audit()
+            .map_err(ConsistencyError::CacheCorrupt)?;
         let rows_per_bank = self.geometry.rows_per_bank as u64;
         for row in self.tcache.resident_rows() {
             let bank_idx = (row.0 / rows_per_bank) as usize;
@@ -473,7 +501,13 @@ mod tests {
     }
 
     fn layout(g: &DramGeometry) -> BankLayout {
-        BankLayout::build(g.rows_per_bank, FastRatio::new(1, 8), Arrangement::default(), 128, 512)
+        BankLayout::build(
+            g.rows_per_bank,
+            FastRatio::new(1, 8),
+            Arrangement::default(),
+            128,
+            512,
+        )
     }
 
     fn manager(cfg: ManagementConfig) -> DasManager {
@@ -483,7 +517,10 @@ mod tests {
     }
 
     fn cfg_scaled() -> ManagementConfig {
-        ManagementConfig { tcache_bytes: 2 << 10, ..ManagementConfig::paper_default() }
+        ManagementConfig {
+            tcache_bytes: 2 << 10,
+            ..ManagementConfig::paper_default()
+        }
     }
 
     fn bank0() -> BankCoord {
@@ -505,7 +542,9 @@ mod tests {
         let mut m = manager(cfg_scaled());
         let row = 17u32;
         assert!(!m.is_fast(bank0(), row));
-        let req = m.on_data_access(bank0(), row, 1).expect("threshold 1 promotes");
+        let req = m
+            .on_data_access(bank0(), row, 1)
+            .expect("threshold 1 promotes");
         assert_eq!(req.promotee, row);
         assert!(m.is_fast(bank0(), req.victim));
         m.commit_swap(&req, 1);
@@ -573,11 +612,15 @@ mod tests {
     fn static_place_puts_hot_rows_in_fast() {
         let g = geometry();
         let l = layout(&g);
-        let mut m = DasManager::new(ManagementConfig {
-            static_mapping: true,
-            tcache_bytes: 2 << 10,
-            ..ManagementConfig::paper_default()
-        }, g.clone(), l);
+        let mut m = DasManager::new(
+            ManagementConfig {
+                static_mapping: true,
+                tcache_bytes: 2 << 10,
+                ..ManagementConfig::paper_default()
+            },
+            g.clone(),
+            l,
+        );
         // Profile: rows 16..20 of bank0 are the hottest of group 0.
         let mut counts = HashMap::new();
         for (i, row) in (16u32..20).enumerate() {
@@ -647,7 +690,8 @@ mod tests {
         assert!(
             matches!(
                 err,
-                ConsistencyError::CacheCorrupt(_) | ConsistencyError::CacheDeviceDisagreement { .. }
+                ConsistencyError::CacheCorrupt(_)
+                    | ConsistencyError::CacheDeviceDisagreement { .. }
             ),
             "unexpected error {err:?}"
         );

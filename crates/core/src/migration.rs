@@ -97,14 +97,20 @@ pub struct MigrationModel {
 impl MigrationModel {
     /// The paper's model: fixed 1.5 tRC migrations / 3 tRC swaps.
     pub fn paper(timing: TimingSet) -> Self {
-        MigrationModel { timing, per_hop: None }
+        MigrationModel {
+            timing,
+            per_hop: None,
+        }
     }
 
     /// Hop-sensitive extrapolation used by the arrangement ablation: each
     /// subarray boundary beyond the first adds `per_hop` (the staged
     /// migration-row-to-migration-row relay a partitioned layout needs).
     pub fn with_hop_cost(timing: TimingSet, per_hop: Tick) -> Self {
-        MigrationModel { timing, per_hop: Some(per_hop) }
+        MigrationModel {
+            timing,
+            per_hop: Some(per_hop),
+        }
     }
 
     /// Whether the underlying device supports migration at all.
@@ -147,9 +153,7 @@ impl MigrationModel {
         }
         match self.per_hop {
             // Both directions of the exchange pay the relay.
-            Some(h) if hops > 1 => {
-                Self::saturating_hop_total(base, h, 2 * (hops - 1) as u64)
-            }
+            Some(h) if hops > 1 => Self::saturating_hop_total(base, h, 2 * (hops - 1) as u64),
             _ => base,
         }
     }
@@ -218,7 +222,11 @@ mod tests {
     #[test]
     fn hop_cost_scales_distance() {
         let m = MigrationModel::with_hop_cost(TimingSet::asymmetric(), Tick::from_ns(24.375));
-        assert_eq!(m.single_migration(1), Tick::from_ns(73.125), "adjacent is base");
+        assert_eq!(
+            m.single_migration(1),
+            Tick::from_ns(73.125),
+            "adjacent is base"
+        );
         assert_eq!(m.single_migration(3), Tick::from_ns(73.125 + 2.0 * 24.375));
         assert!(m.swap(4) > m.swap(1));
     }
@@ -258,10 +266,7 @@ mod tests {
     fn per_hop_overflow_saturates_to_never() {
         // A pathological per-hop cost must saturate to Tick::MAX, not wrap
         // into a tiny latency.
-        let m = MigrationModel::with_hop_cost(
-            TimingSet::asymmetric(),
-            Tick::new(u64::MAX / 2),
-        );
+        let m = MigrationModel::with_hop_cost(TimingSet::asymmetric(), Tick::new(u64::MAX / 2));
         assert_eq!(m.single_migration(u32::MAX), Tick::MAX);
         assert_eq!(m.swap(u32::MAX), Tick::MAX);
         // Saturated results are reported as unsupported by the fallible API.
@@ -277,7 +282,10 @@ mod tests {
     #[test]
     fn fallible_api_reports_unsupported() {
         let none = MigrationModel::paper(TimingSet::homogeneous_slow());
-        assert_eq!(none.try_single_migration(1), Err(MigrationError::Unsupported));
+        assert_eq!(
+            none.try_single_migration(1),
+            Err(MigrationError::Unsupported)
+        );
         assert_eq!(none.try_swap(1), Err(MigrationError::Unsupported));
         let some = MigrationModel::paper(TimingSet::asymmetric());
         assert_eq!(some.try_swap(1), Ok(Tick::from_ns(146.25)));
@@ -286,7 +294,10 @@ mod tests {
 
     #[test]
     fn migration_error_displays() {
-        let e = MigrationError::StepFailed { step: MigrationStep::ActivateSource, attempt: 2 };
+        let e = MigrationError::StepFailed {
+            step: MigrationStep::ActivateSource,
+            attempt: 2,
+        };
         assert!(e.to_string().contains("attempt 2"));
         assert!(MigrationError::Unsupported.to_string().contains("support"));
         assert!(MigrationError::AttemptsExhausted { attempts: 3 }

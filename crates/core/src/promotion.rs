@@ -82,9 +82,7 @@ impl PromotionFilter {
         let clock = self.clock;
         if self.counters.len() >= self.capacity && !self.counters.contains_key(&row) {
             // Recycle the least recently touched counter.
-            if let Some((&old, _)) =
-                self.counters.iter().min_by_key(|(_, &(_, stamp))| stamp)
-            {
+            if let Some((&old, _)) = self.counters.iter().min_by_key(|(_, &(_, stamp))| stamp) {
                 self.counters.remove(&old);
                 self.stats.recycled += 1;
             }

@@ -167,7 +167,9 @@ mod tests {
     fn random_is_deterministic_per_seed() {
         let seq = |seed| {
             let mut r = Replacer::new(ReplacementPolicy::Random, seed);
-            (0..20).map(|_| r.choose_victim(gid(0), 4)).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| r.choose_victim(gid(0), 4))
+                .collect::<Vec<_>>()
         };
         assert_eq!(seq(1), seq(1));
         assert_ne!(seq(1), seq(2));

@@ -30,7 +30,10 @@ impl fmt::Display for TranslationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TranslationError::CorruptEntry { set, way } => {
-                write!(f, "translation cache entry (set {set}, way {way}) failed its checksum")
+                write!(
+                    f,
+                    "translation cache entry (set {set}, way {way}) failed its checksum"
+                )
             }
         }
     }
@@ -228,7 +231,10 @@ impl TranslationCache {
     /// Rows with a (purportedly) valid entry, in storage order. Used by the
     /// management layer's cache↔device agreement sweep.
     pub fn resident_rows(&self) -> impl Iterator<Item = GlobalRowId> + '_ {
-        self.tags.iter().filter(|&&t| t != 0).map(|&t| GlobalRowId(t - 1))
+        self.tags
+            .iter()
+            .filter(|&&t| t != 0)
+            .map(|&t| GlobalRowId(t - 1))
     }
 
     /// Integrity sweep: verifies every entry's tag against its checksum.
@@ -399,9 +405,16 @@ mod tests {
         for n in 100..110 {
             assert!(c.contains(row(n)), "rebuilt entry {n} missing");
         }
-        assert!(!c.contains(row(0)), "stale pre-rebuild entries must be gone");
+        assert!(
+            !c.contains(row(0)),
+            "stale pre-rebuild entries must be gone"
+        );
         assert_eq!(c.stats().rebuilds, 1);
-        assert_eq!(c.stats().fills, fills_before, "rebuild fills are not demand fills");
+        assert_eq!(
+            c.stats().fills,
+            fills_before,
+            "rebuild fills are not demand fills"
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ fn replacement_victims_in_range() {
             let mut r = Replacer::new(policy, 42);
             let n = rng.range_usize(0, 100);
             for i in 0..n {
-                let gid = GroupId { bank: 0, group: rng.range_u32(0, 16) };
+                let gid = GroupId {
+                    bank: 0,
+                    group: rng.range_u32(0, 16),
+                };
                 let slot = (rng.range_u32(0, 4) as u8) % fast_slots as u8;
                 r.note_fast_access(gid, slot, fast_slots, i as u64);
                 let v = r.choose_victim(gid, fast_slots);
@@ -156,7 +159,10 @@ fn manager_accesses_keep_translation_consistent() {
             if let Some(swap) = m.on_data_access(bank, row, i as u64) {
                 m.commit_swap(&swap, i as u64);
                 assert!(m.is_fast(bank, row), "seed {seed}: promotee must be fast");
-                assert!(!m.is_fast(bank, swap.victim), "seed {seed}: victim must be slow");
+                assert!(
+                    !m.is_fast(bank, swap.victim),
+                    "seed {seed}: victim must be slow"
+                );
             }
             // Translation is always self-consistent.
             let tr = m.translate(bank, row);
@@ -167,7 +173,10 @@ fn manager_accesses_keep_translation_consistent() {
         // All physical rows across the bank are still distinct.
         let mut seen = std::collections::HashSet::new();
         for row in 0..512u32 {
-            assert!(seen.insert(m.peek(bank, row).0), "seed {seed}: row {row} aliased");
+            assert!(
+                seen.insert(m.peek(bank, row).0),
+                "seed {seed}: row {row} aliased"
+            );
         }
     }
 }
@@ -210,7 +219,7 @@ fn ten_thousand_mixed_ops_preserve_exclusive_cache_invariant() {
                     let _ = m.translate(bank, row);
                     if let Some(req) = m.on_data_access(bank, row, now) {
                         match rng.range_u32(0, 4) {
-                            0 => pending.push(req), // swap in flight
+                            0 => pending.push(req),  // swap in flight
                             1 => m.abort_swap(&req), // failed / demoted
                             _ => m.commit_swap(&req, now),
                         }

@@ -35,7 +35,11 @@ pub struct CoreConfig {
 impl CoreConfig {
     /// The paper's core: 3 GHz, 4-wide issue, 192-entry ROB.
     pub fn paper_default() -> Self {
-        CoreConfig { rob_entries: 192, width: 4, ticks_per_cycle: 8 }
+        CoreConfig {
+            rob_entries: 192,
+            width: 4,
+            ticks_per_cycle: 8,
+        }
     }
 
     fn frontend_ticks(&self, insts: u64) -> u64 {
@@ -193,7 +197,11 @@ impl Core {
                 None => waiting = true,
             }
         }
-        let completed_at = if item.is_write && !waiting { Some(issue_at) } else { None };
+        let completed_at = if item.is_write && !waiting {
+            Some(issue_at)
+        } else {
+            None
+        };
         self.window.push_back(WindowEntry {
             id,
             insts,
@@ -222,7 +230,12 @@ impl Core {
             self.prev_ref_id = Some(id);
         }
         if !waiting {
-            out.push(MemRequest { id, addr: item.addr, is_write: item.is_write, issue_at });
+            out.push(MemRequest {
+                id,
+                addr: item.addr,
+                is_write: item.is_write,
+                issue_at,
+            });
         }
         // Stores (and anything already complete) may retire immediately.
         self.retire_ready();
@@ -282,8 +295,7 @@ impl Core {
             let Some(done) = head.completed_at else { break };
             let head = self.window.pop_front().expect("nonempty");
             self.window_insts -= head.window_cost;
-            self.retire_clock =
-                (self.retire_clock + self.cfg.frontend_ticks(head.insts)).max(done);
+            self.retire_clock = (self.retire_clock + self.cfg.frontend_ticks(head.insts)).max(done);
             self.stats.insts_retired += head.insts;
         }
     }
@@ -382,8 +394,10 @@ mod tests {
     #[test]
     fn independent_loads_overlap() {
         let mut core = Core::new(cfg(), 8);
-        let reqs =
-            drain(&mut core, vec![TraceItem::load(3, 0x40), TraceItem::load(3, 0x80)]);
+        let reqs = drain(
+            &mut core,
+            vec![TraceItem::load(3, 0x40), TraceItem::load(3, 0x80)],
+        );
         assert_eq!(reqs.len(), 2, "both issue without waiting");
         assert!(reqs[1].issue_at - reqs[0].issue_at <= 2 * TPC);
         let mut out = Vec::new();
@@ -441,12 +455,15 @@ mod tests {
         let mut core = Core::new(cfg(), 8);
         let reqs = drain(
             &mut core,
-            vec![TraceItem::load(3, 0x40), TraceItem {
-                gap: 3,
-                addr: 0x80,
-                is_write: true,
-                depends_on_prev: true,
-            }],
+            vec![
+                TraceItem::load(3, 0x40),
+                TraceItem {
+                    gap: 3,
+                    addr: 0x80,
+                    is_write: true,
+                    depends_on_prev: true,
+                },
+            ],
         );
         assert_eq!(reqs.len(), 1);
         let mut out = Vec::new();
@@ -484,13 +501,19 @@ mod tests {
         let first_staged_addr = 0x40 * 4;
         core.complete(out[0].id, 100, &mut out);
         core.dispatch_from(&mut it, &mut out);
-        assert_eq!(out[4].addr, first_staged_addr, "order preserved across staging");
+        assert_eq!(
+            out[4].addr, first_staged_addr,
+            "order preserved across staging"
+        );
     }
 
     #[test]
     fn stores_do_not_block_retirement() {
         let mut core = Core::new(cfg(), 2);
-        let reqs = drain(&mut core, vec![TraceItem::store(0, 0), TraceItem::store(0, 64)]);
+        let reqs = drain(
+            &mut core,
+            vec![TraceItem::store(0, 0), TraceItem::store(0, 64)],
+        );
         assert_eq!(reqs.len(), 2);
         assert!(core.is_finished(), "stores retire eagerly");
         assert_eq!(core.stats().stores, 2);
@@ -531,9 +554,10 @@ mod tests {
         let run = |lat: u64| {
             let mut core = Core::new(cfg(), 100_000);
             let mut out = Vec::new();
-            let mut it =
-                (0..500u64).map(|i| TraceItem::dependent_load(99, 64 * i)).collect::<Vec<_>>()
-                    .into_iter();
+            let mut it = (0..500u64)
+                .map(|i| TraceItem::dependent_load(99, 64 * i))
+                .collect::<Vec<_>>()
+                .into_iter();
             core.dispatch_from(&mut it, &mut out);
             while !out.is_empty() {
                 let pending = std::mem::take(&mut out);
@@ -580,6 +604,9 @@ mod tests {
         };
         let parallel = run(false);
         let serial = run(true);
-        assert!(parallel * 4 < serial, "MLP should be ≫: parallel {parallel}, serial {serial}");
+        assert!(
+            parallel * 4 < serial,
+            "MLP should be ≫: parallel {parallel}, serial {serial}"
+        );
     }
 }

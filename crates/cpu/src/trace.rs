@@ -23,17 +23,32 @@ pub struct TraceItem {
 impl TraceItem {
     /// A simple independent load after `gap` compute instructions.
     pub fn load(gap: u32, addr: u64) -> Self {
-        TraceItem { gap, addr, is_write: false, depends_on_prev: false }
+        TraceItem {
+            gap,
+            addr,
+            is_write: false,
+            depends_on_prev: false,
+        }
     }
 
     /// A store after `gap` compute instructions.
     pub fn store(gap: u32, addr: u64) -> Self {
-        TraceItem { gap, addr, is_write: true, depends_on_prev: false }
+        TraceItem {
+            gap,
+            addr,
+            is_write: true,
+            depends_on_prev: false,
+        }
     }
 
     /// A load that depends on the previous reference.
     pub fn dependent_load(gap: u32, addr: u64) -> Self {
-        TraceItem { gap, addr, is_write: false, depends_on_prev: true }
+        TraceItem {
+            gap,
+            addr,
+            is_write: false,
+            depends_on_prev: true,
+        }
     }
 
     /// Total instructions this item represents (the reference itself plus

@@ -49,8 +49,7 @@ impl AsymmetricAreaModel {
         let pattern_rows = (self.fast_rows + self.slow_per_fast * self.slow_rows) as f64;
         // Homogeneous: the same capacity built from slow subarrays only.
         let homogeneous_subarrays = pattern_rows / self.slow_rows as f64;
-        let homogeneous_area =
-            homogeneous_subarrays * (self.slow_rows as f64 + self.sense_height);
+        let homogeneous_area = homogeneous_subarrays * (self.slow_rows as f64 + self.sense_height);
         // Asymmetric: one fast subarray (its own row buffer + peripherals)
         // plus the slow subarrays.
         let asymmetric_area = (self.fast_rows as f64 + self.sense_height + self.peripheral_rows)
@@ -123,7 +122,9 @@ mod tests {
     fn das_overhead_grows_with_fast_share() {
         // §7.6: 6.6% at ratio 1/8 (1:2 pattern) vs 11.3% at 1/4.
         let eighth = AsymmetricAreaModel::default().overhead();
-        let quarter = AsymmetricAreaModel::default().with_slow_per_fast(1).overhead();
+        let quarter = AsymmetricAreaModel::default()
+            .with_slow_per_fast(1)
+            .overhead();
         assert!(quarter > eighth * 1.5, "{quarter} vs {eighth}");
         assert!(
             (0.09..0.14).contains(&quarter),
@@ -144,6 +145,8 @@ mod tests {
 
     #[test]
     fn tl_dram_is_far_more_expensive_than_das() {
-        assert!(TlDramAreaModel::default().overhead() > 3.0 * AsymmetricAreaModel::default().overhead());
+        assert!(
+            TlDramAreaModel::default().overhead() > 3.0 * AsymmetricAreaModel::default().overhead()
+        );
     }
 }

@@ -153,7 +153,9 @@ impl Bank {
 
     /// Whether every buffer is precharged.
     pub fn all_precharged(&self) -> bool {
-        self.buffers.iter().all(|b| b.state == RowBufferState::Precharged)
+        self.buffers
+            .iter()
+            .all(|b| b.state == RowBufferState::Precharged)
     }
 
     /// Per-bank statistics.
@@ -165,21 +167,21 @@ impl Bank {
     /// buffer holds an open row (a PRE must come first).
     pub fn earliest_activate(&self, idx: usize) -> Option<Tick> {
         match self.buf(idx).state {
-            RowBufferState::Precharged => {
-                Some(self.buf(idx).act_ready.max(self.bank_act_ready))
-            }
+            RowBufferState::Precharged => Some(self.buf(idx).act_ready.max(self.bank_act_ready)),
             RowBufferState::Open { .. } => None,
         }
     }
 
     /// Earliest tick a READ of buffer `idx`'s open row may issue.
     pub fn earliest_read(&self, idx: usize) -> Option<Tick> {
-        self.open_row(idx).map(|_| self.buf(idx).rd_ready.max(self.col_ready))
+        self.open_row(idx)
+            .map(|_| self.buf(idx).rd_ready.max(self.col_ready))
     }
 
     /// Earliest tick a WRITE to buffer `idx`'s open row may issue.
     pub fn earliest_write(&self, idx: usize) -> Option<Tick> {
-        self.open_row(idx).map(|_| self.buf(idx).wr_ready.max(self.col_ready))
+        self.open_row(idx)
+            .map(|_| self.buf(idx).wr_ready.max(self.col_ready))
     }
 
     /// Earliest tick a PRE of buffer `idx` may issue. `None` if precharged.
@@ -295,7 +297,11 @@ impl Bank {
     pub fn precharge(&mut self, idx: usize, timing: &TimingSet, at: Tick) {
         let p = *self.open_params(idx, timing);
         let b = self.buf_mut(idx);
-        debug_assert!(at >= b.pre_ready, "PRE at {at} before ready {}", b.pre_ready);
+        debug_assert!(
+            at >= b.pre_ready,
+            "PRE at {at} before ready {}",
+            b.pre_ready
+        );
         b.state = RowBufferState::Precharged;
         b.act_ready = b.act_ready.max(at + p.trp);
         self.stats.precharges += 1;
@@ -361,7 +367,11 @@ mod tests {
         let mut b = Bank::new();
         b.activate(0, 42, SubarrayKind::Slow, &set, Tick::ZERO);
         assert_eq!(b.open_row(0), Some(42));
-        assert_eq!(b.earliest_activate(0), None, "must precharge before next ACT");
+        assert_eq!(
+            b.earliest_activate(0),
+            None,
+            "must precharge before next ACT"
+        );
         assert_eq!(b.earliest_read(0), Some(t(13.75)));
         let data_end = b.read(0, &set, t(13.75));
         assert_eq!(data_end, t(13.75 + 13.75 + 5.0));
@@ -456,7 +466,11 @@ mod tests {
         let mut b = Bank::new();
         b.activate(0, 10, SubarrayKind::Slow, &set, Tick::ZERO);
         b.precharge(0, &set, t(35.0));
-        assert_eq!(b.earliest_activate(0), Some(t(48.75)), "conventional bank keeps tRC");
+        assert_eq!(
+            b.earliest_activate(0),
+            Some(t(48.75)),
+            "conventional bank keeps tRC"
+        );
     }
 
     #[test]

@@ -48,7 +48,15 @@ impl ChannelDevice {
         timing: TimingSet,
         refresh_enabled: bool,
     ) -> Self {
-        Self::with_salp(channel_id, ranks, banks_per_rank, layout, timing, refresh_enabled, false)
+        Self::with_salp(
+            channel_id,
+            ranks,
+            banks_per_rank,
+            layout,
+            timing,
+            refresh_enabled,
+            false,
+        )
     }
 
     /// Like [`ChannelDevice::new`] with subarray-level parallelism (one
@@ -90,7 +98,10 @@ impl ChannelDevice {
     }
 
     fn bank_idx(&self, bank: BankCoord) -> usize {
-        debug_assert_eq!(bank.channel, self.channel_id, "command routed to wrong channel");
+        debug_assert_eq!(
+            bank.channel, self.channel_id,
+            "command routed to wrong channel"
+        );
         bank.rank as usize * self.banks_per_rank as usize + bank.bank as usize
     }
 
@@ -175,7 +186,8 @@ impl ChannelDevice {
                 let idx = self.buffer_of(phys_row);
                 let b = &self.banks[self.bank_idx(bank)];
                 let rank = &self.ranks[bank.rank as usize];
-                b.earliest_activate(idx)?.max(rank.earliest_activate(rp.trrd, rp.tfaw))
+                b.earliest_activate(idx)?
+                    .max(rank.earliest_activate(rp.trrd, rp.tfaw))
             }
             DramCommand::Read { bank, phys_row, .. } => {
                 if !self.is_row_open(bank, phys_row) {
@@ -185,8 +197,7 @@ impl ChannelDevice {
                 let b = &self.banks[self.bank_idx(bank)];
                 let cmd_ready = b.earliest_read(idx)?;
                 let p = self.open_row_params(bank, phys_row)?;
-                let bus_start =
-                    self.bus.earliest_start(BusDir::Read, rp.twtr, rp.tck * 2);
+                let bus_start = self.bus.earliest_start(BusDir::Read, rp.twtr, rp.tck * 2);
                 cmd_ready.max(bus_start.saturating_sub(p.cl))
             }
             DramCommand::Write { bank, phys_row, .. } => {
@@ -197,22 +208,27 @@ impl ChannelDevice {
                 let b = &self.banks[self.bank_idx(bank)];
                 let cmd_ready = b.earliest_write(idx)?;
                 let p = self.open_row_params(bank, phys_row)?;
-                let bus_start =
-                    self.bus.earliest_start(BusDir::Write, rp.twtr, rp.tck * 2);
+                let bus_start = self.bus.earliest_start(BusDir::Write, rp.twtr, rp.tck * 2);
                 cmd_ready.max(bus_start.saturating_sub(p.cwl))
             }
             DramCommand::Precharge { bank, phys_row } => {
                 let idx = self.buffer_of(phys_row);
                 self.banks[self.bank_idx(bank)].earliest_precharge(idx)?
             }
-            DramCommand::RowSwap { bank, phys_a, phys_b, .. } => {
+            DramCommand::RowSwap {
+                bank,
+                phys_a,
+                phys_b,
+                ..
+            } => {
                 if !self.timing.supports_migration() {
                     return None;
                 }
                 debug_assert_ne!(phys_a, phys_b, "swap of a row with itself");
                 let b = &self.banks[self.bank_idx(bank)];
                 let rank = &self.ranks[bank.rank as usize];
-                b.earliest_swap()?.max(rank.earliest_activate(rp.trrd, rp.tfaw))
+                b.earliest_swap()?
+                    .max(rank.earliest_activate(rp.trrd, rp.tfaw))
             }
             DramCommand::Refresh { rank } => {
                 let tracker = &self.ranks[rank as usize];
@@ -244,44 +260,64 @@ impl ChannelDevice {
                 let idx = self.bank_idx(bank);
                 self.banks[idx].activate(buf, phys_row, kind, &timing, at);
                 self.ranks[bank.rank as usize].record_activate(at);
-                IssueOutcome { data_end: None, done: at + timing.params_for(kind).trcd }
+                IssueOutcome {
+                    data_end: None,
+                    done: at + timing.params_for(kind).trcd,
+                }
             }
             DramCommand::Read { bank, phys_row, .. } => {
-                let p = *self.open_row_params(bank, phys_row).expect("READ on closed row");
+                let p = *self
+                    .open_row_params(bank, phys_row)
+                    .expect("READ on closed row");
                 let buf = self.buffer_of(phys_row);
                 let idx = self.bank_idx(bank);
                 let data_end = self.banks[idx].read(buf, &timing, at);
                 self.bus.occupy(BusDir::Read, at + p.cl, data_end);
-                IssueOutcome { data_end: Some(data_end), done: data_end }
+                IssueOutcome {
+                    data_end: Some(data_end),
+                    done: data_end,
+                }
             }
             DramCommand::Write { bank, phys_row, .. } => {
-                let p = *self.open_row_params(bank, phys_row).expect("WRITE on closed row");
+                let p = *self
+                    .open_row_params(bank, phys_row)
+                    .expect("WRITE on closed row");
                 let buf = self.buffer_of(phys_row);
                 let idx = self.bank_idx(bank);
                 let data_end = self.banks[idx].write(buf, &timing, at);
                 self.bus.occupy(BusDir::Write, at + p.cwl, data_end);
-                IssueOutcome { data_end: Some(data_end), done: data_end }
+                IssueOutcome {
+                    data_end: Some(data_end),
+                    done: data_end,
+                }
             }
             DramCommand::Precharge { bank, phys_row } => {
                 let buf = self.buffer_of(phys_row);
                 let idx = self.bank_idx(bank);
                 self.banks[idx].precharge(buf, &timing, at);
                 let done = at + rp.trp;
-                IssueOutcome { data_end: None, done }
+                IssueOutcome {
+                    data_end: None,
+                    done,
+                }
             }
             DramCommand::RowSwap { bank, kind, .. } => {
-                assert!(timing.supports_migration(), "device has no migration support");
+                assert!(
+                    timing.supports_migration(),
+                    "device has no migration support"
+                );
                 let duration = match kind {
                     crate::command::MigrationKind::Swap => timing.swap,
                     crate::command::MigrationKind::Copy => timing.single_migration,
-                    crate::command::MigrationKind::CopyWithWriteback => {
-                        timing.single_migration * 2
-                    }
+                    crate::command::MigrationKind::CopyWithWriteback => timing.single_migration * 2,
                 };
                 let idx = self.bank_idx(bank);
                 let done = self.banks[idx].swap(duration, at);
                 self.ranks[bank.rank as usize].record_activate(at);
-                IssueOutcome { data_end: None, done }
+                IssueOutcome {
+                    data_end: None,
+                    done,
+                }
             }
             DramCommand::Refresh { rank } => {
                 let done = self.ranks[rank as usize].refresh(rp.trfc, rp.trefi, at);
@@ -290,7 +326,10 @@ impl ChannelDevice {
                     let idx = self.bank_idx(coord);
                     self.banks[idx].block_until(done);
                 }
-                IssueOutcome { data_end: None, done }
+                IssueOutcome {
+                    data_end: None,
+                    done,
+                }
             }
         }
     }
@@ -316,7 +355,11 @@ impl ChannelDevice {
         self.ranks.iter().map(|r| r.next_refresh_due()).min()
     }
 
-    fn open_row_params(&self, bank: BankCoord, phys_row: u32) -> Option<&crate::timing::TimingParams> {
+    fn open_row_params(
+        &self,
+        bank: BankCoord,
+        phys_row: u32,
+    ) -> Option<&crate::timing::TimingParams> {
         let idx = self.buffer_of(phys_row);
         let row = self.banks[self.bank_idx(bank)].open_row(idx)?;
         Some(self.timing.params_for(self.layout.row_kind(row)))
@@ -342,11 +385,18 @@ mod tests {
     fn full_access_cycle_timing() {
         let mut d = device(TimingSet::homogeneous_slow());
         let slow_row = d.layout().slow_to_phys(0);
-        let act = DramCommand::Activate { bank: bank0(), phys_row: slow_row };
+        let act = DramCommand::Activate {
+            bank: bank0(),
+            phys_row: slow_row,
+        };
         let t0 = d.earliest_issue(&act, Tick::ZERO).unwrap();
         assert_eq!(t0, Tick::ZERO);
         d.issue(&act, t0);
-        let rd = DramCommand::Read { bank: bank0(), phys_row: slow_row, col: 3 };
+        let rd = DramCommand::Read {
+            bank: bank0(),
+            phys_row: slow_row,
+            col: 3,
+        };
         let t1 = d.earliest_issue(&rd, Tick::ZERO).unwrap();
         assert_eq!(t1, Tick::from_ns(13.75));
         let out = d.issue(&rd, t1);
@@ -359,7 +409,11 @@ mod tests {
         let d = device(TimingSet::homogeneous_slow());
         assert_eq!(
             d.earliest_issue(
-                &DramCommand::Read { bank: bank0(), phys_row: 0, col: 0 },
+                &DramCommand::Read {
+                    bank: bank0(),
+                    phys_row: 0,
+                    col: 0
+                },
                 Tick::ZERO
             ),
             None
@@ -370,10 +424,17 @@ mod tests {
     fn fast_row_read_is_faster_end_to_end() {
         let mut d = device(TimingSet::asymmetric());
         let run = |d: &mut ChannelDevice, row: u32| {
-            let act = DramCommand::Activate { bank: bank0(), phys_row: row };
+            let act = DramCommand::Activate {
+                bank: bank0(),
+                phys_row: row,
+            };
             let t = d.earliest_issue(&act, Tick::ZERO).unwrap();
             d.issue(&act, t);
-            let rd = DramCommand::Read { bank: bank0(), phys_row: row, col: 0 };
+            let rd = DramCommand::Read {
+                bank: bank0(),
+                phys_row: row,
+                col: 0,
+            };
             let t = d.earliest_issue(&rd, Tick::ZERO).unwrap();
             d.issue(&rd, t).data_end.unwrap()
         };
@@ -382,8 +443,15 @@ mod tests {
         let mut d2 = device(TimingSet::asymmetric());
         let slow_row = d2.layout().slow_to_phys(0);
         let slow_done = run(&mut d2, slow_row);
-        assert!(fast_done < slow_done, "fast {fast_done} !< slow {slow_done}");
-        assert_eq!(slow_done - fast_done, Tick::from_ns(5.0), "tRCD delta 13.75-8.75");
+        assert!(
+            fast_done < slow_done,
+            "fast {fast_done} !< slow {slow_done}"
+        );
+        assert_eq!(
+            slow_done - fast_done,
+            Tick::from_ns(5.0),
+            "tRCD delta 13.75-8.75"
+        );
     }
 
     #[test]
@@ -393,14 +461,25 @@ mod tests {
         let b1 = BankCoord::new(0, 0, 1);
         let row = d.layout().slow_to_phys(0);
         for b in [b0, b1] {
-            let act = DramCommand::Activate { bank: b, phys_row: row };
+            let act = DramCommand::Activate {
+                bank: b,
+                phys_row: row,
+            };
             let t = d.earliest_issue(&act, Tick::ZERO).unwrap();
             d.issue(&act, t);
         }
-        let rd0 = DramCommand::Read { bank: b0, phys_row: row, col: 0 };
+        let rd0 = DramCommand::Read {
+            bank: b0,
+            phys_row: row,
+            col: 0,
+        };
         let t = d.earliest_issue(&rd0, Tick::ZERO).unwrap();
         let out0 = d.issue(&rd0, t);
-        let rd1 = DramCommand::Read { bank: b1, phys_row: row, col: 0 };
+        let rd1 = DramCommand::Read {
+            bank: b1,
+            phys_row: row,
+            col: 0,
+        };
         let t1 = d.earliest_issue(&rd1, Tick::ZERO).unwrap();
         let out1 = d.issue(&rd1, t1);
         // Second burst cannot overlap the first.
@@ -411,31 +490,56 @@ mod tests {
     fn trrd_spaces_cross_bank_activates() {
         let mut d = device(TimingSet::homogeneous_slow());
         let row = d.layout().slow_to_phys(0);
-        let a0 = DramCommand::Activate { bank: BankCoord::new(0, 0, 0), phys_row: row };
+        let a0 = DramCommand::Activate {
+            bank: BankCoord::new(0, 0, 0),
+            phys_row: row,
+        };
         d.issue(&a0, Tick::ZERO);
-        let a1 = DramCommand::Activate { bank: BankCoord::new(0, 0, 1), phys_row: row };
+        let a1 = DramCommand::Activate {
+            bank: BankCoord::new(0, 0, 1),
+            phys_row: row,
+        };
         assert_eq!(d.earliest_issue(&a1, Tick::ZERO), Some(Tick::from_ns(6.25)));
         // A different rank is unconstrained by this rank's tRRD.
-        let a2 = DramCommand::Activate { bank: BankCoord::new(0, 1, 0), phys_row: row };
+        let a2 = DramCommand::Activate {
+            bank: BankCoord::new(0, 1, 0),
+            phys_row: row,
+        };
         assert_eq!(d.earliest_issue(&a2, Tick::ZERO), Some(Tick::ZERO));
     }
 
     #[test]
     fn swap_requires_migration_support() {
         let d = device(TimingSet::homogeneous_slow());
-        let cmd = DramCommand::RowSwap { bank: bank0(), phys_a: 0, phys_b: 1, kind: Default::default() };
+        let cmd = DramCommand::RowSwap {
+            bank: bank0(),
+            phys_a: 0,
+            phys_b: 1,
+            kind: Default::default(),
+        };
         assert_eq!(d.earliest_issue(&cmd, Tick::ZERO), None);
 
         let mut d = device(TimingSet::asymmetric());
         let fast = d.layout().fast_to_phys(0);
         let slow = d.layout().slow_to_phys(0);
-        let cmd = DramCommand::RowSwap { bank: bank0(), phys_a: fast, phys_b: slow, kind: Default::default() };
+        let cmd = DramCommand::RowSwap {
+            bank: bank0(),
+            phys_a: fast,
+            phys_b: slow,
+            kind: Default::default(),
+        };
         let t = d.earliest_issue(&cmd, Tick::ZERO).unwrap();
         let out = d.issue(&cmd, t);
         assert_eq!(out.done, Tick::from_ns(146.25));
         // Bank blocked until the swap completes.
-        let act = DramCommand::Activate { bank: bank0(), phys_row: slow };
-        assert_eq!(d.earliest_issue(&act, Tick::ZERO), Some(Tick::from_ns(146.25)));
+        let act = DramCommand::Activate {
+            bank: bank0(),
+            phys_row: slow,
+        };
+        assert_eq!(
+            d.earliest_issue(&act, Tick::ZERO),
+            Some(Tick::from_ns(146.25))
+        );
         assert_eq!(d.channel_stats().swaps, 1);
     }
 
@@ -448,24 +552,45 @@ mod tests {
         assert!(d.refresh_due(Tick::from_ns(7800.0)).is_some());
         // Open a bank: refresh becomes inadmissible.
         let row = d.layout().slow_to_phys(0);
-        d.issue(&DramCommand::Activate { bank: bank0(), phys_row: row }, Tick::ZERO);
-        assert_eq!(d.earliest_issue(&DramCommand::Refresh { rank: 0 }, Tick::ZERO), None);
+        d.issue(
+            &DramCommand::Activate {
+                bank: bank0(),
+                phys_row: row,
+            },
+            Tick::ZERO,
+        );
+        assert_eq!(
+            d.earliest_issue(&DramCommand::Refresh { rank: 0 }, Tick::ZERO),
+            None
+        );
         // Close it and refresh.
-        let pre = DramCommand::Precharge { bank: bank0(), phys_row: row };
+        let pre = DramCommand::Precharge {
+            bank: bank0(),
+            phys_row: row,
+        };
         let t = d.earliest_issue(&pre, Tick::ZERO).unwrap();
         d.issue(&pre, t);
         let refr = DramCommand::Refresh { rank: 0 };
         let t = d.earliest_issue(&refr, Tick::from_ns(7800.0)).unwrap();
         let out = d.issue(&refr, t);
         assert_eq!(out.done, t + Tick::from_ns(160.0));
-        let act = DramCommand::Activate { bank: bank0(), phys_row: row };
+        let act = DramCommand::Activate {
+            bank: bank0(),
+            phys_row: row,
+        };
         assert_eq!(d.earliest_issue(&act, t), Some(out.done));
     }
 
     #[test]
     fn earliest_issue_respects_now() {
         let d = device(TimingSet::homogeneous_slow());
-        let act = DramCommand::Activate { bank: bank0(), phys_row: 0 };
-        assert_eq!(d.earliest_issue(&act, Tick::from_ns(99.0)), Some(Tick::from_ns(99.0)));
+        let act = DramCommand::Activate {
+            bank: bank0(),
+            phys_row: 0,
+        };
+        assert_eq!(
+            d.earliest_issue(&act, Tick::from_ns(99.0)),
+            Some(Tick::from_ns(99.0))
+        );
     }
 }

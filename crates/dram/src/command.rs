@@ -113,14 +113,27 @@ impl fmt::Display for DramCommand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             DramCommand::Activate { bank, phys_row } => write!(f, "ACT {bank} row{phys_row}"),
-            DramCommand::Read { bank, phys_row, col } => {
+            DramCommand::Read {
+                bank,
+                phys_row,
+                col,
+            } => {
                 write!(f, "RD {bank} row{phys_row} col{col}")
             }
-            DramCommand::Write { bank, phys_row, col } => {
+            DramCommand::Write {
+                bank,
+                phys_row,
+                col,
+            } => {
                 write!(f, "WR {bank} row{phys_row} col{col}")
             }
             DramCommand::Precharge { bank, phys_row } => write!(f, "PRE {bank} row{phys_row}"),
-            DramCommand::RowSwap { bank, phys_a, phys_b, kind } => match kind {
+            DramCommand::RowSwap {
+                bank,
+                phys_a,
+                phys_b,
+                kind,
+            } => match kind {
                 MigrationKind::Swap => write!(f, "SWAP {bank} row{phys_a}<->row{phys_b}"),
                 MigrationKind::Copy => write!(f, "COPY {bank} row{phys_a}->row{phys_b}"),
                 MigrationKind::CopyWithWriteback => {
@@ -142,23 +155,71 @@ mod tests {
 
     #[test]
     fn bank_extraction() {
-        assert_eq!(DramCommand::Activate { bank: bank(), phys_row: 7 }.bank(), Some(bank()));
+        assert_eq!(
+            DramCommand::Activate {
+                bank: bank(),
+                phys_row: 7
+            }
+            .bank(),
+            Some(bank())
+        );
         assert_eq!(DramCommand::Refresh { rank: 0 }.bank(), None);
-        assert_eq!(DramCommand::RowSwap { bank: bank(), phys_a: 1, phys_b: 2, kind: MigrationKind::Swap }.bank(), Some(bank()));
+        assert_eq!(
+            DramCommand::RowSwap {
+                bank: bank(),
+                phys_a: 1,
+                phys_b: 2,
+                kind: MigrationKind::Swap
+            }
+            .bank(),
+            Some(bank())
+        );
     }
 
     #[test]
     fn data_bus_usage() {
-        assert!(DramCommand::Read { bank: bank(), phys_row: 0, col: 0 }.uses_data_bus());
-        assert!(DramCommand::Write { bank: bank(), phys_row: 0, col: 0 }.uses_data_bus());
-        assert!(!DramCommand::Activate { bank: bank(), phys_row: 0 }.uses_data_bus());
-        assert!(!DramCommand::RowSwap { bank: bank(), phys_a: 0, phys_b: 1, kind: MigrationKind::Swap }.uses_data_bus());
-        assert!(!DramCommand::Precharge { bank: bank(), phys_row: 0 }.uses_data_bus());
+        assert!(DramCommand::Read {
+            bank: bank(),
+            phys_row: 0,
+            col: 0
+        }
+        .uses_data_bus());
+        assert!(DramCommand::Write {
+            bank: bank(),
+            phys_row: 0,
+            col: 0
+        }
+        .uses_data_bus());
+        assert!(!DramCommand::Activate {
+            bank: bank(),
+            phys_row: 0
+        }
+        .uses_data_bus());
+        assert!(!DramCommand::RowSwap {
+            bank: bank(),
+            phys_a: 0,
+            phys_b: 1,
+            kind: MigrationKind::Swap
+        }
+        .uses_data_bus());
+        assert!(!DramCommand::Precharge {
+            bank: bank(),
+            phys_row: 0
+        }
+        .uses_data_bus());
     }
 
     #[test]
     fn display_is_informative() {
-        let s = format!("{}", DramCommand::RowSwap { bank: bank(), phys_a: 5, phys_b: 9, kind: MigrationKind::Copy });
+        let s = format!(
+            "{}",
+            DramCommand::RowSwap {
+                bank: bank(),
+                phys_a: 5,
+                phys_b: 9,
+                kind: MigrationKind::Copy
+            }
+        );
         assert!(s.contains("COPY") && s.contains("row5") && s.contains("row9"));
     }
 }

@@ -60,7 +60,11 @@ pub struct BankCoord {
 impl BankCoord {
     /// Creates a bank coordinate.
     pub const fn new(channel: u8, rank: u8, bank: u8) -> Self {
-        BankCoord { channel, rank, bank }
+        BankCoord {
+            channel,
+            rank,
+            bank,
+        }
     }
 }
 
@@ -110,7 +114,10 @@ impl FastRatio {
     ///
     /// Panics if `den == 0`, `num == 0`, or `num > den`.
     pub fn new(num: u32, den: u32) -> Self {
-        assert!(den > 0 && num > 0 && num <= den, "invalid fast ratio {num}/{den}");
+        assert!(
+            den > 0 && num > 0 && num <= den,
+            "invalid fast ratio {num}/{den}"
+        );
         FastRatio { num, den }
     }
 
@@ -204,14 +211,28 @@ impl BankLayout {
         let push_run = |subarrays: &mut Vec<Subarray>, kind, mut rows: u32, unit: u32| {
             while rows > 0 {
                 let take = rows.min(unit);
-                subarrays.push(Subarray { kind, phys_start: 0, rows: take });
+                subarrays.push(Subarray {
+                    kind,
+                    phys_start: 0,
+                    rows: take,
+                });
                 rows -= take;
             }
         };
         match arrangement {
             Arrangement::Partitioning => {
-                push_run(&mut subarrays, SubarrayKind::Fast, fast_rows, fast_subarray_rows);
-                push_run(&mut subarrays, SubarrayKind::Slow, slow_rows, slow_subarray_rows);
+                push_run(
+                    &mut subarrays,
+                    SubarrayKind::Fast,
+                    fast_rows,
+                    fast_subarray_rows,
+                );
+                push_run(
+                    &mut subarrays,
+                    SubarrayKind::Slow,
+                    slow_rows,
+                    slow_subarray_rows,
+                );
             }
             Arrangement::Interleaving => {
                 // Strict alternation of single fast and slow subarrays; the
@@ -226,8 +247,18 @@ impl BankLayout {
                     push_run(&mut subarrays, SubarrayKind::Slow, s, slow_subarray_rows);
                     slow_left -= s;
                 }
-                push_run(&mut subarrays, SubarrayKind::Fast, fast_left, fast_subarray_rows);
-                push_run(&mut subarrays, SubarrayKind::Slow, slow_left, slow_subarray_rows);
+                push_run(
+                    &mut subarrays,
+                    SubarrayKind::Fast,
+                    fast_left,
+                    fast_subarray_rows,
+                );
+                push_run(
+                    &mut subarrays,
+                    SubarrayKind::Slow,
+                    slow_left,
+                    slow_subarray_rows,
+                );
             }
             Arrangement::ReducedInterleaving => {
                 // Each fast subarray is followed by a proportional run of
@@ -249,7 +280,12 @@ impl BankLayout {
                     push_run(&mut subarrays, SubarrayKind::Slow, s, slow_subarray_rows);
                     slow_left -= s;
                 }
-                push_run(&mut subarrays, SubarrayKind::Slow, slow_left, slow_subarray_rows);
+                push_run(
+                    &mut subarrays,
+                    SubarrayKind::Slow,
+                    slow_left,
+                    slow_subarray_rows,
+                );
             }
         }
         // Assign physical start offsets and kind-space starts.
@@ -274,7 +310,12 @@ impl BankLayout {
         debug_assert_eq!(phys, rows_per_bank);
         debug_assert_eq!(fast_seen, fast_rows);
         debug_assert_eq!(slow_seen, slow_rows);
-        BankLayout { subarrays, fast_rows, slow_rows, kind_space_start }
+        BankLayout {
+            subarrays,
+            fast_rows,
+            slow_rows,
+            kind_space_start,
+        }
     }
 
     /// Number of rows in fast subarrays.
@@ -473,7 +514,15 @@ impl DramGeometry {
         let rank = (a % self.ranks_per_channel as u64) as u8;
         a /= self.ranks_per_channel as u64;
         let row = (a % self.rows_per_bank as u64) as u32;
-        MemCoord { bank: BankCoord { channel, rank, bank }, row, col }
+        MemCoord {
+            bank: BankCoord {
+                channel,
+                rank,
+                bank,
+            },
+            row,
+            col,
+        }
     }
 
     /// Re-encodes device coordinates into the canonical byte address of the
@@ -594,13 +643,25 @@ mod tests {
 
     #[test]
     fn layout_reduced_interleaving_paper_ratio() {
-        let l = BankLayout::build(32768, FastRatio::PAPER_DEFAULT, Arrangement::default(), 128, 512);
+        let l = BankLayout::build(
+            32768,
+            FastRatio::PAPER_DEFAULT,
+            Arrangement::default(),
+            128,
+            512,
+        );
         assert_eq!(l.fast_rows(), 4096);
         assert_eq!(l.slow_rows(), 28672);
         assert_eq!(l.total_rows(), 32768);
         // Fast subarrays are spread out, not all leading.
-        let first_slow = l.subarrays().iter().position(|s| s.kind == SubarrayKind::Slow);
-        let last_fast = l.subarrays().iter().rposition(|s| s.kind == SubarrayKind::Fast);
+        let first_slow = l
+            .subarrays()
+            .iter()
+            .position(|s| s.kind == SubarrayKind::Slow);
+        let last_fast = l
+            .subarrays()
+            .iter()
+            .rposition(|s| s.kind == SubarrayKind::Fast);
         assert!(first_slow.unwrap() < last_fast.unwrap());
     }
 
@@ -643,7 +704,13 @@ mod tests {
 
     #[test]
     fn partitioning_has_longer_paths_than_reduced_interleaving() {
-        let part = BankLayout::build(4096, FastRatio::new(1, 8), Arrangement::Partitioning, 128, 512);
+        let part = BankLayout::build(
+            4096,
+            FastRatio::new(1, 8),
+            Arrangement::Partitioning,
+            128,
+            512,
+        );
         let ri = BankLayout::build(
             4096,
             FastRatio::new(1, 8),

@@ -34,7 +34,11 @@ impl Default for DataBus {
 impl DataBus {
     /// An idle bus.
     pub fn new() -> Self {
-        DataBus { free_at: Tick::ZERO, last_dir: None, last_end: Tick::ZERO }
+        DataBus {
+            free_at: Tick::ZERO,
+            last_dir: None,
+            last_end: Tick::ZERO,
+        }
     }
 
     /// Earliest tick a burst in `dir` may *start* on the bus, given the
@@ -55,7 +59,11 @@ impl DataBus {
     ///
     /// Panics (debug) if the burst starts before the bus is free.
     pub fn occupy(&mut self, dir: BusDir, start: Tick, end: Tick) {
-        debug_assert!(start >= self.free_at, "bus conflict: start {start} < free {}", self.free_at);
+        debug_assert!(
+            start >= self.free_at,
+            "bus conflict: start {start} < free {}",
+            self.free_at
+        );
         debug_assert!(end >= start);
         self.free_at = end;
         self.last_dir = Some(dir);

@@ -257,9 +257,6 @@ mod tests {
     #[test]
     fn checked_add_detects_overflow() {
         assert_eq!(Tick::MAX.checked_add(Tick::new(1)), None);
-        assert_eq!(
-            Tick::new(1).checked_add(Tick::new(2)),
-            Some(Tick::new(3))
-        );
+        assert_eq!(Tick::new(1).checked_add(Tick::new(2)), Some(Tick::new(3)));
     }
 }

@@ -100,7 +100,10 @@ impl TimingParams {
     /// an optimised column access path (reduced CL), per §7's description of
     /// the CHARM baseline ("SAS-DRAM with optimized column access latency").
     pub fn charm_fast() -> Self {
-        let p = TimingParams { cl: Tick::from_ns(8.75), ..Self::fast_subarray() };
+        let p = TimingParams {
+            cl: Tick::from_ns(8.75),
+            ..Self::fast_subarray()
+        };
         p.validate();
         p
     }
@@ -164,13 +167,23 @@ impl TimingSet {
     /// slow timings; migration is never used.
     pub fn homogeneous_slow() -> Self {
         let slow = TimingParams::ddr3_1600();
-        TimingSet { slow, fast: slow, single_migration: Tick::MAX, swap: Tick::MAX }
+        TimingSet {
+            slow,
+            fast: slow,
+            single_migration: Tick::MAX,
+            swap: Tick::MAX,
+        }
     }
 
     /// Homogeneous fast DRAM (the FS-DRAM upper bound).
     pub fn homogeneous_fast() -> Self {
         let fast = TimingParams::fast_subarray();
-        TimingSet { slow: fast, fast, single_migration: Tick::MAX, swap: Tick::MAX }
+        TimingSet {
+            slow: fast,
+            fast,
+            single_migration: Tick::MAX,
+            swap: Tick::MAX,
+        }
     }
 
     /// The paper's asymmetric device (SAS-DRAM and DAS-DRAM): slow + fast
@@ -199,7 +212,11 @@ impl TimingSet {
     /// Asymmetric with free migration — the DAS-DRAM (FM) overhead probe of
     /// §7 ("ideal DAS-DRAM with zero row migration latency").
     pub fn asymmetric_free_migration() -> Self {
-        TimingSet { single_migration: Tick::ZERO, swap: Tick::ZERO, ..Self::asymmetric() }
+        TimingSet {
+            single_migration: Tick::ZERO,
+            swap: Tick::ZERO,
+            ..Self::asymmetric()
+        }
     }
 
     /// TL-DRAM (§3.1): near segments behave like short-bitline subarrays,
@@ -268,7 +285,10 @@ mod tests {
     #[test]
     fn homogeneous_sets_are_uniform() {
         let std = TimingSet::homogeneous_slow();
-        assert_eq!(std.params_for(SubarrayKind::Fast), std.params_for(SubarrayKind::Slow));
+        assert_eq!(
+            std.params_for(SubarrayKind::Fast),
+            std.params_for(SubarrayKind::Slow)
+        );
         let fs = TimingSet::homogeneous_fast();
         assert_eq!(fs.slow.trc(), Tick::from_ns(25.0));
         assert!(!std.supports_migration());

@@ -89,8 +89,13 @@ fn earliest_issue_is_monotone_in_now() {
         let bank = BankCoord::new(0, 0, 0);
         let row_sel = rng.range_u32(0, 448);
         let later = rng.range_u64(1, 10_000);
-        let row = dev.layout().slow_to_phys(row_sel % dev.layout().slow_rows());
-        let cmd = DramCommand::Activate { bank, phys_row: row };
+        let row = dev
+            .layout()
+            .slow_to_phys(row_sel % dev.layout().slow_rows());
+        let cmd = DramCommand::Activate {
+            bank,
+            phys_row: row,
+        };
         let t0 = dev.earliest_issue(&cmd, Tick::ZERO).unwrap();
         let t1 = dev.earliest_issue(&cmd, Tick::new(later)).unwrap();
         assert!(t1 >= t0);
@@ -137,9 +142,14 @@ fn random_legal_sequences_hold_invariants() {
                     phys_row: open.unwrap_or(0),
                     col: (i % 128) as u32,
                 },
-                _ => DramCommand::Precharge { bank, phys_row: open.unwrap_or(0) },
+                _ => DramCommand::Precharge {
+                    bank,
+                    phys_row: open.unwrap_or(0),
+                },
             };
-            let Some(t) = dev.earliest_issue(&cmd, now) else { continue };
+            let Some(t) = dev.earliest_issue(&cmd, now) else {
+                continue;
+            };
             let out = dev.issue(&cmd, t);
             now = t;
             if let Some(d) = out.data_end {

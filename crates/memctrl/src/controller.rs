@@ -201,6 +201,16 @@ impl MemoryController {
         self.swaps.len()
     }
 
+    /// Queued demand reads (telemetry occupancy sampling).
+    pub fn queued_reads(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Queued writes awaiting drain (telemetry occupancy sampling).
+    pub fn queued_writes(&self) -> usize {
+        self.writes.len()
+    }
+
     /// Enqueues a demand request, rejecting it with
     /// [`ControllerError::QueueOverflow`] when the corresponding queue is
     /// full (callers should check `can_accept_*` first).
@@ -212,7 +222,10 @@ impl MemoryController {
                     capacity: self.cfg.write_queue,
                 });
             }
-            self.writes.push(Pending { req, activated: None });
+            self.writes.push(Pending {
+                req,
+                activated: None,
+            });
         } else {
             if !self.can_accept_read() {
                 return Err(ControllerError::QueueOverflow {
@@ -220,7 +233,10 @@ impl MemoryController {
                     capacity: self.cfg.read_queue,
                 });
             }
-            self.reads.push(Pending { req, activated: None });
+            self.reads.push(Pending {
+                req,
+                activated: None,
+            });
         }
         Ok(())
     }
@@ -250,7 +266,9 @@ impl MemoryController {
         // Cap iterations defensively; each loop issues at most one command.
         for _ in 0..4096 {
             self.update_drain_mode();
-            let Some((cmd, at, role)) = self.best_command(now) else { break };
+            let Some((cmd, at, role)) = self.best_command(now) else {
+                break;
+            };
             if at > now {
                 break;
             }
@@ -259,7 +277,11 @@ impl MemoryController {
             self.first_cmd_issued = true;
             match role {
                 Role::Refresh => self.stats.refreshes += 1,
-                Role::Activate { list, idx, phys_row } => {
+                Role::Activate {
+                    list,
+                    idx,
+                    phys_row,
+                } => {
                     let service = match self.channel.row_kind(phys_row) {
                         das_dram::SubarrayKind::Fast => ServiceClass::FastMiss,
                         das_dram::SubarrayKind::Slow => ServiceClass::SlowMiss,
@@ -278,20 +300,33 @@ impl MemoryController {
                         ServiceClass::FastMiss => self.stats.fast_misses += 1,
                         ServiceClass::SlowMiss => self.stats.slow_misses += 1,
                     }
+                    let latency = at_done - p.req.arrival;
                     if p.req.is_write {
                         self.stats.writes += 1;
-                        out.push(Completion::WriteDone { id: p.req.id, at: at_done, service });
+                        out.push(Completion::WriteDone {
+                            id: p.req.id,
+                            at: at_done,
+                            service,
+                            latency,
+                        });
                     } else {
                         self.stats.reads += 1;
-                        self.stats.read_latency_ticks +=
-                            (at_done - p.req.arrival).raw();
-                        out.push(Completion::ReadDone { id: p.req.id, at: at_done, service });
+                        self.stats.read_latency_ticks += latency.raw();
+                        out.push(Completion::ReadDone {
+                            id: p.req.id,
+                            at: at_done,
+                            service,
+                            latency,
+                        });
                     }
                 }
                 Role::Swap { idx } => {
                     let op = self.swaps.remove(idx);
                     self.stats.swaps += 1;
-                    out.push(Completion::SwapDone { token: op.token, at: outcome.done });
+                    out.push(Completion::SwapDone {
+                        token: op.token,
+                        at: outcome.done,
+                    });
                 }
             }
         }
@@ -401,7 +436,10 @@ impl MemoryController {
                     if wanted {
                         continue;
                     }
-                    let cmd = DramCommand::Precharge { bank, phys_row: row };
+                    let cmd = DramCommand::Precharge {
+                        bank,
+                        phys_row: row,
+                    };
                     if let Some(t) = self.channel.earliest_issue(&cmd, now) {
                         return Some((cmd, self.bus_ready(t), Role::Precharge));
                     }
@@ -411,16 +449,15 @@ impl MemoryController {
         None
     }
 
-    fn refresh_blocking_precharge(
-        &self,
-        now: Tick,
-        rank: u8,
-    ) -> Option<(DramCommand, Tick, Role)> {
+    fn refresh_blocking_precharge(&self, now: Tick, rank: u8) -> Option<(DramCommand, Tick, Role)> {
         // Close any open row of the refreshing rank (oldest-first demand
         // ordering is secondary to refresh urgency).
         for bank_coord in self.open_banks_of_rank(rank) {
             for row in self.channel.open_rows(bank_coord) {
-                let cmd = DramCommand::Precharge { bank: bank_coord, phys_row: row };
+                let cmd = DramCommand::Precharge {
+                    bank: bank_coord,
+                    phys_row: row,
+                };
                 if let Some(t) = self.channel.earliest_issue(&cmd, now) {
                     return Some((cmd, self.bus_ready(t), Role::Precharge));
                 }
@@ -449,9 +486,7 @@ impl MemoryController {
             let t = self.bus_ready(t);
             let better = match best {
                 None => true,
-                Some((bi, _)) => {
-                    (p.req.arrival, p.req.id) < (q[bi].req.arrival, q[bi].req.id)
-                }
+                Some((bi, _)) => (p.req.arrival, p.req.id) < (q[bi].req.arrival, q[bi].req.id),
             };
             if better {
                 best = Some((i, t));
@@ -474,16 +509,24 @@ impl MemoryController {
         let bank = p.req.coord.bank;
         let cmd = match self.channel.open_row_in_buffer_of(bank, p.req.coord.row) {
             Some(row) if row == p.req.coord.row => column_cmd(&p.req),
-            Some(_) => DramCommand::Precharge { bank, phys_row: p.req.coord.row },
-            None => DramCommand::Activate { bank, phys_row: p.req.coord.row },
+            Some(_) => DramCommand::Precharge {
+                bank,
+                phys_row: p.req.coord.row,
+            },
+            None => DramCommand::Activate {
+                bank,
+                phys_row: p.req.coord.row,
+            },
         };
         let t = self.channel.earliest_issue(&cmd, now)?;
         let t = self.bus_ready(t);
         let role = match cmd {
             DramCommand::Precharge { .. } => Role::Precharge,
-            DramCommand::Activate { phys_row, .. } => {
-                Role::Activate { list, idx: oldest, phys_row }
-            }
+            DramCommand::Activate { phys_row, .. } => Role::Activate {
+                list,
+                idx: oldest,
+                phys_row,
+            },
             _ => Role::Column { list, idx: oldest },
         };
         Some((cmd, t, role))
@@ -508,7 +551,10 @@ impl MemoryController {
             let open = self.channel.open_rows(op.bank);
             if !open.is_empty() {
                 for row in open {
-                    let cmd = DramCommand::Precharge { bank: op.bank, phys_row: row };
+                    let cmd = DramCommand::Precharge {
+                        bank: op.bank,
+                        phys_row: row,
+                    };
                     if let Some(t) = self.channel.earliest_issue(&cmd, now) {
                         return Some((cmd, self.bus_ready(t), Role::Precharge));
                     }
@@ -555,9 +601,18 @@ enum List {
 enum Role {
     Refresh,
     Precharge,
-    Activate { list: List, idx: usize, phys_row: u32 },
-    Column { list: List, idx: usize },
-    Swap { idx: usize },
+    Activate {
+        list: List,
+        idx: usize,
+        phys_row: u32,
+    },
+    Column {
+        list: List,
+        idx: usize,
+    },
+    Swap {
+        idx: usize,
+    },
 }
 
 #[cfg(test)]
@@ -579,7 +634,11 @@ mod tests {
     fn read(id: u64, bank: u8, row: u32, col: u32, at: Tick) -> Request {
         Request {
             id,
-            coord: MemCoord { bank: BankCoord::new(0, 0, bank), row, col },
+            coord: MemCoord {
+                bank: BankCoord::new(0, 0, bank),
+                row,
+                col,
+            },
             is_write: false,
             arrival: at,
         }
@@ -606,7 +665,12 @@ mod tests {
         c.enqueue(read(1, 0, slow_row, 5, Tick::ZERO)).unwrap();
         let done = run_until_idle(&mut c, Tick::ZERO);
         assert_eq!(done.len(), 1);
-        let Completion::ReadDone { id, at, service } = done[0] else { panic!() };
+        let Completion::ReadDone {
+            id, at, service, ..
+        } = done[0]
+        else {
+            panic!()
+        };
         assert_eq!(id, 1);
         assert_eq!(service, ServiceClass::SlowMiss);
         // ACT at 0, RD at tRCD, data at +CL+burst.
@@ -628,7 +692,10 @@ mod tests {
                 _ => panic!(),
             })
             .collect();
-        assert_eq!(services, [ServiceClass::SlowMiss, ServiceClass::RowBufferHit]);
+        assert_eq!(
+            services,
+            [ServiceClass::SlowMiss, ServiceClass::RowBufferHit]
+        );
         assert_eq!(c.stats().row_hits, 1);
     }
 
@@ -644,7 +711,8 @@ mod tests {
         // Now: older conflicting request (row_b) and younger row hit (row_a).
         let now = Tick::from_ns(100.0);
         c.enqueue(read(2, 0, row_b, 0, now)).unwrap();
-        c.enqueue(read(3, 0, row_a, 1, now + Tick::from_ns(1.0))).unwrap();
+        c.enqueue(read(3, 0, row_a, 1, now + Tick::from_ns(1.0)))
+            .unwrap();
         let done = run_until_idle(&mut c, now + Tick::from_ns(1.0));
         let ids: Vec<u64> = done
             .iter()
@@ -671,7 +739,8 @@ mod tests {
         assert_eq!(first.len(), 1);
         let now = Tick::from_ns(100.0);
         c.enqueue(read(2, 0, row_b, 0, now)).unwrap();
-        c.enqueue(read(3, 0, row_a, 1, now + Tick::from_ns(1.0))).unwrap();
+        c.enqueue(read(3, 0, row_a, 1, now + Tick::from_ns(1.0)))
+            .unwrap();
         let done = run_until_idle(&mut c, now + Tick::from_ns(1.0));
         let ids: Vec<u64> = done
             .iter()
@@ -689,7 +758,11 @@ mod tests {
         let row = c.channel().layout().slow_to_phys(0);
         c.enqueue(Request {
             id: 9,
-            coord: MemCoord { bank: BankCoord::new(0, 0, 0), row, col: 0 },
+            coord: MemCoord {
+                bank: BankCoord::new(0, 0, 0),
+                row,
+                col: 0,
+            },
             is_write: true,
             arrival: Tick::ZERO,
         })
@@ -717,7 +790,9 @@ mod tests {
         assert_eq!(done.len(), 2);
         // Read completes first; swap afterwards.
         assert!(matches!(done[0], Completion::ReadDone { id: 1, .. }));
-        let Completion::SwapDone { token, at } = done[1] else { panic!() };
+        let Completion::SwapDone { token, at } = done[1] else {
+            panic!()
+        };
         assert_eq!(token, 77);
         assert!(at >= done[0].at());
         assert_eq!(c.stats().swaps, 1);
@@ -737,7 +812,9 @@ mod tests {
             arrival: Tick::ZERO,
         });
         let done = run_until_idle(&mut c, Tick::ZERO);
-        let Completion::SwapDone { at, .. } = done[0] else { panic!() };
+        let Completion::SwapDone { at, .. } = done[0] else {
+            panic!()
+        };
         assert_eq!(at, Tick::from_ns(146.25));
     }
 
@@ -752,7 +829,9 @@ mod tests {
         let done = run_until_idle(&mut c, t);
         // Both ranks of the channel were due; at least the target's fired.
         assert!(c.stats().refreshes >= 1);
-        let Completion::ReadDone { at, .. } = done[0] else { panic!() };
+        let Completion::ReadDone { at, .. } = done[0] else {
+            panic!()
+        };
         assert!(at >= t + Tick::from_ns(160.0), "read waited for tRFC");
     }
 
@@ -776,7 +855,10 @@ mod tests {
             }
             t += Tick::from_ns(20.0);
         }
-        assert!(c.stats().refreshes >= 1, "idle open bank was closed for refresh");
+        assert!(
+            c.stats().refreshes >= 1,
+            "idle open bank was closed for refresh"
+        );
         assert!(c.channel().open_row(BankCoord::new(0, 0, 0)).is_none());
     }
 
@@ -816,7 +898,11 @@ mod tests {
         for i in 0..4u64 {
             c.enqueue(Request {
                 id: 100 + i,
-                coord: MemCoord { bank: BankCoord::new(0, 0, 1), row, col: i as u32 },
+                coord: MemCoord {
+                    bank: BankCoord::new(0, 0, 1),
+                    row,
+                    col: i as u32,
+                },
                 is_write: true,
                 arrival: Tick::ZERO,
             })
@@ -841,7 +927,10 @@ mod tests {
         assert!(c.can_accept_write());
         assert!(matches!(
             c.enqueue(read(99, 0, 0, 0, Tick::ZERO)),
-            Err(ControllerError::QueueOverflow { is_write: false, capacity: 32 })
+            Err(ControllerError::QueueOverflow {
+                is_write: false,
+                capacity: 32
+            })
         ));
     }
 
@@ -851,14 +940,23 @@ mod tests {
         let fast = c.channel().layout().fast_to_phys(0);
         c.enqueue(read(1, 0, fast, 0, Tick::ZERO)).unwrap();
         let done = run_until_idle(&mut c, Tick::ZERO);
-        let Completion::ReadDone { at: fast_at, service, .. } = done[0] else { panic!() };
+        let Completion::ReadDone {
+            at: fast_at,
+            service,
+            ..
+        } = done[0]
+        else {
+            panic!()
+        };
         assert_eq!(service, ServiceClass::FastMiss);
 
         let mut c2 = ctrl(TimingSet::asymmetric());
         let slow = c2.channel().layout().slow_to_phys(0);
         c2.enqueue(read(1, 0, slow, 0, Tick::ZERO)).unwrap();
         let done2 = run_until_idle(&mut c2, Tick::ZERO);
-        let Completion::ReadDone { at: slow_at, .. } = done2[0] else { panic!() };
+        let Completion::ReadDone { at: slow_at, .. } = done2[0] else {
+            panic!()
+        };
         assert!(fast_at < slow_at, "fast {fast_at} !< slow {slow_at}");
     }
 
@@ -884,7 +982,8 @@ mod tests {
         let mut swap_done = false;
         for i in 0..200 {
             if c.can_accept_read() {
-                c.enqueue(read(100 + i, 0, slow, (i % 128) as u32, now)).unwrap();
+                c.enqueue(read(100 + i, 0, slow, (i % 128) as u32, now))
+                    .unwrap();
             }
             for ev in c.advance(now).unwrap() {
                 if matches!(ev, Completion::SwapDone { .. }) {

@@ -17,7 +17,6 @@ pub mod controller;
 pub mod request;
 
 pub use controller::{
-    ControllerConfig, ControllerError, ControllerStats, MemoryController, PagePolicy,
-    SchedulerKind,
+    ControllerConfig, ControllerError, ControllerStats, MemoryController, PagePolicy, SchedulerKind,
 };
 pub use request::{Completion, Request, ServiceClass, SwapOp};

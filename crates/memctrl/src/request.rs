@@ -58,6 +58,8 @@ pub enum Completion {
         at: Tick,
         /// How it was serviced.
         service: ServiceClass,
+        /// Queueing + service time: `at` minus the request's arrival.
+        latency: Tick,
     },
     /// A write's data burst finished at `at` (informational; writes are
     /// posted).
@@ -68,6 +70,8 @@ pub enum Completion {
         at: Tick,
         /// How it was serviced.
         service: ServiceClass,
+        /// Queueing + service time: `at` minus the request's arrival.
+        latency: Tick,
     },
     /// A row swap finished at `at`.
     SwapDone {

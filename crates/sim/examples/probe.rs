@@ -4,11 +4,30 @@ use das_workloads::spec;
 
 fn main() {
     let mut cfg = SystemConfig::paper_scaled();
-    cfg.inst_budget = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3_000_000);
-    for bench in ["astar","cactusADM","GemsFDTD","lbm","leslie3d","libquantum","mcf","milc","omnetpp","soplex"] {
+    cfg.inst_budget = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3_000_000);
+    for bench in [
+        "astar",
+        "cactusADM",
+        "GemsFDTD",
+        "lbm",
+        "leslie3d",
+        "libquantum",
+        "mcf",
+        "milc",
+        "omnetpp",
+        "soplex",
+    ] {
         let wl = vec![spec::by_name(bench)];
         let base = run_one(&cfg, Design::Standard, &wl).expect("baseline run");
-        for d in [Design::SasDram, Design::DasDram, Design::DasDramFm, Design::FsDram] {
+        for d in [
+            Design::SasDram,
+            Design::DasDram,
+            Design::DasDramFm,
+            Design::FsDram,
+        ] {
             let m = run_one(&cfg, d, &wl).expect("design run");
             let (rb, f, s) = m.access_mix.fractions();
             println!(
@@ -18,6 +37,14 @@ fn main() {
             );
         }
         let (rb, f, s) = base.access_mix.fractions();
-        println!("{bench:12} {:14} ipc={:.3} mpki={:5.1} rb/f/s={:.2}/{:.2}/{:.2}\n", base.design, base.ipc(), base.mpki(), rb, f, s);
+        println!(
+            "{bench:12} {:14} ipc={:.3} mpki={:5.1} rb/f/s={:.2}/{:.2}/{:.2}\n",
+            base.design,
+            base.ipc(),
+            base.mpki(),
+            rb,
+            f,
+            s
+        );
     }
 }

@@ -15,6 +15,7 @@ use das_cpu::core::CoreConfig;
 use das_dram::geometry::{Arrangement, BankLayout, DramGeometry, FastRatio};
 use das_dram::tick::Tick;
 use das_memctrl::controller::{ControllerConfig, SchedulerKind};
+use das_telemetry::TelemetryConfig;
 
 /// The five DRAM designs compared in §7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -182,6 +183,10 @@ pub struct SystemConfig {
     /// translation-cache rebuild; an unrecoverable one ends the run with
     /// [`crate::system::SimError::BrokenInvariant`].
     pub invariant_check_events: u64,
+    /// Telemetry sink configuration (latency histograms, epoch time-series,
+    /// event trace). The default is off, which leaves the run bit-identical
+    /// to a build without the telemetry layer.
+    pub telemetry: TelemetryConfig,
 }
 
 impl SystemConfig {
@@ -208,6 +213,7 @@ impl SystemConfig {
             seed: 42,
             faults: das_faults::FaultPlan::none(),
             invariant_check_events: 0,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -241,8 +247,7 @@ impl SystemConfig {
 
     /// The effective (scaled) translation cache capacity in bytes.
     pub fn scaled_tcache_bytes(&self) -> u64 {
-        (self.management.tcache_bytes / self.scale as u64)
-            .max(self.management.tcache_ways as u64)
+        (self.management.tcache_bytes / self.scale as u64).max(self.management.tcache_ways as u64)
     }
 
     /// Builds the per-bank layout for an asymmetric design.
@@ -324,6 +329,12 @@ impl SystemConfig {
     /// Convenience: run the consistency checker every `n` events (0 = off).
     pub fn with_invariant_checks(mut self, n: u64) -> Self {
         self.invariant_check_events = n;
+        self
+    }
+
+    /// Convenience: set the telemetry sink configuration.
+    pub fn with_telemetry(mut self, t: TelemetryConfig) -> Self {
+        self.telemetry = t;
         self
     }
 

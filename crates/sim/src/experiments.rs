@@ -9,6 +9,8 @@ use das_dram::geometry::GlobalRowId;
 use das_workloads::config::WorkloadConfig;
 use das_workloads::gen::TraceGen;
 
+use das_telemetry::TelemetryReport;
+
 use crate::config::{Design, SystemConfig};
 use crate::stats::RunMetrics;
 use crate::system::{recorded_workload_stubs, AddressMap, SimError, System};
@@ -79,14 +81,36 @@ pub fn run_one(
     design: Design,
     workloads: &[WorkloadConfig],
 ) -> Result<RunMetrics, SimError> {
-    let scaled: Vec<WorkloadConfig> =
-        workloads.iter().map(|w| w.scaled(cfg.scale as u64)).collect();
+    let scaled: Vec<WorkloadConfig> = workloads
+        .iter()
+        .map(|w| w.scaled(cfg.scale as u64))
+        .collect();
     let profile = if design.needs_profile() {
         Some(profile_row_counts(cfg, &scaled))
     } else {
         None
     };
     System::new(cfg.clone(), design, &scaled, profile.as_ref()).run()
+}
+
+/// Like [`run_one`], but also returns the telemetry report (`None` when
+/// `cfg.telemetry` is off). On a failed run the telemetry collected up to
+/// the failure is still returned.
+pub fn run_one_instrumented(
+    cfg: &SystemConfig,
+    design: Design,
+    workloads: &[WorkloadConfig],
+) -> (Result<RunMetrics, SimError>, Option<TelemetryReport>) {
+    let scaled: Vec<WorkloadConfig> = workloads
+        .iter()
+        .map(|w| w.scaled(cfg.scale as u64))
+        .collect();
+    let profile = if design.needs_profile() {
+        Some(profile_row_counts(cfg, &scaled))
+    } else {
+        None
+    };
+    System::new(cfg.clone(), design, &scaled, profile.as_ref()).run_instrumented()
 }
 
 /// Runs one simulation over **recorded traces** (one per core), e.g. loaded
@@ -146,7 +170,10 @@ pub fn run_suite(
     designs: &[Design],
     workloads: &[WorkloadConfig],
 ) -> Result<Vec<RunMetrics>, SimError> {
-    designs.iter().map(|&d| run_one(cfg, d, workloads)).collect()
+    designs
+        .iter()
+        .map(|&d| run_one(cfg, d, workloads))
+        .collect()
 }
 
 /// The paper's performance-improvement metric against the Std-DRAM
@@ -220,7 +247,10 @@ mod tests {
         let das_imp = improvement(&das, &base);
         let fs_imp = improvement(&fs, &base);
         assert!(das_imp > 0.0, "DAS must beat Std: {das_imp}");
-        assert!(das_imp <= fs_imp + 0.02, "DAS cannot beat FS by more than noise");
+        assert!(
+            das_imp <= fs_imp + 0.02,
+            "DAS cannot beat FS by more than noise"
+        );
     }
 
     #[test]

@@ -11,7 +11,14 @@
 //! * [`system`] — the event-driven [`system::System`];
 //! * [`experiments`] — profiling pre-pass, suite runners and the
 //!   improvement metric;
-//! * [`stats`] — everything the paper's figures report.
+//! * [`stats`] — everything the paper's figures report;
+//! * [`report`] — machine-readable JSON run reports (metrics + telemetry).
+//!
+//! Telemetry (latency histograms, the epoch time-series and the Chrome
+//! trace export) lives in `das-telemetry`; enable it per run with
+//! [`config::SystemConfig::with_telemetry`] and collect it through
+//! [`system::System::run_instrumented`] or
+//! [`experiments::run_one_instrumented`].
 //!
 //! # Examples
 //!
@@ -32,10 +39,14 @@
 
 pub mod config;
 pub mod experiments;
+pub mod report;
 pub mod stats;
 pub mod system;
 
 pub use config::{Design, SystemConfig};
-pub use experiments::{improvement, profile_row_counts, run_one, run_recorded, run_suite};
+pub use experiments::{
+    improvement, profile_row_counts, run_one, run_one_instrumented, run_recorded, run_suite,
+};
+pub use report::{metrics_to_value, run_report, run_report_json};
 pub use stats::{AccessMix, CoreMetrics, EnergyBreakdown, EnergyModel, RunMetrics};
 pub use system::{AddressMap, SimError, System, TraceSource};

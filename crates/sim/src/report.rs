@@ -1,0 +1,157 @@
+//! Machine-readable run reports.
+//!
+//! [`run_report`] assembles one run's [`RunMetrics`] — and, when the
+//! telemetry sink was on, its latency histograms and epoch time-series —
+//! into a [`das_telemetry::json::Value`] tree; [`run_report_json`] renders
+//! it. The schema is flat and stable: top-level `design`/`workload`
+//! identification, a `metrics` object mirroring [`RunMetrics`], and an
+//! optional `telemetry` object (see
+//! [`das_telemetry::TelemetryReport::to_value`]).
+
+use das_telemetry::json::Value;
+use das_telemetry::TelemetryReport;
+
+use crate::stats::RunMetrics;
+
+/// Serialises one run's metrics as a JSON object.
+pub fn metrics_to_value(m: &RunMetrics) -> Value {
+    let cores = Value::Arr(
+        m.cores
+            .iter()
+            .map(|c| {
+                Value::obj()
+                    .set("insts", c.insts)
+                    .set("cycles", c.cycles)
+                    .set("llc_misses", c.llc_misses)
+                    .set("ipc", c.ipc())
+                    .set("mpki", c.mpki())
+            })
+            .collect(),
+    );
+    let (rb, fast, slow) = m.access_mix.fractions();
+    Value::obj()
+        .set("ipc_sum", m.ipc_sum())
+        .set("mpki", m.mpki())
+        .set("cores", cores)
+        .set(
+            "access_mix",
+            Value::obj()
+                .set("row_buffer", m.access_mix.row_buffer)
+                .set("fast", m.access_mix.fast)
+                .set("slow", m.access_mix.slow)
+                .set("row_buffer_frac", rb)
+                .set("fast_frac", fast)
+                .set("slow_frac", slow),
+        )
+        .set("fast_activation_ratio", m.fast_activation_ratio())
+        .set("promotions", m.promotions)
+        .set("aborted_promotions", m.aborted_promotions)
+        .set("ppkm", m.ppkm())
+        .set("memory_accesses", m.memory_accesses)
+        .set("llc_misses", m.llc_misses)
+        .set("footprint_bytes", m.footprint_bytes)
+        .set("table_fetch_reads", m.table_fetch_reads)
+        .set(
+            "translation",
+            Value::obj()
+                .set("hits", m.translation.hits)
+                .set("misses", m.translation.misses)
+                .set("fills", m.translation.fills)
+                .set("invalidations", m.translation.invalidations),
+        )
+        .set(
+            "energy_nj",
+            Value::obj()
+                .set("act_pre", m.energy.act_pre_nj)
+                .set("burst", m.energy.burst_nj)
+                .set("migration", m.energy.migration_nj)
+                .set("background", m.energy.background_nj)
+                .set("total", m.energy.total_nj()),
+        )
+        .set("window_cycles", m.window_cycles)
+        .set("active_subarrays", m.active_subarrays)
+        .set("total_subarrays", m.total_subarrays)
+        .set(
+            "faults",
+            Value::obj()
+                .set("injected", m.faults.total_injected())
+                .set("recovered", m.faults.total_recovered())
+                .set("fatal", m.faults.total_fatal())
+                .set("invariant_checks_passed", m.faults.invariant_checks_passed)
+                .set("tcache_rebuilds", m.faults.tcache_rebuilds),
+        )
+}
+
+/// Builds the full run report: identification, metrics, and (when the sink
+/// was on) the telemetry block with per-class latency percentiles and the
+/// epoch series.
+pub fn run_report(m: &RunMetrics, tel: Option<&TelemetryReport>) -> Value {
+    let mut report = Value::obj()
+        .set("design", m.design.as_str())
+        .set("workload", m.workload.as_str())
+        .set("metrics", metrics_to_value(m));
+    report = match tel {
+        Some(t) => report.set("telemetry", t.to_value()),
+        None => report.set("telemetry", Value::Null),
+    };
+    report
+}
+
+/// Renders [`run_report`] as a compact JSON document.
+pub fn run_report_json(m: &RunMetrics, tel: Option<&TelemetryReport>) -> String {
+    run_report(m, tel).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{AccessMix, CoreMetrics};
+    use das_telemetry::json::validate;
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            design: "DAS-DRAM".into(),
+            workload: "mcf".into(),
+            cores: vec![CoreMetrics {
+                insts: 1_000,
+                cycles: 2_000,
+                llc_misses: 50,
+            }],
+            access_mix: AccessMix {
+                row_buffer: 40,
+                fast: 45,
+                slow: 15,
+            },
+            promotions: 7,
+            aborted_promotions: 1,
+            memory_accesses: 100,
+            llc_misses: 50,
+            ..RunMetrics::default()
+        }
+    }
+
+    #[test]
+    fn report_without_telemetry_validates() {
+        let json = run_report_json(&metrics(), None);
+        validate(&json).unwrap();
+        assert!(json.contains("\"design\":\"DAS-DRAM\""));
+        assert!(json.contains("\"telemetry\":null"));
+        assert!(json.contains("\"aborted_promotions\":1"));
+    }
+
+    #[test]
+    fn report_with_telemetry_embeds_percentiles() {
+        use das_telemetry::{LatencyClass, Telemetry, TelemetryConfig};
+        let mut t = Telemetry::new(TelemetryConfig::on(1_000), 1, 24_000.0);
+        t.record_latency(0, LatencyClass::FastMiss, 500);
+        t.record_latency(0, LatencyClass::SlowMiss, 900);
+        let rep = t.into_report().unwrap();
+        let json = run_report_json(&metrics(), Some(&rep));
+        validate(&json).unwrap();
+        assert!(
+            json.contains("\"p99\""),
+            "per-class percentiles present: {json}"
+        );
+        assert!(json.contains("\"epochs\":[]"));
+    }
+}

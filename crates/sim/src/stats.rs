@@ -155,6 +155,9 @@ pub struct RunMetrics {
     pub access_mix: AccessMix,
     /// Row promotions (swaps) committed.
     pub promotions: u64,
+    /// Promotions abandoned after being issued (fault recovery demoted the
+    /// row instead of committing the swap; whole run, not warm-up-windowed).
+    pub aborted_promotions: u64,
     /// Total DRAM data accesses (reads+writes serviced).
     pub memory_accesses: u64,
     /// Total LLC misses across cores.
@@ -246,11 +249,20 @@ impl RunMetrics {
 
 /// Geometric mean of (1 + improvement) values, expressed back as an
 /// improvement — the paper's "gmean" bars.
+///
+/// An improvement of −100 % or worse has no geometric-mean contribution
+/// (`ln(1+x)` is −∞ or undefined); each factor is floored at a tiny
+/// positive value so one degenerate run drags the gmean toward −100 %
+/// instead of poisoning the whole aggregate with NaN.
 pub fn gmean_improvement(improvements: &[f64]) -> f64 {
+    const FLOOR: f64 = 1e-9; // factor floor: ≈ −100% improvement
     if improvements.is_empty() {
         return 0.0;
     }
-    let log_sum: f64 = improvements.iter().map(|&x| (1.0 + x).ln()).sum();
+    let log_sum: f64 = improvements
+        .iter()
+        .map(|&x| (1.0 + x).max(FLOOR).ln())
+        .sum();
     (log_sum / improvements.len() as f64).exp() - 1.0
 }
 
@@ -273,14 +285,33 @@ mod tests {
 
     #[test]
     fn access_mix_since_subtracts() {
-        let snap = AccessMix { row_buffer: 1, fast: 2, slow: 3 };
-        let end = AccessMix { row_buffer: 10, fast: 12, slow: 13 };
-        assert_eq!(end.since(&snap), AccessMix { row_buffer: 9, fast: 10, slow: 10 });
+        let snap = AccessMix {
+            row_buffer: 1,
+            fast: 2,
+            slow: 3,
+        };
+        let end = AccessMix {
+            row_buffer: 10,
+            fast: 12,
+            slow: 13,
+        };
+        assert_eq!(
+            end.since(&snap),
+            AccessMix {
+                row_buffer: 9,
+                fast: 10,
+                slow: 10
+            }
+        );
     }
 
     #[test]
     fn core_metrics_derived_quantities() {
-        let c = CoreMetrics { insts: 4_000, cycles: 2_000, llc_misses: 80 };
+        let c = CoreMetrics {
+            insts: 4_000,
+            cycles: 2_000,
+            llc_misses: 80,
+        };
         assert!((c.ipc() - 2.0).abs() < 1e-12);
         assert!((c.mpki() - 20.0).abs() < 1e-12);
         assert_eq!(CoreMetrics::default().ipc(), 0.0);
@@ -289,11 +320,19 @@ mod tests {
     #[test]
     fn run_metrics_ratios() {
         let m = RunMetrics {
-            cores: vec![CoreMetrics { insts: 1000, cycles: 1000, llc_misses: 50 }],
+            cores: vec![CoreMetrics {
+                insts: 1000,
+                cycles: 1000,
+                llc_misses: 50,
+            }],
             promotions: 5,
             llc_misses: 50,
             memory_accesses: 100,
-            access_mix: AccessMix { row_buffer: 40, fast: 45, slow: 15 },
+            access_mix: AccessMix {
+                row_buffer: 40,
+                fast: 45,
+                slow: 15,
+            },
             ..RunMetrics::default()
         };
         assert!((m.ppkm() - 100.0).abs() < 1e-12);
@@ -309,6 +348,20 @@ mod tests {
         // Mixed signs behave sensibly.
         let g = gmean_improvement(&[0.2, -0.05]);
         assert!(g > -0.05 && g < 0.2);
+    }
+
+    #[test]
+    fn gmean_stays_finite_for_total_regressions() {
+        // A −100 % (or worse) improvement used to produce ln(0) = −∞ or
+        // ln(negative) = NaN and poison the aggregate.
+        for xs in [&[-1.0][..], &[-1.5][..], &[0.3, -1.0, 0.1][..]] {
+            let g = gmean_improvement(xs);
+            assert!(g.is_finite(), "gmean of {xs:?} must be finite, got {g}");
+            assert!(g >= -1.0, "gmean of {xs:?} below −100%: {g}");
+        }
+        // One wrecked run drags the mean down but leaves it well-defined.
+        let g = gmean_improvement(&[0.5, -1.0]);
+        assert!(g < 0.0 && g.is_finite());
     }
 
     #[test]

@@ -24,13 +24,14 @@ use das_core::inclusive::{FillRequest, InclusiveManager};
 use das_core::management::{ConsistencyError, DasManager, SwapRequest};
 use das_core::translation::TranslationSource;
 use das_cpu::core::{Core, MemRequest};
+use das_cpu::trace::TraceItem;
 use das_dram::channel::ChannelDevice;
 use das_dram::geometry::{BankCoord, GlobalRowId, MemCoord};
 use das_dram::tick::Tick;
 use das_faults::{FaultInjector, FaultSite};
 use das_memctrl::controller::{ControllerError, MemoryController};
 use das_memctrl::request::{Completion, Request, ServiceClass, SwapOp};
-use das_cpu::trace::TraceItem;
+use das_telemetry::{EpochCounters, LatencyClass, Telemetry, TelemetryReport};
 use das_workloads::config::WorkloadConfig;
 use das_workloads::gen::TraceGen;
 
@@ -120,17 +121,33 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { clock, queued, swaps, overflow } => write!(
+            SimError::Deadlock {
+                clock,
+                queued,
+                swaps,
+                overflow,
+            } => write!(
                 f,
                 "event queue drained with unfinished cores at {clock} \
                  (queued {queued:?}, swaps {swaps:?}, overflow {overflow:?})"
             ),
-            SimError::EventBudgetExceeded { clock, events, queued, swaps } => write!(
+            SimError::EventBudgetExceeded {
+                clock,
+                events,
+                queued,
+                swaps,
+            } => write!(
                 f,
                 "event budget exceeded after {events} events at {clock} \
                  (queued {queued:?}, swaps {swaps:?})"
             ),
-            SimError::Stalled { clock, channel, queued, swaps, wakes } => write!(
+            SimError::Stalled {
+                clock,
+                channel,
+                queued,
+                swaps,
+                wakes,
+            } => write!(
                 f,
                 "controller {channel} stalled at {clock}: {wakes} same-tick wakes \
                  ({queued} requests, {swaps} swaps queued)"
@@ -163,12 +180,23 @@ impl From<ControllerError> for SimError {
 #[derive(Debug, Clone, Copy)]
 #[allow(clippy::large_enum_variant)]
 enum EventKind {
-    CoreIssue { core: usize, id: u64, addr: u64, is_write: bool },
-    CtrlEnqueue { req: Request },
-    CtrlWake { ch: usize },
+    CoreIssue {
+        core: usize,
+        id: u64,
+        addr: u64,
+        is_write: bool,
+    },
+    CtrlEnqueue {
+        req: Request,
+    },
+    CtrlWake {
+        ch: usize,
+    },
     /// A migration whose hand-off to the controller was delayed (fault-
     /// injected latency spike).
-    SwapEnqueue { op: SwapOp },
+    SwapEnqueue {
+        op: SwapOp,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -198,7 +226,12 @@ impl Ord for Ev {
 #[derive(Debug, Clone, Copy)]
 enum ReqCtx {
     /// A demand line fill (DRAM read, possibly on behalf of a store miss).
-    DemandRead { line: u64, bank: BankCoord, logical_row: u32, fill_core: usize },
+    DemandRead {
+        line: u64,
+        bank: BankCoord,
+        logical_row: u32,
+        fill_core: usize,
+    },
     /// A posted write-back.
     DemandWrite { bank: BankCoord, logical_row: u32 },
     /// A translation-table line fetch; on completion the deferred demand
@@ -284,6 +317,23 @@ impl Management {
             Management::Exclusive(m) => m.filter_stats(),
             Management::Inclusive(m) => m.filter_stats(),
         }
+    }
+
+    fn stats(&self) -> das_core::management::ManagementStats {
+        match self {
+            Management::Exclusive(m) => m.stats(),
+            Management::Inclusive(m) => m.stats(),
+        }
+    }
+}
+
+/// Maps the controller's service classification onto telemetry's
+/// dependency-free mirror.
+fn latency_class(s: ServiceClass) -> LatencyClass {
+    match s {
+        ServiceClass::RowBufferHit => LatencyClass::RowBufferHit,
+        ServiceClass::FastMiss => LatencyClass::FastMiss,
+        ServiceClass::SlowMiss => LatencyClass::SlowMiss,
     }
 }
 
@@ -397,19 +447,28 @@ impl AddressMap {
     /// placement by physical row is only correct for pages whose frames
     /// happened to survive.
     pub fn profile_view(&self) -> AddressMap {
-        AddressMap { profile_view: true, ..self.clone() }
+        AddressMap {
+            profile_view: true,
+            ..self.clone()
+        }
     }
 
     /// Maps a workload-local address of `core` to its physical address.
     pub fn map(&self, core: usize, addr: u64) -> u64 {
         let vrow = addr / self.row_bytes;
         let off = addr % self.row_bytes;
-        debug_assert!(vrow < self.slots_per_core, "address outside footprint share");
+        debug_assert!(
+            vrow < self.slots_per_core,
+            "address outside footprint share"
+        );
         let v = vrow % self.slots_per_core;
         let reallocated = self.profile_view
-            && (mix64(v ^ 0x72_6561_6c6c_6f63) as f64 / u64::MAX as f64)
-                < self.realloc_fraction;
-        let mul = if reallocated { self.alt_muls[core] } else { self.muls[core] };
+            && (mix64(v ^ 0x72_6561_6c6c_6f63) as f64 / u64::MAX as f64) < self.realloc_fraction;
+        let mul = if reallocated {
+            self.alt_muls[core]
+        } else {
+            self.muls[core]
+        };
         let slot = v.wrapping_mul(mul) % self.slots_per_core;
         (slot * self.ncores + core as u64) * self.row_bytes + off
     }
@@ -426,7 +485,10 @@ fn mix64(mut z: u64) -> u64 {
 /// Builds placeholder workload descriptors for recorded traces: only the
 /// name and footprint (from the maximum address) matter to the placement
 /// machinery.
-pub(crate) fn recorded_workload_stubs(cfg: &SystemConfig, traces: &[Vec<TraceItem>]) -> Vec<WorkloadConfig> {
+pub(crate) fn recorded_workload_stubs(
+    cfg: &SystemConfig,
+    traces: &[Vec<TraceItem>],
+) -> Vec<WorkloadConfig> {
     assert!(!traces.is_empty(), "need at least one trace");
     traces
         .iter()
@@ -501,6 +563,16 @@ pub struct System {
     warm_global: Option<(AccessMix, u64, u64, u64)>, // (mix, promos, accesses, table reads)
     events_processed: u64,
     same_tick_wakes: u32,
+    // --- telemetry ---
+    /// The telemetry sink; every hook is a single-branch no-op when off.
+    tel: Telemetry,
+    /// Simulated time of the next epoch boundary (`Tick::MAX` when off, so
+    /// the run-loop check is one always-false comparison).
+    next_epoch_at: Tick,
+    /// Epoch length in ticks.
+    epoch_ticks: Tick,
+    /// Epoch boundaries sampled so far.
+    epochs_sampled: u64,
 }
 
 impl System {
@@ -541,7 +613,10 @@ impl System {
         profile: Option<&HashMap<GlobalRowId, u64>>,
     ) -> Self {
         let workloads = recorded_workload_stubs(&cfg, &traces);
-        let sources = traces.into_iter().map(|t| TraceSource::Recorded(t.into_iter())).collect();
+        let sources = traces
+            .into_iter()
+            .map(|t| TraceSource::Recorded(t.into_iter()))
+            .collect();
         Self::assemble(cfg, design, &workloads, sources, profile)
     }
 
@@ -566,12 +641,17 @@ impl System {
             // to the slow capacity (minus the reserved table region).
             let layout = cfg.bank_layout();
             let usable = layout.slow_rows() as u64 * cfg.geometry.total_banks() as u64
-                - cfg.geometry.total_rows().div_ceil(cfg.geometry.row_bytes as u64);
+                - cfg
+                    .geometry
+                    .total_rows()
+                    .div_ceil(cfg.geometry.row_bytes as u64);
             AddressMap::with_usable_rows(&cfg, workloads, usable)
         } else {
             AddressMap::new(&cfg, workloads)
         };
-        let cores = (0..n).map(|_| Core::new(cfg.core, cfg.inst_budget)).collect();
+        let cores = (0..n)
+            .map(|_| Core::new(cfg.core, cfg.inst_budget))
+            .collect();
         let hierarchy = CacheHierarchy::new(cfg.hierarchy, n);
         let timing = cfg.timing_override.unwrap_or_else(|| design.timing());
         let layout = cfg.bank_layout();
@@ -607,8 +687,20 @@ impl System {
             None
         };
         let channels = cfg.geometry.channels as usize;
-        let label = workloads.iter().map(|w| w.name.as_str()).collect::<Vec<_>>().join("+");
+        let label = workloads
+            .iter()
+            .map(|w| w.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
         let injector = FaultInjector::new(cfg.faults.clone());
+        let ticks_per_us = das_dram::tick::TICKS_PER_NS as f64 * 1_000.0;
+        let tel = Telemetry::new(cfg.telemetry, channels, ticks_per_us);
+        let epoch_ticks = cfg.cycles_to_ticks(cfg.telemetry.epoch_cycles);
+        let next_epoch_at = if cfg.telemetry.enabled() {
+            epoch_ticks
+        } else {
+            Tick::MAX
+        };
         System {
             cfg,
             design,
@@ -644,20 +736,47 @@ impl System {
             warm_global: None,
             events_processed: 0,
             same_tick_wakes: 0,
+            tel,
+            next_epoch_at,
+            epoch_ticks,
+            epochs_sampled: 0,
         }
     }
 
     fn push(&mut self, at: Tick, kind: EventKind) {
         let at = at.max(self.clock);
         self.seq += 1;
-        self.events.push(Reverse(Ev { at, seq: self.seq, kind }));
+        self.events.push(Reverse(Ev {
+            at,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     /// Runs the simulation to completion and returns the measured metrics,
     /// or a [`SimError`] describing why the run could not finish (deadlock,
     /// runaway event count, wake storm, or an unrecoverable consistency
     /// violation). The simulation never panics on these paths.
-    pub fn run(mut self) -> Result<RunMetrics, SimError> {
+    pub fn run(self) -> Result<RunMetrics, SimError> {
+        self.run_instrumented().0
+    }
+
+    /// Like [`System::run`], but also returns the telemetry report (`None`
+    /// when the sink is off — see
+    /// [`crate::config::SystemConfig::with_telemetry`]). On a failed run the
+    /// telemetry collected up to the failure is still returned: the event
+    /// trace of a wedged controller is exactly what one wants to look at.
+    pub fn run_instrumented(mut self) -> (Result<RunMetrics, SimError>, Option<TelemetryReport>) {
+        let outcome = self.run_loop();
+        let tel = std::mem::replace(&mut self.tel, Telemetry::off());
+        let report = tel.into_report();
+        match outcome {
+            Ok(()) => (Ok(self.finalize()), report),
+            Err(e) => (Err(e), report),
+        }
+    }
+
+    fn run_loop(&mut self) -> Result<(), SimError> {
         for i in 0..self.cores.len() {
             self.dispatch_core(i);
         }
@@ -676,7 +795,11 @@ impl System {
             if ev.at == self.clock && matches!(ev.kind, EventKind::CtrlWake { .. }) {
                 self.same_tick_wakes += 1;
                 if self.same_tick_wakes > WATCHDOG_SAME_TICK_WAKES {
-                    let EventKind::CtrlWake { ch } = ev.kind else { unreachable!() };
+                    let EventKind::CtrlWake { ch } = ev.kind else {
+                        unreachable!()
+                    };
+                    self.tel
+                        .instant("watchdog_fire", "recovery", self.clock.raw());
                     return Err(SimError::Stalled {
                         clock: self.clock,
                         channel: ch,
@@ -697,10 +820,20 @@ impl System {
                 });
             }
             self.clock = ev.at;
+            // Epoch sampling is tick-driven: boundaries land at fixed
+            // simulated times, so the series is deterministic. Off-sink
+            // runs pay one always-false comparison (`next_epoch_at` is
+            // `Tick::MAX`).
+            while self.clock >= self.next_epoch_at {
+                self.sample_epoch();
+            }
             match ev.kind {
-                EventKind::CoreIssue { core, id, addr, is_write } => {
-                    self.handle_core_issue(core, id, addr, is_write)?
-                }
+                EventKind::CoreIssue {
+                    core,
+                    id,
+                    addr,
+                    is_write,
+                } => self.handle_core_issue(core, id, addr, is_write)?,
                 EventKind::CtrlEnqueue { req } => self.handle_enqueue(req)?,
                 EventKind::CtrlWake { ch } => self.handle_wake(ch)?,
                 EventKind::SwapEnqueue { op } => {
@@ -714,7 +847,58 @@ impl System {
                 self.check_management_invariants()?;
             }
         }
-        Ok(self.finalize())
+        Ok(())
+    }
+
+    /// Snapshots the cumulative run counters at the epoch boundary the
+    /// clock just crossed and feeds them to the telemetry sink (which
+    /// differences them into per-epoch deltas).
+    fn sample_epoch(&mut self) {
+        let boundary = self.next_epoch_at;
+        self.next_epoch_at = boundary + self.epoch_ticks;
+        self.epochs_sampled += 1;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut read_queue = 0u64;
+        let mut write_queue = 0u64;
+        for c in &self.ctrls {
+            let s = c.stats();
+            reads += s.reads;
+            writes += s.writes;
+            read_queue += c.queued_reads() as u64;
+            write_queue += c.queued_writes() as u64;
+        }
+        for o in &self.overflow {
+            for r in o {
+                if r.is_write {
+                    write_queue += 1;
+                } else {
+                    read_queue += 1;
+                }
+            }
+        }
+        let mstats = self
+            .manager
+            .as_ref()
+            .map(Management::stats)
+            .unwrap_or_default();
+        let fstats = self.injector.stats();
+        let cum = EpochCounters {
+            cycle: self.epochs_sampled * self.tel.epoch_cycles(),
+            insts: self.cores.iter().map(Core::insts_retired).sum(),
+            reads,
+            writes,
+            row_hits: self.access_mix.row_buffer,
+            fast_acts: self.access_mix.fast,
+            slow_acts: self.access_mix.slow,
+            promotions: mstats.promotions,
+            aborted: mstats.aborted,
+            faults_injected: fstats.total_injected(),
+            tcache_rebuilds: fstats.tcache_rebuilds,
+            read_queue,
+            write_queue,
+        };
+        self.tel.epoch_boundary(boundary.raw(), cum);
     }
 
     /// Runs the management-layer consistency checker. Translation-cache
@@ -736,6 +920,8 @@ impl System {
             Err(_) => {
                 m.rebuild_translation_cache();
                 self.injector.note_tcache_rebuild();
+                self.tel
+                    .instant("tcache_rebuild", "recovery", self.clock.raw());
                 self.recent_translations.clear();
                 match m.check_invariants() {
                     Ok(()) => {
@@ -774,17 +960,23 @@ impl System {
         for r in reqs {
             self.push(
                 Tick::new(r.issue_at),
-                EventKind::CoreIssue { core: i, id: r.id, addr: r.addr, is_write: r.is_write },
+                EventKind::CoreIssue {
+                    core: i,
+                    id: r.id,
+                    addr: r.addr,
+                    is_write: r.is_write,
+                },
             );
         }
     }
 
     fn check_warm(&mut self, i: usize) {
-        if self.warm_core[i].is_none()
-            && self.cores[i].insts_retired() >= self.cfg.warmup_insts()
-        {
-            self.warm_core[i] =
-                Some((self.cores[i].insts_retired(), self.cores[i].finish_time(), self.core_misses[i]));
+        if self.warm_core[i].is_none() && self.cores[i].insts_retired() >= self.cfg.warmup_insts() {
+            self.warm_core[i] = Some((
+                self.cores[i].insts_retired(),
+                self.cores[i].finish_time(),
+                self.core_misses[i],
+            ));
             if self.warm_core.iter().all(Option::is_some) && self.warm_global.is_none() {
                 self.warm_global = Some((
                     self.access_mix,
@@ -807,7 +999,8 @@ impl System {
         // OS-style physical placement: scatter the workload-local address
         // over the whole usable row space.
         let addr = self.addr_map.map(core, addr);
-        self.footprint_rows.insert(addr / self.cfg.geometry.row_bytes as u64);
+        self.footprint_rows
+            .insert(addr / self.cfg.geometry.row_bytes as u64);
         let outcome = self.hierarchy.access(core, addr, is_write);
         let wbs = outcome.dram_writebacks.clone();
         for wb in wbs {
@@ -823,7 +1016,11 @@ impl System {
         // LLC miss.
         self.core_misses[core] += 1;
         let line = addr & !(self.cfg.hierarchy.line_bytes - 1);
-        let waiter = Waiter { core, id, is_load: !is_write };
+        let waiter = Waiter {
+            core,
+            id,
+            is_load: !is_write,
+        };
         let dirty = self.line_dirty.entry(line).or_insert(false);
         *dirty |= is_write;
         match self.mshr.register(line, waiter) {
@@ -878,8 +1075,7 @@ impl System {
         match tr.source {
             TranslationSource::Cache => (tr.phys_row, now, None),
             TranslationSource::TableFetch => {
-                let llc_lat =
-                    self.cfg.cycles_to_ticks(self.cfg.hierarchy.llc_latency);
+                let llc_lat = self.cfg.cycles_to_ticks(self.cfg.hierarchy.llc_latency);
                 let (hit, wbs) = self.hierarchy.llc_side_access(tr.table_line);
                 for wb in wbs {
                     self.issue_writeback_at(wb, now);
@@ -909,17 +1105,27 @@ impl System {
         let id = self.new_req_id();
         let demand = Request {
             id,
-            coord: MemCoord { bank: coord.bank, row: phys_row, col: coord.col },
+            coord: MemCoord {
+                bank: coord.bank,
+                row: phys_row,
+                col: coord.col,
+            },
             is_write: false,
             arrival: ready,
         };
         self.ctxs.insert(
             id,
-            ReqCtx::DemandRead { line, bank: coord.bank, logical_row: coord.row, fill_core },
+            ReqCtx::DemandRead {
+                line,
+                bank: coord.bank,
+                logical_row: coord.row,
+                fill_core,
+            },
         );
         match table_req {
             Some(tr) => {
-                self.ctxs.insert(tr.id, ReqCtx::TableRead { then: Some(demand) });
+                self.ctxs
+                    .insert(tr.id, ReqCtx::TableRead { then: Some(demand) });
                 self.push(tr.arrival, EventKind::CtrlEnqueue { req: tr });
             }
             None => self.push(ready, EventKind::CtrlEnqueue { req: demand }),
@@ -934,7 +1140,8 @@ impl System {
     }
 
     fn forget_recent(&mut self, bank: BankCoord, logical_row: u32) {
-        self.recent_translations.retain(|&e| e != (bank, logical_row));
+        self.recent_translations
+            .retain(|&e| e != (bank, logical_row));
     }
 
     fn issue_writeback(&mut self, line: u64) {
@@ -956,12 +1163,21 @@ impl System {
         let id = self.new_req_id();
         let req = Request {
             id,
-            coord: MemCoord { bank: coord.bank, row: phys_row, col: coord.col },
+            coord: MemCoord {
+                bank: coord.bank,
+                row: phys_row,
+                col: coord.col,
+            },
             is_write: true,
             arrival: t,
         };
-        self.ctxs
-            .insert(id, ReqCtx::DemandWrite { bank: coord.bank, logical_row: coord.row });
+        self.ctxs.insert(
+            id,
+            ReqCtx::DemandWrite {
+                bank: coord.bank,
+                logical_row: coord.row,
+            },
+        );
         self.push(t, EventKind::CtrlEnqueue { req });
     }
 
@@ -993,7 +1209,7 @@ impl System {
         self.next_wake[ch] = Tick::MAX;
         let completions = self.ctrls[ch].advance(self.clock)?;
         for c in completions {
-            self.handle_completion(c)?;
+            self.handle_completion(ch, c)?;
         }
         // Drain overflow into freed queue slots (FIFO, reads and writes
         // interleaved as they arrived).
@@ -1051,14 +1267,26 @@ impl System {
         self.memory_accesses += 1;
     }
 
-    fn handle_completion(&mut self, c: Completion) -> Result<(), SimError> {
+    fn handle_completion(&mut self, ch: usize, c: Completion) -> Result<(), SimError> {
         match c {
-            Completion::ReadDone { id, at, service } => {
+            Completion::ReadDone {
+                id,
+                at,
+                service,
+                latency,
+            } => {
+                self.tel
+                    .record_latency(ch, latency_class(service), latency.raw());
                 let Some(ctx) = self.ctxs.remove(&id) else {
                     return Err(SimError::UnknownCompletion { kind: "read", id });
                 };
                 match ctx {
-                    ReqCtx::DemandRead { line, bank, logical_row, fill_core } => {
+                    ReqCtx::DemandRead {
+                        line,
+                        bank,
+                        logical_row,
+                        fill_core,
+                    } => {
                         // Weak-retention model: a fast-resident row may
                         // return flipped bits; ECC detects the flip and the
                         // controller re-reads, up to a bounded budget.
@@ -1068,7 +1296,14 @@ impl System {
                             let retries = self.read_retries.remove(&id).unwrap_or(0);
                             if retries < self.injector.plan().max_read_retries {
                                 self.injector.note_retry(FaultSite::RetentionFlip);
-                                self.reissue_read(line, bank, logical_row, fill_core, at, retries + 1);
+                                self.reissue_read(
+                                    line,
+                                    bank,
+                                    logical_row,
+                                    fill_core,
+                                    at,
+                                    retries + 1,
+                                );
                                 return Ok(());
                             }
                             // Budget exhausted: the access is counted fatal
@@ -1112,7 +1347,14 @@ impl System {
                     }
                 }
             }
-            Completion::WriteDone { id, at, service } => {
+            Completion::WriteDone {
+                id,
+                at,
+                service,
+                latency,
+            } => {
+                self.tel
+                    .record_latency(ch, latency_class(service), latency.raw());
                 let Some(ctx) = self.ctxs.remove(&id) else {
                     return Err(SimError::UnknownCompletion { kind: "write", id });
                 };
@@ -1130,7 +1372,10 @@ impl System {
             }
             Completion::SwapDone { token, at: _ } => {
                 let Some(req) = self.pending_swaps.remove(&token) else {
-                    return Err(SimError::UnknownCompletion { kind: "swap", id: token });
+                    return Err(SimError::UnknownCompletion {
+                        kind: "swap",
+                        id: token,
+                    });
                 };
                 // Migration-step fault: the swap's data movement failed and
                 // nothing was committed. Retry within the bounded budget;
@@ -1140,6 +1385,7 @@ impl System {
                     let attempts = self.swap_attempts.remove(&token).unwrap_or(0) + 1;
                     if attempts < self.injector.plan().max_swap_attempts {
                         self.injector.note_retry(FaultSite::SwapStep);
+                        self.tel.swap_retry(token);
                         self.swap_attempts.insert(token, attempts);
                         let op = swap_op_for(&req, token, self.clock);
                         self.pending_swaps.insert(token, req);
@@ -1156,15 +1402,20 @@ impl System {
                             m.abort_fill(fill)
                         }
                         _ => {
-                            return Err(SimError::ContextMismatch { kind: "swap", id: token })
+                            return Err(SimError::ContextMismatch {
+                                kind: "swap",
+                                id: token,
+                            })
                         }
                     }
                     self.injector.note_recovered(FaultSite::SwapStep);
+                    self.tel.swap_abort(token, self.clock.raw());
                     return Ok(());
                 }
                 if self.swap_attempts.remove(&token).is_some() {
                     self.injector.note_recovered(FaultSite::SwapStep);
                 }
+                self.tel.swap_commit(token, self.clock.raw());
                 let now = self.clock.raw();
                 match req {
                     PendingMigration::Swap(swap) => {
@@ -1207,7 +1458,9 @@ impl System {
         if self.design == Design::FsDram {
             return true;
         }
-        self.manager.as_ref().is_some_and(|m| m.peek(bank, logical_row).1)
+        self.manager
+            .as_ref()
+            .is_some_and(|m| m.peek(bank, logical_row).1)
     }
 
     /// Re-issues a demand read whose data failed the retention check. The
@@ -1229,11 +1482,22 @@ impl System {
         };
         let id = self.new_req_id();
         self.read_retries.insert(id, retries);
-        self.ctxs
-            .insert(id, ReqCtx::DemandRead { line, bank, logical_row, fill_core });
+        self.ctxs.insert(
+            id,
+            ReqCtx::DemandRead {
+                line,
+                bank,
+                logical_row,
+                fill_core,
+            },
+        );
         let req = Request {
             id,
-            coord: MemCoord { bank, row: phys, col: coord.col },
+            coord: MemCoord {
+                bank,
+                row: phys,
+                col: coord.col,
+            },
             is_write: false,
             arrival: at,
         };
@@ -1269,25 +1533,27 @@ impl System {
             Some(Management::Inclusive(m)) => {
                 // The inclusive manager always observes writes (dirty
                 // tracking) even though they never allocate.
-                m.on_data_access(bank, logical_row, is_write, at.raw()).map(|fill| {
-                    (
-                        PendingMigration::Fill(fill),
-                        SwapOp {
-                            token: 0,
-                            bank,
-                            phys_a: fill.promotee_phys,
-                            phys_b: fill.slot_phys,
-                            kind: fill.kind,
-                            arrival: at,
-                        },
-                    )
-                })
+                m.on_data_access(bank, logical_row, is_write, at.raw())
+                    .map(|fill| {
+                        (
+                            PendingMigration::Fill(fill),
+                            SwapOp {
+                                token: 0,
+                                bank,
+                                phys_a: fill.promotee_phys,
+                                phys_b: fill.slot_phys,
+                                kind: fill.kind,
+                                arrival: at,
+                            },
+                        )
+                    })
             }
         };
         if let Some((pending, mut op)) = op {
             self.next_swap_token += 1;
             op.token = self.next_swap_token;
             self.pending_swaps.insert(op.token, pending);
+            self.tel.swap_begin(op.token, at.raw(), bank.channel as u32);
             // Latency-spike fault: the migration's hand-off to the
             // controller is delayed (e.g. a refresh collision on the
             // migration cells), not lost.
@@ -1317,12 +1583,7 @@ impl System {
     // ---- finalisation ------------------------------------------------------
 
     fn finalize(self) -> RunMetrics {
-        let warm_global = self.warm_global.unwrap_or((
-            AccessMix::default(),
-            0,
-            0,
-            0,
-        ));
+        let warm_global = self.warm_global.unwrap_or((AccessMix::default(), 0, 0, 0));
         let tpc = self.cfg.core.ticks_per_cycle;
         let cores: Vec<CoreMetrics> = self
             .cores
@@ -1365,12 +1626,20 @@ impl System {
             cores,
             access_mix: mix,
             promotions,
+            aborted_promotions: self.manager.as_ref().map_or(0, |m| m.stats().aborted),
             memory_accesses: accesses,
             llc_misses,
-            footprint_bytes: self.footprint_rows.len() as u64
-                * self.cfg.geometry.row_bytes as u64,
-            translation: self.manager.as_ref().map(|m| m.translation_stats()).unwrap_or_default(),
-            filter: self.manager.as_ref().map(|m| m.filter_stats()).unwrap_or_default(),
+            footprint_bytes: self.footprint_rows.len() as u64 * self.cfg.geometry.row_bytes as u64,
+            translation: self
+                .manager
+                .as_ref()
+                .map(|m| m.translation_stats())
+                .unwrap_or_default(),
+            filter: self
+                .manager
+                .as_ref()
+                .map(|m| m.filter_stats())
+                .unwrap_or_default(),
             table_fetch_reads: table_reads,
             energy,
             window_cycles,

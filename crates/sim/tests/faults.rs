@@ -22,7 +22,10 @@ fn fingerprint(m: &RunMetrics) -> impl PartialEq + std::fmt::Debug {
         m.llc_misses,
         m.table_fetch_reads,
         m.window_cycles,
-        m.cores.iter().map(|c| (c.insts, c.cycles, c.llc_misses)).collect::<Vec<_>>(),
+        m.cores
+            .iter()
+            .map(|c| (c.insts, c.cycles, c.llc_misses))
+            .collect::<Vec<_>>(),
     )
 }
 
@@ -31,7 +34,10 @@ fn rate_zero_plan_is_bit_identical_to_no_injection() {
     let cfg = SystemConfig::test_small();
     // A zeroed plan with a nonzero seed must not perturb anything: rate-0
     // sites never draw from their streams.
-    let zeroed = cfg.clone().with_faults(FaultPlan { seed: 0xdead_beef, ..FaultPlan::none() });
+    let zeroed = cfg.clone().with_faults(FaultPlan {
+        seed: 0xdead_beef,
+        ..FaultPlan::none()
+    });
     let base = run_one(&cfg, Design::DasDram, &mcf()).unwrap();
     let faulted = run_one(&zeroed, Design::DasDram, &mcf()).unwrap();
     assert_eq!(fingerprint(&base), fingerprint(&faulted));
@@ -45,13 +51,20 @@ fn nonzero_plan_completes_and_accounts_faults() {
         .with_invariant_checks(5_000);
     let m = run_one(&cfg, Design::DasDram, &mcf()).unwrap();
     assert!(m.ipc() > 0.0, "faulted run must still make progress");
-    assert!(m.faults.total_injected() > 0, "2% uniform rate must fire: {:?}", m.faults);
+    assert!(
+        m.faults.total_injected() > 0,
+        "2% uniform rate must fire: {:?}",
+        m.faults
+    );
     // The demand-read path is the hottest site; retention flips must both
     // fire and be masked by the bounded re-read policy.
     let flips = m.faults.site(FaultSite::RetentionFlip);
     assert!(flips.injected > 0, "retention flips must fire on fast rows");
     assert!(flips.retried > 0, "flips must trigger re-reads");
-    assert!(m.faults.invariant_checks_passed > 0, "periodic audits must run");
+    assert!(
+        m.faults.invariant_checks_passed > 0,
+        "periodic audits must run"
+    );
 }
 
 #[test]
@@ -75,12 +88,21 @@ fn swap_failures_are_retried_or_demoted_without_losing_consistency() {
         swap_failure_rate: 0.5,
         ..FaultPlan::none()
     };
-    let cfg = SystemConfig::test_small().with_faults(plan).with_invariant_checks(2_000);
+    let cfg = SystemConfig::test_small()
+        .with_faults(plan)
+        .with_invariant_checks(2_000);
     let m = run_one(&cfg, Design::DasDram, &mcf()).unwrap();
     let swaps = m.faults.site(FaultSite::SwapStep);
-    assert!(swaps.injected > 0, "swap failures must fire: {:?}", m.faults);
+    assert!(
+        swaps.injected > 0,
+        "swap failures must fire: {:?}",
+        m.faults
+    );
     assert!(swaps.retried > 0, "failed swaps must be retried");
-    assert!(m.faults.invariant_checks_passed > 0, "audits must pass throughout");
+    assert!(
+        m.faults.invariant_checks_passed > 0,
+        "audits must pass throughout"
+    );
 }
 
 #[test]

@@ -59,7 +59,9 @@ pub enum Pattern {
 impl Pattern {
     /// A single-layer hot/cold pattern.
     pub fn hot_cold(hot_fraction: f64, hot_prob: f64) -> Self {
-        Pattern::Layered { layers: vec![Layer::new(hot_fraction, hot_prob)] }
+        Pattern::Layered {
+            layers: vec![Layer::new(hot_fraction, hot_prob)],
+        }
     }
 
     /// A single sequential stream.

@@ -136,8 +136,7 @@ impl TraceGen {
                 let k = (*streams).max(1) as usize;
                 let total = rows * lpr;
                 if self.stream_lines.len() != k {
-                    self.stream_lines =
-                        (0..k as u64).map(|i| i * total / k as u64).collect();
+                    self.stream_lines = (0..k as u64).map(|i| i * total / k as u64).collect();
                 }
                 let which = self.rng.range_usize(0, k);
                 let line = self.stream_lines[which];
@@ -157,7 +156,8 @@ impl TraceGen {
                     let layer_rows = ((rows as f64 * layer.frac) as u64).max(1);
                     if u < acc + layer.prob {
                         let origin = mix64(
-                            self.phase_salt ^ (li as u64).wrapping_mul(0x9e37_79b9)
+                            self.phase_salt
+                                ^ (li as u64).wrapping_mul(0x9e37_79b9)
                                 ^ self.phase.wrapping_mul(0x85eb_ca6b),
                         ) % rows;
                         let r = (origin + self.rng.range_u64(0, layer_rows)) % rows;
@@ -219,7 +219,12 @@ impl Iterator for TraceGen {
         let is_write = self.rng.gen_bool(self.cfg.write_frac);
         let depends_on_prev = !is_write && self.rng.gen_bool(self.cfg.dep_frac);
         self.insts += gap as u64 + 1;
-        Some(TraceItem { gap, addr, is_write, depends_on_prev })
+        Some(TraceItem {
+            gap,
+            addr,
+            is_write,
+            depends_on_prev,
+        })
     }
 }
 
@@ -244,10 +249,16 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let a: Vec<_> = TraceGen::new(cfg(Pattern::hot_cold(0.2, 0.6)), 1, 0).take(500).collect();
-        let b: Vec<_> = TraceGen::new(cfg(Pattern::hot_cold(0.2, 0.6)), 1, 0).take(500).collect();
+        let a: Vec<_> = TraceGen::new(cfg(Pattern::hot_cold(0.2, 0.6)), 1, 0)
+            .take(500)
+            .collect();
+        let b: Vec<_> = TraceGen::new(cfg(Pattern::hot_cold(0.2, 0.6)), 1, 0)
+            .take(500)
+            .collect();
         assert_eq!(a, b);
-        let c: Vec<_> = TraceGen::new(cfg(Pattern::hot_cold(0.2, 0.6)), 2, 0).take(500).collect();
+        let c: Vec<_> = TraceGen::new(cfg(Pattern::hot_cold(0.2, 0.6)), 2, 0)
+            .take(500)
+            .collect();
         assert_ne!(a, c);
     }
 
@@ -292,7 +303,11 @@ mod tests {
             }
         }
         let distinct: HashSet<u64> = items.iter().map(|i| i.addr).collect();
-        assert_eq!(distinct.len(), items.len(), "one sweep never repeats a line");
+        assert_eq!(
+            distinct.len(),
+            items.len(),
+            "one sweep never repeats a line"
+        );
     }
 
     #[test]
@@ -343,7 +358,9 @@ mod tests {
 
     #[test]
     fn write_and_dep_fractions_are_respected() {
-        let items: Vec<_> = TraceGen::new(cfg(Pattern::hot_cold(0.3, 0.5)), 13, 0).take(20_000).collect();
+        let items: Vec<_> = TraceGen::new(cfg(Pattern::hot_cold(0.3, 0.5)), 13, 0)
+            .take(20_000)
+            .collect();
         let writes = items.iter().filter(|i| i.is_write).count() as f64 / items.len() as f64;
         assert!((writes - 0.25).abs() < 0.03, "write fraction {writes}");
         let loads: Vec<_> = items.iter().filter(|i| !i.is_write).collect();
@@ -358,6 +375,10 @@ mod tests {
         };
         let items: Vec<_> = TraceGen::new(cfg(mcf_like), 17, 0).take(5_000).collect();
         let rows: HashSet<u64> = items.iter().map(|i| i.addr / ROW_BYTES).collect();
-        assert!(rows.len() > 200, "pointer chase should scatter: {} rows", rows.len());
+        assert!(
+            rows.len() > 200,
+            "pointer chase should scatter: {} rows",
+            rows.len()
+        );
     }
 }

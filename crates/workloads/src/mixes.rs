@@ -21,9 +21,16 @@ pub const MIXES: [(&str, [&str; 4]); 8] = [
 ///
 /// Panics if `name` is not `M1`..`M8`.
 pub fn mix(name: &str) -> [WorkloadConfig; 4] {
-    let (_, benches) =
-        MIXES.iter().find(|(n, _)| *n == name).unwrap_or_else(|| panic!("unknown mix {name:?}"));
-    [by_name(benches[0]), by_name(benches[1]), by_name(benches[2]), by_name(benches[3])]
+    let (_, benches) = MIXES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown mix {name:?}"));
+    [
+        by_name(benches[0]),
+        by_name(benches[1]),
+        by_name(benches[2]),
+        by_name(benches[3]),
+    ]
 }
 
 /// Mix names in Table 2 order.

@@ -42,34 +42,142 @@ pub fn spec2006() -> Vec<WorkloadConfig> {
     vec![
         // astar/BigLakes2048: graph search, modest MPKI, strong hot region
         // that moves with the search frontier.
-        mk("astar", 4.0, 176, 0.20, 0.55, Pattern::Layered { layers: vec![Layer::new(0.04, 0.75), Layer::new(0.20, 0.15)] }, 2, Some(400_000)),
+        mk(
+            "astar",
+            4.0,
+            176,
+            0.20,
+            0.55,
+            Pattern::Layered {
+                layers: vec![Layer::new(0.04, 0.75), Layer::new(0.20, 0.15)],
+            },
+            2,
+            Some(400_000),
+        ),
         // cactusADM/benchADM: stencil sweeps over a large grid.
-        mk("cactusADM", 5.5, 416, 0.30, 0.08, Pattern::Stream { streams: 8 }, 3, None),
+        mk(
+            "cactusADM",
+            5.5,
+            416,
+            0.30,
+            0.08,
+            Pattern::Stream { streams: 8 },
+            3,
+            None,
+        ),
         // GemsFDTD/ref: multi-array FDTD streaming, large footprint.
-        mk("GemsFDTD", 17.0, 800, 0.33, 0.05, Pattern::Stream { streams: 12 }, 3, None),
+        mk(
+            "GemsFDTD",
+            17.0,
+            800,
+            0.33,
+            0.05,
+            Pattern::Stream { streams: 12 },
+            3,
+            None,
+        ),
         // lbm/lbm: lattice-Boltzmann; the classic write-heavy streamer.
-        mk("lbm", 28.0, 408, 0.44, 0.0, Pattern::Stream { streams: 19 }, 3, None),
+        mk(
+            "lbm",
+            28.0,
+            408,
+            0.44,
+            0.0,
+            Pattern::Stream { streams: 19 },
+            3,
+            None,
+        ),
         // leslie3d: compact streaming CFD kernel.
-        mk("leslie3d", 13.0, 88, 0.28, 0.05, Pattern::Stream { streams: 8 }, 3, None),
+        mk(
+            "leslie3d",
+            13.0,
+            88,
+            0.28,
+            0.05,
+            Pattern::Stream { streams: 8 },
+            3,
+            None,
+        ),
         // libquantum/ref: small footprint swept sequentially at high rate.
-        mk("libquantum", 24.0, 64, 0.25, 0.0, Pattern::Stream { streams: 3 }, 8, None),
+        mk(
+            "libquantum",
+            24.0,
+            64,
+            0.25,
+            0.0,
+            Pattern::Stream { streams: 3 },
+            8,
+            None,
+        ),
         // mcf/ref: pointer-chasing over a huge network; highest MPKI,
         // phase-drifting hot arcs.
-        mk("mcf", 34.0, 1248, 0.15, 0.80, Pattern::Layered { layers: vec![Layer::new(0.05, 0.55), Layer::new(0.18, 0.33)] }, 1, Some(600_000)),
+        mk(
+            "mcf",
+            34.0,
+            1248,
+            0.15,
+            0.80,
+            Pattern::Layered {
+                layers: vec![Layer::new(0.05, 0.55), Layer::new(0.18, 0.33)],
+            },
+            1,
+            Some(600_000),
+        ),
         // milc/su3imp: scattered lattice accesses over a large footprint.
-        mk("milc", 19.0, 576, 0.30, 0.18, Pattern::Layered { layers: vec![Layer::new(0.12, 0.52), Layer::new(0.30, 0.36)] }, 2, Some(800_000)),
+        mk(
+            "milc",
+            19.0,
+            576,
+            0.30,
+            0.18,
+            Pattern::Layered {
+                layers: vec![Layer::new(0.12, 0.52), Layer::new(0.30, 0.36)],
+            },
+            2,
+            Some(800_000),
+        ),
         // omnetpp: event simulation, scattered small objects, hot queues.
-        mk("omnetpp", 9.0, 152, 0.30, 0.60, Pattern::Layered { layers: vec![Layer::new(0.05, 0.70), Layer::new(0.25, 0.20)] }, 1, Some(500_000)),
+        mk(
+            "omnetpp",
+            9.0,
+            152,
+            0.30,
+            0.60,
+            Pattern::Layered {
+                layers: vec![Layer::new(0.05, 0.70), Layer::new(0.25, 0.20)],
+            },
+            1,
+            Some(500_000),
+        ),
         // soplex/pds-50: sparse LP; mixed stream + hot working set.
-        mk("soplex", 23.0, 256, 0.22, 0.30, Pattern::Layered { layers: vec![Layer::new(0.10, 0.60), Layer::new(0.30, 0.25)] }, 3, Some(700_000)),
+        mk(
+            "soplex",
+            23.0,
+            256,
+            0.22,
+            0.30,
+            Pattern::Layered {
+                layers: vec![Layer::new(0.10, 0.60), Layer::new(0.30, 0.25)],
+            },
+            3,
+            Some(700_000),
+        ),
     ]
 }
 
 /// The benchmark names in Table 2 order.
 pub fn names() -> Vec<&'static str> {
     vec![
-        "astar", "cactusADM", "GemsFDTD", "lbm", "leslie3d", "libquantum", "mcf", "milc",
-        "omnetpp", "soplex",
+        "astar",
+        "cactusADM",
+        "GemsFDTD",
+        "lbm",
+        "leslie3d",
+        "libquantum",
+        "mcf",
+        "milc",
+        "omnetpp",
+        "soplex",
     ]
 }
 
@@ -112,7 +220,10 @@ mod tests {
     #[test]
     fn streaming_benchmarks_have_no_phases() {
         for n in ["libquantum", "lbm", "GemsFDTD", "leslie3d", "cactusADM"] {
-            assert!(by_name(n).phase_insts.is_none(), "{n} should be phase-stable");
+            assert!(
+                by_name(n).phase_insts.is_none(),
+                "{n} should be phase-stable"
+            );
         }
         for n in ["mcf", "omnetpp", "soplex", "astar", "milc"] {
             assert!(by_name(n).phase_insts.is_some(), "{n} should drift");

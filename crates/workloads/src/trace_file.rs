@@ -43,7 +43,10 @@ fn parse_line(line: &str, lineno: usize) -> Result<Option<TraceItem>, ParseTrace
     if line.is_empty() || line.starts_with('#') {
         return Ok(None);
     }
-    let err = |message: String| ParseTraceError { line: lineno, message };
+    let err = |message: String| ParseTraceError {
+        line: lineno,
+        message,
+    };
     let mut fields = line.split_whitespace();
     let gap: u32 = fields
         .next()
@@ -51,12 +54,19 @@ fn parse_line(line: &str, lineno: usize) -> Result<Option<TraceItem>, ParseTrace
         .parse()
         .map_err(|e| err(format!("bad gap: {e}")))?;
     let addr_s = fields.next().ok_or_else(|| err("missing address".into()))?;
-    let addr = if let Some(hex) = addr_s.strip_prefix("0x").or_else(|| addr_s.strip_prefix("0X")) {
+    let addr = if let Some(hex) = addr_s
+        .strip_prefix("0x")
+        .or_else(|| addr_s.strip_prefix("0X"))
+    {
         u64::from_str_radix(hex, 16).map_err(|e| err(format!("bad hex address: {e}")))?
     } else {
-        addr_s.parse().map_err(|e| err(format!("bad address: {e}")))?
+        addr_s
+            .parse()
+            .map_err(|e| err(format!("bad address: {e}")))?
     };
-    let kind = fields.next().ok_or_else(|| err("missing R/W kind".into()))?;
+    let kind = fields
+        .next()
+        .ok_or_else(|| err("missing R/W kind".into()))?;
     let is_write = match kind {
         "R" | "r" => false,
         "W" | "w" => true,
@@ -75,7 +85,12 @@ fn parse_line(line: &str, lineno: usize) -> Result<Option<TraceItem>, ParseTrace
     if let Some(extra) = fields.next() {
         return Err(err(format!("trailing field {extra:?}")));
     }
-    Ok(Some(TraceItem { gap, addr, is_write, depends_on_prev }))
+    Ok(Some(TraceItem {
+        gap,
+        addr,
+        is_write,
+        depends_on_prev,
+    }))
 }
 
 /// Parses a whole trace from a reader.
@@ -130,10 +145,16 @@ pub fn read_trace_resilient<R: BufRead>(
             .as_deref_mut()
             .is_some_and(|inj| inj.roll(FaultSite::TraceRead));
         let failure = if injected {
-            Some(ParseTraceError { line: lineno, message: "injected read fault".into() })
+            Some(ParseTraceError {
+                line: lineno,
+                message: "injected read fault".into(),
+            })
         } else {
             match line {
-                Err(e) => Some(ParseTraceError { line: lineno, message: format!("I/O error: {e}") }),
+                Err(e) => Some(ParseTraceError {
+                    line: lineno,
+                    message: format!("I/O error: {e}"),
+                }),
                 Ok(text) => match parse_line(&text, lineno) {
                     Ok(Some(item)) => {
                         items.push(item);
@@ -261,7 +282,9 @@ mod tests {
         plan.seed = 21;
         plan.trace_read_error_rate = 0.3;
         let mut inj = FaultInjector::new(plan);
-        let text: String = (0..200).map(|i| format!("{} {:#x} R\n", i % 7, 0x1000 + i * 64)).collect();
+        let text: String = (0..200)
+            .map(|i| format!("{} {:#x} R\n", i % 7, 0x1000 + i * 64))
+            .collect();
         let out =
             read_trace_resilient(BufReader::new(text.as_bytes()), Some(&mut inj), 200).unwrap();
         let s = inj.stats().site(FaultSite::TraceRead);

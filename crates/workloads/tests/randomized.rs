@@ -7,10 +7,15 @@ use das_workloads::gen::TraceGen;
 
 fn random_config(rng: &mut Prng) -> WorkloadConfig {
     let pattern = if rng.gen_bool(0.5) {
-        Pattern::Stream { streams: rng.range_u32(1, 20) }
+        Pattern::Stream {
+            streams: rng.range_u32(1, 20),
+        }
     } else {
         Pattern::Layered {
-            layers: vec![Layer::new(rng.range_f64(0.01, 0.4), rng.range_f64(0.3, 0.95))],
+            layers: vec![Layer::new(
+                rng.range_f64(0.01, 0.4),
+                rng.range_f64(0.3, 0.95),
+            )],
         }
     };
     WorkloadConfig {

@@ -29,7 +29,11 @@ fn main() {
     cfg.inst_budget = 1_500_000;
     let wl = vec![kv];
     let base = run_one(&cfg, Design::Standard, &wl).expect("simulation must finish");
-    println!("kvstore on Std-DRAM: IPC {:.3}, MPKI {:.1}", base.ipc(), base.mpki());
+    println!(
+        "kvstore on Std-DRAM: IPC {:.3}, MPKI {:.1}",
+        base.ipc(),
+        base.mpki()
+    );
     for d in [Design::SasDram, Design::DasDram, Design::FsDram] {
         let m = run_one(&cfg, d, &wl).expect("simulation must finish");
         println!(

@@ -31,8 +31,16 @@ fn main() {
         let t = dev.earliest_issue(&cmd, now).expect("command admissible");
         let out = dev.issue(&cmd, t);
         match out.data_end {
-            Some(d) => println!("{:>9.3}ns  {label:<24} data at {:.3}ns", t.as_ns(), d.as_ns()),
-            None => println!("{:>9.3}ns  {label:<24} done at {:.3}ns", t.as_ns(), out.done.as_ns()),
+            Some(d) => println!(
+                "{:>9.3}ns  {label:<24} data at {:.3}ns",
+                t.as_ns(),
+                d.as_ns()
+            ),
+            None => println!(
+                "{:>9.3}ns  {label:<24} done at {:.3}ns",
+                t.as_ns(),
+                out.done.as_ns()
+            ),
         }
         out.done
     };
@@ -40,25 +48,92 @@ fn main() {
     println!("\n-- slow-subarray read cycle (tRCD 13.75ns, tRC 48.75ns) --");
     let slow = dev.layout().slow_to_phys(10);
     let mut now = Tick::ZERO;
-    now = log("ACT slow row", DramCommand::Activate { bank, phys_row: slow }, &mut dev, now);
-    now = log("RD col 0", DramCommand::Read { bank, phys_row: slow, col: 0 }, &mut dev, now);
-    now = log("RD col 1 (row hit)", DramCommand::Read { bank, phys_row: slow, col: 1 }, &mut dev, now);
-    now = log("PRE", DramCommand::Precharge { bank, phys_row: slow }, &mut dev, now);
+    now = log(
+        "ACT slow row",
+        DramCommand::Activate {
+            bank,
+            phys_row: slow,
+        },
+        &mut dev,
+        now,
+    );
+    now = log(
+        "RD col 0",
+        DramCommand::Read {
+            bank,
+            phys_row: slow,
+            col: 0,
+        },
+        &mut dev,
+        now,
+    );
+    now = log(
+        "RD col 1 (row hit)",
+        DramCommand::Read {
+            bank,
+            phys_row: slow,
+            col: 1,
+        },
+        &mut dev,
+        now,
+    );
+    now = log(
+        "PRE",
+        DramCommand::Precharge {
+            bank,
+            phys_row: slow,
+        },
+        &mut dev,
+        now,
+    );
 
     println!("\n-- fast-subarray read cycle (tRCD 8.75ns, tRC 25ns) --");
     let fast = dev.layout().fast_to_phys(3);
-    now = log("ACT fast row", DramCommand::Activate { bank, phys_row: fast }, &mut dev, now);
-    now = log("RD col 0", DramCommand::Read { bank, phys_row: fast, col: 0 }, &mut dev, now);
-    now = log("PRE", DramCommand::Precharge { bank, phys_row: fast }, &mut dev, now);
+    now = log(
+        "ACT fast row",
+        DramCommand::Activate {
+            bank,
+            phys_row: fast,
+        },
+        &mut dev,
+        now,
+    );
+    now = log(
+        "RD col 0",
+        DramCommand::Read {
+            bank,
+            phys_row: fast,
+            col: 0,
+        },
+        &mut dev,
+        now,
+    );
+    now = log(
+        "PRE",
+        DramCommand::Precharge {
+            bank,
+            phys_row: fast,
+        },
+        &mut dev,
+        now,
+    );
 
     println!("\n-- row swap through the migration cells (Fig. 6, 146.25ns) --");
     let done = log(
         "SWAP fast<->slow",
-        DramCommand::RowSwap { bank, phys_a: fast, phys_b: slow, kind: das_dram::MigrationKind::Swap },
+        DramCommand::RowSwap {
+            bank,
+            phys_a: fast,
+            phys_b: slow,
+            kind: das_dram::MigrationKind::Swap,
+        },
         &mut dev,
         now,
     );
-    println!("bank blocked until {:.3}ns; no data-bus traffic used", done.as_ns());
+    println!(
+        "bank blocked until {:.3}ns; no data-bus traffic used",
+        done.as_ns()
+    );
     let stats = dev.channel_stats();
     println!(
         "\nchannel totals: {} ACT, {} RD, {} PRE, {} swaps",

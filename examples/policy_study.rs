@@ -45,6 +45,9 @@ fn main() {
     for den in [32u32, 16, 8, 4] {
         let c = cfg.clone().with_fast_ratio(FastRatio::new(1, den));
         let m = run_one(&c, Design::DasDram, &wl).expect("simulation must finish");
-        println!("  ratio 1/{den:<3}: {:+.2}%", improvement(&m, &base) * 100.0);
+        println!(
+            "  ratio 1/{den:<3}: {:+.2}%",
+            improvement(&m, &base) * 100.0
+        );
     }
 }

@@ -45,7 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut cfg = SystemConfig::paper_scaled();
     cfg.inst_budget = u64::MAX; // run the trace to completion
-    let base = run_recorded(&cfg, Design::Standard, vec![trace.clone()]).expect("simulation must finish");
+    let base =
+        run_recorded(&cfg, Design::Standard, vec![trace.clone()]).expect("simulation must finish");
     println!(
         "Std-DRAM            : IPC {:.3} (row-buffer {:.0}%)",
         base.ipc(),
@@ -57,7 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // threshold only promotes the ring.
     for threshold in [1u32, 4] {
         let c = cfg.clone().with_threshold(threshold);
-        let das = run_recorded(&c, Design::DasDram, vec![trace.clone()]).expect("simulation must finish");
+        let das =
+            run_recorded(&c, Design::DasDram, vec![trace.clone()]).expect("simulation must finish");
         println!(
             "DAS-DRAM (thresh {threshold}) : IPC {:.3} ({:+.2}%, fast activations {:.0}%, {} promotions)",
             das.ipc(),

@@ -7,10 +7,12 @@ mkdir -p results
 BINS="table1 table2 fig7a fig7b fig7c fig7d fig7e fig7f fig8a fig8b fig8c \
       fig9a fig9b fig9c fig9d power powerdown \
       ablation_migration ablation_scheduler ablation_arrangement \
-      ablation_inclusive ablation_tldram ablation_salp ablation_pagepolicy"
+      ablation_inclusive ablation_tldram ablation_salp ablation_pagepolicy \
+      fault_sweep telemetry"
 cargo build --release -p das-bench
 for bin in $BINS; do
   echo "=== $bin ==="
-  cargo run -q --release -p das-bench --bin "$bin" -- "$@" > "results/$bin.txt"
+  cargo run -q --release -p das-bench --bin "$bin" -- \
+    --json "results/$bin.json" "$@" > "results/$bin.txt"
 done
-echo "done: results/"
+echo "done: results/ (text tables + machine-readable *.json)"

@@ -99,13 +99,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |flag: &str| {
-            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
         };
         match a.as_str() {
             "--design" => {
                 let v = next("--design")?;
-                o.design =
-                    parse_design(&v).ok_or_else(|| format!("unknown design {v:?}"))?;
+                o.design = parse_design(&v).ok_or_else(|| format!("unknown design {v:?}"))?;
             }
             "--bench" => o.bench = Some(next("--bench")?),
             "--mix" => o.mix = Some(next("--mix")?),
@@ -168,7 +169,11 @@ fn print_metrics(m: &RunMetrics, base: Option<&RunMetrics>) {
         }
     }
     if let Some(b) = base {
-        println!("improvement   : {:+.2}% vs {}", improvement(m, b) * 100.0, b.design);
+        println!(
+            "improvement   : {:+.2}% vs {}",
+            improvement(m, b) * 100.0,
+            b.design
+        );
     }
     let (rb, f, s) = m.access_mix.fractions();
     println!("MPKI          : {:.2}", m.mpki());
@@ -179,7 +184,10 @@ fn print_metrics(m: &RunMetrics, base: Option<&RunMetrics>) {
         s * 100.0
     );
     println!("promotions    : {} (PPKM {:.1})", m.promotions, m.ppkm());
-    println!("footprint     : {:.1} MB", m.footprint_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "footprint     : {:.1} MB",
+        m.footprint_bytes as f64 / (1 << 20) as f64
+    );
     println!("DRAM energy   : {:.1} uJ", m.energy.total_nj() / 1000.0);
 }
 
@@ -217,7 +225,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     let o = parse_args(args)?;
-    let path = o.trace_path.clone().ok_or("trace subcommand needs a file path")?;
+    let path = o
+        .trace_path
+        .clone()
+        .ok_or("trace subcommand needs a file path")?;
     let file = std::fs::File::open(&path).map_err(|e| format!("{path}: {e}"))?;
     let items = trace_file::read_trace(std::io::BufReader::new(file))
         .map_err(|e| format!("{path}: {e}"))?;
@@ -287,8 +298,21 @@ mod tests {
     #[test]
     fn run_args_parse_into_config() {
         let o = parse_args(&args(&[
-            "--design", "das-fm", "--bench", "mcf", "--insts", "500000", "--threshold", "4",
-            "--ratio", "1/16", "--tcache", "64", "--replacement", "random", "--salp",
+            "--design",
+            "das-fm",
+            "--bench",
+            "mcf",
+            "--insts",
+            "500000",
+            "--threshold",
+            "4",
+            "--ratio",
+            "1/16",
+            "--tcache",
+            "64",
+            "--replacement",
+            "random",
+            "--salp",
         ]))
         .unwrap();
         assert_eq!(o.design, Design::DasDramFm);

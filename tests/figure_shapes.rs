@@ -33,7 +33,10 @@ fn fig7a_das_recovers_most_of_fs_potential() {
     // At the full 3M-instruction budget DAS recovers >90% on omnetpp
     // (see EXPERIMENTS.md); the reduced test budget leaves proportionally
     // more cold-start migration in the measured window, so gate at 40%.
-    assert!(das > 0.4 * fs, "DAS {das:.3} should recover >40% of FS {fs:.3}");
+    assert!(
+        das > 0.4 * fs,
+        "DAS {das:.3} should recover >40% of FS {fs:.3}"
+    );
 }
 
 /// Fig. 7c: dynamic migration raises the fast-level share of activations
@@ -66,7 +69,10 @@ fn fig8_threshold_filtering_is_ineffective_but_costs_utilisation() {
     assert!(rates[0] > 0.0);
     let max = rates.iter().cloned().fold(f64::MIN, f64::max);
     let min = rates.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(max < min * 2.5, "promotion rates should stay in a band: {rates:?}");
+    assert!(
+        max < min * 2.5,
+        "promotion rates should stay in a band: {rates:?}"
+    );
     assert!(
         fast_ratio[3] <= fast_ratio[0] + 0.02,
         "high thresholds must not improve utilisation: {fast_ratio:?}"
@@ -96,11 +102,17 @@ fn fig9b_group_size_effect_is_subtle() {
     let mut imps = Vec::new();
     for g in [8u32, 32, 64] {
         let c = cfg().with_group_size(g);
-        imps.push(improvement(&run_one(&c, Design::DasDram, &wl("omnetpp")), &base));
+        imps.push(improvement(
+            &run_one(&c, Design::DasDram, &wl("omnetpp")),
+            &base,
+        ));
     }
     let max = imps.iter().cloned().fold(f64::MIN, f64::max);
     let min = imps.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(max - min < 0.06, "group size should be a second-order effect: {imps:?}");
+    assert!(
+        max - min < 0.06,
+        "group size should be a second-order effect: {imps:?}"
+    );
 }
 
 /// Fig. 9c: shrinking the fast level to 1/32 hurts a large-footprint
@@ -112,7 +124,10 @@ fn fig9c_small_fast_level_hurts_large_footprints() {
     let small = improvement(&run_one(&tiny, Design::DasDram, &wl("mcf")), &base);
     let big_cfg = cfg().with_fast_ratio(FastRatio::new(1, 4));
     let big = improvement(&run_one(&big_cfg, Design::DasDram, &wl("mcf")), &base);
-    assert!(big > small + 0.01, "1/4 ({big:.3}) must clearly beat 1/32 ({small:.3})");
+    assert!(
+        big > small + 0.01,
+        "1/4 ({big:.3}) must clearly beat 1/32 ({small:.3})"
+    );
 }
 
 /// Fig. 9d: LRU vs Random replacement is a wash at the default ratio.
@@ -124,7 +139,10 @@ fn fig9d_replacement_policy_is_negligible() {
     let lru = improvement(&run_one(&lru_cfg, Design::DasDram, &wl("soplex")), &base);
     let rnd_cfg = cfg().with_replacement(ReplacementPolicy::Random);
     let rnd = improvement(&run_one(&rnd_cfg, Design::DasDram, &wl("soplex")), &base);
-    assert!((lru - rnd).abs() < 0.04, "LRU {lru:.3} vs Random {rnd:.3} should be close");
+    assert!(
+        (lru - rnd).abs() < 0.04,
+        "LRU {lru:.3} vs Random {rnd:.3} should be close"
+    );
 }
 
 /// §7.7: DAS-DRAM consumes no more DRAM energy than the standard design's
@@ -155,5 +173,8 @@ fn ablation_fast_swap_beats_naive_swap() {
     t.swap = Tick::new(t.slow.trc().raw() * 6); // three untightened migrations
     naive_cfg.timing_override = Some(t);
     let naive = improvement(&run_one(&naive_cfg, Design::DasDram, &wl("mcf")), &base);
-    assert!(paper > naive, "paper swap {paper:.4} must beat naive {naive:.4}");
+    assert!(
+        paper > naive,
+        "paper swap {paper:.4} must beat naive {naive:.4}"
+    );
 }

@@ -27,7 +27,11 @@ fn sanity(m: &RunMetrics) {
     assert!(m.footprint_bytes > 0);
     assert!(m.window_cycles > 0);
     let (rb, f, s) = m.access_mix.fractions();
-    assert!((rb + f + s - 1.0).abs() < 1e-9, "{}: mix fractions must sum to 1", m.design);
+    assert!(
+        (rb + f + s - 1.0).abs() < 1e-9,
+        "{}: mix fractions must sum to 1",
+        m.design
+    );
     assert!(m.energy.total_nj() > 0.0);
 }
 
@@ -87,9 +91,15 @@ fn design_ordering_holds_for_a_latency_bound_workload() {
     let fs = improvement(&run_one(&cfg(), Design::FsDram, &wl), &base);
     assert!(fs > 0.0);
     assert!(das > 0.0, "DAS must beat standard DRAM: {das}");
-    assert!(fm >= das - 0.02, "free migration can only help: {fm} vs {das}");
+    assert!(
+        fm >= das - 0.02,
+        "free migration can only help: {fm} vs {das}"
+    );
     assert!(fs >= fm - 0.02, "FS is the upper bound: {fs} vs {fm}");
-    assert!(das > sas, "dynamic must beat static on a phase-drifting workload");
+    assert!(
+        das > sas,
+        "dynamic must beat static on a phase-drifting workload"
+    );
 }
 
 #[test]
@@ -174,7 +184,10 @@ fn inclusive_alternative_runs_and_tracks_exclusive() {
     assert!(incl.promotions > 0, "inclusive must fill");
     let (ei, ii) = (improvement(&excl, &base), improvement(&incl, &base));
     assert!(ii > 0.0, "inclusive must beat standard: {ii}");
-    assert!((ei - ii).abs() < 0.08, "managements should be comparable: {ei} vs {ii}");
+    assert!(
+        (ei - ii).abs() < 0.08,
+        "managements should be comparable: {ei} vs {ii}"
+    );
 }
 
 #[test]
@@ -219,7 +232,10 @@ fn salp_composes_with_designs() {
     salp_cfg.salp = true;
     let std_salp = run_one(&salp_cfg, Design::Standard, &wl);
     let das_salp = run_one(&salp_cfg, Design::DasDram, &wl);
-    assert!(improvement(&std_salp, &base) > 0.0, "SALP alone must help milc");
+    assert!(
+        improvement(&std_salp, &base) > 0.0,
+        "SALP alone must help milc"
+    );
     assert!(
         improvement(&das_salp, &base) > improvement(&std_salp, &base),
         "DAS should stack on top of SALP"

@@ -43,9 +43,7 @@ fn derived_ratios_match_raw_counters() {
     let m = run(Design::DasDram);
     let insts: u64 = m.cores.iter().map(|c| c.insts).sum();
     assert!((m.mpki() - m.llc_misses as f64 * 1000.0 / insts as f64).abs() < 1e-9);
-    assert!(
-        (m.ppkm() - m.promotions as f64 * 1000.0 / m.llc_misses as f64).abs() < 1e-9
-    );
+    assert!((m.ppkm() - m.promotions as f64 * 1000.0 / m.llc_misses as f64).abs() < 1e-9);
     let (rb, f, s) = m.access_mix.fractions();
     assert!((rb + f + s - 1.0).abs() < 1e-12);
     assert!(m.fast_activation_ratio() >= 0.0 && m.fast_activation_ratio() <= 1.0);
@@ -57,8 +55,14 @@ fn footprint_bounded_by_workload_definition() {
     let w = spec::by_name("soplex");
     let scaled_fp = w.scaled(cfg.scale as u64).footprint_bytes;
     let m = run_one(&cfg, Design::Standard, &[w]);
-    assert!(m.footprint_bytes <= scaled_fp, "footprint cannot exceed the region");
-    assert!(m.footprint_bytes > scaled_fp / 100, "episode should touch real data");
+    assert!(
+        m.footprint_bytes <= scaled_fp,
+        "footprint cannot exceed the region"
+    );
+    assert!(
+        m.footprint_bytes > scaled_fp / 100,
+        "episode should touch real data"
+    );
 }
 
 #[test]
