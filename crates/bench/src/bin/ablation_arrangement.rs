@@ -1,73 +1,14 @@
-//! Ablation: subarray arrangement (Fig. 5). The reduced-interleaving
-//! arrangement keeps fast and slow subarrays adjacent, so a swap costs the
-//! flat 3 tRC of Table 1; a partitioned arrangement forces migrating rows
-//! to relay across intermediate subarrays, charged here at 0.5 tRC per
-//! extra hop (see `das_core::migration::MigrationModel::with_hop_cost`).
-
-use das_bench::must_run as run_one;
-use das_bench::{pct, single_names, single_workloads, HarnessArgs};
-use das_core::migration::MigrationModel;
-use das_dram::geometry::Arrangement;
-use das_dram::tick::Tick;
-use das_dram::timing::TimingSet;
-use das_sim::config::Design;
-use das_sim::experiments::improvement;
-use das_sim::stats::gmean_improvement;
+//! Ablation: subarray arrangement (Fig. 5) and its hop costs.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `ablation_arrangement`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `ablation_arrangement [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let arrangements = [
-        ("reduced-interleaving", Arrangement::ReducedInterleaving),
-        ("partitioning", Arrangement::Partitioning),
-    ];
-    println!("# Ablation: Subarray Arrangement (DAS-DRAM improvement over Std-DRAM)");
-    print!("{:<12}", "workload");
-    for (label, _) in arrangements {
-        print!(" {:>22}", label);
-    }
-    println!();
-    let names = single_names(&args);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); arrangements.len()];
-    for name in &names {
-        let wl = single_workloads(name);
-        let base = run_one(&args.config(), Design::Standard, &wl);
-        print!("{name:<12}");
-        for (i, (_, arr)) in arrangements.iter().enumerate() {
-            let mut cfg = args.config();
-            cfg.arrangement = *arr;
-            // Hop distance is a property of the full-scale physical design
-            // (a real bank has tens of subarrays), so compute it on the
-            // paper's 32768-row bank regardless of the simulation scale.
-            let full = das_dram::geometry::BankLayout::build(
-                32768,
-                cfg.management.fast_ratio,
-                *arr,
-                128,
-                512,
-            );
-            let groups = das_core::groups::BankGroups::new(
-                32768,
-                cfg.management.group_size,
-                cfg.management.fast_ratio,
-            );
-            let hops = groups.mean_intra_group_hops(&full).round().max(1.0) as u32;
-            let base_t = TimingSet::asymmetric();
-            let model =
-                MigrationModel::with_hop_cost(base_t, Tick::new(base_t.slow.trc().raw() / 2));
-            let mut t = base_t;
-            t.swap = model.swap(hops.max(1));
-            t.single_migration = model.single_migration(hops.max(1));
-            cfg.timing_override = Some(t);
-            let m = run_one(&cfg, Design::DasDram, &wl);
-            let imp = improvement(&m, &base);
-            cols[i].push(imp);
-            print!(" {:>22}", format!("{} (hops {})", pct(imp), hops));
-        }
-        println!();
-    }
-    print!("{:<12}", "gmean");
-    for col in &cols {
-        print!(" {:>22}", pct(gmean_improvement(col)));
-    }
-    println!();
+    das_harness::cli::bin_main("ablation_arrangement");
 }

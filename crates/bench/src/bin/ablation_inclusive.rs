@@ -1,66 +1,14 @@
-//! Ablation: the §5 management alternatives — exclusive caching (adopted by
-//! the paper) vs the inclusive cache it weighs and rejects.
+//! Ablation: exclusive vs inclusive fast-level management (§5).
 //!
-//! The paper's criteria: 1) total capacity (inclusive duplicates the fast
-//! level — at ratio 1/8, ~12.5 % of memory is lost); 2) translation
-//! complexity (inclusive needs a smaller table); 3) replacement time
-//! (inclusive fills over clean victims are single 1.5 tRC copies). This
-//! binary reports performance side by side plus the capacity forfeited.
-
-use das_bench::must_run as run_one;
-use das_bench::{pct, single_names, single_workloads, HarnessArgs};
-use das_sim::config::Design;
-use das_sim::experiments::improvement;
-use das_sim::stats::gmean_improvement;
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `ablation_inclusive`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `ablation_inclusive [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let cfg = args.config();
-    let layout = cfg.bank_layout();
-    let usable_excl = cfg.geometry.total_bytes() - cfg.geometry.total_rows();
-    let dup = layout.fast_rows() as u64
-        * cfg.geometry.total_banks() as u64
-        * cfg.geometry.row_bytes as u64;
-    println!("# Ablation: Exclusive vs Inclusive Management (§5)");
-    println!(
-        "usable capacity: exclusive {} MB, inclusive {} MB ({:.1}% lost to duplication)\n",
-        usable_excl >> 20,
-        (usable_excl - dup) >> 20,
-        dup as f64 / usable_excl as f64 * 100.0
-    );
-    println!(
-        "{:<12} {:>12} {:>12} {:>14} {:>14}",
-        "workload", "exclusive", "inclusive", "excl promos", "incl promos"
-    );
-    let names = single_names(&args);
-    let mut excl_col = Vec::new();
-    let mut incl_col = Vec::new();
-    for name in &names {
-        let wl = single_workloads(name);
-        let base = run_one(&cfg, Design::Standard, &wl);
-        let e = run_one(&cfg, Design::DasDram, &wl);
-        let i = run_one(&cfg, Design::DasInclusive, &wl);
-        let (ei, ii) = (improvement(&e, &base), improvement(&i, &base));
-        excl_col.push(ei);
-        incl_col.push(ii);
-        println!(
-            "{:<12} {:>12} {:>12} {:>14} {:>14}",
-            name,
-            pct(ei),
-            pct(ii),
-            e.promotions,
-            i.promotions
-        );
-    }
-    println!(
-        "{:<12} {:>12} {:>12}",
-        "gmean",
-        pct(gmean_improvement(&excl_col)),
-        pct(gmean_improvement(&incl_col))
-    );
-    println!(
-        "\nPerformance is comparable; the exclusive design is adopted for the\n\
-         ~12.5% capacity it refuses to forfeit (§5: \"we adopt the\n\
-         exclusive-cache approach mainly because of the total capacity concern\")."
-    );
+    das_harness::cli::bin_main("ablation_inclusive");
 }

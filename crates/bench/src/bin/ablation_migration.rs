@@ -1,58 +1,14 @@
-//! Ablation: the value of the paper's migration mechanism design choices.
+//! Ablation: migration-mechanism latency variants (free to 6 tRC).
 //!
-//! Compares DAS-DRAM under four swap-latency models:
-//! * free        — zero-cost migration (DAS-DRAM (FM));
-//! * paper       — the Fig. 6 four-step overlapped swap, 3 tRC (146.25 ns);
-//! * naive       — software-style swap: three serial 1.5 tRC migrations
-//!   (§5.1), 4.5 tRC;
-//! * untightened — naive swap without the §4.2 tRAS tightening: three
-//!   serial 2 tRC migrations, 6 tRC.
-
-use das_bench::must_run as run_one;
-use das_bench::{pct, single_names, single_workloads, HarnessArgs};
-use das_dram::tick::Tick;
-use das_dram::timing::TimingSet;
-use das_sim::config::Design;
-use das_sim::experiments::improvement;
-use das_sim::stats::gmean_improvement;
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `ablation_migration`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `ablation_migration [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let trc = TimingSet::asymmetric().slow.trc();
-    let variants: [(&str, Tick); 4] = [
-        ("free", Tick::ZERO),
-        ("paper 3tRC", 3 * trc),
-        ("naive 4.5tRC", Tick::new(trc.raw() * 9 / 2)),
-        ("untight 6tRC", 6 * trc),
-    ];
-    println!("# Ablation: Migration Mechanism (DAS-DRAM improvement over Std-DRAM)");
-    print!("{:<12}", "workload");
-    for (label, _) in variants {
-        print!(" {:>14}", label);
-    }
-    println!();
-    let names = single_names(&args);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
-    for name in &names {
-        let wl = single_workloads(name);
-        let base = run_one(&args.config(), Design::Standard, &wl);
-        print!("{name:<12}");
-        for (i, (_, swap)) in variants.iter().enumerate() {
-            let mut cfg = args.config();
-            let mut t = TimingSet::asymmetric();
-            t.swap = *swap;
-            t.single_migration = Tick::new(swap.raw() / 2);
-            cfg.timing_override = Some(t);
-            let m = run_one(&cfg, Design::DasDram, &wl);
-            let imp = improvement(&m, &base);
-            cols[i].push(imp);
-            print!(" {:>14}", pct(imp));
-        }
-        println!();
-    }
-    print!("{:<12}", "gmean");
-    for col in &cols {
-        print!(" {:>14}", pct(gmean_improvement(col)));
-    }
-    println!();
+    das_harness::cli::bin_main("ablation_migration");
 }

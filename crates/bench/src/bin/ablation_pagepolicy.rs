@@ -1,48 +1,14 @@
-//! Ablation: open-page vs closed-page row-buffer management under each
-//! design. Table 1 uses open-page; this quantifies how much of DAS-DRAM's
-//! benefit depends on that choice (fast activations help *more* under
-//! closed-page, where every access pays an activation).
-
-use das_bench::must_run as run_one;
-use das_bench::{pct, single_names, single_workloads, HarnessArgs};
-use das_memctrl::controller::PagePolicy;
-use das_sim::config::Design;
-use das_sim::experiments::improvement;
-use das_sim::stats::gmean_improvement;
+//! Ablation: open-page vs closed-page row-buffer management.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `ablation_pagepolicy`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `ablation_pagepolicy [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    println!("# Ablation: Page Policy (improvement over open-page Std-DRAM)");
-    println!(
-        "{:<12} {:>12} {:>12} {:>12} {:>12}",
-        "workload", "Std closed", "DAS open", "DAS closed", "FS open"
-    );
-    let names = single_names(&args);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for name in &names {
-        let wl = single_workloads(name);
-        let base = run_one(&args.config(), Design::Standard, &wl);
-        let mut vals = Vec::new();
-        for (design, policy) in [
-            (Design::Standard, PagePolicy::Closed),
-            (Design::DasDram, PagePolicy::Open),
-            (Design::DasDram, PagePolicy::Closed),
-            (Design::FsDram, PagePolicy::Open),
-        ] {
-            let mut cfg = args.config();
-            cfg.controller.page_policy = policy;
-            vals.push(improvement(&run_one(&cfg, design, &wl), &base));
-        }
-        print!("{name:<12}");
-        for (i, v) in vals.iter().enumerate() {
-            cols[i].push(*v);
-            print!(" {:>12}", pct(*v));
-        }
-        println!();
-    }
-    print!("{:<12}", "gmean");
-    for col in &cols {
-        print!(" {:>12}", pct(gmean_improvement(col)));
-    }
-    println!();
+    das_harness::cli::bin_main("ablation_pagepolicy");
 }

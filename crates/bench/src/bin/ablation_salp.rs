@@ -1,54 +1,14 @@
-//! Ablation: composing subarray-level parallelism (SALP/MASA, §8's
-//! "generally compatible with low latency designs") with the DRAM designs.
+//! Ablation: composing subarray-level parallelism (SALP, §8) with DAS.
 //!
-//! SALP gives every subarray its own local row buffer, so row-buffer
-//! conflicts within a bank vanish for accesses to different subarrays —
-//! orthogonal to, and stackable with, the fast-subarray latency reduction.
-
-use das_bench::must_run as run_one;
-use das_bench::{pct, single_names, single_workloads, HarnessArgs};
-use das_sim::config::Design;
-use das_sim::experiments::improvement;
-use das_sim::stats::gmean_improvement;
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `ablation_salp`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `ablation_salp [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    println!("# Ablation: SALP Composition (improvement over Std-DRAM without SALP)");
-    println!(
-        "{:<12} {:>12} {:>12} {:>12} {:>12}",
-        "workload", "Std", "Std+SALP", "DAS", "DAS+SALP"
-    );
-    let names = single_names(&args);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for name in &names {
-        let wl = single_workloads(name);
-        let base = run_one(&args.config(), Design::Standard, &wl);
-        let mut vals = Vec::new();
-        for (design, salp) in [
-            (Design::Standard, false),
-            (Design::Standard, true),
-            (Design::DasDram, false),
-            (Design::DasDram, true),
-        ] {
-            let mut cfg = args.config();
-            cfg.salp = salp;
-            let m = run_one(&cfg, design, &wl);
-            vals.push(improvement(&m, &base));
-        }
-        print!("{name:<12}");
-        for (i, v) in vals.iter().enumerate() {
-            cols[i].push(*v);
-            print!(" {:>12}", pct(*v));
-        }
-        println!();
-    }
-    print!("{:<12}", "gmean");
-    for col in &cols {
-        print!(" {:>12}", pct(gmean_improvement(col)));
-    }
-    println!();
-    println!(
-        "\nSALP removes row-buffer conflicts; DAS removes activation latency —\n\
-         the two compose, as §8 argues for parallelism-oriented proposals."
-    );
+    das_harness::cli::bin_main("ablation_salp");
 }

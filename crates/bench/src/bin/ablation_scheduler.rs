@@ -1,30 +1,14 @@
-//! Ablation: FR-FCFS vs plain FCFS scheduling, for the Std-DRAM baseline
-//! and for DAS-DRAM (does migration interact with the scheduler?).
-
-use das_bench::must_run as run_one;
-use das_bench::{single_names, single_workloads, HarnessArgs};
-use das_memctrl::controller::SchedulerKind;
-use das_sim::config::Design;
+//! Ablation: FR-FCFS vs FCFS scheduling under Std- and DAS-DRAM.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `ablation_scheduler`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `ablation_scheduler [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    println!("# Ablation: Scheduler (IPC under FR-FCFS vs FCFS)");
-    println!(
-        "{:<12} {:>12} {:>12} {:>12} {:>12}",
-        "workload", "Std frfcfs", "Std fcfs", "DAS frfcfs", "DAS fcfs"
-    );
-    for name in single_names(&args) {
-        let wl = single_workloads(name);
-        let mut vals = Vec::new();
-        for design in [Design::Standard, Design::DasDram] {
-            for sched in [SchedulerKind::FrFcfs, SchedulerKind::Fcfs] {
-                let cfg = args.config().with_scheduler(sched);
-                vals.push(run_one(&cfg, design, &wl).ipc());
-            }
-        }
-        println!(
-            "{:<12} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
-            name, vals[0], vals[1], vals[2], vals[3]
-        );
-    }
+    das_harness::cli::bin_main("ablation_scheduler");
 }

@@ -1,50 +1,14 @@
-//! Ablation: TL-DRAM (§3.1) vs DAS-DRAM — the two hybrid-bitline routes.
+//! Ablation: TL-DRAM (§3.1) vs DAS-DRAM, speed and area overhead.
 //!
-//! TL-DRAM segments every bitline: its near segments (ratio 1/4) are cached
-//! inclusively with cheap intra-subarray copies, but the far segments pay
-//! the isolation-transistor restore penalty *even for uncached data*, and
-//! the area overhead is ~24 % (vs DAS's 6.6 %). DAS keeps commodity slow
-//! subarrays and pays only 1/8 of capacity in fast subarrays — the paper's
-//! manufacturability argument in numbers.
-
-use das_bench::must_run as run_one;
-use das_bench::{pct, single_names, single_workloads, HarnessArgs};
-use das_dram::area::{AsymmetricAreaModel, TlDramAreaModel};
-use das_sim::config::Design;
-use das_sim::experiments::improvement;
-use das_sim::stats::gmean_improvement;
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `ablation_tldram`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `ablation_tldram [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let cfg = args.config();
-    println!("# Ablation: TL-DRAM vs DAS-DRAM (improvement over Std-DRAM)");
-    println!(
-        "area overhead: TL-DRAM {:.1}%  |  DAS-DRAM {:.1}%\n",
-        TlDramAreaModel::default().overhead() * 100.0,
-        AsymmetricAreaModel::default().overhead() * 100.0
-    );
-    println!("{:<12} {:>12} {:>12}", "workload", "TL-DRAM", "DAS-DRAM");
-    let names = single_names(&args);
-    let mut tl_col = Vec::new();
-    let mut das_col = Vec::new();
-    for name in &names {
-        let wl = single_workloads(name);
-        let base = run_one(&cfg, Design::Standard, &wl);
-        let tl = improvement(&run_one(&cfg, Design::TlDram, &wl), &base);
-        let das = improvement(&run_one(&cfg, Design::DasDram, &wl), &base);
-        tl_col.push(tl);
-        das_col.push(das);
-        println!("{:<12} {:>12} {:>12}", name, pct(tl), pct(das));
-    }
-    println!(
-        "{:<12} {:>12} {:>12}",
-        "gmean",
-        pct(gmean_improvement(&tl_col)),
-        pct(gmean_improvement(&das_col))
-    );
-    println!(
-        "\nTL-DRAM's larger near level helps, but every far-segment access\n\
-         pays the isolation penalty and the design costs ~4x the silicon;\n\
-         DAS reaches comparable speed at commodity-compatible overhead."
-    );
+    das_harness::cli::bin_main("ablation_tldram");
 }

@@ -1,82 +1,14 @@
-//! Fault-injection sweep: the five Fig. 7 designs under increasing uniform
-//! fault rates, proving (a) a rate-0 plan is bit-identical to no injection
-//! and (b) every design completes panic-free at the default nonzero rates,
-//! with per-site injected/retried/recovered/fatal accounting.
+//! Fault-injection sweep: the five Fig. 7 designs under uniform fault rates.
 //!
-//! Usage: `fault_sweep [--insts N] [--scale N] [--only bench]`.
-
-use das_bench::{must_run, single_workloads, HarnessArgs};
-use das_faults::{FaultPlan, FaultSite};
-use das_sim::config::Design;
-use das_sim::stats::RunMetrics;
-
-/// Deterministic fields of a run, for the rate-0 bit-identity proof.
-fn fingerprint(m: &RunMetrics) -> (u64, u64, u64, u64, u64) {
-    (
-        m.promotions,
-        m.memory_accesses,
-        m.llc_misses,
-        m.window_cycles,
-        m.access_mix.row_buffer,
-    )
-}
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fault_sweep`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fault_sweep [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let bench = args
-        .filter(vec!["mcf"])
-        .first()
-        .copied()
-        .unwrap_or("mcf")
-        .to_string();
-    let wl = single_workloads(&bench);
-    let designs = [
-        Design::SasDram,
-        Design::Charm,
-        Design::DasDram,
-        Design::DasDramFm,
-        Design::FsDram,
-    ];
-    let rates = [0.0, 0.001, 0.01, 0.05];
-
-    println!("# fault sweep over {bench}: five designs x uniform rates");
-    println!(
-        "{:<14} {:>8} {:>9} {:>9} {:>9} {:>9} {:>7} {:>9} {:>8}",
-        "design", "rate", "injected", "retried", "recovered", "fatal", "audits", "rebuilds", "ipc"
-    );
-    for design in designs {
-        let clean = must_run(&args.config(), design, &wl);
-        for rate in rates {
-            let cfg = args
-                .config()
-                .with_faults(FaultPlan::uniform(0xda5_fa17, rate))
-                .with_invariant_checks(if rate > 0.0 { 10_000 } else { 0 });
-            let m = must_run(&cfg, design, &wl);
-            if rate == 0.0 {
-                assert_eq!(
-                    fingerprint(&m),
-                    fingerprint(&clean),
-                    "{}: rate-0 plan must be bit-identical to no injection",
-                    design.label()
-                );
-                assert_eq!(m.faults.total_injected(), 0);
-            }
-            println!(
-                "{:<14} {:>8.3} {:>9} {:>9} {:>9} {:>9} {:>7} {:>9} {:>8.3}",
-                design.label(),
-                rate,
-                m.faults.total_injected(),
-                FaultSite::ALL
-                    .iter()
-                    .map(|&s| m.faults.site(s).retried)
-                    .sum::<u64>(),
-                m.faults.total_recovered(),
-                m.faults.total_fatal(),
-                m.faults.invariant_checks_passed,
-                m.faults.tcache_rebuilds,
-                m.ipc(),
-            );
-        }
-    }
-    println!("\nrate-0 runs verified bit-identical to uninjected runs for all designs");
+    das_harness::cli::bin_main("fault_sweep");
 }

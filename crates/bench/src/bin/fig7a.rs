@@ -1,25 +1,14 @@
-//! Regenerates Figure 7a: single-programming performance improvement over
-//! Std-DRAM for SAS-DRAM, CHARM, DAS-DRAM, DAS-DRAM (FM) and FS-DRAM.
-
-use das_bench::{
-    figure7_designs, print_improvement_table, run_with_baseline, single_names, single_workloads,
-    HarnessArgs,
-};
+//! Regenerates Figure 7a: single-programming performance improvements.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fig7a`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fig7a [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let cfg = args.config();
-    let names = single_names(&args);
-    let designs = figure7_designs();
-    let mut rows = Vec::new();
-    for name in &names {
-        let (_, results) = run_with_baseline(&cfg, &designs, &single_workloads(name));
-        rows.push(results.iter().map(|(_, _, imp)| *imp).collect());
-    }
-    print_improvement_table(
-        "Figure 7a: Single-Programming Performance Improvements",
-        &names,
-        &designs,
-        &rows,
-    );
+    das_harness::cli::bin_main("fig7a");
 }

@@ -1,27 +1,14 @@
-//! Regenerates Figure 7b: MPKI, PPKM (promotions per kilo-miss) and episode
-//! footprint for each single-programming workload (measured on DAS-DRAM).
-
-use das_bench::must_run as run_one;
-use das_bench::{single_names, single_workloads, HarnessArgs};
-use das_sim::config::Design;
+//! Regenerates Figure 7b: MPKI, PPKM and footprints (single-programming).
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fig7b`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fig7b [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let cfg = args.config();
-    println!("# Figure 7b: MPKI; PPKM; Footprints (single-programming, DAS-DRAM)");
-    println!(
-        "{:<12} {:>8} {:>8} {:>14} {:>16}",
-        "workload", "MPKI", "PPKM", "footprint(MB)", "paper-equiv(MB)"
-    );
-    for name in single_names(&args) {
-        let m = run_one(&cfg, Design::DasDram, &single_workloads(name));
-        println!(
-            "{:<12} {:>8.1} {:>8.1} {:>14.1} {:>16.1}",
-            name,
-            m.mpki(),
-            m.ppkm(),
-            m.footprint_bytes as f64 / (1 << 20) as f64,
-            m.footprint_bytes as f64 * cfg.scale as f64 / (1 << 20) as f64,
-        );
-    }
+    das_harness::cli::bin_main("fig7b");
 }

@@ -1,22 +1,14 @@
-//! Regenerates Figure 7c: distribution of memory access locations
-//! (slow level / fast level / row buffer), static (SAS) vs dynamic (DAS).
-
-use das_bench::must_run as run_one;
-use das_bench::{print_access_mix, single_names, single_workloads, HarnessArgs};
-use das_sim::config::Design;
+//! Regenerates Figure 7c: access-location distribution (single-programming).
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fig7c`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fig7c [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let cfg = args.config();
-    println!("# Figure 7c: Access Locations (single-programming)");
-    for (panel, design) in [
-        ("Static (SAS-DRAM)", Design::SasDram),
-        ("Dynamic (DAS-DRAM)", Design::DasDram),
-    ] {
-        println!("## {panel}");
-        for name in single_names(&args) {
-            let m = run_one(&cfg, design, &single_workloads(name));
-            print_access_mix(name, &m);
-        }
-    }
+    das_harness::cli::bin_main("fig7c");
 }

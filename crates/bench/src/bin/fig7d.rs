@@ -1,25 +1,14 @@
-//! Regenerates Figure 7d: multi-programming (M1-M8) performance
-//! improvement over Std-DRAM.
-
-use das_bench::{
-    figure7_designs, mix_names, mix_workloads, multi_config, print_improvement_table,
-    run_with_baseline, HarnessArgs,
-};
+//! Regenerates Figure 7d: multi-programming (M1-M8) performance improvements.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fig7d`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fig7d [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let cfg = multi_config(&args);
-    let names = mix_names(&args);
-    let designs = figure7_designs();
-    let mut rows = Vec::new();
-    for name in &names {
-        let (_, results) = run_with_baseline(&cfg, &designs, &mix_workloads(name));
-        rows.push(results.iter().map(|(_, _, imp)| *imp).collect());
-    }
-    print_improvement_table(
-        "Figure 7d: Multi-Programming Performance Improvements",
-        &names,
-        &designs,
-        &rows,
-    );
+    das_harness::cli::bin_main("fig7d");
 }

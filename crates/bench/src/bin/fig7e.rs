@@ -1,26 +1,14 @@
-//! Regenerates Figure 7e: MPKI, PPKM and footprints for the M1-M8 mixes
-//! (measured on DAS-DRAM).
-
-use das_bench::must_run as run_one;
-use das_bench::{mix_names, mix_workloads, multi_config, HarnessArgs};
-use das_sim::config::Design;
+//! Regenerates Figure 7e: MPKI, PPKM and footprints for the M1-M8 mixes.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fig7e`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fig7e [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let cfg = multi_config(&args);
-    println!("# Figure 7e: MPKI; PPKM; Footprints (multi-programming, DAS-DRAM)");
-    println!(
-        "{:<4} {:>8} {:>8} {:>14}",
-        "mix", "MPKI", "PPKM", "footprint(MB)"
-    );
-    for name in mix_names(&args) {
-        let m = run_one(&cfg, Design::DasDram, &mix_workloads(name));
-        println!(
-            "{:<4} {:>8.1} {:>8.1} {:>14.1}",
-            name,
-            m.mpki(),
-            m.ppkm(),
-            m.footprint_bytes as f64 / (1 << 20) as f64
-        );
-    }
+    das_harness::cli::bin_main("fig7e");
 }

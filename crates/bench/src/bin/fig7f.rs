@@ -1,22 +1,14 @@
-//! Regenerates Figure 7f: access-location distribution for M1-M8, static
-//! (SAS) vs dynamic (DAS).
-
-use das_bench::must_run as run_one;
-use das_bench::{mix_names, mix_workloads, multi_config, print_access_mix, HarnessArgs};
-use das_sim::config::Design;
+//! Regenerates Figure 7f: access-location distribution for the M1-M8 mixes.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fig7f`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fig7f [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let cfg = multi_config(&args);
-    println!("# Figure 7f: Access Locations (multi-programming)");
-    for (panel, design) in [
-        ("Static (SAS-DRAM)", Design::SasDram),
-        ("Dynamic (DAS-DRAM)", Design::DasDram),
-    ] {
-        println!("## {panel}");
-        for name in mix_names(&args) {
-            let m = run_one(&cfg, design, &mix_workloads(name));
-            print_access_mix(name, &m);
-        }
-    }
+    das_harness::cli::bin_main("fig7f");
 }

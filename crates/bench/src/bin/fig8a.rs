@@ -1,40 +1,14 @@
-//! Regenerates Figure 8a: performance improvement of DAS-DRAM under
-//! promotion-filter thresholds 8, 4, 2, 1 (1 = promote on every slow hit).
-
-use das_bench::must_run as run_one;
-use das_bench::{pct, single_names, single_workloads, HarnessArgs};
-use das_sim::config::Design;
-use das_sim::experiments::improvement;
-use das_sim::stats::gmean_improvement;
-
-const THRESHOLDS: [u32; 4] = [8, 4, 2, 1];
+//! Regenerates Figure 8a: DAS-DRAM improvement vs promotion-filter threshold.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fig8a`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fig8a [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let names = single_names(&args);
-    println!("# Figure 8a: Filtering Policies - Performance Improvement");
-    print!("{:<12}", "workload");
-    for t in THRESHOLDS {
-        print!(" {:>12}", format!("threshold {t}"));
-    }
-    println!();
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); THRESHOLDS.len()];
-    for name in &names {
-        let wl = single_workloads(name);
-        let base = run_one(&args.config(), Design::Standard, &wl);
-        print!("{name:<12}");
-        for (i, t) in THRESHOLDS.iter().enumerate() {
-            let cfg = args.config().with_threshold(*t);
-            let m = run_one(&cfg, Design::DasDram, &wl);
-            let imp = improvement(&m, &base);
-            cols[i].push(imp);
-            print!(" {:>12}", pct(imp));
-        }
-        println!();
-    }
-    print!("{:<12}", "gmean");
-    for col in &cols {
-        print!(" {:>12}", pct(gmean_improvement(col)));
-    }
-    println!();
+    das_harness::cli::bin_main("fig8a");
 }

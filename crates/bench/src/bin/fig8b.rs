@@ -1,19 +1,14 @@
-//! Regenerates Figure 8b: access-location distribution vs promotion
-//! threshold (filtering degrades fast-level utilisation).
-
-use das_bench::must_run as run_one;
-use das_bench::{print_access_mix, single_names, single_workloads, HarnessArgs};
-use das_sim::config::Design;
+//! Regenerates Figure 8b: access-location distribution vs promotion threshold.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fig8b`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fig8b [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    println!("# Figure 8b: Access Locations vs Promotion Threshold");
-    for name in single_names(&args) {
-        println!("## {name}");
-        for t in [8u32, 4, 2, 1] {
-            let cfg = args.config().with_threshold(t);
-            let m = run_one(&cfg, Design::DasDram, &single_workloads(name));
-            print_access_mix(&format!("threshold {t}"), &m);
-        }
-    }
+    das_harness::cli::bin_main("fig8b");
 }

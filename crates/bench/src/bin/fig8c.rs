@@ -1,24 +1,14 @@
 //! Regenerates Figure 8c: row promotions per memory access vs threshold.
-
-use das_bench::must_run as run_one;
-use das_bench::{single_names, single_workloads, HarnessArgs};
-use das_sim::config::Design;
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fig8c`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fig8c [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    println!("# Figure 8c: Promotion/Access Ratio vs Threshold");
-    print!("{:<12}", "workload");
-    for t in [8u32, 4, 2, 1] {
-        print!(" {:>12}", format!("threshold {t}"));
-    }
-    println!();
-    for name in single_names(&args) {
-        print!("{name:<12}");
-        for t in [8u32, 4, 2, 1] {
-            let cfg = args.config().with_threshold(t);
-            let m = run_one(&cfg, Design::DasDram, &single_workloads(name));
-            print!(" {:>11.2}%", m.promotions_per_access() * 100.0);
-        }
-        println!();
-    }
+    das_harness::cli::bin_main("fig8c");
 }

@@ -1,40 +1,14 @@
-//! Regenerates Figure 9a: DAS-DRAM performance improvement vs translation
-//! cache capacity (full-scale 32/64/128/256 KB, scaled with the system).
-
-use das_bench::must_run as run_one;
-use das_bench::{pct, single_names, single_workloads, HarnessArgs};
-use das_sim::config::Design;
-use das_sim::experiments::improvement;
-use das_sim::stats::gmean_improvement;
-
-const CAPS_KB: [u64; 4] = [32, 64, 128, 256];
+//! Regenerates Figure 9a: improvement vs translation-cache capacity.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fig9a`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fig9a [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let names = single_names(&args);
-    println!("# Figure 9a: Translation Cache Capacities (full-scale labels)");
-    print!("{:<12}", "workload");
-    for kb in CAPS_KB {
-        print!(" {:>10}", format!("{kb} KB"));
-    }
-    println!();
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); CAPS_KB.len()];
-    for name in &names {
-        let wl = single_workloads(name);
-        let base = run_one(&args.config(), Design::Standard, &wl);
-        print!("{name:<12}");
-        for (i, kb) in CAPS_KB.iter().enumerate() {
-            let cfg = args.config().with_tcache_bytes(kb << 10);
-            let m = run_one(&cfg, Design::DasDram, &wl);
-            let imp = improvement(&m, &base);
-            cols[i].push(imp);
-            print!(" {:>10}", pct(imp));
-        }
-        println!();
-    }
-    print!("{:<12}", "gmean");
-    for col in &cols {
-        print!(" {:>10}", pct(gmean_improvement(col)));
-    }
-    println!();
+    das_harness::cli::bin_main("fig9a");
 }

@@ -1,40 +1,14 @@
-//! Regenerates Figure 9b: DAS-DRAM performance improvement vs migration
-//! group size (8/16/32/64 rows).
-
-use das_bench::must_run as run_one;
-use das_bench::{pct, single_names, single_workloads, HarnessArgs};
-use das_sim::config::Design;
-use das_sim::experiments::improvement;
-use das_sim::stats::gmean_improvement;
-
-const GROUPS: [u32; 4] = [8, 16, 32, 64];
+//! Regenerates Figure 9b: improvement vs migration group size.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fig9b`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fig9b [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let names = single_names(&args);
-    println!("# Figure 9b: Sizes of Migration Group");
-    print!("{:<12}", "workload");
-    for g in GROUPS {
-        print!(" {:>12}", format!("{g}-row"));
-    }
-    println!();
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); GROUPS.len()];
-    for name in &names {
-        let wl = single_workloads(name);
-        let base = run_one(&args.config(), Design::Standard, &wl);
-        print!("{name:<12}");
-        for (i, g) in GROUPS.iter().enumerate() {
-            let cfg = args.config().with_group_size(*g);
-            let m = run_one(&cfg, Design::DasDram, &wl);
-            let imp = improvement(&m, &base);
-            cols[i].push(imp);
-            print!(" {:>12}", pct(imp));
-        }
-        println!();
-    }
-    print!("{:<12}", "gmean");
-    for col in &cols {
-        print!(" {:>12}", pct(gmean_improvement(col)));
-    }
-    println!();
+    das_harness::cli::bin_main("fig9b");
 }

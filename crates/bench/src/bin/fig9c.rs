@@ -1,14 +1,14 @@
-//! Regenerates Figure 9c: DAS-DRAM improvement vs fast-level capacity ratio
-//! (1/32, 1/16, 1/8, 1/4) under Random replacement.
-
-use das_bench::{ratio_sweep, HarnessArgs};
-use das_core::replacement::ReplacementPolicy;
+//! Regenerates Figure 9c: improvement vs fast-level ratio (random replacement).
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fig9c`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fig9c [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    ratio_sweep(
-        "Figure 9c: Ratios of Fast Level with Random Replacement",
-        &args,
-        ReplacementPolicy::Random,
-    );
+    das_harness::cli::bin_main("fig9c");
 }

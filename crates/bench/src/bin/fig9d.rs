@@ -1,14 +1,14 @@
-//! Regenerates Figure 9d: DAS-DRAM improvement vs fast-level capacity ratio
-//! (1/32, 1/16, 1/8, 1/4) under LRU replacement.
-
-use das_bench::{ratio_sweep, HarnessArgs};
-use das_core::replacement::ReplacementPolicy;
+//! Regenerates Figure 9d: improvement vs fast-level ratio (LRU replacement).
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `fig9d`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `fig9d [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    ratio_sweep(
-        "Figure 9d: Ratios of Fast Level with LRU Replacement",
-        &args,
-        ReplacementPolicy::Lru,
-    );
+    das_harness::cli::bin_main("fig9d");
 }

@@ -1,41 +1,14 @@
-//! Regenerates the §7.7 power discussion: DRAM energy per design, showing
-//! that DAS-DRAM's high fast-level hit rate and low migration rate give it
-//! lower dynamic energy than the static asymmetric design.
-
-use das_bench::{figure7_designs, run_with_baseline, single_names, single_workloads, HarnessArgs};
+//! Regenerates the §7.7 power discussion: DRAM energy per design.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `power`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `power [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let cfg = args.config();
-    println!("# §7.7 Power Implications: DRAM energy relative to Std-DRAM");
-    println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "workload", "SAS", "CHARM", "DAS", "DAS(FM)", "FS"
-    );
-    for name in single_names(&args) {
-        let (base, results) = run_with_baseline(&cfg, &figure7_designs(), &single_workloads(name));
-        let base_e = base.energy.total_nj();
-        print!("{name:<12}");
-        for (_, m, _) in &results {
-            print!(" {:>9.3}x", m.energy.total_nj() / base_e);
-        }
-        println!();
-    }
-    println!("\n(breakdown for DAS-DRAM)");
-    println!(
-        "{:<12} {:>12} {:>12} {:>12} {:>12}",
-        "workload", "act/pre nJ", "burst nJ", "migration nJ", "background nJ"
-    );
-    for name in single_names(&args) {
-        let (_, results) = run_with_baseline(
-            &cfg,
-            &[das_sim::config::Design::DasDram],
-            &single_workloads(name),
-        );
-        let e = &results[0].1.energy;
-        println!(
-            "{name:<12} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
-            e.act_pre_nj, e.burst_nj, e.migration_nj, e.background_nj
-        );
-    }
+    das_harness::cli::bin_main("power");
 }

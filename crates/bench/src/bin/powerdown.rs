@@ -1,59 +1,14 @@
-//! Extension study: partial power-down (§1 motivates the migration
-//! mechanism as enabling "other usages such as partial power down").
+//! Extension study: the §1 partial power-down opportunity, quantified.
 //!
-//! Dynamic migration concentrates activations into the fast subarrays
-//! (~11 % of the die at ratio 1/8). The remaining slow subarrays see only
-//! rare residual traffic and can sit in power-down between accesses. This
-//! binary estimates the background-power saving per design with a simple
-//! residency model: a slow subarray naps whenever its inter-access gap
-//! exceeds the power-down entry+exit overhead (tXP-class, ~50 ns with
-//! hysteresis), so
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `powerdown`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
 //!
-//! `pd_residency = max(0, 1 - slow_act_rate_per_subarray * overhead)`.
-
-use das_bench::must_run as run_one;
-use das_bench::{single_names, single_workloads, HarnessArgs};
-use das_sim::config::Design;
-
-/// Power-down entry + exit + hysteresis charged per slow-subarray access
-/// burst, in nanoseconds.
-const PD_OVERHEAD_NS: f64 = 50.0;
-/// Fraction of die area (and hence background power) in slow subarrays at
-/// the paper's 1/8 capacity ratio (8/9 of the cell area).
-const SLOW_AREA_FRACTION: f64 = 8.0 / 9.0;
+//! Usage: `powerdown [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let cfg = args.config();
-    println!("# Extension: Partial Power-Down Opportunity (§1)");
-    println!(
-        "{:<12} {:>10} {:>14} {:>14} {:>16}",
-        "workload", "design", "slow act %", "pd residency", "bg power saved"
-    );
-    for name in single_names(&args) {
-        let wl = single_workloads(name);
-        for design in [Design::Standard, Design::SasDram, Design::DasDram] {
-            let m = run_one(&cfg, design, &wl);
-            let window_ns = m.window_cycles as f64 / 3.0;
-            let slow_acts = m.access_mix.slow as f64;
-            let slow_subarrays = (m.total_subarrays as f64 * SLOW_AREA_FRACTION).max(1.0);
-            let rate_per_sub = slow_acts / slow_subarrays / window_ns; // acts per ns
-            let residency = (1.0 - rate_per_sub * PD_OVERHEAD_NS).max(0.0);
-            let saved = SLOW_AREA_FRACTION * residency;
-            println!(
-                "{:<12} {:>10} {:>13.1}% {:>13.1}% {:>15.1}%",
-                name,
-                m.design,
-                m.access_mix.fractions().2 * 100.0,
-                residency * 100.0,
-                saved * 100.0
-            );
-        }
-        println!();
-    }
-    println!(
-        "Std-DRAM spreads activations over every subarray; DAS-DRAM's\n\
-         migration concentrates them into the fast 11% of the die, letting\n\
-         the slow majority nap — the §1 partial power-down claim quantified."
-    );
+    das_harness::cli::bin_main("powerdown");
 }

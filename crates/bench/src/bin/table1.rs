@@ -1,70 +1,14 @@
-//! Regenerates Table 1 (system configuration), printing both the paper's
-//! full-scale values and the scaled values actually simulated.
-
-use das_bench::HarnessArgs;
-use das_sim::config::SystemConfig;
+//! Regenerates Table 1 (system configuration), paper values and simulated scale.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `table1`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `table1 [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let full = SystemConfig::paper_full();
-    let cfg = args.config();
-    println!(
-        "# Table 1: System Configuration (paper value -> simulated at scale {})",
-        cfg.scale
-    );
-    println!(
-        "Processor        3GHz, {}-wide issue, {}-entry ROB",
-        full.core.width, full.core.rob_entries
-    );
-    println!(
-        "Cache            {}KB 8-way private L1 ({} cyc), {}KB 8-way private L2 ({} cyc), {}MB 8-way shared LLC ({} cyc) -> LLC {}KB",
-        full.hierarchy.l1_bytes >> 10,
-        full.hierarchy.l1_latency,
-        full.hierarchy.l2_bytes >> 10,
-        full.hierarchy.l2_latency,
-        full.hierarchy.llc_bytes >> 20,
-        full.hierarchy.llc_latency,
-        cfg.hierarchy.llc_bytes >> 10,
-    );
-    println!(
-        "Mem Controller   {}-entry request queue, open-page policy, FR-FCFS",
-        full.controller.read_queue
-    );
-    let t = das_dram::timing::TimingSet::asymmetric();
-    println!(
-        "DRAM             {} GB DDR3-1600, {} channels, {} ranks/channel -> {} MB simulated",
-        full.geometry.total_bytes() >> 30,
-        full.geometry.channels,
-        full.geometry.ranks_per_channel,
-        cfg.geometry.total_bytes() >> 20,
-    );
-    println!(
-        "                 tRCD: {:.2}ns, tRC: {:.2}ns",
-        t.slow.trcd.as_ns(),
-        t.slow.trc().as_ns()
-    );
-    println!(
-        "Asym. DRAM       Fast-level capacity ratio: {}",
-        cfg.management.fast_ratio
-    );
-    println!(
-        "                 Migration group size: {} rows",
-        cfg.management.group_size
-    );
-    println!(
-        "                 Migration latency: {:.2}ns",
-        t.swap.as_ns()
-    );
-    println!(
-        "                 tRCD (fast/slow): {:.2}/{:.2}ns, tRC (fast/slow): {:.2}/{:.2}ns",
-        t.fast.trcd.as_ns(),
-        t.slow.trcd.as_ns(),
-        t.fast.trc().as_ns(),
-        t.slow.trc().as_ns()
-    );
-    println!(
-        "                 Translation cache: {}KB full scale -> {}B simulated",
-        cfg.management.tcache_bytes >> 10,
-        cfg.scaled_tcache_bytes()
-    );
+    das_harness::cli::bin_main("table1");
 }

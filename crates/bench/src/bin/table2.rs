@@ -1,40 +1,14 @@
-//! Regenerates Table 2 (target workloads) with each stand-in generator's
-//! calibration parameters.
-
-use das_workloads::config::Pattern;
-use das_workloads::{mixes, spec};
+//! Regenerates Table 2 (target workloads) with each generator's parameters.
+//!
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `table2`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
+//!
+//! Usage: `table2 [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    println!("# Table 2: Target Workloads");
-    println!("## Single-programming workloads");
-    println!(
-        "{:<12} {:>6} {:>10} {:>7} {:>6} {:>6}  pattern",
-        "benchmark", "MPKI", "footprint", "write%", "dep%", "run"
-    );
-    for cfg in spec::spec2006() {
-        let pattern = match &cfg.pattern {
-            Pattern::Stream { streams } => format!("stream x{streams}"),
-            Pattern::Layered { layers } => {
-                let desc: Vec<String> = layers
-                    .iter()
-                    .map(|l| format!("{:.0}%@p{:.2}", l.frac * 100.0, l.prob))
-                    .collect();
-                format!("layered [{}]", desc.join(", "))
-            }
-        };
-        println!(
-            "{:<12} {:>6.1} {:>7}MB {:>6.0}% {:>5.0}% {:>6}  {}",
-            cfg.name,
-            cfg.mpki,
-            cfg.footprint_bytes >> 20,
-            cfg.write_frac * 100.0,
-            cfg.dep_frac * 100.0,
-            cfg.run_lines,
-            pattern
-        );
-    }
-    println!("\n## Multi-programming workloads");
-    for (name, benches) in mixes::MIXES {
-        println!("{name}  {}", benches.join(", "));
-    }
+    das_harness::cli::bin_main("table2");
 }

@@ -1,134 +1,14 @@
-//! Telemetry demonstration: one instrumented DAS-DRAM run over a
-//! phase-drifting workload, exporting
+//! Telemetry demonstration: one instrumented DAS-DRAM run with JSON and Chrome-trace exports.
 //!
-//! * the machine-readable run report (metrics + per-class latency
-//!   percentiles + epoch time-series) to `--json PATH` (default
-//!   `telemetry_report.json`), and
-//! * the Chrome trace-event document to the same path with a `_trace.json`
-//!   suffix — open it in Perfetto (<https://ui.perfetto.dev>) or
-//!   `chrome://tracing` to see migration spans and the per-epoch counters.
+//! Driven by the `das-harness` subsystem: the run matrix is built and
+//! rendered by `das_harness::catalog` (experiment `telemetry`), so this
+//! binary, the `harness` orchestrator and a resumed journal all print
+//! identical bytes. `--emit-manifest PATH` describes the matrix instead
+//! of executing it; `--threads N` parallelises without changing output.
 //!
-//! Both exports are validated with the strict JSON parser before the
-//! process exits, and the epoch table printed below shows the fast-
-//! activation ratio rising as promotions fill the fast level — the paper's
-//! warm-up dynamics, visible per epoch instead of only in the end-of-run
-//! aggregate.
-//!
-//! Usage: `telemetry [--insts N] [--scale N] [--only bench] [--json PATH]`.
-
-use das_bench::{single_workloads, HarnessArgs};
-use das_sim::config::Design;
-use das_sim::experiments::run_one_instrumented;
-use das_sim::report::run_report_json;
-use das_telemetry::{json, LatencyClass, TelemetryConfig};
-
-/// Epoch length in CPU cycles for the demonstration series.
-const EPOCH_CYCLES: u64 = 100_000;
+//! Usage: `telemetry [--insts N] [--scale N] [--only a,b] [--json PATH]
+//! [--threads N] [--emit-manifest PATH]`.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let bench = args
-        .filter(vec!["mcf"])
-        .first()
-        .copied()
-        .unwrap_or("mcf")
-        .to_string();
-    let wl = single_workloads(&bench);
-    let cfg = args
-        .config()
-        .with_telemetry(TelemetryConfig::on(EPOCH_CYCLES));
-
-    let (res, report) = run_one_instrumented(&cfg, Design::DasDram, &wl);
-    let m = res.unwrap_or_else(|e| {
-        eprintln!("simulation failed: DAS-DRAM over {bench}: {e}");
-        std::process::exit(1);
-    });
-    let report = report.expect("telemetry was enabled");
-
-    let report_path = args
-        .json
-        .clone()
-        .unwrap_or_else(|| "telemetry_report.json".to_string());
-    let trace_path = report_path
-        .strip_suffix(".json")
-        .map(|stem| format!("{stem}_trace.json"))
-        .unwrap_or_else(|| format!("{report_path}_trace.json"));
-
-    let report_doc = run_report_json(&m, Some(&report));
-    let trace_doc = report.chrome_trace_json();
-    for (path, doc) in [(&report_path, &report_doc), (&trace_path, &trace_doc)] {
-        json::validate(doc).unwrap_or_else(|e| {
-            eprintln!("internal error: export for {path} does not parse: {e}");
-            std::process::exit(1);
-        });
-        std::fs::write(path, doc).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
-    }
-
-    println!("# telemetry: DAS-DRAM over {bench} ({EPOCH_CYCLES}-cycle epochs)");
-    println!("\n## per-class latency (ticks, merged over channels)");
-    println!(
-        "{:<12} {:>10} {:>8} {:>8} {:>8} {:>8}",
-        "class", "count", "p50", "p95", "p99", "max"
-    );
-    for class in LatencyClass::ALL {
-        let h = report.merged.class(class);
-        println!(
-            "{:<12} {:>10} {:>8} {:>8} {:>8} {:>8}",
-            class.label(),
-            h.count(),
-            h.percentile(50.0),
-            h.percentile(95.0),
-            h.percentile(99.0),
-            h.max()
-        );
-    }
-
-    println!("\n## epoch series (first 20 epochs)");
-    println!(
-        "{:<6} {:>8} {:>11} {:>8} {:>8} {:>10} {:>7} {:>7}",
-        "epoch", "ipc", "fast-ratio", "reads", "writes", "promotions", "rdq", "wrq"
-    );
-    for s in report.series.samples().iter().take(20) {
-        println!(
-            "{:<6} {:>8.3} {:>11.3} {:>8} {:>8} {:>10} {:>7} {:>7}",
-            s.epoch,
-            s.ipc,
-            s.fast_ratio,
-            s.counters.reads,
-            s.counters.writes,
-            s.counters.promotions,
-            s.counters.read_queue,
-            s.counters.write_queue
-        );
-    }
-
-    let samples = report.series.samples();
-    if samples.len() >= 4 && m.promotions > 0 {
-        let first = samples[0].fast_ratio;
-        let later: Vec<f64> = samples[samples.len() / 2..]
-            .iter()
-            .map(|s| s.fast_ratio)
-            .collect();
-        let later_avg = later.iter().sum::<f64>() / later.len() as f64;
-        assert!(
-            later_avg > first,
-            "fast-activation ratio must rise during warm-up \
-             (first {first:.3}, later avg {later_avg:.3})"
-        );
-        println!(
-            "\nfast-activation ratio rose {:.3} -> {:.3} as promotions filled the fast level",
-            first, later_avg
-        );
-    }
-
-    println!(
-        "\n{} trace events, {} epochs sampled",
-        report.trace.events().len(),
-        samples.len()
-    );
-    println!("run report: {report_path}");
-    println!("chrome trace: {trace_path} (open in https://ui.perfetto.dev)");
+    das_harness::cli::bin_main("telemetry");
 }

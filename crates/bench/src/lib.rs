@@ -1,46 +1,42 @@
-//! # das-bench — figure/table regeneration harness
+//! # das-bench — figure/table regeneration binaries
 //!
 //! One binary per table and figure of the paper's evaluation (§6–§7), plus
 //! ablation studies for the design choices called out in `DESIGN.md`. Each
 //! binary prints the same rows/series the paper reports; `EXPERIMENTS.md`
 //! records paper-vs-measured values.
 //!
-//! Shared here: run-matrix helpers, percentage formatting, and the common
-//! command-line convention (`--insts N` to change the per-core instruction
-//! budget, `--scale N` to change the capacity scale).
+//! The binaries are thin wrappers over the `das-harness` orchestration
+//! subsystem (`das_harness::cli::bin_main`), which builds each
+//! experiment's declarative run matrix, executes it (optionally across
+//! threads, bit-identically) and renders the historical text output.
+//! This crate keeps the shared helpers the harness-independent tests and
+//! criterion benches use: run-matrix naming, percentage formatting, the
+//! table printers, and the streaming run-report sink.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::io::Write as _;
 use std::sync::Mutex;
 
 use das_sim::config::{Design, SystemConfig};
 use das_sim::experiments::{improvement, run_one};
 use das_sim::stats::{gmean_improvement, RunMetrics};
-use das_telemetry::json::Value;
+use das_telemetry::json::{self, Value};
 use das_workloads::config::WorkloadConfig;
 use das_workloads::{mixes, spec};
 
 /// The process-wide JSON run collector behind `--json PATH`: every
-/// [`must_run`] appends its run report and rewrites the file, so the export
-/// is a valid document at all times and no exit hook is needed.
+/// [`must_run`] appends its run report as **one JSON line** to an open
+/// file — O(1) per run, where the sink historically re-rendered and
+/// rewrote the whole `{"runs":[...]}` document on every append (O(n²)
+/// over a long matrix). [`finish_json`] converts the stream into the
+/// legacy document shape once, at the end.
 static JSON_SINK: Mutex<Option<JsonSink>> = Mutex::new(None);
 
 struct JsonSink {
     path: String,
-    runs: Vec<Value>,
-}
-
-impl JsonSink {
-    fn flush(&self) {
-        let doc = Value::obj()
-            .set("runs", Value::Arr(self.runs.clone()))
-            .render();
-        if let Err(e) = std::fs::write(&self.path, doc) {
-            eprintln!("cannot write {}: {e}", self.path);
-            std::process::exit(1);
-        }
-    }
+    file: std::fs::File,
 }
 
 /// Appends one run report to the `--json` export (no-op when the flag was
@@ -49,8 +45,43 @@ impl JsonSink {
 pub fn record_run_report(report: Value) {
     let mut guard = JSON_SINK.lock().expect("json sink poisoned");
     if let Some(sink) = guard.as_mut() {
-        sink.runs.push(report);
-        sink.flush();
+        let line = report.render();
+        if let Err(e) = sink
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| sink.file.write_all(b"\n"))
+        {
+            eprintln!("cannot write {}: {e}", sink.path);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Rewrites the `--json` export from its streaming JSON-lines form into
+/// the legacy `{"runs":[...]}` document (no-op when `--json` was not
+/// given). Call once after the last [`record_run_report`].
+pub fn finish_json() {
+    let mut guard = JSON_SINK.lock().expect("json sink poisoned");
+    if let Some(sink) = guard.take() {
+        drop(sink.file);
+        let text = std::fs::read_to_string(&sink.path).unwrap_or_else(|e| {
+            eprintln!("cannot read back {}: {e}", sink.path);
+            std::process::exit(1);
+        });
+        let runs: Vec<Value> = text
+            .lines()
+            .map(|l| {
+                json::parse(l).unwrap_or_else(|e| {
+                    eprintln!("corrupt run line in {}: {e}", sink.path);
+                    std::process::exit(1);
+                })
+            })
+            .collect();
+        let doc = Value::obj().set("runs", Value::Arr(runs)).render();
+        if let Err(e) = std::fs::write(&sink.path, doc) {
+            eprintln!("cannot write {}: {e}", sink.path);
+            std::process::exit(1);
+        }
     }
 }
 
@@ -71,8 +102,9 @@ pub struct HarnessArgs {
 impl HarnessArgs {
     /// Parses `--insts N`, `--scale N`, `--only a,b,c` and `--json PATH`
     /// from `args`. When `--json` is given the export file is created
-    /// immediately (as an empty run list), so even a bin that exits early
-    /// leaves a parseable document.
+    /// (truncated) immediately; run reports stream into it one JSON line
+    /// at a time, and [`finish_json`] folds them into the legacy
+    /// `{"runs":[...]}` document at the end.
     ///
     /// # Panics
     ///
@@ -116,12 +148,14 @@ impl HarnessArgs {
             }
         }
         if let Some(path) = &out.json {
-            let sink = JsonSink {
+            let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(1);
+            });
+            *JSON_SINK.lock().expect("json sink poisoned") = Some(JsonSink {
                 path: path.clone(),
-                runs: Vec::new(),
-            };
-            sink.flush();
-            *JSON_SINK.lock().expect("json sink poisoned") = Some(sink);
+                file,
+            });
         }
         out
     }
@@ -316,6 +350,31 @@ mod tests {
     #[test]
     fn figure7_designs_are_five() {
         assert_eq!(figure7_designs().len(), 5);
+    }
+
+    #[test]
+    fn json_sink_streams_lines_and_finishes_as_legacy_doc() {
+        let path = std::env::temp_dir()
+            .join("das-bench-sink-test.json")
+            .display()
+            .to_string();
+        *JSON_SINK.lock().unwrap() = Some(JsonSink {
+            path: path.clone(),
+            file: std::fs::File::create(&path).unwrap(),
+        });
+        record_run_report(Value::obj().set("design", "A"));
+        record_run_report(Value::obj().set("design", "B"));
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(streamed.lines().count(), 2, "one JSON line per run");
+        finish_json();
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let runs = doc.get("runs").and_then(Value::as_arr).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[1].get("design").and_then(Value::as_str), Some("B"));
+        assert!(
+            JSON_SINK.lock().unwrap().is_none(),
+            "finish clears the sink"
+        );
     }
 
     #[test]

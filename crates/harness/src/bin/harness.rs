@@ -1,0 +1,11 @@
+//! The experiment orchestrator: executes any manifest (or the whole
+//! catalog) in parallel with a resumable, fsync'd run journal, and renders
+//! every experiment's text/JSON outputs from the journalled reports.
+//!
+//! Usage: `harness (--manifest PATH | --all | --exp a,b) [--insts N]
+//! [--scale N] [--only a,b] [--threads N] [--resume] [--json-dir DIR]
+//! [--emit-manifest PATH] [--validate-journal PATH]`.
+
+fn main() {
+    das_harness::cli::harness_main();
+}

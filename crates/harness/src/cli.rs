@@ -1,0 +1,487 @@
+//! Command-line drivers.
+//!
+//! Two entry points share one execution core:
+//!
+//! * [`bin_main`] — what every legacy figure binary's `main` now calls.
+//!   It keeps the historical flags (`--insts/--scale/--only/--json`) and
+//!   output bytes, and adds `--threads N` (bit-identical results for any
+//!   N) and `--emit-manifest PATH` (describe the run matrix instead of
+//!   executing it).
+//! * [`harness_main`] — the standalone `harness` orchestrator: executes
+//!   any manifest (or the whole catalog) across threads with a resumable
+//!   fsync'd journal, writing `<id>.txt` / `<id>.json` per experiment.
+
+use std::path::{Path, PathBuf};
+
+use das_telemetry::json::Value;
+
+use crate::catalog::{self, BuildParams};
+use crate::journal::{self, Journal};
+use crate::manifest::{ExperimentPlan, JobSpec, Manifest};
+use crate::pool::run_ordered;
+use crate::profile::ProfileCache;
+use crate::render::RenderCtx;
+use crate::runner;
+
+/// How a batch of jobs should execute.
+pub struct ExecOptions<'a> {
+    /// Worker threads (any value ≥ 1 yields identical results).
+    pub threads: usize,
+    /// Anchor for relative side-effect exports (`trace_path`).
+    pub out_dir: &'a Path,
+    /// Emit `[k/n] id` progress lines on stderr.
+    pub progress: bool,
+}
+
+/// Executes `jobs` on the pool, skipping the prefix already present in
+/// `journal` (when given) and appending each new run to it in job order.
+/// Returns every report — journalled and fresh — in job order.
+///
+/// # Errors
+///
+/// Returns the first simulation or journal failure; runs completed before
+/// it are already journalled, so a rerun with `--resume` picks up there.
+pub fn execute_jobs(
+    jobs: &[JobSpec],
+    opts: &ExecOptions,
+    mut journal: Option<&mut Journal>,
+) -> Result<Vec<Value>, String> {
+    let done = journal.as_ref().map_or(0, |j| j.done());
+    let total = jobs.len();
+    if opts.progress && done > 0 {
+        eprintln!("resuming: {done}/{total} runs already journalled");
+    }
+    let mut reports: Vec<Value> = journal
+        .as_ref()
+        .map(|j| j.entries.clone())
+        .unwrap_or_default();
+    let pending = &jobs[done..];
+    let profiles = ProfileCache::new();
+    let mut failure: Option<String> = None;
+    run_ordered(
+        opts.threads,
+        pending.len(),
+        |i| runner::execute(&pending[i], &profiles, opts.out_dir),
+        |i, result| {
+            if failure.is_some() {
+                return;
+            }
+            match result {
+                Ok(report) => {
+                    let job = &pending[i];
+                    if let Some(j) = journal.as_deref_mut() {
+                        if let Err(e) = j.append(&job.id, report.clone()) {
+                            failure = Some(e);
+                            return;
+                        }
+                    }
+                    if opts.progress {
+                        eprintln!("[{}/{total}] {}", done + i + 1, job.id);
+                    }
+                    reports.push(report);
+                }
+                Err(e) => failure = Some(e),
+            }
+        },
+    );
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(reports),
+    }
+}
+
+/// `telemetry_report.json` → `telemetry_report_trace.json` (the legacy
+/// telemetry binary's derivation).
+fn derive_trace_path(report_path: &str) -> String {
+    report_path
+        .strip_suffix(".json")
+        .map(|stem| format!("{stem}_trace.json"))
+        .unwrap_or_else(|| format!("{report_path}_trace.json"))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
+fn write_or_die(path: &Path, text: &str) {
+    if let Err(e) = std::fs::write(path, text) {
+        die(&format!("cannot write {}: {e}", path.display()));
+    }
+}
+
+/// Entry point of every figure/table/ablation binary: builds the
+/// experiment's manifest from the historical flags and either emits it or
+/// executes it and prints the historical text output.
+///
+/// Flags: `--insts N`, `--scale N`, `--only a,b`, `--json PATH`,
+/// `--threads N`, `--emit-manifest PATH`.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed arguments or an unknown
+/// experiment id (both internal/developer errors).
+pub fn bin_main(id: &str) {
+    let exp = catalog::by_id(id).unwrap_or_else(|| panic!("unknown experiment {id:?}"));
+    let mut insts: u64 = 3_000_000;
+    let mut scale: u32 = 64;
+    let mut only: Vec<String> = Vec::new();
+    let mut json: Option<String> = None;
+    let mut threads: usize = 1;
+    let mut emit_manifest: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--insts" => {
+                insts = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--insts needs an integer");
+            }
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs an integer");
+            }
+            "--only" => {
+                only = args
+                    .next()
+                    .expect("--only needs a comma-separated list")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--json" => json = Some(args.next().expect("--json needs a path")),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs an integer");
+            }
+            "--emit-manifest" => {
+                emit_manifest = Some(args.next().expect("--emit-manifest needs a path"));
+            }
+            other => panic!(
+                "unknown argument {other:?} \
+                 (use --insts/--scale/--only/--json/--threads/--emit-manifest)"
+            ),
+        }
+    }
+    let report_path = json
+        .clone()
+        .unwrap_or_else(|| "telemetry_report.json".to_string());
+    let trace_path = derive_trace_path(&report_path);
+    let params = BuildParams {
+        insts,
+        scale,
+        only,
+        trace_name: trace_path.clone(),
+    };
+    let manifest = Manifest {
+        insts,
+        scale,
+        experiments: vec![ExperimentPlan {
+            id: id.to_string(),
+            jobs: (exp.build)(&params),
+        }],
+    };
+    if let Err(e) = manifest.validate() {
+        die(&format!("invalid run matrix: {e}"));
+    }
+    if let Some(path) = emit_manifest {
+        write_or_die(Path::new(&path), &(manifest.render() + "\n"));
+        eprintln!("wrote manifest ({} jobs): {path}", manifest.jobs().len());
+        return;
+    }
+    let jobs = &manifest.experiments[0].jobs;
+    let opts = ExecOptions {
+        threads,
+        out_dir: Path::new("."),
+        progress: false,
+    };
+    let reports = execute_jobs(jobs, &opts, None).unwrap_or_else(|e| die(&e));
+    // Exports happen before rendering, which may assert on the results —
+    // the legacy binaries wrote their files first too.
+    if id == "telemetry" {
+        write_or_die(Path::new(&report_path), &reports[0].render());
+    } else if let Some(path) = &json {
+        write_or_die(Path::new(path), &journal::runs_doc(&reports).render());
+    }
+    let ctx = RenderCtx {
+        insts,
+        scale,
+        jobs,
+        reports: &reports,
+        report_path,
+        trace_path,
+    };
+    print!("{}", (exp.render)(&ctx));
+}
+
+const HARNESS_USAGE: &str = "usage: harness (--manifest PATH | --all | --exp a,b) \
+     [--insts N] [--scale N] [--only a,b] [--threads N] [--resume] \
+     [--json-dir DIR] [--emit-manifest PATH] [--validate-journal PATH]";
+
+/// Entry point of the standalone `harness` binary.
+///
+/// Selects a run matrix (`--manifest PATH`, the full catalog via `--all`,
+/// or a subset via `--exp a,b`), executes it on `--threads N` workers with
+/// an fsync'd journal at `<json-dir>/journal.jsonl` (`--resume` continues
+/// a previous run), and writes `<id>.txt` + `<id>.json` per experiment.
+/// `--emit-manifest PATH` writes the matrix instead of executing;
+/// `--validate-journal PATH` structurally checks a journal and exits.
+pub fn harness_main() {
+    let mut manifest_path: Option<String> = None;
+    let mut all = false;
+    let mut exp_ids: Vec<String> = Vec::new();
+    let mut insts: u64 = 3_000_000;
+    let mut scale: u32 = 64;
+    let mut only: Vec<String> = Vec::new();
+    let mut threads: usize = 1;
+    let mut resume = false;
+    let mut json_dir: Option<String> = None;
+    let mut emit_manifest: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value\n{HARNESS_USAGE}")))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--manifest" => manifest_path = Some(need(&mut args, "--manifest")),
+            "--all" => all = true,
+            "--exp" => {
+                exp_ids = need(&mut args, "--exp")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--insts" => {
+                insts = need(&mut args, "--insts")
+                    .parse()
+                    .unwrap_or_else(|_| die("--insts needs an integer"));
+            }
+            "--scale" => {
+                scale = need(&mut args, "--scale")
+                    .parse()
+                    .unwrap_or_else(|_| die("--scale needs an integer"));
+            }
+            "--only" => {
+                only = need(&mut args, "--only")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--threads" => {
+                threads = need(&mut args, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| die("--threads needs an integer"));
+            }
+            "--resume" => resume = true,
+            "--json-dir" => json_dir = Some(need(&mut args, "--json-dir")),
+            "--emit-manifest" => emit_manifest = Some(need(&mut args, "--emit-manifest")),
+            "--validate-journal" => {
+                let path = need(&mut args, "--validate-journal");
+                match journal::load(Path::new(&path)) {
+                    Ok(doc) => {
+                        println!(
+                            "{path}: valid ({}/{} runs, manifest fp {})",
+                            doc.runs.len(),
+                            doc.jobs,
+                            doc.fingerprint
+                        );
+                        return;
+                    }
+                    Err(e) => die(&format!("{path}: invalid journal: {e}")),
+                }
+            }
+            other => die(&format!("unknown argument {other:?}\n{HARNESS_USAGE}")),
+        }
+    }
+    let manifest = if let Some(path) = &manifest_path {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        Manifest::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+    } else {
+        if !all && exp_ids.is_empty() {
+            die(&format!("nothing to run\n{HARNESS_USAGE}"));
+        }
+        let ids: Vec<&str> = if all {
+            catalog::ALL.iter().map(|e| e.id).collect()
+        } else {
+            exp_ids
+                .iter()
+                .map(|id| {
+                    catalog::by_id(id)
+                        .unwrap_or_else(|| die(&format!("unknown experiment {id:?}")))
+                        .id
+                })
+                .collect()
+        };
+        let params = BuildParams {
+            insts,
+            scale,
+            only,
+            trace_name: "telemetry_trace.json".to_string(),
+        };
+        Manifest {
+            insts,
+            scale,
+            experiments: ids
+                .into_iter()
+                .map(|id| ExperimentPlan {
+                    id: id.to_string(),
+                    jobs: (catalog::by_id(id).expect("catalog id").build)(&params),
+                })
+                .collect(),
+        }
+    };
+    if let Err(e) = manifest.validate() {
+        die(&format!("invalid manifest: {e}"));
+    }
+    if let Some(path) = emit_manifest {
+        write_or_die(Path::new(&path), &(manifest.render() + "\n"));
+        eprintln!("wrote manifest ({} jobs): {path}", manifest.jobs().len());
+        return;
+    }
+    let out_dir = PathBuf::from(json_dir.unwrap_or_else(|| ".".to_string()));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        die(&format!("cannot create {}: {e}", out_dir.display()));
+    }
+    let journal_path = out_dir.join("journal.jsonl");
+    let fp = manifest.fingerprint();
+    let flat: Vec<JobSpec> = manifest
+        .experiments
+        .iter()
+        .flat_map(|e| e.jobs.iter().cloned())
+        .collect();
+    let ids: Vec<&str> = flat.iter().map(|j| j.id.as_str()).collect();
+    let mut jr = if resume {
+        Journal::resume(&journal_path, &fp, &ids)
+    } else {
+        Journal::create(&journal_path, &fp, ids.len())
+    }
+    .unwrap_or_else(|e| die(&e));
+    let opts = ExecOptions {
+        threads,
+        out_dir: &out_dir,
+        progress: true,
+    };
+    let reports = execute_jobs(&flat, &opts, Some(&mut jr)).unwrap_or_else(|e| die(&e));
+    let mut offset = 0;
+    for e in &manifest.experiments {
+        let n = e.jobs.len();
+        let exp = catalog::by_id(&e.id)
+            .unwrap_or_else(|| die(&format!("manifest names unknown experiment {:?}", e.id)));
+        let report_path = out_dir.join(format!("{}.json", e.id));
+        let trace_rel = e
+            .jobs
+            .iter()
+            .find_map(|j| j.ov.trace_path.clone())
+            .unwrap_or_else(|| "telemetry_trace.json".to_string());
+        let exp_reports = &reports[offset..offset + n];
+        let ctx = RenderCtx {
+            insts: manifest.insts,
+            scale: manifest.scale,
+            jobs: &e.jobs,
+            reports: exp_reports,
+            report_path: report_path.display().to_string(),
+            trace_path: out_dir.join(&trace_rel).display().to_string(),
+        };
+        let text = (exp.render)(&ctx);
+        write_or_die(&out_dir.join(format!("{}.txt", e.id)), &text);
+        // The telemetry experiment historically exports its bare run
+        // report; everything else exports the legacy runs document.
+        let json_doc = if e.id == "telemetry" && n == 1 {
+            exp_reports[0].render()
+        } else {
+            journal::runs_doc(exp_reports).render()
+        };
+        write_or_die(&report_path, &json_doc);
+        eprintln!(
+            "rendered {}",
+            out_dir.join(format!("{}.txt", e.id)).display()
+        );
+        offset += n;
+    }
+    println!(
+        "done: {} runs across {} experiments -> {}",
+        flat.len(),
+        manifest.experiments.len(),
+        out_dir.display()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Overrides;
+
+    fn quick_job(id: &str, design: &str) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            design: design.into(),
+            workload: "libquantum".into(),
+            insts: 100_000,
+            scale: 64,
+            seed: 42,
+            ov: Overrides::default(),
+        }
+    }
+
+    #[test]
+    fn trace_path_derivation_matches_the_legacy_binary() {
+        assert_eq!(
+            derive_trace_path("telemetry_report.json"),
+            "telemetry_report_trace.json"
+        );
+        assert_eq!(derive_trace_path("results/t.json"), "results/t_trace.json");
+        assert_eq!(derive_trace_path("weird.dat"), "weird.dat_trace.json");
+    }
+
+    #[test]
+    fn execute_jobs_skips_the_journalled_prefix() {
+        let dir = std::env::temp_dir().join("das-harness-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("skip.jsonl");
+        let jobs = vec![quick_job("t/a/std", "std"), quick_job("t/b/das", "das")];
+        let opts = ExecOptions {
+            threads: 1,
+            out_dir: &dir,
+            progress: false,
+        };
+        let fresh = {
+            let _ = std::fs::remove_file(&jpath);
+            let mut j = Journal::create(&jpath, "fp", 2).unwrap();
+            execute_jobs(&jobs, &opts, Some(&mut j)).unwrap()
+        };
+        // Resume with the first run already journalled: only job 2 runs,
+        // and the combined reports are byte-identical.
+        let ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+        let mut j = {
+            let mut j = Journal::create(&jpath, "fp", 2).unwrap();
+            j.append("t/a/std", fresh[0].clone()).unwrap();
+            drop(j);
+            Journal::resume(&jpath, "fp", &ids).unwrap()
+        };
+        assert_eq!(j.done(), 1);
+        let resumed = execute_jobs(&jobs, &opts, Some(&mut j)).unwrap();
+        assert_eq!(resumed.len(), 2);
+        assert_eq!(resumed[0].render(), fresh[0].render());
+        assert_eq!(resumed[1].render(), fresh[1].render());
+    }
+
+    #[test]
+    fn execute_jobs_surfaces_the_first_failure() {
+        let mut bad = quick_job("t/bad/std", "std");
+        bad.ov.event_budget = Some(100);
+        let opts = ExecOptions {
+            threads: 2,
+            out_dir: Path::new("."),
+            progress: false,
+        };
+        let err = execute_jobs(&[quick_job("t/ok/std", "std"), bad], &opts, None).unwrap_err();
+        assert!(err.contains("t/bad/std"), "{err}");
+    }
+}

@@ -1,0 +1,317 @@
+//! The resumable run journal: one fsync'd JSON line per completed run.
+//!
+//! Line 1 is a header binding the journal to a manifest fingerprint and
+//! job count; every following line is `{"job":"<id>","report":{...}}`,
+//! appended in job order and fsync'd, so a crash loses at most the run in
+//! flight. On resume the file is re-read, the longest valid prefix whose
+//! job ids match the manifest's expected sequence is kept (a torn final
+//! line from a crash is truncated away), and execution continues from the
+//! first missing job. A journal written against a *different* manifest is
+//! rejected by fingerprint instead of silently misattributing results.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use das_telemetry::json::{self, Value};
+
+/// Journal format version (line-1 schema).
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// An open, append-mode journal plus the entries it already holds.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    /// Completed run reports, in job order (`entries[i]` is job `i`).
+    pub entries: Vec<Value>,
+}
+
+fn header_line(fingerprint: &str, jobs: usize) -> String {
+    Value::obj()
+        .set("das_harness_journal", JOURNAL_VERSION)
+        .set("fp", fingerprint)
+        .set("jobs", jobs)
+        .render()
+}
+
+fn run_line(job_id: &str, report: &Value) -> String {
+    Value::obj()
+        .set("job", job_id)
+        .set("report", report.clone())
+        .render()
+}
+
+impl Journal {
+    /// Creates (truncating) a fresh journal for a manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path, fingerprint: &str, jobs: usize) -> Result<Journal, String> {
+        let mut file = File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+        file.write_all(header_line(fingerprint, jobs).as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .and_then(|()| file.sync_data())
+            .map_err(|e| format!("write {path:?}: {e}"))?;
+        Ok(Journal {
+            file,
+            entries: Vec::new(),
+        })
+    }
+
+    /// Re-opens an existing journal for resumption: validates the header
+    /// against the manifest, keeps the longest valid prefix of run lines
+    /// matching `expected_ids` in order, truncates anything after it
+    /// (torn tail, stray lines), and returns the journal positioned to
+    /// append. A missing file is the same as a fresh [`Journal::create`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors or a header/fingerprint mismatch.
+    pub fn resume(
+        path: &Path,
+        fingerprint: &str,
+        expected_ids: &[&str],
+    ) -> Result<Journal, String> {
+        if !path.exists() {
+            return Journal::create(path, fingerprint, expected_ids.len());
+        }
+        let mut text = String::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(|e| format!("read {path:?}: {e}"))?;
+        let mut lines = text.split_inclusive('\n');
+        let header_text = lines.next().unwrap_or("");
+        if !header_text.ends_with('\n') {
+            return Err(format!(
+                "{path:?}: truncated header; delete it to start over"
+            ));
+        }
+        let header =
+            json::parse(header_text.trim_end()).map_err(|e| format!("{path:?} header: {e}"))?;
+        let version = header.get("das_harness_journal").and_then(Value::as_u64);
+        if version != Some(JOURNAL_VERSION) {
+            return Err(format!(
+                "{path:?}: not a das_harness_journal v{JOURNAL_VERSION}"
+            ));
+        }
+        if header.get("fp").and_then(Value::as_str) != Some(fingerprint) {
+            return Err(format!(
+                "{path:?} was written for a different manifest (fingerprint mismatch); \
+                 delete it or pass the matching manifest"
+            ));
+        }
+        if header.get("jobs").and_then(Value::as_u64) != Some(expected_ids.len() as u64) {
+            return Err(format!("{path:?}: job count disagrees with the manifest"));
+        }
+        // Keep the longest valid prefix in expected-id order.
+        let mut entries = Vec::new();
+        let mut good_bytes = header_text.len() as u64;
+        for line in lines {
+            if !line.ends_with('\n') {
+                break; // torn tail from a crash mid-append
+            }
+            if entries.len() >= expected_ids.len() {
+                break; // stray lines beyond the manifest
+            }
+            let Ok(v) = json::parse(line.trim_end()) else {
+                break;
+            };
+            if v.get("job").and_then(Value::as_str) != Some(expected_ids[entries.len()]) {
+                break;
+            }
+            let Some(report) = v.get("report") else {
+                break;
+            };
+            entries.push(report.clone());
+            good_bytes += line.len() as u64;
+        }
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("open {path:?}: {e}"))?;
+        file.set_len(good_bytes)
+            .map_err(|e| format!("truncate {path:?}: {e}"))?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| format!("seek {path:?}: {e}"))?;
+        Ok(Journal { file, entries })
+    }
+
+    /// Number of runs already journalled.
+    pub fn done(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends one completed run (fsync'd) and records it in `entries`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, job_id: &str, report: Value) -> Result<(), String> {
+        self.file
+            .write_all(run_line(job_id, &report).as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("append journal: {e}"))?;
+        self.entries.push(report);
+        Ok(())
+    }
+}
+
+/// A fully parsed journal (used by `--validate-journal` and the tests).
+pub struct JournalDoc {
+    /// Manifest fingerprint recorded in the header.
+    pub fingerprint: String,
+    /// Expected job count recorded in the header.
+    pub jobs: u64,
+    /// `(job id, report)` per run line.
+    pub runs: Vec<(String, Value)>,
+}
+
+/// Reads and structurally validates a journal: header shape, every line
+/// strict JSON with `job` + `report`, unique job ids. Does **not** check
+/// completeness — a valid partial journal is exactly what resume eats.
+///
+/// # Errors
+///
+/// Returns the first violation with its line number.
+pub fn load(path: &Path) -> Result<JournalDoc, String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("read {path:?}: {e}"))?;
+    let mut lines = text.lines();
+    let header =
+        json::parse(lines.next().ok_or("empty journal")?).map_err(|e| format!("line 1: {e}"))?;
+    if header.get("das_harness_journal").and_then(Value::as_u64) != Some(JOURNAL_VERSION) {
+        return Err(format!(
+            "line 1: not a das_harness_journal v{JOURNAL_VERSION}"
+        ));
+    }
+    let fingerprint = header
+        .get("fp")
+        .and_then(Value::as_str)
+        .ok_or("line 1: missing fp")?
+        .to_string();
+    let jobs = header
+        .get("jobs")
+        .and_then(Value::as_u64)
+        .ok_or("line 1: missing jobs")?;
+    let mut runs = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (i, line) in lines.enumerate() {
+        let lineno = i + 2;
+        let v = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let id = v
+            .get("job")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing job id"))?
+            .to_string();
+        if !seen.insert(id.clone()) {
+            return Err(format!("line {lineno}: duplicate job {id:?}"));
+        }
+        let report = v
+            .get("report")
+            .ok_or_else(|| format!("line {lineno}: missing report"))?;
+        runs.push((id, report.clone()));
+    }
+    if runs.len() as u64 > jobs {
+        return Err(format!(
+            "{} run lines but header promises {jobs}",
+            runs.len()
+        ));
+    }
+    Ok(JournalDoc {
+        fingerprint,
+        jobs,
+        runs,
+    })
+}
+
+/// Converts journalled reports into the legacy `{"runs":[...]}` document
+/// the bench `--json` flag always produced — the compatibility shim that
+/// lets downstream consumers of `results/*.json` keep working unchanged.
+pub fn runs_doc(reports: &[Value]) -> Value {
+    Value::obj().set("runs", Value::Arr(reports.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(n: u64) -> Value {
+        Value::obj().set("design", "DAS-DRAM").set("n", n)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("das-harness-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn create_append_load_round_trip() {
+        let path = tmp("round_trip.jsonl");
+        let mut j = Journal::create(&path, "00ff", 2).unwrap();
+        j.append("a", report(1)).unwrap();
+        j.append("b", report(2)).unwrap();
+        let doc = load(&path).unwrap();
+        assert_eq!(doc.fingerprint, "00ff");
+        assert_eq!(doc.jobs, 2);
+        assert_eq!(doc.runs.len(), 2);
+        assert_eq!(doc.runs[1].0, "b");
+        assert_eq!(doc.runs[1].1.render(), report(2).render());
+    }
+
+    #[test]
+    fn resume_keeps_valid_prefix_and_truncates_torn_tail() {
+        let path = tmp("torn_tail.jsonl");
+        {
+            let mut j = Journal::create(&path, "abcd", 3).unwrap();
+            j.append("a", report(1)).unwrap();
+            j.append("b", report(2)).unwrap();
+        }
+        // Simulate a crash mid-append: torn, newline-less final line.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"job\":\"c\",\"repo").unwrap();
+        drop(f);
+        let j = Journal::resume(&path, "abcd", &["a", "b", "c"]).unwrap();
+        assert_eq!(j.done(), 2);
+        let doc = load(&path).unwrap();
+        assert_eq!(doc.runs.len(), 2, "torn line truncated away");
+    }
+
+    #[test]
+    fn resume_rejects_wrong_fingerprint_and_wrong_order() {
+        let path = tmp("wrong_fp.jsonl");
+        {
+            let mut j = Journal::create(&path, "1111", 2).unwrap();
+            j.append("a", report(1)).unwrap();
+        }
+        assert!(Journal::resume(&path, "2222", &["a", "b"])
+            .unwrap_err()
+            .contains("fingerprint"));
+        // Lines whose job id disagrees with the expected sequence are
+        // dropped (with everything after them).
+        let j = Journal::resume(&path, "1111", &["x", "a"]).unwrap();
+        assert_eq!(j.done(), 0);
+    }
+
+    #[test]
+    fn missing_file_resumes_as_fresh() {
+        let path = tmp("fresh.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::resume(&path, "feed", &["a"]).unwrap();
+        assert_eq!(j.done(), 0);
+        assert_eq!(load(&path).unwrap().fingerprint, "feed");
+    }
+
+    #[test]
+    fn runs_doc_matches_legacy_shape() {
+        let doc = runs_doc(&[report(1), report(2)]);
+        let text = doc.render();
+        assert!(text.starts_with("{\"runs\":["));
+        assert_eq!(doc.get("runs").and_then(Value::as_arr).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,639 @@
+//! The declarative run matrix: a [`Manifest`] is a list of experiments,
+//! each a list of [`JobSpec`]s — everything one simulation run needs
+//! (design, workload, seed, instruction budget, scale, and the parameter
+//! overrides the figure sweeps vary), as data instead of code.
+//!
+//! Every figure/table/ablation binary can *emit* its manifest
+//! (`--emit-manifest PATH`) instead of executing it, and the `harness`
+//! binary executes any manifest — the run matrix becomes a file you can
+//! inspect, split, diff and resume.
+//!
+//! Manifests are strict JSON (rendered and parsed by
+//! [`das_telemetry::json`]); unknown fields are rejected so a typo in a
+//! hand-edited manifest fails loudly instead of silently running the
+//! default configuration.
+
+use das_sim::config::{Design, SystemConfig};
+use das_telemetry::json::{self, Value};
+use das_workloads::config::WorkloadConfig;
+use das_workloads::{mixes, spec};
+
+/// Manifest format version (bumped on breaking schema changes).
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// A complete run matrix: one or more experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Grid-wide per-core instruction budget — the `--insts` the grid was
+    /// built from. Individual jobs carry their own (possibly derived)
+    /// budgets; this root value parameterises the job-free experiments
+    /// (Tables 1/2 render from pure configuration).
+    pub insts: u64,
+    /// Grid-wide capacity scale factor (same role as `insts`).
+    pub scale: u32,
+    /// The experiments, in presentation order.
+    pub experiments: Vec<ExperimentPlan>,
+}
+
+/// One experiment: an identifier (the figure/table/ablation it renders)
+/// plus its jobs in deterministic execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentPlan {
+    /// Catalog identifier (`fig7a`, `table1`, `ablation_salp`, …).
+    pub id: String,
+    /// Jobs in execution (and journal) order.
+    pub jobs: Vec<JobSpec>,
+}
+
+/// One simulation run, fully described.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Manifest-unique job id (`<experiment>/<row>/<column>`).
+    pub id: String,
+    /// Design key (see [`design_key`]): `std`, `sas`, `charm`, `das`,
+    /// `das_fm`, `fs`, `das_incl`, `tl`.
+    pub design: String,
+    /// Workload token: a Table 2 benchmark name (`mcf`) or a mix
+    /// (`mix:M1`, which expands to the paper's four benchmarks with
+    /// halved footprints).
+    pub workload: String,
+    /// Per-core instruction budget.
+    pub insts: u64,
+    /// Capacity scale factor.
+    pub scale: u32,
+    /// Master seed (workloads, replacement randomness).
+    pub seed: u64,
+    /// Parameter overrides relative to the Table 1 configuration.
+    pub ov: Overrides,
+}
+
+/// Optional per-job parameter overrides. `None` fields keep the Table 1
+/// defaults; only set fields are serialised, so manifests stay readable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Overrides {
+    /// Promotion-filter threshold (Fig. 8 sweeps).
+    pub threshold: Option<u32>,
+    /// Migration group size in rows (Fig. 9b sweep).
+    pub group_size: Option<u32>,
+    /// Full-scale translation-cache capacity in bytes (Fig. 9a sweep).
+    pub tcache_bytes: Option<u64>,
+    /// Fast-level capacity ratio denominator (`1/N`, Fig. 9c/9d sweeps).
+    pub fast_ratio_den: Option<u32>,
+    /// Replacement policy (`lru`, `random`, `seq`, `counter`).
+    pub replacement: Option<String>,
+    /// Scheduler kind (`frfcfs`, `fcfs`).
+    pub scheduler: Option<String>,
+    /// Row-buffer page policy (`open`, `closed`).
+    pub page_policy: Option<String>,
+    /// Subarray-level parallelism (SALP ablation).
+    pub salp: Option<bool>,
+    /// Physical arrangement (`reduced`, `partitioning`, `interleaving`).
+    pub arrangement: Option<String>,
+    /// Device-timing override: swap latency in ticks (migration ablation;
+    /// `single_migration` is derived as half the swap).
+    pub swap_ticks: Option<u64>,
+    /// Uniform fault-injection rate (see `das_faults::FaultPlan::uniform`).
+    pub fault_rate: Option<f64>,
+    /// Fault-plan seed (defaults to the fault-sweep seed when a rate is
+    /// set).
+    pub fault_seed: Option<u64>,
+    /// Consistency-checker period in events (0 disables).
+    pub invariant_check_events: Option<u64>,
+    /// Telemetry epoch length in CPU cycles (enables the sink).
+    pub telemetry_epoch: Option<u64>,
+    /// Runaway-event budget override.
+    pub event_budget: Option<u64>,
+    /// Watchdog same-tick-wake threshold override.
+    pub watchdog_wakes: Option<u32>,
+    /// Side-effect export: write the run's Chrome trace-event JSON here
+    /// (requires `telemetry_epoch`).
+    pub trace_path: Option<String>,
+}
+
+/// Default fault-plan seed (the fault-sweep bench's historic constant).
+pub const DEFAULT_FAULT_SEED: u64 = 0xda5_fa17;
+
+/// The stable manifest key of a design.
+pub fn design_key(d: Design) -> &'static str {
+    match d {
+        Design::Standard => "std",
+        Design::SasDram => "sas",
+        Design::Charm => "charm",
+        Design::DasDram => "das",
+        Design::DasDramFm => "das_fm",
+        Design::FsDram => "fs",
+        Design::DasInclusive => "das_incl",
+        Design::TlDram => "tl",
+    }
+}
+
+/// Parses a design key back to the [`Design`].
+///
+/// # Errors
+///
+/// Returns a message naming the unknown key.
+pub fn parse_design(key: &str) -> Result<Design, String> {
+    Ok(match key {
+        "std" => Design::Standard,
+        "sas" => Design::SasDram,
+        "charm" => Design::Charm,
+        "das" => Design::DasDram,
+        "das_fm" => Design::DasDramFm,
+        "fs" => Design::FsDram,
+        "das_incl" => Design::DasInclusive,
+        "tl" => Design::TlDram,
+        other => return Err(format!("unknown design key {other:?}")),
+    })
+}
+
+/// Resolves a workload token into the (full-scale) workload set:
+/// `"<bench>"` → one Table 2 benchmark; `"mix:<M>"` → the paper's
+/// four-benchmark mix with per-benchmark footprints halved (the
+/// multi-programming execution point of Fig. 7e).
+///
+/// # Errors
+///
+/// Returns a message naming the unknown token.
+pub fn resolve_workload(token: &str) -> Result<Vec<WorkloadConfig>, String> {
+    if let Some(mix_name) = token.strip_prefix("mix:") {
+        if !mixes::names().contains(&mix_name) {
+            return Err(format!("unknown mix {mix_name:?}"));
+        }
+        Ok(mixes::mix(mix_name).iter().map(|w| w.scaled(2)).collect())
+    } else {
+        if !spec::names().contains(&token) {
+            return Err(format!("unknown benchmark {token:?}"));
+        }
+        Ok(vec![spec::by_name(token)])
+    }
+}
+
+impl JobSpec {
+    /// Materialises the job: the system configuration (with all overrides
+    /// applied), the design, and the full-scale workload set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown design/workload/override tokens.
+    pub fn materialize(&self) -> Result<(SystemConfig, Design, Vec<WorkloadConfig>), String> {
+        use das_core::replacement::ReplacementPolicy;
+        use das_dram::geometry::{Arrangement, FastRatio};
+        use das_memctrl::controller::{PagePolicy, SchedulerKind};
+
+        let design = parse_design(&self.design)?;
+        let workloads = resolve_workload(&self.workload)?;
+        let mut cfg = SystemConfig::scaled_by(self.scale, self.insts);
+        cfg.seed = self.seed;
+        let ov = &self.ov;
+        if let Some(t) = ov.threshold {
+            cfg.management.promotion_threshold = t;
+        }
+        if let Some(g) = ov.group_size {
+            cfg.management.group_size = g;
+        }
+        if let Some(b) = ov.tcache_bytes {
+            cfg.management.tcache_bytes = b;
+        }
+        if let Some(den) = ov.fast_ratio_den {
+            cfg.management.fast_ratio = FastRatio::new(1, den);
+        }
+        if let Some(r) = &ov.replacement {
+            cfg.management.replacement = match r.as_str() {
+                "lru" => ReplacementPolicy::Lru,
+                "random" => ReplacementPolicy::Random,
+                "seq" => ReplacementPolicy::Sequential,
+                "counter" => ReplacementPolicy::GlobalCounter,
+                other => return Err(format!("unknown replacement policy {other:?}")),
+            };
+        }
+        if let Some(s) = &ov.scheduler {
+            cfg.controller.scheduler = match s.as_str() {
+                "frfcfs" => SchedulerKind::FrFcfs,
+                "fcfs" => SchedulerKind::Fcfs,
+                other => return Err(format!("unknown scheduler {other:?}")),
+            };
+        }
+        if let Some(p) = &ov.page_policy {
+            cfg.controller.page_policy = match p.as_str() {
+                "open" => PagePolicy::Open,
+                "closed" => PagePolicy::Closed,
+                other => return Err(format!("unknown page policy {other:?}")),
+            };
+        }
+        if let Some(s) = ov.salp {
+            cfg.salp = s;
+        }
+        if let Some(a) = &ov.arrangement {
+            cfg.arrangement = match a.as_str() {
+                "reduced" => Arrangement::ReducedInterleaving,
+                "partitioning" => Arrangement::Partitioning,
+                "interleaving" => Arrangement::Interleaving,
+                other => return Err(format!("unknown arrangement {other:?}")),
+            };
+        }
+        if let Some(swap) = ov.swap_ticks {
+            let mut t = design.timing();
+            t.swap = das_dram::tick::Tick::new(swap);
+            t.single_migration = das_dram::tick::Tick::new(swap / 2);
+            cfg.timing_override = Some(t);
+        }
+        if let Some(rate) = ov.fault_rate {
+            let seed = ov.fault_seed.unwrap_or(DEFAULT_FAULT_SEED);
+            cfg.faults = das_faults::FaultPlan::uniform(seed, rate);
+        }
+        if let Some(n) = ov.invariant_check_events {
+            cfg.invariant_check_events = n;
+        }
+        if let Some(epoch) = ov.telemetry_epoch {
+            cfg.telemetry = das_telemetry::TelemetryConfig::on(epoch);
+        }
+        if let Some(e) = ov.event_budget {
+            cfg.event_budget = e;
+        }
+        if let Some(w) = ov.watchdog_wakes {
+            cfg.watchdog_same_tick_wakes = w;
+        }
+        Ok((cfg, design, workloads))
+    }
+
+    /// Serialises the job as a JSON object (only-set overrides included).
+    pub fn to_value(&self) -> Value {
+        let mut ov = Value::obj();
+        macro_rules! put {
+            ($field:ident as u64) => {
+                if let Some(v) = self.ov.$field {
+                    ov = ov.set(stringify!($field), u64::from(v));
+                }
+            };
+            ($field:ident) => {
+                if let Some(v) = &self.ov.$field {
+                    ov = ov.set(stringify!($field), v.clone());
+                }
+            };
+        }
+        put!(threshold as u64);
+        put!(group_size as u64);
+        put!(tcache_bytes as u64);
+        put!(fast_ratio_den as u64);
+        put!(replacement);
+        put!(scheduler);
+        put!(page_policy);
+        put!(salp);
+        put!(arrangement);
+        put!(swap_ticks as u64);
+        put!(fault_rate);
+        put!(fault_seed as u64);
+        put!(invariant_check_events as u64);
+        put!(telemetry_epoch as u64);
+        put!(event_budget as u64);
+        put!(watchdog_wakes as u64);
+        put!(trace_path);
+        Value::obj()
+            .set("id", self.id.as_str())
+            .set("design", self.design.as_str())
+            .set("workload", self.workload.as_str())
+            .set("insts", self.insts)
+            .set("scale", u64::from(self.scale))
+            .set("seed", self.seed)
+            .set("ov", ov)
+    }
+
+    /// Parses a job from its JSON object form (strict: unknown fields and
+    /// unknown override keys are rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn from_value(v: &Value) -> Result<JobSpec, String> {
+        let obj = match v {
+            Value::Obj(pairs) => pairs,
+            _ => return Err("job must be an object".into()),
+        };
+        let mut job = JobSpec {
+            id: String::new(),
+            design: String::new(),
+            workload: String::new(),
+            insts: 0,
+            scale: 0,
+            seed: 0,
+            ov: Overrides::default(),
+        };
+        for (k, val) in obj {
+            match k.as_str() {
+                "id" => job.id = req_str(val, "id")?,
+                "design" => job.design = req_str(val, "design")?,
+                "workload" => job.workload = req_str(val, "workload")?,
+                "insts" => job.insts = req_u64(val, "insts")?,
+                "scale" => {
+                    job.scale = u32::try_from(req_u64(val, "scale")?)
+                        .map_err(|_| "scale out of range".to_string())?;
+                }
+                "seed" => job.seed = req_u64(val, "seed")?,
+                "ov" => job.ov = Overrides::from_value(val)?,
+                other => return Err(format!("unknown job field {other:?}")),
+            }
+        }
+        if job.id.is_empty() || job.design.is_empty() || job.workload.is_empty() {
+            return Err("job needs id, design and workload".into());
+        }
+        if job.insts == 0 || job.scale == 0 {
+            return Err(format!("job {} needs insts and scale", job.id));
+        }
+        Ok(job)
+    }
+}
+
+impl Overrides {
+    /// Parses the overrides object (strict).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn from_value(v: &Value) -> Result<Overrides, String> {
+        let obj = match v {
+            Value::Obj(pairs) => pairs,
+            _ => return Err("ov must be an object".into()),
+        };
+        let mut ov = Overrides::default();
+        for (k, val) in obj {
+            match k.as_str() {
+                "threshold" => ov.threshold = Some(req_u32(val, k)?),
+                "group_size" => ov.group_size = Some(req_u32(val, k)?),
+                "tcache_bytes" => ov.tcache_bytes = Some(req_u64(val, k)?),
+                "fast_ratio_den" => ov.fast_ratio_den = Some(req_u32(val, k)?),
+                "replacement" => ov.replacement = Some(req_str(val, k)?),
+                "scheduler" => ov.scheduler = Some(req_str(val, k)?),
+                "page_policy" => ov.page_policy = Some(req_str(val, k)?),
+                "salp" => ov.salp = Some(val.as_bool().ok_or("salp must be a bool")?),
+                "arrangement" => ov.arrangement = Some(req_str(val, k)?),
+                "swap_ticks" => ov.swap_ticks = Some(req_u64(val, k)?),
+                "fault_rate" => {
+                    ov.fault_rate = Some(val.as_f64().ok_or("fault_rate must be a number")?);
+                }
+                "fault_seed" => ov.fault_seed = Some(req_u64(val, k)?),
+                "invariant_check_events" => ov.invariant_check_events = Some(req_u64(val, k)?),
+                "telemetry_epoch" => ov.telemetry_epoch = Some(req_u64(val, k)?),
+                "event_budget" => ov.event_budget = Some(req_u64(val, k)?),
+                "watchdog_wakes" => ov.watchdog_wakes = Some(req_u32(val, k)?),
+                "trace_path" => ov.trace_path = Some(req_str(val, k)?),
+                other => return Err(format!("unknown override {other:?}")),
+            }
+        }
+        Ok(ov)
+    }
+}
+
+fn req_str(v: &Value, field: &str) -> Result<String, String> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{field} must be a string"))
+}
+
+fn req_u64(v: &Value, field: &str) -> Result<u64, String> {
+    v.as_u64().ok_or_else(|| format!("{field} must be a u64"))
+}
+
+fn req_u32(v: &Value, field: &str) -> Result<u32, String> {
+    u32::try_from(req_u64(v, field)?).map_err(|_| format!("{field} out of u32 range"))
+}
+
+impl Manifest {
+    /// Serialises the manifest as one JSON document.
+    pub fn to_value(&self) -> Value {
+        Value::obj()
+            .set("das_manifest", MANIFEST_VERSION)
+            .set("insts", self.insts)
+            .set("scale", u64::from(self.scale))
+            .set(
+                "experiments",
+                Value::Arr(
+                    self.experiments
+                        .iter()
+                        .map(|e| {
+                            Value::obj().set("id", e.id.as_str()).set(
+                                "jobs",
+                                Value::Arr(e.jobs.iter().map(JobSpec::to_value).collect()),
+                            )
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Renders the manifest document.
+    pub fn render(&self) -> String {
+        self.to_value().render()
+    }
+
+    /// Parses and validates a manifest document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, schema violations, duplicate
+    /// job ids, or unresolvable designs/workloads.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let doc = json::parse(text)?;
+        let version = doc
+            .get("das_manifest")
+            .and_then(Value::as_u64)
+            .ok_or("not a das_manifest document")?;
+        if version != MANIFEST_VERSION {
+            return Err(format!(
+                "manifest version {version} unsupported (this build reads {MANIFEST_VERSION})"
+            ));
+        }
+        let insts = doc
+            .get("insts")
+            .and_then(Value::as_u64)
+            .ok_or("manifest needs a root insts")?;
+        let scale = doc
+            .get("scale")
+            .and_then(Value::as_u64)
+            .and_then(|s| u32::try_from(s).ok())
+            .ok_or("manifest needs a root scale")?;
+        if insts == 0 || scale == 0 {
+            return Err("manifest insts and scale must be positive".into());
+        }
+        let exps = doc
+            .get("experiments")
+            .and_then(Value::as_arr)
+            .ok_or("missing experiments array")?;
+        let mut experiments = Vec::new();
+        for e in exps {
+            let id = e
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or("experiment needs an id")?
+                .to_string();
+            let jobs = e
+                .get("jobs")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("experiment {id} needs a jobs array"))?
+                .iter()
+                .map(JobSpec::from_value)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|err| format!("experiment {id}: {err}"))?;
+            experiments.push(ExperimentPlan { id, jobs });
+        }
+        let m = Manifest {
+            insts,
+            scale,
+            experiments,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Checks job-id uniqueness and that every job materialises.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for e in &self.experiments {
+            for j in &e.jobs {
+                if !seen.insert(j.id.as_str()) {
+                    return Err(format!("duplicate job id {:?}", j.id));
+                }
+                j.materialize()
+                    .map_err(|err| format!("job {}: {err}", j.id))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// All jobs across experiments, in execution order.
+    pub fn jobs(&self) -> Vec<&JobSpec> {
+        self.experiments
+            .iter()
+            .flat_map(|e| e.jobs.iter())
+            .collect()
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the rendered manifest, as fixed-width
+    /// hex. Journals record it so a resume against a *different* manifest
+    /// is rejected instead of silently misattributing results.
+    pub fn fingerprint(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.render().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            insts: 100_000,
+            scale: 64,
+            experiments: vec![ExperimentPlan {
+                id: "fig8a".into(),
+                jobs: vec![
+                    JobSpec {
+                        id: "fig8a/mcf/std".into(),
+                        design: "std".into(),
+                        workload: "mcf".into(),
+                        insts: 100_000,
+                        scale: 64,
+                        seed: 42,
+                        ov: Overrides::default(),
+                    },
+                    JobSpec {
+                        id: "fig8a/mcf/t4".into(),
+                        design: "das".into(),
+                        workload: "mcf".into(),
+                        insts: 100_000,
+                        scale: 64,
+                        seed: 42,
+                        ov: Overrides {
+                            threshold: Some(4),
+                            ..Overrides::default()
+                        },
+                    },
+                    JobSpec {
+                        id: "fig8a/M1/das".into(),
+                        design: "das".into(),
+                        workload: "mix:M1".into(),
+                        insts: 50_000,
+                        scale: 64,
+                        seed: 42,
+                        ov: Overrides::default(),
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_and_fingerprints_stably() {
+        let m = sample();
+        let doc = m.render();
+        let back = Manifest::parse(&doc).expect("round trip");
+        assert_eq!(back, m);
+        assert_eq!(back.render(), doc);
+        assert_eq!(back.fingerprint(), m.fingerprint());
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let mut doc = sample().to_value();
+        // Splice an unknown override into the rendered text.
+        let text = doc
+            .render()
+            .replace("\"threshold\":4", "\"threshold\":4,\"warp_factor\":9");
+        assert!(Manifest::parse(&text).unwrap_err().contains("warp_factor"));
+        doc = Value::obj()
+            .set("das_manifest", 99u64)
+            .set("insts", 1u64)
+            .set("scale", 1u64)
+            .set("experiments", Value::Arr(Vec::new()));
+        assert!(Manifest::parse(&doc.render())
+            .unwrap_err()
+            .contains("version"));
+    }
+
+    #[test]
+    fn duplicate_job_ids_are_rejected() {
+        let mut m = sample();
+        let dup = m.experiments[0].jobs[0].clone();
+        m.experiments[0].jobs.push(dup);
+        assert!(m.validate().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn materialize_applies_overrides() {
+        let m = sample();
+        let (cfg, design, wl) = m.experiments[0].jobs[1].materialize().unwrap();
+        assert_eq!(design, Design::DasDram);
+        assert_eq!(cfg.management.promotion_threshold, 4);
+        assert_eq!(cfg.inst_budget, 100_000);
+        assert_eq!(wl.len(), 1);
+        let (_, _, mix) = m.experiments[0].jobs[2].materialize().unwrap();
+        assert_eq!(mix.len(), 4, "mix token expands to four benchmarks");
+    }
+
+    #[test]
+    fn design_keys_round_trip() {
+        for d in [
+            Design::Standard,
+            Design::SasDram,
+            Design::Charm,
+            Design::DasDram,
+            Design::DasDramFm,
+            Design::FsDram,
+            Design::DasInclusive,
+            Design::TlDram,
+        ] {
+            assert_eq!(parse_design(design_key(d)).unwrap(), d);
+        }
+        assert!(parse_design("warp").is_err());
+        assert!(resolve_workload("mix:M99").is_err());
+        assert!(resolve_workload("nosuchbench").is_err());
+    }
+}

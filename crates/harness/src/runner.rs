@@ -1,0 +1,110 @@
+//! Executes one [`JobSpec`] to its journalled run report.
+//!
+//! This is the only place where manifest data meets the simulator: the job
+//! is materialised, the profiling pre-pass is fetched from the shared
+//! memo (computed at most once per distinct key), the run executes —
+//! instrumented when the job asks for telemetry — and the report
+//! [`Value`] that will be journalled (and that every renderer consumes)
+//! is assembled. A job with a `trace_path` override also exports its
+//! Chrome trace-event document as an execution-time side effect, so a
+//! resumed run that skips the job keeps the file from the first pass.
+
+use std::path::Path;
+
+use das_sim::experiments::{run_one_instrumented_with_profile, run_one_with_profile};
+use das_sim::report::run_report;
+use das_telemetry::json::{self, Value};
+
+use crate::manifest::JobSpec;
+use crate::profile::{profile_key, ProfileCache};
+
+/// Runs one job, returning the report to journal.
+///
+/// `out_dir` anchors relative side-effect exports (`trace_path`).
+///
+/// # Errors
+///
+/// Returns a readable message naming the job on simulation or export
+/// failure.
+pub fn execute(job: &JobSpec, profiles: &ProfileCache, out_dir: &Path) -> Result<Value, String> {
+    let (cfg, design, workloads) = job.materialize()?;
+    let profile = design
+        .needs_profile()
+        .then(|| profiles.get_or_compute(&profile_key(job), &cfg, &workloads));
+    let profile = profile.as_deref();
+    let (res, tel) = if job.ov.telemetry_epoch.is_some() {
+        run_one_instrumented_with_profile(&cfg, design, &workloads, profile)
+    } else {
+        (
+            run_one_with_profile(&cfg, design, &workloads, profile),
+            None,
+        )
+    };
+    let m = res.map_err(|e| {
+        format!(
+            "simulation failed: {} over {} (job {}): {e}",
+            design.label(),
+            job.workload,
+            job.id
+        )
+    })?;
+    if let Some(rel) = &job.ov.trace_path {
+        let tel = tel
+            .as_ref()
+            .ok_or_else(|| format!("job {}: trace_path needs telemetry_epoch", job.id))?;
+        let doc = tel.chrome_trace_json();
+        json::validate(&doc).map_err(|e| format!("job {}: trace does not parse: {e}", job.id))?;
+        let path = out_dir.join(rel);
+        std::fs::write(&path, doc).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+    Ok(run_report(&m, tel.as_ref()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{JobSpec, Overrides};
+
+    fn quick(id: &str, design: &str) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            design: design.into(),
+            workload: "libquantum".into(),
+            insts: 200_000,
+            scale: 64,
+            seed: 42,
+            ov: Overrides::default(),
+        }
+    }
+
+    #[test]
+    fn execute_produces_a_valid_report() {
+        let profiles = ProfileCache::new();
+        let report = execute(&quick("t/std", "std"), &profiles, Path::new(".")).unwrap();
+        assert_eq!(
+            report.get("design").and_then(Value::as_str),
+            Some("Std-DRAM")
+        );
+        assert!(report.get_path("metrics/ipc_sum").is_some());
+        json::validate(&report.render()).unwrap();
+        assert!(profiles.is_empty(), "standard DRAM needs no profile");
+    }
+
+    #[test]
+    fn report_matches_direct_run_exactly() {
+        let job = quick("t/das", "das");
+        let profiles = ProfileCache::new();
+        let via_harness = execute(&job, &profiles, Path::new(".")).unwrap();
+        let (cfg, design, wl) = job.materialize().unwrap();
+        let direct = das_sim::experiments::run_one(&cfg, design, &wl).unwrap();
+        assert_eq!(via_harness.render(), run_report(&direct, None).render());
+    }
+
+    #[test]
+    fn event_budget_override_fails_loudly() {
+        let mut job = quick("t/budget", "std");
+        job.ov.event_budget = Some(1_000);
+        let err = execute(&job, &ProfileCache::new(), Path::new(".")).unwrap_err();
+        assert!(err.contains("t/budget"), "error names the job: {err}");
+    }
+}

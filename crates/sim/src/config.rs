@@ -187,6 +187,14 @@ pub struct SystemConfig {
     /// event trace). The default is off, which leaves the run bit-identical
     /// to a build without the telemetry layer.
     pub telemetry: TelemetryConfig,
+    /// Event budget after which a run is declared runaway
+    /// ([`crate::system::SimError::EventBudgetExceeded`]). The default
+    /// covers the paper's figure suite; long harness sweeps and stress
+    /// manifests raise it per run instead of recompiling.
+    pub event_budget: u64,
+    /// Same-tick controller wakes tolerated before the watchdog declares
+    /// the event loop stalled ([`crate::system::SimError::Stalled`]).
+    pub watchdog_same_tick_wakes: u32,
 }
 
 impl SystemConfig {
@@ -214,6 +222,8 @@ impl SystemConfig {
             faults: das_faults::FaultPlan::none(),
             invariant_check_events: 0,
             telemetry: TelemetryConfig::default(),
+            event_budget: crate::system::DEFAULT_EVENT_BUDGET,
+            watchdog_same_tick_wakes: crate::system::DEFAULT_WATCHDOG_SAME_TICK_WAKES,
         }
     }
 
@@ -338,6 +348,18 @@ impl SystemConfig {
         self
     }
 
+    /// Convenience: set the runaway-event budget.
+    pub fn with_event_budget(mut self, events: u64) -> Self {
+        self.event_budget = events;
+        self
+    }
+
+    /// Convenience: set the same-tick-wake watchdog threshold.
+    pub fn with_watchdog_wakes(mut self, wakes: u32) -> Self {
+        self.watchdog_same_tick_wakes = wakes;
+        self
+    }
+
     /// Ticks per CPU cycle under this configuration.
     pub fn ticks_per_cycle(&self) -> u64 {
         self.core.ticks_per_cycle
@@ -387,6 +409,19 @@ mod tests {
         assert!(Design::DasDramFm.timing().swap == Tick::ZERO);
         assert_eq!(Design::all().len(), 6);
         assert_eq!(Design::DasDram.label(), "DAS-DRAM");
+    }
+
+    #[test]
+    fn watchdog_and_event_budget_are_configurable() {
+        let c = SystemConfig::paper_full();
+        assert_eq!(c.event_budget, crate::system::DEFAULT_EVENT_BUDGET);
+        assert_eq!(
+            c.watchdog_same_tick_wakes,
+            crate::system::DEFAULT_WATCHDOG_SAME_TICK_WAKES
+        );
+        let raised = c.with_event_budget(500_000_000).with_watchdog_wakes(50_000);
+        assert_eq!(raised.event_budget, 500_000_000);
+        assert_eq!(raised.watchdog_same_tick_wakes, 50_000);
     }
 
     #[test]

@@ -81,16 +81,40 @@ pub fn run_one(
     design: Design,
     workloads: &[WorkloadConfig],
 ) -> Result<RunMetrics, SimError> {
+    run_one_with_profile(cfg, design, workloads, None)
+}
+
+/// Like [`run_one`], but accepts a precomputed profiling pre-pass (as
+/// returned by [`profile_row_counts`] over the **scaled** workload set
+/// under the same configuration). The experiment harness memoizes the
+/// pre-pass across jobs this way: every static-design run over the same
+/// (workload set, seed, scale) shares one profile instead of recomputing
+/// it. `None` falls back to computing the profile in-line when the design
+/// needs one, which is exactly [`run_one`].
+///
+/// # Errors
+///
+/// Returns the [`SimError`] if the run could not finish.
+pub fn run_one_with_profile(
+    cfg: &SystemConfig,
+    design: Design,
+    workloads: &[WorkloadConfig],
+    profile: Option<&HashMap<GlobalRowId, u64>>,
+) -> Result<RunMetrics, SimError> {
     let scaled: Vec<WorkloadConfig> = workloads
         .iter()
         .map(|w| w.scaled(cfg.scale as u64))
         .collect();
-    let profile = if design.needs_profile() {
-        Some(profile_row_counts(cfg, &scaled))
-    } else {
-        None
+    let computed;
+    let profile = match profile {
+        Some(p) => design.needs_profile().then_some(p),
+        None if design.needs_profile() => {
+            computed = profile_row_counts(cfg, &scaled);
+            Some(&computed)
+        }
+        None => None,
     };
-    System::new(cfg.clone(), design, &scaled, profile.as_ref()).run()
+    System::new(cfg.clone(), design, &scaled, profile).run()
 }
 
 /// Like [`run_one`], but also returns the telemetry report (`None` when
@@ -101,16 +125,31 @@ pub fn run_one_instrumented(
     design: Design,
     workloads: &[WorkloadConfig],
 ) -> (Result<RunMetrics, SimError>, Option<TelemetryReport>) {
+    run_one_instrumented_with_profile(cfg, design, workloads, None)
+}
+
+/// Like [`run_one_instrumented`] with an optional precomputed profiling
+/// pre-pass (see [`run_one_with_profile`] for the contract).
+pub fn run_one_instrumented_with_profile(
+    cfg: &SystemConfig,
+    design: Design,
+    workloads: &[WorkloadConfig],
+    profile: Option<&HashMap<GlobalRowId, u64>>,
+) -> (Result<RunMetrics, SimError>, Option<TelemetryReport>) {
     let scaled: Vec<WorkloadConfig> = workloads
         .iter()
         .map(|w| w.scaled(cfg.scale as u64))
         .collect();
-    let profile = if design.needs_profile() {
-        Some(profile_row_counts(cfg, &scaled))
-    } else {
-        None
+    let computed;
+    let profile = match profile {
+        Some(p) => design.needs_profile().then_some(p),
+        None if design.needs_profile() => {
+            computed = profile_row_counts(cfg, &scaled);
+            Some(&computed)
+        }
+        None => None,
     };
-    System::new(cfg.clone(), design, &scaled, profile.as_ref()).run_instrumented()
+    System::new(cfg.clone(), design, &scaled, profile).run_instrumented()
 }
 
 /// Runs one simulation over **recorded traces** (one per core), e.g. loaded
@@ -251,6 +290,29 @@ mod tests {
             das_imp <= fs_imp + 0.02,
             "DAS cannot beat FS by more than noise"
         );
+    }
+
+    #[test]
+    fn precomputed_profile_matches_inline_computation() {
+        let cfg = quick_cfg();
+        let scaled: Vec<_> = libq().iter().map(|w| w.scaled(cfg.scale as u64)).collect();
+        let profile = profile_row_counts(&cfg, &scaled);
+        let inline = run_one(&cfg, Design::SasDram, &libq()).unwrap();
+        let shared = run_one_with_profile(&cfg, Design::SasDram, &libq(), Some(&profile)).unwrap();
+        assert_eq!(inline.promotions, shared.promotions);
+        assert_eq!(inline.memory_accesses, shared.memory_accesses);
+        assert_eq!(inline.llc_misses, shared.llc_misses);
+        assert_eq!(inline.window_cycles, shared.window_cycles);
+        assert_eq!(inline.access_mix, shared.access_mix);
+    }
+
+    #[test]
+    fn tiny_event_budget_is_reported_as_runaway() {
+        let cfg = quick_cfg().with_event_budget(1_000);
+        match run_one(&cfg, Design::Standard, &libq()) {
+            Err(SimError::EventBudgetExceeded { events, .. }) => assert!(events >= 1_000),
+            other => panic!("expected EventBudgetExceeded, got {other:?}"),
+        }
     }
 
     #[test]

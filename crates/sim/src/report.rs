@@ -75,6 +75,13 @@ pub fn metrics_to_value(m: &RunMetrics) -> Value {
             "faults",
             Value::obj()
                 .set("injected", m.faults.total_injected())
+                .set(
+                    "retried",
+                    das_faults::FaultSite::ALL
+                        .iter()
+                        .map(|&s| m.faults.site(s).retried)
+                        .sum::<u64>(),
+                )
                 .set("recovered", m.faults.total_recovered())
                 .set("fatal", m.faults.total_fatal())
                 .set("invariant_checks_passed", m.faults.invariant_checks_passed)

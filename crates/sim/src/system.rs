@@ -42,12 +42,15 @@ use crate::stats::{AccessMix, CoreMetrics, EnergyBreakdown, EnergyModel, RunMetr
 /// per bank, matching the set of rows plausibly open or in the queues).
 const RECENT_TRANSLATIONS: usize = 64;
 
-/// Event budget after which a run is declared runaway.
-const EVENT_BUDGET: u64 = 50_000_000;
+/// Default event budget after which a run is declared runaway (the
+/// `SystemConfig::event_budget` default; long harness sweeps and stress
+/// manifests can raise it per run without recompiling).
+pub const DEFAULT_EVENT_BUDGET: u64 = 50_000_000;
 
-/// Same-tick controller wakes tolerated before the watchdog declares the
-/// event loop stalled.
-const WATCHDOG_SAME_TICK_WAKES: u32 = 10_000;
+/// Default number of same-tick controller wakes tolerated before the
+/// watchdog declares the event loop stalled (the
+/// `SystemConfig::watchdog_same_tick_wakes` default).
+pub const DEFAULT_WATCHDOG_SAME_TICK_WAKES: u32 = 10_000;
 
 /// A fatal simulation error. [`System::run`] returns this instead of
 /// panicking so callers (experiment sweeps, the CLI, fault-injection
@@ -794,7 +797,7 @@ impl System {
             // wedged; surface its queue state instead of spinning forever.
             if ev.at == self.clock && matches!(ev.kind, EventKind::CtrlWake { .. }) {
                 self.same_tick_wakes += 1;
-                if self.same_tick_wakes > WATCHDOG_SAME_TICK_WAKES {
+                if self.same_tick_wakes > self.cfg.watchdog_same_tick_wakes {
                     let EventKind::CtrlWake { ch } = ev.kind else {
                         unreachable!()
                     };
@@ -811,7 +814,7 @@ impl System {
             } else {
                 self.same_tick_wakes = 0;
             }
-            if self.events_processed >= EVENT_BUDGET {
+            if self.events_processed >= self.cfg.event_budget {
                 return Err(SimError::EventBudgetExceeded {
                     clock: self.clock,
                     events: self.events_processed,

@@ -1,10 +1,17 @@
-//! A minimal JSON value builder and well-formedness checker.
+//! A minimal JSON value builder, parser and well-formedness checker.
 //!
 //! The build environment has no registry access, so there is no `serde`;
-//! this module provides the small subset the telemetry exporters need:
-//! building a [`Value`] tree and rendering it ([`Value::to_string`]), plus
-//! [`validate`], a strict recursive-descent parser used by tests and smoke
-//! jobs to prove exported documents parse.
+//! this module provides the small subset the telemetry and harness
+//! exporters need: building a [`Value`] tree, rendering it
+//! ([`Value::render`]), [`parse`]-ing a document back into a [`Value`]
+//! (used by the experiment harness to read manifests and resume journals),
+//! and [`validate`], the strict well-formedness check used by tests and
+//! smoke jobs to prove exported documents parse.
+//!
+//! Round-trip guarantee: for any tree built by this module,
+//! `parse(&v.render()).render() == v.render()` — floats are rendered with
+//! Rust's shortest round-trip formatting and re-parsed exactly, which is
+//! what lets the harness re-render journal entries bit-identically.
 
 use std::fmt::Write as _;
 
@@ -102,6 +109,67 @@ impl Value {
     }
 }
 
+impl Value {
+    /// Looks up `key` in an object (`None` for other variants or a missing
+    /// key).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walks a `/`-separated path of object keys.
+    pub fn get_path(&self, path: &str) -> Option<&Value> {
+        path.split('/').try_fold(self, |v, key| v.get(key))
+    }
+
+    /// The value as an unsigned integer (exact; `I64`/`F64` convert only
+    /// when lossless).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) => u64::try_from(v).ok(),
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a double (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
 impl From<u64> for Value {
     fn from(v: u64) -> Value {
         Value::U64(v)
@@ -168,15 +236,29 @@ fn write_escaped(out: &mut String, s: &str) {
 ///
 /// Returns a message naming the byte offset of the first violation.
 pub fn validate(text: &str) -> Result<(), String> {
+    parse(text).map(|_| ())
+}
+
+/// Parses one strict JSON document into a [`Value`] tree.
+///
+/// Numbers without a fraction or exponent become [`Value::U64`] (or
+/// [`Value::I64`] when negative); everything else becomes [`Value::F64`]
+/// via Rust's correctly-rounded float parser, so values produced by
+/// [`Value::render`] round-trip exactly.
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset of the first violation.
+pub fn parse(text: &str) -> Result<Value, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
+    let v = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing garbage at byte {pos}"));
     }
-    Ok(())
+    Ok(v)
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -185,15 +267,15 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     match b.get(*pos) {
         None => Err(format!("unexpected end of input at byte {pos}")),
         Some(b'{') => parse_obj(b, pos),
         Some(b'[') => parse_arr(b, pos),
-        Some(b'"') => parse_string(b, pos),
-        Some(b't') => parse_lit(b, pos, b"true"),
-        Some(b'f') => parse_lit(b, pos, b"false"),
-        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b't') => parse_lit(b, pos, b"true").map(|()| Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, b"false").map(|()| Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, b"null").map(|()| Value::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
         Some(c) => Err(format!("unexpected byte {c:#x} at {pos}")),
     }
@@ -208,87 +290,114 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
     }
 }
 
-fn parse_obj(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     *pos += 1; // '{'
     skip_ws(b, pos);
+    let mut pairs = Vec::new();
     if b.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(Value::Obj(pairs));
     }
     loop {
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b'"') {
             return Err(format!("expected object key at byte {pos}"));
         }
-        parse_string(b, pos)?;
+        let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b':') {
             return Err(format!("expected ':' at byte {pos}"));
         }
         *pos += 1;
         skip_ws(b, pos);
-        parse_value(b, pos)?;
+        let value = parse_value(b, pos)?;
+        pairs.push((key, value));
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Value::Obj(pairs));
             }
             _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
         }
     }
 }
 
-fn parse_arr(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     *pos += 1; // '['
     skip_ws(b, pos);
+    let mut items = Vec::new();
     if b.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(Value::Arr(items));
     }
     loop {
         skip_ws(b, pos);
-        parse_value(b, pos)?;
+        items.push(parse_value(b, pos)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Value::Arr(items));
             }
             _ => return Err(format!("expected ',' or ']' at byte {pos}")),
         }
     }
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     *pos += 1; // '"'
+    let mut out = String::new();
     while let Some(&c) = b.get(*pos) {
         match c {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => match b.get(*pos + 1) {
-                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(&e @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
+                    out.push(match e {
+                        b'b' => '\u{8}',
+                        b'f' => '\u{c}',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                    *pos += 2;
+                }
                 Some(b'u') => {
                     let hex = b.get(*pos + 2..*pos + 6).ok_or("truncated \\u escape")?;
                     if !hex.iter().all(u8::is_ascii_hexdigit) {
                         return Err(format!("bad \\u escape at byte {pos}"));
                     }
+                    let code = u32::from_str_radix(std::str::from_utf8(hex).unwrap(), 16).unwrap();
+                    // Surrogates (unpaired or paired) are not produced by
+                    // our writer; map them to the replacement character.
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                     *pos += 6;
                 }
                 _ => return Err(format!("bad escape at byte {pos}")),
             },
             0x00..=0x1f => return Err(format!("unescaped control byte at {pos}")),
-            _ => *pos += 1,
+            _ => {
+                // Advance over one UTF-8 scalar (input is &str, so this is
+                // always a valid boundary walk).
+                let start = *pos;
+                *pos += 1;
+                while b.get(*pos).is_some_and(|&x| x & 0xc0 == 0x80) {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).expect("valid UTF-8 input"));
+            }
         }
     }
     Err("unterminated string".to_string())
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -297,14 +406,17 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
     if int_digits == 0 {
         return Err(format!("expected digits at byte {pos}"));
     }
+    let mut is_float = false;
     if b.get(*pos) == Some(&b'.') {
         *pos += 1;
+        is_float = true;
         if eat_digits(b, pos) == 0 {
             return Err(format!("expected fraction digits at byte {pos}"));
         }
     }
     if matches!(b.get(*pos), Some(b'e' | b'E')) {
         *pos += 1;
+        is_float = true;
         if matches!(b.get(*pos), Some(b'+' | b'-')) {
             *pos += 1;
         }
@@ -312,8 +424,18 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("expected exponent digits at byte {pos}"));
         }
     }
-    debug_assert!(*pos > start);
-    Ok(())
+    let text = std::str::from_utf8(&b[start..*pos]).expect("digits are ASCII");
+    if !is_float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::U64(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Value::I64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|e| format!("bad number at byte {start}: {e}"))
 }
 
 fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
@@ -396,5 +518,56 @@ mod tests {
         let s = v.render();
         assert_eq!(s, "\"\\u0001\\t\"");
         validate(&s).unwrap();
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rebuilds_the_exact_tree() {
+        let v = Value::obj()
+            .set("name", "swap \"x\"\n")
+            .set("count", 42u64)
+            .set("neg", -7i64)
+            .set("ratio", 0.375)
+            .set("whole", 2.0)
+            .set("tiny", 1e-7)
+            .set("flag", true)
+            .set(
+                "items",
+                Value::Arr(vec![Value::Null, Value::U64(1), Value::Str("é".into())]),
+            );
+        let s = v.render();
+        let back = parse(&s).unwrap();
+        // Number variants are preserved for everything the writer emits
+        // (floats always carry a '.' or exponent), so the re-render is
+        // byte-identical — the property journal resume depends on.
+        assert_eq!(back.render(), s);
+        assert_eq!(back.get("count").unwrap().as_u64(), Some(42));
+        assert_eq!(back.get("neg").unwrap(), &Value::I64(-7));
+        assert_eq!(back.get("whole").unwrap(), &Value::F64(2.0));
+        assert_eq!(back.get_path("items").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn accessors_walk_paths_and_convert() {
+        let v = Value::obj().set(
+            "metrics",
+            Value::obj().set("ipc", 1.5).set("promotions", 9u64),
+        );
+        assert_eq!(v.get_path("metrics/ipc").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get_path("metrics/promotions").unwrap().as_u64(), Some(9));
+        assert_eq!(
+            v.get_path("metrics/promotions").unwrap().as_f64(),
+            Some(9.0)
+        );
+        assert!(v.get_path("metrics/missing").is_none());
+        assert!(v.get_path("nope/ipc").is_none());
+    }
+
+    #[test]
+    fn parse_handles_big_u64_and_floats() {
+        let big = u64::MAX;
+        let s = Value::U64(big).render();
+        assert_eq!(parse(&s).unwrap().as_u64(), Some(big));
+        assert_eq!(parse("1e3").unwrap(), Value::F64(1000.0));
     }
 }

@@ -378,10 +378,12 @@ impl TelemetryReport {
     }
 
     /// Telemetry portion of the run report: histograms (merged and
-    /// per-channel) plus the epoch series.
+    /// per-channel) plus the epoch series and the trace-event count (the
+    /// full trace exports separately via [`Self::chrome_trace_json`]).
     pub fn to_value(&self) -> json::Value {
         json::Value::obj()
             .set("epoch_cycles", self.epoch_cycles)
+            .set("trace_events", self.trace.events().len())
             .set("latency_ticks", self.merged.to_value())
             .set(
                 "latency_ticks_per_channel",

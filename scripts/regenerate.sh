@@ -1,18 +1,13 @@
 #!/usr/bin/env bash
-# Regenerates every table, figure and ablation of the paper into results/.
-# Usage: scripts/regenerate.sh [extra harness args, e.g. --insts 1000000]
+# Regenerates every table, figure and ablation of the paper into results/
+# with one harness invocation: the full catalog runs as a single manifest,
+# journalled to results/journal.jsonl. Interrupted? Re-run with --resume
+# (or raise --threads) — completed runs are skipped and the outputs are
+# bit-identical either way.
+# Usage: scripts/regenerate.sh [extra harness args, e.g. --insts 1000000 --threads 8 --resume]
 set -euo pipefail
 cd "$(dirname "$0")/.."
-mkdir -p results
-BINS="table1 table2 fig7a fig7b fig7c fig7d fig7e fig7f fig8a fig8b fig8c \
-      fig9a fig9b fig9c fig9d power powerdown \
-      ablation_migration ablation_scheduler ablation_arrangement \
-      ablation_inclusive ablation_tldram ablation_salp ablation_pagepolicy \
-      fault_sweep telemetry"
-cargo build --release -p das-bench
-for bin in $BINS; do
-  echo "=== $bin ==="
-  cargo run -q --release -p das-bench --bin "$bin" -- \
-    --json "results/$bin.json" "$@" > "results/$bin.txt"
-done
-echo "done: results/ (text tables + machine-readable *.json)"
+cargo build --release -p das-harness
+cargo run -q --release -p das-harness --bin harness -- \
+  --all --json-dir results "$@"
+echo "done: results/ (text tables + machine-readable *.json + journal.jsonl)"
