@@ -24,7 +24,9 @@
 #![forbid(unsafe_code)]
 
 pub mod core;
+pub mod source;
 pub mod trace;
 
 pub use crate::core::{Core, CoreConfig, CoreStats, MemRequest};
+pub use source::TraceSource;
 pub use trace::TraceItem;

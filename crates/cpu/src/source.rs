@@ -1,0 +1,82 @@
+//! Pluggable per-core reference streams.
+//!
+//! The core model consumes `Iterator<Item = TraceItem>`; a [`TraceSource`]
+//! is the concrete stream a simulation wires to each core. Upstream crates
+//! provide the actual producers — a synthetic generator, a parsed text
+//! trace, or a streaming binary-trace reader — all funneled through the
+//! boxed [`TraceSource::Streaming`] variant so this crate stays at the
+//! bottom of the dependency stack.
+
+use crate::trace::TraceItem;
+
+/// A per-core reference stream.
+pub enum TraceSource {
+    /// A pre-recorded reference list held in memory.
+    Recorded(std::vec::IntoIter<TraceItem>),
+    /// Any live producer: a synthetic generator or a streaming trace
+    /// reader (boxed: producers carry their own state).
+    Streaming(Box<dyn Iterator<Item = TraceItem> + Send>),
+}
+
+impl TraceSource {
+    /// A source over an in-memory item list.
+    pub fn recorded(items: Vec<TraceItem>) -> Self {
+        TraceSource::Recorded(items.into_iter())
+    }
+
+    /// A source over any live iterator (generator, file reader, ...).
+    pub fn streaming<I>(iter: I) -> Self
+    where
+        I: Iterator<Item = TraceItem> + Send + 'static,
+    {
+        TraceSource::Streaming(Box::new(iter))
+    }
+}
+
+impl Iterator for TraceSource {
+    type Item = TraceItem;
+
+    fn next(&mut self) -> Option<TraceItem> {
+        match self {
+            TraceSource::Recorded(it) => it.next(),
+            TraceSource::Streaming(it) => it.next(),
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceSource::Recorded(it) => {
+                write!(f, "TraceSource::Recorded({} items left)", it.len())
+            }
+            TraceSource::Streaming(_) => f.write_str("TraceSource::Streaming(..)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorded_and_streaming_yield_the_same_items() {
+        let items = vec![
+            TraceItem::load(1, 0x40),
+            TraceItem::store(0, 0x80),
+            TraceItem::dependent_load(2, 0xc0),
+        ];
+        let rec: Vec<_> = TraceSource::recorded(items.clone()).collect();
+        let stream: Vec<_> = TraceSource::streaming(items.clone().into_iter()).collect();
+        assert_eq!(rec, items);
+        assert_eq!(stream, items);
+    }
+
+    #[test]
+    fn debug_is_implemented_for_both_variants() {
+        let rec = TraceSource::recorded(vec![TraceItem::load(0, 0)]);
+        assert!(format!("{rec:?}").contains("Recorded"));
+        let s = TraceSource::streaming(std::iter::empty());
+        assert!(format!("{s:?}").contains("Streaming"));
+    }
+}

@@ -31,6 +31,10 @@ pub struct ExecOptions<'a> {
     pub out_dir: &'a Path,
     /// Emit `[k/n] id` progress lines on stderr.
     pub progress: bool,
+    /// When set, serve reference streams from this content-addressed
+    /// `.dtr` store instead of regenerating them per run (results are
+    /// bit-identical either way).
+    pub trace_store: Option<&'a das_trace::TraceStore>,
 }
 
 /// Executes `jobs` on the pool, skipping the prefix already present in
@@ -61,7 +65,7 @@ pub fn execute_jobs(
     run_ordered(
         opts.threads,
         pending.len(),
-        |i| runner::execute(&pending[i], &profiles, opts.out_dir),
+        |i| runner::execute(&pending[i], &profiles, opts.out_dir, opts.trace_store),
         |i, result| {
             if failure.is_some() {
                 return;
@@ -104,6 +108,31 @@ fn die(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Opens the content-addressed trace store, honouring `--no-trace-store`
+/// (which wins over `--trace-store DIR`).
+fn open_trace_store(dir: Option<String>, disabled: bool) -> Option<das_trace::TraceStore> {
+    match (dir, disabled) {
+        (Some(d), false) => Some(
+            das_trace::TraceStore::open(Path::new(&d))
+                .unwrap_or_else(|e| die(&format!("cannot open trace store {d}: {e}"))),
+        ),
+        _ => None,
+    }
+}
+
+/// One-line session summary of the store's hit/miss/byte counters.
+fn store_summary(store: &das_trace::TraceStore) -> String {
+    let s = store.stats();
+    format!(
+        "trace store: {} hits, {} misses, {} KiB written, {} KiB read -> {}",
+        s.hits,
+        s.misses,
+        s.bytes_written / 1024,
+        s.bytes_read / 1024,
+        store.dir().display()
+    )
+}
+
 fn write_or_die(path: &Path, text: &str) {
     if let Err(e) = std::fs::write(path, text) {
         die(&format!("cannot write {}: {e}", path.display()));
@@ -115,7 +144,8 @@ fn write_or_die(path: &Path, text: &str) {
 /// executes it and prints the historical text output.
 ///
 /// Flags: `--insts N`, `--scale N`, `--only a,b`, `--json PATH`,
-/// `--threads N`, `--emit-manifest PATH`.
+/// `--threads N`, `--emit-manifest PATH`, `--trace-store DIR`,
+/// `--no-trace-store`.
 ///
 /// # Panics
 ///
@@ -129,6 +159,8 @@ pub fn bin_main(id: &str) {
     let mut json: Option<String> = None;
     let mut threads: usize = 1;
     let mut emit_manifest: Option<String> = None;
+    let mut trace_store_dir: Option<String> = None;
+    let mut no_trace_store = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -162,9 +194,14 @@ pub fn bin_main(id: &str) {
             "--emit-manifest" => {
                 emit_manifest = Some(args.next().expect("--emit-manifest needs a path"));
             }
+            "--trace-store" => {
+                trace_store_dir = Some(args.next().expect("--trace-store needs a directory"));
+            }
+            "--no-trace-store" => no_trace_store = true,
             other => panic!(
                 "unknown argument {other:?} \
-                 (use --insts/--scale/--only/--json/--threads/--emit-manifest)"
+                 (use --insts/--scale/--only/--json/--threads/--emit-manifest\
+                 /--trace-store/--no-trace-store)"
             ),
         }
     }
@@ -195,12 +232,17 @@ pub fn bin_main(id: &str) {
         return;
     }
     let jobs = &manifest.experiments[0].jobs;
+    let store = open_trace_store(trace_store_dir, no_trace_store);
     let opts = ExecOptions {
         threads,
         out_dir: Path::new("."),
         progress: false,
+        trace_store: store.as_ref(),
     };
     let reports = execute_jobs(jobs, &opts, None).unwrap_or_else(|e| die(&e));
+    if let Some(s) = &store {
+        eprintln!("{}", store_summary(s));
+    }
     // Exports happen before rendering, which may assert on the results —
     // the legacy binaries wrote their files first too.
     if id == "telemetry" {
@@ -221,7 +263,8 @@ pub fn bin_main(id: &str) {
 
 const HARNESS_USAGE: &str = "usage: harness (--manifest PATH | --all | --exp a,b) \
      [--insts N] [--scale N] [--only a,b] [--threads N] [--resume] \
-     [--json-dir DIR] [--emit-manifest PATH] [--validate-journal PATH]";
+     [--json-dir DIR] [--emit-manifest PATH] [--validate-journal PATH] \
+     [--trace-store DIR] [--no-trace-store]";
 
 /// Entry point of the standalone `harness` binary.
 ///
@@ -242,6 +285,8 @@ pub fn harness_main() {
     let mut resume = false;
     let mut json_dir: Option<String> = None;
     let mut emit_manifest: Option<String> = None;
+    let mut trace_store_dir: Option<String> = None;
+    let mut no_trace_store = false;
     let mut args = std::env::args().skip(1);
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next()
@@ -281,6 +326,8 @@ pub fn harness_main() {
             "--resume" => resume = true,
             "--json-dir" => json_dir = Some(need(&mut args, "--json-dir")),
             "--emit-manifest" => emit_manifest = Some(need(&mut args, "--emit-manifest")),
+            "--trace-store" => trace_store_dir = Some(need(&mut args, "--trace-store")),
+            "--no-trace-store" => no_trace_store = true,
             "--validate-journal" => {
                 let path = need(&mut args, "--validate-journal");
                 match journal::load(Path::new(&path)) {
@@ -363,10 +410,12 @@ pub fn harness_main() {
         Journal::create(&journal_path, &fp, ids.len())
     }
     .unwrap_or_else(|e| die(&e));
+    let store = open_trace_store(trace_store_dir, no_trace_store);
     let opts = ExecOptions {
         threads,
         out_dir: &out_dir,
         progress: true,
+        trace_store: store.as_ref(),
     };
     let reports = execute_jobs(&flat, &opts, Some(&mut jr)).unwrap_or_else(|e| die(&e));
     let mut offset = 0;
@@ -404,6 +453,9 @@ pub fn harness_main() {
             out_dir.join(format!("{}.txt", e.id)).display()
         );
         offset += n;
+    }
+    if let Some(s) = &store {
+        println!("{}", store_summary(s));
     }
     println!(
         "done: {} runs across {} experiments -> {}",
@@ -450,6 +502,7 @@ mod tests {
             threads: 1,
             out_dir: &dir,
             progress: false,
+            trace_store: None,
         };
         let fresh = {
             let _ = std::fs::remove_file(&jpath);
@@ -480,6 +533,7 @@ mod tests {
             threads: 2,
             out_dir: Path::new("."),
             progress: false,
+            trace_store: None,
         };
         let err = execute_jobs(&[quick_job("t/ok/std", "std"), bad], &opts, None).unwrap_err();
         assert!(err.contains("t/bad/std"), "{err}");

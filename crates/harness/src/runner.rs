@@ -8,37 +8,114 @@
 //! is assembled. A job with a `trace_path` override also exports its
 //! Chrome trace-event document as an execution-time side effect, so a
 //! resumed run that skips the job keeps the file from the first pass.
+//!
+//! With a [`TraceStore`], the main run's reference streams come from
+//! content-addressed `.dtr` files instead of in-process generation: each
+//! distinct `(workload spec, seed, scale, insts)` episode is materialized
+//! once per grid and replayed from disk afterwards. The replayed prefix is
+//! exactly what the cores consume (see `das_workloads::dtr`), so
+//! store-served reports are bit-identical to generator-backed ones —
+//! locked by the tests below. The SAS/CHARM profiling pre-pass stays
+//! generator-based: it walks a different seed and horizon and is memoized
+//! separately in [`ProfileCache`].
 
 use std::path::Path;
 
+use das_dram::geometry::GlobalRowId;
+use das_sim::config::{Design, SystemConfig};
 use das_sim::experiments::{run_one_instrumented_with_profile, run_one_with_profile};
 use das_sim::report::run_report;
+use das_sim::stats::RunMetrics;
+use das_sim::{SimError, System, TraceSource};
 use das_telemetry::json::{self, Value};
+use das_telemetry::TelemetryReport;
+use das_trace::TraceStore;
+use das_workloads::config::WorkloadConfig;
+use das_workloads::dtr;
 
 use crate::manifest::JobSpec;
 use crate::profile::{profile_key, ProfileCache};
 
+/// Runs the job's simulation with per-core streams served from `store`.
+/// Traces absent from the store are materialized first (once per key);
+/// after the run every stream's health is checked so a truncated or
+/// corrupted trace fails the job loudly instead of silently cutting it
+/// short.
+fn run_stored(
+    job: &JobSpec,
+    cfg: &SystemConfig,
+    design: Design,
+    workloads: &[WorkloadConfig],
+    profile: Option<&std::collections::HashMap<GlobalRowId, u64>>,
+    store: &TraceStore,
+    instrumented: bool,
+) -> Result<(Result<RunMetrics, SimError>, Option<TelemetryReport>), String> {
+    let scaled: Vec<WorkloadConfig> = workloads
+        .iter()
+        .map(|w| w.scaled(u64::from(cfg.scale)))
+        .collect();
+    let mut sources = Vec::with_capacity(scaled.len());
+    let mut statuses = Vec::with_capacity(scaled.len());
+    for w in &scaled {
+        let fp = dtr::episode_fingerprint(w, cfg.seed, cfg.scale, cfg.inst_budget);
+        store
+            .get_or_materialize(&fp, |out| {
+                dtr::record_episode(w, cfg.seed, cfg.inst_budget, out).map(|_| ())
+            })
+            .map_err(|e| format!("job {}: cannot materialize {} trace: {e}", job.id, w.name))?;
+        let reader = store
+            .open_stream(&fp)
+            .map_err(|e| format!("job {}: cannot open {} trace: {e}", job.id, w.name))?;
+        statuses.push((w.name.clone(), reader.status()));
+        sources.push(TraceSource::streaming(reader));
+    }
+    let sys = System::with_sources(cfg.clone(), design, &scaled, sources, profile);
+    let out = if instrumented {
+        sys.run_instrumented()
+    } else {
+        (sys.run(), None)
+    };
+    for (name, status) in &statuses {
+        if let Some(e) = status.error() {
+            return Err(format!(
+                "job {}: trace stream for {name} failed mid-run: {e}",
+                job.id
+            ));
+        }
+    }
+    Ok(out)
+}
+
 /// Runs one job, returning the report to journal.
 ///
-/// `out_dir` anchors relative side-effect exports (`trace_path`).
+/// `out_dir` anchors relative side-effect exports (`trace_path`); `store`,
+/// when given, serves the main run's reference streams from disk.
 ///
 /// # Errors
 ///
-/// Returns a readable message naming the job on simulation or export
-/// failure.
-pub fn execute(job: &JobSpec, profiles: &ProfileCache, out_dir: &Path) -> Result<Value, String> {
+/// Returns a readable message naming the job on simulation, trace-store,
+/// or export failure.
+pub fn execute(
+    job: &JobSpec,
+    profiles: &ProfileCache,
+    out_dir: &Path,
+    store: Option<&TraceStore>,
+) -> Result<Value, String> {
     let (cfg, design, workloads) = job.materialize()?;
     let profile = design
         .needs_profile()
         .then(|| profiles.get_or_compute(&profile_key(job), &cfg, &workloads));
     let profile = profile.as_deref();
-    let (res, tel) = if job.ov.telemetry_epoch.is_some() {
-        run_one_instrumented_with_profile(&cfg, design, &workloads, profile)
-    } else {
-        (
+    let instrumented = job.ov.telemetry_epoch.is_some();
+    let (res, tel) = match store {
+        Some(s) => run_stored(job, &cfg, design, &workloads, profile, s, instrumented)?,
+        None if instrumented => {
+            run_one_instrumented_with_profile(&cfg, design, &workloads, profile)
+        }
+        None => (
             run_one_with_profile(&cfg, design, &workloads, profile),
             None,
-        )
+        ),
     };
     let m = res.map_err(|e| {
         format!(
@@ -77,10 +154,20 @@ mod tests {
         }
     }
 
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "das-harness-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn execute_produces_a_valid_report() {
         let profiles = ProfileCache::new();
-        let report = execute(&quick("t/std", "std"), &profiles, Path::new(".")).unwrap();
+        let report = execute(&quick("t/std", "std"), &profiles, Path::new("."), None).unwrap();
         assert_eq!(
             report.get("design").and_then(Value::as_str),
             Some("Std-DRAM")
@@ -94,17 +181,79 @@ mod tests {
     fn report_matches_direct_run_exactly() {
         let job = quick("t/das", "das");
         let profiles = ProfileCache::new();
-        let via_harness = execute(&job, &profiles, Path::new(".")).unwrap();
+        let via_harness = execute(&job, &profiles, Path::new("."), None).unwrap();
         let (cfg, design, wl) = job.materialize().unwrap();
         let direct = das_sim::experiments::run_one(&cfg, design, &wl).unwrap();
         assert_eq!(via_harness.render(), run_report(&direct, None).render());
     }
 
     #[test]
+    fn store_served_run_is_bit_identical_to_generator_backed() {
+        // The determinism contract of the whole subsystem: a cold run
+        // (materializes the trace), a warm run (replays it), and a plain
+        // generator-backed run must render byte-identical reports.
+        let dir = store_dir("identical");
+        let store = TraceStore::open(&dir).unwrap();
+        let job = quick("t/das-store", "das");
+        let profiles = ProfileCache::new();
+        let cold = execute(&job, &profiles, Path::new("."), Some(&store)).unwrap();
+        let warm = execute(&job, &profiles, Path::new("."), Some(&store)).unwrap();
+        let direct = execute(&job, &profiles, Path::new("."), None).unwrap();
+        assert_eq!(cold.render(), direct.render(), "cold store run differs");
+        assert_eq!(warm.render(), direct.render(), "warm store run differs");
+        let s = store.stats();
+        assert_eq!((s.misses, s.hits), (1, 1));
+        assert!(s.bytes_written > 0);
+        assert_eq!(s.bytes_read, 2 * s.bytes_written, "two replays of one file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_serves_static_designs_with_shared_profile() {
+        // A profiled design exercises both caches at once: the profile
+        // memo (generator-based pre-pass) and the trace store (main run).
+        let dir = store_dir("sas");
+        let store = TraceStore::open(&dir).unwrap();
+        let job = quick("t/sas-store", "sas");
+        let profiles = ProfileCache::new();
+        let stored = execute(&job, &profiles, Path::new("."), Some(&store)).unwrap();
+        let direct = execute(&job, &profiles, Path::new("."), None).unwrap();
+        assert_eq!(stored.render(), direct.render());
+        assert_eq!(profiles.len(), 1, "profile computed once, shared");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_store_entry_fails_the_job_loudly() {
+        let dir = store_dir("corrupt");
+        let store = TraceStore::open(&dir).unwrap();
+        let job = quick("t/corrupt", "std");
+        let profiles = ProfileCache::new();
+        execute(&job, &profiles, Path::new("."), Some(&store)).unwrap();
+        // Truncate the materialized trace: the replay must not silently
+        // simulate a shorter episode.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let bytes = std::fs::read(&entry).unwrap();
+        std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+        let err = execute(&job, &profiles, Path::new("."), Some(&store)).unwrap_err();
+        assert!(err.contains("t/corrupt"), "error names the job: {err}");
+        assert!(
+            err.contains("mid-run") || err.contains("truncated"),
+            "error names the cause: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn event_budget_override_fails_loudly() {
         let mut job = quick("t/budget", "std");
         job.ov.event_budget = Some(1_000);
-        let err = execute(&job, &ProfileCache::new(), Path::new(".")).unwrap_err();
+        let err = execute(&job, &ProfileCache::new(), Path::new("."), None).unwrap_err();
         assert!(err.contains("t/budget"), "error names the job: {err}");
     }
 }

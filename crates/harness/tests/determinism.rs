@@ -53,6 +53,7 @@ fn run_to_journal(m: &Manifest, dir: &PathBuf, threads: usize) -> (Vec<u8>, Stri
         threads,
         out_dir: dir,
         progress: false,
+        trace_store: None,
     };
     let reports = execute_jobs(&flat, &opts, Some(&mut jr)).unwrap();
     drop(jr);
@@ -110,6 +111,7 @@ fn truncated_journal_resumes_and_converges() {
         threads: 2,
         out_dir: &dir,
         progress: false,
+        trace_store: None,
     };
     let reports = execute_jobs(&flat, &opts, Some(&mut jr)).unwrap();
     drop(jr);

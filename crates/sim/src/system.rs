@@ -25,6 +25,7 @@ use das_core::management::{ConsistencyError, DasManager, SwapRequest};
 use das_core::translation::TranslationSource;
 use das_cpu::core::{Core, MemRequest};
 use das_cpu::trace::TraceItem;
+pub use das_cpu::TraceSource;
 use das_dram::channel::ChannelDevice;
 use das_dram::geometry::{BankCoord, GlobalRowId, MemCoord};
 use das_dram::tick::Tick;
@@ -340,27 +341,6 @@ fn latency_class(s: ServiceClass) -> LatencyClass {
     }
 }
 
-/// A per-core reference stream: a synthetic generator or a recorded trace
-/// (see `das_workloads::trace_file`).
-#[derive(Debug)]
-pub enum TraceSource {
-    /// Synthetic generator (boxed: generators carry per-stream state).
-    Gen(Box<TraceGen>),
-    /// Pre-recorded reference list.
-    Recorded(std::vec::IntoIter<TraceItem>),
-}
-
-impl Iterator for TraceSource {
-    type Item = TraceItem;
-
-    fn next(&mut self) -> Option<TraceItem> {
-        match self {
-            TraceSource::Gen(g) => g.next(),
-            TraceSource::Recorded(it) => it.next(),
-        }
-    }
-}
-
 /// OS-like physical page placement: each workload's row-granular pages are
 /// scattered pseudo-randomly across the *whole* usable row space, with
 /// per-workload interleaving keeping co-scheduled workloads disjoint.
@@ -595,9 +575,35 @@ impl System {
     ) -> Self {
         let traces: Vec<TraceSource> = workloads
             .iter()
-            .map(|w| TraceSource::Gen(Box::new(TraceGen::new(w.clone(), cfg.seed, 0))))
+            .map(|w| TraceSource::streaming(TraceGen::new(w.clone(), cfg.seed, 0)))
             .collect();
         Self::assemble(cfg, design, workloads, traces, profile)
+    }
+
+    /// Builds the system over explicit per-core sources paired with the
+    /// *real* workload descriptors — the store-served replay path. Using
+    /// the same scaled [`WorkloadConfig`]s as [`System::new`] keeps the
+    /// address map, footprints and labels identical, so a source that
+    /// yields the generator's exact item sequence produces a bit-identical
+    /// run (locked by tests in `das-harness`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same configuration mismatches as [`System::new`], or
+    /// if `sources.len() != workloads.len()`.
+    pub fn with_sources(
+        cfg: SystemConfig,
+        design: Design,
+        workloads: &[WorkloadConfig],
+        sources: Vec<TraceSource>,
+        profile: Option<&HashMap<GlobalRowId, u64>>,
+    ) -> Self {
+        assert_eq!(
+            sources.len(),
+            workloads.len(),
+            "one source per workload required"
+        );
+        Self::assemble(cfg, design, workloads, sources, profile)
     }
 
     /// Builds the system over pre-recorded reference streams (one per
@@ -616,10 +622,7 @@ impl System {
         profile: Option<&HashMap<GlobalRowId, u64>>,
     ) -> Self {
         let workloads = recorded_workload_stubs(&cfg, &traces);
-        let sources = traces
-            .into_iter()
-            .map(|t| TraceSource::Recorded(t.into_iter()))
-            .collect();
+        let sources = traces.into_iter().map(TraceSource::recorded).collect();
         Self::assemble(cfg, design, &workloads, sources, profile)
     }
 

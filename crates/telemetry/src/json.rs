@@ -370,10 +370,10 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 Some(b'u') => {
                     let hex = b.get(*pos + 2..*pos + 6).ok_or("truncated \\u escape")?;
-                    if !hex.iter().all(u8::is_ascii_hexdigit) {
-                        return Err(format!("bad \\u escape at byte {pos}"));
-                    }
-                    let code = u32::from_str_radix(std::str::from_utf8(hex).unwrap(), 16).unwrap();
+                    let code = hex
+                        .iter()
+                        .try_fold(0u32, |acc, &d| Some(acc << 4 | char::from(d).to_digit(16)?))
+                        .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
                     // Surrogates (unpaired or paired) are not produced by
                     // our writer; map them to the replacement character.
                     out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
@@ -510,6 +510,23 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn malformed_unicode_escapes_are_errors_not_panics() {
+        for bad in [
+            "\"\\uZZZZ\"",     // non-hex digits
+            "\"\\u12g4\"",     // one bad digit
+            "\"\\u{41}\"",     // Rust-style escape is not JSON
+            "\"\\u00\"",       // too short, terminated
+            "\"\\u12",         // truncated mid-escape
+            "\"\\u\u{e9}99\"", // multibyte UTF-8 inside the hex run
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should be a parse error");
+        }
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Value::Str("A".into()));
+        // Unpaired surrogate: mapped to U+FFFD, never a panic.
+        assert_eq!(parse("\"\\ud800\"").unwrap(), Value::Str("\u{fffd}".into()));
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte slices.
+//!
+//! The table is built once per process; the algorithm is the textbook
+//! byte-at-a-time variant — trace blocks are tens of kilobytes, so table
+//! lookup throughput is far above the decode rate it protects.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data`.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = !0u32;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // The canonical check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let mut data = b"the quick brown fox".to_vec();
+        let clean = crc32(&data);
+        data[3] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

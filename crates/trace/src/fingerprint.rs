@@ -1,0 +1,129 @@
+//! Stable 128-bit fingerprints for content addressing.
+//!
+//! The store keys traces by a fingerprint of their *inputs* (workload
+//! spec, seed, scale, instruction budget, generator version), not of the
+//! produced bytes — the whole point is to decide whether a trace needs
+//! producing without producing it. The hash is FNV-1a/128: simple, with no
+//! platform or endianness dependence, and stable across releases (the
+//! constants below are part of the on-disk contract — never change them
+//! without bumping the format version).
+//!
+//! Field separation: every write is length- or width-delimited (strings
+//! are length-prefixed, integers fixed-width little-endian), so distinct
+//! field sequences can never collide by concatenation.
+
+use std::fmt;
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+/// An accumulating 128-bit FNV-1a fingerprint.
+///
+/// # Examples
+///
+/// ```
+/// use das_trace::Fingerprint;
+///
+/// let mut a = Fingerprint::new();
+/// a.write_str("mcf");
+/// a.write_u64(42);
+/// let mut b = Fingerprint::new();
+/// b.write_str("mcf");
+/// b.write_u64(42);
+/// assert_eq!(a.hex(), b.hex());
+/// assert_eq!(a.hex().len(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    h: u128,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// A fresh fingerprint at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fingerprint { h: FNV128_OFFSET }
+    }
+
+    /// Feeds raw bytes (no delimiter — use the typed writers for fields).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h ^= u128::from(b);
+            self.h = self.h.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Feeds a length-prefixed string field.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds a fixed-width little-endian `u64` field.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a fixed-width little-endian `u32` field.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` by its exact bit pattern (no rounding ambiguity).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    /// The 32-hex-character digest — the store's file-name key.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.h)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_fingerprint_is_the_offset_basis() {
+        assert_eq!(Fingerprint::new().hex(), format!("{FNV128_OFFSET:032x}"));
+    }
+
+    #[test]
+    fn field_order_and_content_matter() {
+        let mut a = Fingerprint::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fingerprint::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.hex(), b.hex(), "length prefixes separate fields");
+        let mut c = Fingerprint::new();
+        c.write_u64(1);
+        c.write_u64(2);
+        let mut d = Fingerprint::new();
+        d.write_u64(2);
+        d.write_u64(1);
+        assert_ne!(c.hex(), d.hex());
+    }
+
+    #[test]
+    fn f64_uses_exact_bits() {
+        let mut a = Fingerprint::new();
+        a.write_f64(0.1 + 0.2);
+        let mut b = Fingerprint::new();
+        b.write_f64(0.3);
+        assert_ne!(a.hex(), b.hex(), "0.1+0.2 != 0.3 bit-wise");
+    }
+}

@@ -1,0 +1,204 @@
+//! Double-buffered streaming reads of `.dtr` traces.
+//!
+//! [`PrefetchReader`] decodes blocks on a background thread and hands them
+//! to the consumer over a bounded channel of depth one — while the
+//! simulator drains block *n*, the decoder is already validating and
+//! unpacking block *n + 1*. The consumer-facing iterator yields plain
+//! [`TraceItem`]s (the simulator's trace sources are infallible
+//! iterators); decode errors are parked in a shared [`StreamStatus`] that
+//! the caller must check after the run, so a truncated or corrupted trace
+//! fails the job loudly instead of silently ending it early.
+
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::path::Path;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use das_cpu::TraceItem;
+
+use crate::format::TraceReader;
+
+/// Shared view of a background decode's health.
+///
+/// Cheap to clone; the error slot is set at most once, when the decoder
+/// thread hits a format or I/O error.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStatus {
+    err: Arc<Mutex<Option<String>>>,
+}
+
+impl StreamStatus {
+    /// The decode error, if one occurred. Call after the consumer has
+    /// drained the iterator — an early EOF plus an error here means the
+    /// trace was bad, not short.
+    pub fn error(&self) -> Option<String> {
+        self.err.lock().map(|g| g.clone()).unwrap_or(None)
+    }
+
+    fn set(&self, msg: String) {
+        if let Ok(mut g) = self.err.lock() {
+            g.get_or_insert(msg);
+        }
+    }
+}
+
+/// A `.dtr` reader that decodes one block ahead on a background thread.
+///
+/// The header is validated synchronously in the constructor so an
+/// unreadable file fails at open time; everything after that flows through
+/// the channel. Iteration ends at the footer *or* at an error — consult
+/// [`PrefetchReader::status`] to tell the two apart.
+#[derive(Debug)]
+pub struct PrefetchReader {
+    rx: Option<Receiver<Vec<TraceItem>>>,
+    cur: std::vec::IntoIter<TraceItem>,
+    status: StreamStatus,
+    decoder: Option<JoinHandle<()>>,
+}
+
+impl PrefetchReader {
+    /// Opens `path` and starts the background decoder.
+    ///
+    /// # Errors
+    ///
+    /// File-open and header errors (bad magic, unsupported version) are
+    /// reported here, synchronously.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        Self::from_reader(BufReader::new(file))
+    }
+
+    /// Like [`PrefetchReader::open`] over any readable stream.
+    ///
+    /// # Errors
+    ///
+    /// Header errors (bad magic, unsupported version) and I/O errors.
+    pub fn from_reader<R: Read + Send + 'static>(inp: R) -> io::Result<Self> {
+        let mut reader =
+            TraceReader::new(inp).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let status = StreamStatus::default();
+        let thread_status = status.clone();
+        // Bound 1 = double buffering: one block in flight beyond the one
+        // being consumed.
+        let (tx, rx) = sync_channel::<Vec<TraceItem>>(1);
+        let decoder = std::thread::Builder::new()
+            .name("dtr-prefetch".into())
+            .spawn(move || loop {
+                match reader.next_block() {
+                    Ok(Some(items)) => {
+                        if tx.send(items).is_err() {
+                            return; // consumer dropped the reader
+                        }
+                    }
+                    Ok(None) => return,
+                    Err(e) => {
+                        thread_status.set(e.to_string());
+                        return;
+                    }
+                }
+            })?;
+        Ok(PrefetchReader {
+            rx: Some(rx),
+            cur: Vec::new().into_iter(),
+            status,
+            decoder: Some(decoder),
+        })
+    }
+
+    /// A cloneable handle to the stream's health; check it once the
+    /// iterator is exhausted (or the run that consumed it finished).
+    pub fn status(&self) -> StreamStatus {
+        self.status.clone()
+    }
+}
+
+impl Iterator for PrefetchReader {
+    type Item = TraceItem;
+
+    fn next(&mut self) -> Option<TraceItem> {
+        loop {
+            if let Some(item) = self.cur.next() {
+                return Some(item);
+            }
+            let block = self.rx.as_ref()?.recv().ok()?;
+            self.cur = block.into_iter();
+        }
+    }
+}
+
+impl Drop for PrefetchReader {
+    fn drop(&mut self) {
+        // Unblock a decoder parked on `send`, then reap the thread.
+        drop(self.rx.take());
+        if let Some(h) = self.decoder.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceWriter;
+
+    fn sample(n: u64) -> Vec<TraceItem> {
+        (0..n)
+            .map(|i| TraceItem {
+                gap: (i % 11) as u32,
+                addr: 0x1000 + i * 64,
+                is_write: i % 7 == 0,
+                depends_on_prev: false,
+            })
+            .collect()
+    }
+
+    fn encode(items: &[TraceItem], block: u32) -> Vec<u8> {
+        let mut w = TraceWriter::with_block_records(Vec::new(), block).unwrap();
+        for &i in items {
+            w.push(i).unwrap();
+        }
+        w.finish().unwrap().0
+    }
+
+    #[test]
+    fn prefetch_yields_the_exact_sequence() {
+        let items = sample(777);
+        let bytes = encode(&items, 64);
+        let r = PrefetchReader::from_reader(std::io::Cursor::new(bytes)).unwrap();
+        let status = r.status();
+        let got: Vec<_> = r.collect();
+        assert_eq!(got, items);
+        assert_eq!(status.error(), None);
+    }
+
+    #[test]
+    fn truncated_stream_sets_status() {
+        let items = sample(200);
+        let bytes = encode(&items, 64);
+        let cut = bytes.len() - 20;
+        let r = PrefetchReader::from_reader(std::io::Cursor::new(bytes[..cut].to_vec())).unwrap();
+        let status = r.status();
+        let got: Vec<_> = r.collect();
+        assert!(got.len() < items.len());
+        let err = status.error().expect("truncation must surface in status");
+        assert!(err.contains("truncated") || err.contains("footer"), "{err}");
+    }
+
+    #[test]
+    fn header_errors_are_synchronous() {
+        let err = PrefetchReader::from_reader(std::io::Cursor::new(b"XXXX\x01\0\0\0".to_vec()))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn dropping_early_does_not_hang() {
+        let items = sample(5000);
+        let bytes = encode(&items, 16);
+        let mut r = PrefetchReader::from_reader(std::io::Cursor::new(bytes)).unwrap();
+        assert_eq!(r.next(), Some(items[0]));
+        drop(r); // must reap the decoder without deadlocking on the channel
+    }
+}

@@ -1,0 +1,309 @@
+//! Content-addressed on-disk trace store.
+//!
+//! A [`TraceStore`] is a flat directory of `.dtr` files named by the
+//! [`Fingerprint`] of the inputs that produced them. Lookup is a file-name
+//! probe; materialization runs the caller's producer into a temp file and
+//! publishes it with an atomic rename, so a fingerprint's file is either
+//! absent or complete — concurrent workers (threads or processes) never
+//! observe a torn trace. Within one process a per-key lock additionally
+//! guarantees each distinct trace is produced at most once per grid.
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, BufWriter};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::fingerprint::Fingerprint;
+use crate::format::TraceWriter;
+use crate::prefetch::PrefetchReader;
+
+/// Counters describing how a store session went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups served by an already-materialized file.
+    pub hits: u64,
+    /// Lookups that had to materialize the trace.
+    pub misses: u64,
+    /// Bytes of trace published by this process.
+    pub bytes_written: u64,
+    /// Bytes of trace opened for replay by this process.
+    pub bytes_read: u64,
+}
+
+/// A content-addressed store of `.dtr` traces in one directory.
+#[derive(Debug)]
+pub struct TraceStore {
+    dir: PathBuf,
+    /// Per-fingerprint locks so one process materializes each key once.
+    keys: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    tmp_seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl TraceStore {
+    /// Opens (creating if needed) the store directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(TraceStore {
+            dir: dir.to_path_buf(),
+            keys: Mutex::new(HashMap::new()),
+            tmp_seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path a fingerprint maps to (whether or not it exists).
+    pub fn path_of(&self, fp: &Fingerprint) -> PathBuf {
+        self.dir.join(format!("{}.dtr", fp.hex()))
+    }
+
+    /// Whether `fp` is already materialized.
+    pub fn contains(&self, fp: &Fingerprint) -> bool {
+        self.path_of(fp).is_file()
+    }
+
+    fn key_lock(&self, hex: &str) -> Arc<Mutex<()>> {
+        let mut keys = self.keys.lock().unwrap_or_else(|e| e.into_inner());
+        keys.entry(hex.to_string()).or_default().clone()
+    }
+
+    /// Returns the path of `fp`'s trace, producing it first if absent.
+    ///
+    /// `produce` receives a started [`TraceWriter`] and pushes the items;
+    /// the store finishes the stream, fsyncs, and renames into place. A
+    /// lookup counts as a hit when the file already existed and as a miss
+    /// when this call materialized it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures from the producer, the temp file, or the publish
+    /// rename; the temp file is removed on failure.
+    pub fn get_or_materialize<F>(&self, fp: &Fingerprint, produce: F) -> io::Result<PathBuf>
+    where
+        F: FnOnce(&mut TraceWriter<BufWriter<File>>) -> io::Result<()>,
+    {
+        let hex = fp.hex();
+        let path = self.path_of(fp);
+        let lock = self.key_lock(&hex);
+        let _guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+        if path.is_file() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(path);
+        }
+        let tmp = self.dir.join(format!(
+            ".tmp-{hex}-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = (|| {
+            let file = File::create(&tmp)?;
+            let mut writer = TraceWriter::new(BufWriter::new(file))?;
+            produce(&mut writer)?;
+            let (buffered, _count) = writer.finish()?;
+            let file = buffered.into_inner().map_err(|e| e.into_error())?;
+            file.sync_all()?;
+            let bytes = file.metadata()?.len();
+            drop(file);
+            fs::rename(&tmp, &path)?;
+            Ok(bytes)
+        })();
+        match result {
+            Ok(bytes) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+                Ok(path)
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Opens `fp`'s trace for prefetched streaming replay.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if the fingerprint was never materialized, plus any
+    /// header/format error from the reader.
+    pub fn open_stream(&self, fp: &Fingerprint) -> io::Result<PrefetchReader> {
+        let path = self.path_of(fp);
+        let bytes = fs::metadata(&path)?.len();
+        let reader = PrefetchReader::open(&path)?;
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        Ok(reader)
+    }
+
+    /// This process's session counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::read_all;
+    use das_cpu::TraceItem;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "das-trace-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fp_of(name: &str) -> Fingerprint {
+        let mut fp = Fingerprint::new();
+        fp.write_str(name);
+        fp
+    }
+
+    fn items(n: u64) -> Vec<TraceItem> {
+        (0..n)
+            .map(|i| TraceItem::load(1, 0x2000 + i * 64))
+            .collect()
+    }
+
+    #[test]
+    fn materialize_once_then_hit() {
+        let dir = tmpdir("hit");
+        let store = TraceStore::open(&dir).unwrap();
+        let fp = fp_of("w1");
+        assert!(!store.contains(&fp));
+        let mut produced = 0u32;
+        for _ in 0..3 {
+            let path = store
+                .get_or_materialize(&fp, |w| {
+                    produced += 1;
+                    for i in items(100) {
+                        w.push(i)?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            assert!(path.is_file());
+        }
+        assert_eq!(produced, 1, "producer runs only on the miss");
+        let s = store.stats();
+        assert_eq!((s.misses, s.hits), (1, 2));
+        assert!(s.bytes_written > 0);
+        // A fresh store over the same directory sees the file as a hit.
+        let store2 = TraceStore::open(&dir).unwrap();
+        store2
+            .get_or_materialize(&fp, |_| panic!("must not produce"))
+            .unwrap();
+        assert_eq!(store2.stats().hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_roundtrips_and_counts_bytes() {
+        let dir = tmpdir("stream");
+        let store = TraceStore::open(&dir).unwrap();
+        let fp = fp_of("w2");
+        let want = items(500);
+        store
+            .get_or_materialize(&fp, |w| {
+                for &i in &want {
+                    w.push(i)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        let reader = store.open_stream(&fp).unwrap();
+        let status = reader.status();
+        let got: Vec<_> = reader.collect();
+        assert_eq!(got, want);
+        assert_eq!(status.error(), None);
+        let s = store.stats();
+        assert_eq!(s.bytes_read, s.bytes_written);
+        // And the raw file decodes identically without the prefetcher.
+        let bytes = fs::read(store.path_of(&fp)).unwrap();
+        assert_eq!(read_all(bytes.as_slice()).unwrap(), want);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_producer_leaves_no_file() {
+        let dir = tmpdir("fail");
+        let store = TraceStore::open(&dir).unwrap();
+        let fp = fp_of("w3");
+        let err = store
+            .get_or_materialize(&fp, |w| {
+                w.push(TraceItem::load(0, 0))?;
+                Err(io::Error::other("generator exploded"))
+            })
+            .unwrap_err();
+        assert_eq!(err.to_string(), "generator exploded");
+        assert!(!store.contains(&fp));
+        let leftovers: Vec<_> = fs::read_dir(&dir).unwrap().collect();
+        assert!(leftovers.is_empty(), "tmp file must be cleaned up");
+        // The key is not poisoned: a retry can still materialize.
+        store
+            .get_or_materialize(&fp, |w| {
+                for i in items(10) {
+                    w.push(i)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert!(store.contains(&fp));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_materialize_produces_once() {
+        let dir = tmpdir("concurrent");
+        let store = std::sync::Arc::new(TraceStore::open(&dir).unwrap());
+        let fp = fp_of("w4");
+        let produced = std::sync::Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let store = store.clone();
+                let fp = fp.clone();
+                let produced = produced.clone();
+                s.spawn(move || {
+                    store
+                        .get_or_materialize(&fp, |w| {
+                            produced.fetch_add(1, Ordering::Relaxed);
+                            for i in items(200) {
+                                w.push(i)?;
+                            }
+                            Ok(())
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(produced.load(Ordering::Relaxed), 1);
+        let s = store.stats();
+        assert_eq!((s.misses, s.hits), (1, 7));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

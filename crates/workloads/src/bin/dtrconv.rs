@@ -1,0 +1,143 @@
+//! `dtrconv` — convert, inspect and generate `.dtr` binary traces.
+//!
+//! ```text
+//! dtrconv encode <in.txt> <out.dtr>       text trace → binary
+//! dtrconv decode <in.dtr> <out.txt>       binary trace → text
+//! dtrconv inspect <in.dtr>                validate and summarize
+//! dtrconv gen <workload> <out.dtr> [--seed N] [--scale N] [--insts N]
+//!                                         materialize a generator episode
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use das_trace::{TraceReader, TraceWriter};
+use das_workloads::dtr;
+use das_workloads::spec;
+
+const USAGE: &str = "usage: dtrconv <command> ...
+  encode <in.txt> <out.dtr>    convert a text trace to binary
+  decode <in.dtr> <out.txt>    convert a binary trace to text
+  inspect <in.dtr>             validate and summarize a binary trace
+  gen <workload> <out.dtr> [--seed N] [--scale N] [--insts N]
+                               materialize a generator episode";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("encode") => encode(&args[1..]),
+        Some("decode") => decode(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        Some("gen") => gen(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dtrconv: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn two<'a>(args: &'a [String], what: &str) -> Result<(&'a str, &'a str), String> {
+    match args {
+        [a, b] => Ok((a, b)),
+        _ => Err(format!("expected {what}\n{USAGE}")),
+    }
+}
+
+fn encode(args: &[String]) -> Result<(), String> {
+    let (inp, out) = two(args, "<in.txt> <out.dtr>")?;
+    let reader = BufReader::new(File::open(inp).map_err(|e| format!("{inp}: {e}"))?);
+    let writer = BufWriter::new(File::create(out).map_err(|e| format!("{out}: {e}"))?);
+    let n = dtr::text_to_dtr(reader, writer).map_err(|e| e.to_string())?;
+    eprintln!("encoded {n} records -> {out}");
+    Ok(())
+}
+
+fn decode(args: &[String]) -> Result<(), String> {
+    let (inp, out) = two(args, "<in.dtr> <out.txt>")?;
+    let reader = BufReader::new(File::open(inp).map_err(|e| format!("{inp}: {e}"))?);
+    let writer = BufWriter::new(File::create(out).map_err(|e| format!("{out}: {e}"))?);
+    let n = dtr::dtr_to_text(reader, writer).map_err(|e| e.to_string())?;
+    eprintln!("decoded {n} records -> {out}");
+    Ok(())
+}
+
+fn inspect(args: &[String]) -> Result<(), String> {
+    let [inp] = args else {
+        return Err(format!("expected <in.dtr>\n{USAGE}"));
+    };
+    let bytes = std::fs::metadata(inp)
+        .map_err(|e| format!("{inp}: {e}"))?
+        .len();
+    let reader = BufReader::new(File::open(inp).map_err(|e| format!("{inp}: {e}"))?);
+    let mut r = TraceReader::new(reader).map_err(|e| e.to_string())?;
+    let mut items = 0u64;
+    let mut insts = 0u64;
+    let mut writes = 0u64;
+    let mut deps = 0u64;
+    let (mut min_addr, mut max_addr) = (u64::MAX, 0u64);
+    while let Some(block) = r.next_block().map_err(|e| e.to_string())? {
+        for item in block {
+            items += 1;
+            insts += item.insts();
+            writes += u64::from(item.is_write);
+            deps += u64::from(item.depends_on_prev);
+            min_addr = min_addr.min(item.addr);
+            max_addr = max_addr.max(item.addr);
+        }
+    }
+    println!("file:    {inp} ({bytes} bytes, {} blocks)", r.blocks_read());
+    println!("records: {items} ({insts} instructions)");
+    if items > 0 {
+        println!(
+            "mix:     {:.1}% writes, {:.1}% dependent",
+            100.0 * writes as f64 / items as f64,
+            100.0 * deps as f64 / items as f64
+        );
+        println!("addrs:   {min_addr:#x}..{max_addr:#x}");
+        println!("density: {:.2} bytes/record", bytes as f64 / items as f64);
+    }
+    Ok(())
+}
+
+fn gen(args: &[String]) -> Result<(), String> {
+    let (name, out_path) = match args {
+        [a, b, ..] => (a.as_str(), b.as_str()),
+        _ => return Err(format!("expected <workload> <out.dtr>\n{USAGE}")),
+    };
+    let mut seed = 42u64;
+    let mut scale = 64u32;
+    let mut insts = 1_000_000u64;
+    let mut it = args[2..].iter();
+    while let Some(flag) = it.next() {
+        let val = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        let parse = |what: &str| val.parse::<u64>().map_err(|e| format!("bad {what}: {e}"));
+        match flag.as_str() {
+            "--seed" => seed = parse("--seed")?,
+            "--scale" => scale = u32::try_from(parse("--scale")?).map_err(|e| e.to_string())?,
+            "--insts" => insts = parse("--insts")?,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let w = spec::spec2006()
+        .into_iter()
+        .find(|c| c.name == name)
+        .ok_or_else(|| format!("unknown workload {name:?}"))?
+        .scaled(u64::from(scale));
+    let file = File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    let mut writer = TraceWriter::new(BufWriter::new(file)).map_err(|e| e.to_string())?;
+    let n = dtr::record_episode(&w, seed, insts, &mut writer).map_err(|e| e.to_string())?;
+    writer.finish().map_err(|e| e.to_string())?;
+    let fp = dtr::episode_fingerprint(&w, seed, scale, insts);
+    eprintln!("materialized {n} records -> {out_path} (fingerprint {fp})");
+    Ok(())
+}

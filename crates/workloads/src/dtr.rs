@@ -1,0 +1,209 @@
+//! Bridges the synthetic generators to the `.dtr` binary trace store.
+//!
+//! Three pieces live here:
+//!
+//! * [`episode_fingerprint`] — the content address of one simulated
+//!   episode: a stable hash of every input that determines the generated
+//!   item sequence (full workload spec, seed, scale, instruction budget)
+//!   plus the format and generator versions, so a change to either
+//!   invalidates stale store entries instead of replaying them;
+//! * [`record_episode`] — materializes exactly the items a core with the
+//!   given instruction budget will consume (see the consumption argument
+//!   below), which is what makes store-served runs bit-identical to
+//!   generator-backed ones;
+//! * [`text_to_dtr`] / [`dtr_to_text`] — lossless conversion between the
+//!   text format of [`crate::trace_file`] and the binary format.
+//!
+//! ## Why `record_episode` captures the exact consumed prefix
+//!
+//! `das_cpu::Core::dispatch_from` pulls trace items only while its
+//! dispatched-instruction count is below the budget, so the consumed
+//! prefix is the shortest one whose cumulative
+//! [`das_cpu::TraceItem::insts`] reaches the budget. Recording items until the running total reaches
+//! the budget reproduces that prefix exactly; a replay source holding it
+//! is never polled past its end, so core, cache and DRAM behaviour — and
+//! every derived metric — are unchanged.
+
+use std::io::{self, BufRead, Read, Write};
+
+use das_trace::{Fingerprint, TraceWriter, FORMAT_VERSION};
+
+use crate::config::{Pattern, WorkloadConfig};
+use crate::gen::TraceGen;
+use crate::trace_file;
+
+/// Version of the synthetic-generator algorithm. Bump whenever
+/// [`TraceGen`]'s output for a given `(config, seed)` changes, so stale
+/// store entries are re-materialized rather than replayed.
+pub const GENERATOR_VERSION: u32 = 1;
+
+/// The content address of one simulated episode.
+///
+/// Covers every field of the (already scaled) workload spec, the run's
+/// seed, scale and instruction budget, and the format + generator
+/// versions. Two jobs share a store entry exactly when this digest
+/// matches.
+pub fn episode_fingerprint(
+    w: &WorkloadConfig,
+    seed: u64,
+    scale: u32,
+    inst_budget: u64,
+) -> Fingerprint {
+    let mut fp = Fingerprint::new();
+    fp.write_u32(FORMAT_VERSION);
+    fp.write_u32(GENERATOR_VERSION);
+    fp.write_str(&w.name);
+    fp.write_f64(w.mpki);
+    fp.write_u64(w.footprint_bytes);
+    fp.write_f64(w.write_frac);
+    fp.write_f64(w.dep_frac);
+    match &w.pattern {
+        Pattern::Stream { streams } => {
+            fp.write_u32(0);
+            fp.write_u32(*streams);
+        }
+        Pattern::Layered { layers } => {
+            fp.write_u32(1);
+            fp.write_u64(layers.len() as u64);
+            for l in layers {
+                fp.write_f64(l.frac);
+                fp.write_f64(l.prob);
+            }
+        }
+    }
+    fp.write_u32(w.run_lines);
+    match w.phase_insts {
+        None => fp.write_u32(0),
+        Some(p) => {
+            fp.write_u32(1);
+            fp.write_u64(p);
+        }
+    }
+    fp.write_u64(seed);
+    fp.write_u32(scale);
+    fp.write_u64(inst_budget);
+    fp
+}
+
+/// Writes the exact item prefix a core with `inst_budget` instructions
+/// will consume from `w`'s generator (seeded as [`TraceGen::new`] with
+/// region base 0, matching the simulator's wiring) into `out`. Returns
+/// the number of items recorded.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer's sink.
+pub fn record_episode<W: Write>(
+    w: &WorkloadConfig,
+    seed: u64,
+    inst_budget: u64,
+    out: &mut TraceWriter<W>,
+) -> io::Result<u64> {
+    let mut produced = 0u64;
+    let mut insts = 0u64;
+    for item in TraceGen::new(w.clone(), seed, 0) {
+        out.push(item)?;
+        produced += 1;
+        insts += item.insts();
+        if insts >= inst_budget {
+            break;
+        }
+    }
+    Ok(produced)
+}
+
+/// Converts a text trace (see [`crate::trace_file`]) to `.dtr`. Returns
+/// the number of records converted.
+///
+/// # Errors
+///
+/// The first parse error (with line number) or I/O error.
+pub fn text_to_dtr<R: BufRead, W: Write>(
+    inp: R,
+    out: W,
+) -> Result<u64, Box<dyn std::error::Error>> {
+    let items = trace_file::read_trace(inp)?;
+    let mut w = TraceWriter::new(out)?;
+    for item in items {
+        w.push(item)?;
+    }
+    let (_, count) = w.finish()?;
+    Ok(count)
+}
+
+/// Converts a `.dtr` trace to the canonical text format. Returns the
+/// number of records converted.
+///
+/// # Errors
+///
+/// Any `.dtr` format/CRC error or I/O error.
+pub fn dtr_to_text<R: Read, W: Write>(
+    inp: R,
+    mut out: W,
+) -> Result<u64, Box<dyn std::error::Error>> {
+    let items = das_trace::read_all(inp)?;
+    let count = items.len() as u64;
+    trace_file::write_trace(&mut out, items)?;
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+    use das_cpu::TraceItem;
+
+    fn workload() -> WorkloadConfig {
+        spec::by_name("mcf").scaled(64)
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let w = workload();
+        let base = episode_fingerprint(&w, 42, 64, 100_000);
+        assert_eq!(base, episode_fingerprint(&w, 42, 64, 100_000));
+        assert_ne!(base, episode_fingerprint(&w, 43, 64, 100_000), "seed");
+        assert_ne!(base, episode_fingerprint(&w, 42, 32, 100_000), "scale");
+        assert_ne!(base, episode_fingerprint(&w, 42, 64, 100_001), "insts");
+        let other = spec::by_name("astar").scaled(64);
+        assert_ne!(base, episode_fingerprint(&other, 42, 64, 100_000), "spec");
+        let mut drifted = w.clone();
+        drifted.mpki += 0.001;
+        assert_ne!(base, episode_fingerprint(&drifted, 42, 64, 100_000), "mpki");
+    }
+
+    #[test]
+    fn recorded_episode_is_the_consumed_prefix() {
+        let w = workload();
+        let budget = 50_000u64;
+        let mut writer = TraceWriter::new(Vec::new()).unwrap();
+        let produced = record_episode(&w, 7, budget, &mut writer).unwrap();
+        let (bytes, count) = writer.finish().unwrap();
+        assert_eq!(count, produced);
+        let items = das_trace::read_all(bytes.as_slice()).unwrap();
+        // The recorded prefix is the shortest whose cumulative instruction
+        // count reaches the budget — the exact set `dispatch_from` pulls.
+        let total: u64 = items.iter().map(TraceItem::insts).sum();
+        assert!(total >= budget);
+        let without_last: u64 = items[..items.len() - 1].iter().map(TraceItem::insts).sum();
+        assert!(without_last < budget);
+        // And it is a literal prefix of the generator stream.
+        let direct: Vec<_> = TraceGen::new(w, 7, 0).take(items.len()).collect();
+        assert_eq!(items, direct);
+    }
+
+    #[test]
+    fn text_binary_text_is_identity() {
+        let w = workload();
+        let items: Vec<_> = TraceGen::new(w, 3, 0).take(2000).collect();
+        let mut text = Vec::new();
+        trace_file::write_trace(&mut text, items.iter().copied()).unwrap();
+        let mut dtr = Vec::new();
+        let n = text_to_dtr(text.as_slice(), &mut dtr).unwrap();
+        assert_eq!(n, 2000);
+        let mut text2 = Vec::new();
+        let m = dtr_to_text(dtr.as_slice(), &mut text2).unwrap();
+        assert_eq!(m, 2000);
+        assert_eq!(text, text2, "text → .dtr → text must be byte-identical");
+    }
+}

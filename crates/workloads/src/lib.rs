@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod dtr;
 pub mod gen;
 pub mod mixes;
 pub mod spec;

@@ -133,14 +133,21 @@ pub struct TraceReadOutcome {
 ///
 /// Returns the first error past the skip budget, with its line number.
 pub fn read_trace_resilient<R: BufRead>(
-    reader: R,
+    mut reader: R,
     mut injector: Option<&mut FaultInjector>,
     max_skipped: usize,
 ) -> Result<TraceReadOutcome, ParseTraceError> {
     let mut items = Vec::new();
     let mut skipped = 0usize;
-    for (i, line) in reader.lines().enumerate() {
-        let lineno = i + 1;
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        lineno += 1;
+        let line = reader.read_line(&mut buf);
+        if matches!(line, Ok(0)) {
+            break;
+        }
         let injected = injector
             .as_deref_mut()
             .is_some_and(|inj| inj.roll(FaultSite::TraceRead));
@@ -150,12 +157,22 @@ pub fn read_trace_resilient<R: BufRead>(
                 message: "injected read fault".into(),
             })
         } else {
-            match line {
+            match &line {
                 Err(e) => Some(ParseTraceError {
                     line: lineno,
                     message: format!("I/O error: {e}"),
                 }),
-                Ok(text) => match parse_line(&text, lineno) {
+                // A final line without its newline is a record cut mid-write
+                // (a truncated copy, a crashed producer): even if what's left
+                // happens to parse, fields may be missing — never trust it.
+                Ok(_) if !buf.ends_with('\n') && !is_ignorable(&buf) => Some(ParseTraceError {
+                    line: lineno,
+                    message: format!(
+                        "truncated final record (file ends mid-line): {:?}",
+                        buf.trim()
+                    ),
+                }),
+                Ok(_) => match parse_line(&buf, lineno) {
                     Ok(Some(item)) => {
                         items.push(item);
                         None
@@ -179,6 +196,13 @@ pub fn read_trace_resilient<R: BufRead>(
         }
     }
     Ok(TraceReadOutcome { items, skipped })
+}
+
+/// Whether an unterminated final line is harmless: blank, or a comment
+/// (comments carry no record data, so losing their tail drops nothing).
+fn is_ignorable(line: &str) -> bool {
+    let t = line.trim();
+    t.is_empty() || t.starts_with('#')
 }
 
 /// Writes a trace in the canonical format.
@@ -273,6 +297,46 @@ mod tests {
         let ok = read_trace_resilient(BufReader::new("0 0x10 R\n".as_bytes()), None, 0).unwrap();
         assert_eq!(ok.items.len(), 1);
         assert_eq!(ok.skipped, 0);
+    }
+
+    #[test]
+    fn truncated_final_record_is_rejected_with_its_line_number() {
+        // The last record lost its tail (and newline) mid-write. Even
+        // though "2 0x30" up to the kind field could parse as a prefix,
+        // the reader must flag it — with the 1-based number of the line.
+        let text = "0 0x10 R\n1 0x20 W\n2 0x30 R";
+        let err = read_trace_resilient(BufReader::new(text.as_bytes()), None, 0).unwrap_err();
+        assert_eq!(err.line, 3, "{err}");
+        assert!(err.to_string().contains("truncated final record"), "{err}");
+        // Within a skip budget the damaged tail is dropped, not fatal.
+        let out = read_trace_resilient(BufReader::new(text.as_bytes()), None, 1).unwrap();
+        assert_eq!(out.items.len(), 2);
+        assert_eq!(out.skipped, 1);
+    }
+
+    #[test]
+    fn truncated_final_record_counts_in_fault_stats() {
+        use das_faults::{FaultInjector, FaultPlan, FaultSite};
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        let text = "0 0x10 R\n1 0x20 R";
+        let err =
+            read_trace_resilient(BufReader::new(text.as_bytes()), Some(&mut inj), 0).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(inj.stats().site(FaultSite::TraceRead).fatal, 1);
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        let out = read_trace_resilient(BufReader::new(text.as_bytes()), Some(&mut inj), 5).unwrap();
+        assert_eq!((out.items.len(), out.skipped), (1, 1));
+        assert_eq!(inj.stats().site(FaultSite::TraceRead).recovered, 1);
+    }
+
+    #[test]
+    fn unterminated_trailing_comment_or_blank_is_harmless() {
+        let out =
+            read_trace_resilient(BufReader::new("0 0x10 R\n# tail".as_bytes()), None, 0).unwrap();
+        assert_eq!((out.items.len(), out.skipped), (1, 0));
+        let out =
+            read_trace_resilient(BufReader::new("0 0x10 R\n   ".as_bytes()), None, 0).unwrap();
+        assert_eq!((out.items.len(), out.skipped), (1, 0));
     }
 
     #[test]
