@@ -43,7 +43,11 @@ struct JsonSink {
 /// not given). [`must_run`] calls this for every successful run; call it
 /// directly for runs obtained another way (instrumented, recorded traces).
 pub fn record_run_report(report: Value) {
-    let mut guard = JSON_SINK.lock().expect("json sink poisoned");
+    // Poison recovery: the sink is a path + append-mode file handle; a
+    // panic on another thread mid-append can at worst leave a torn final
+    // line, which `finish_json` surfaces as a parse error — the guarded
+    // struct itself stays consistent.
+    let mut guard = JSON_SINK.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(sink) = guard.as_mut() {
         let line = report.render();
         if let Err(e) = sink
@@ -61,7 +65,7 @@ pub fn record_run_report(report: Value) {
 /// the legacy `{"runs":[...]}` document (no-op when `--json` was not
 /// given). Call once after the last [`record_run_report`].
 pub fn finish_json() {
-    let mut guard = JSON_SINK.lock().expect("json sink poisoned");
+    let mut guard = JSON_SINK.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(sink) = guard.take() {
         drop(sink.file);
         let text = std::fs::read_to_string(&sink.path).unwrap_or_else(|e| {
@@ -152,7 +156,7 @@ impl HarnessArgs {
                 eprintln!("cannot create {path}: {e}");
                 std::process::exit(1);
             });
-            *JSON_SINK.lock().expect("json sink poisoned") = Some(JsonSink {
+            *JSON_SINK.lock().unwrap_or_else(|e| e.into_inner()) = Some(JsonSink {
                 path: path.clone(),
                 file,
             });

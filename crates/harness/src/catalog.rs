@@ -199,6 +199,12 @@ pub fn by_id(id: &str) -> Option<&'static Experiment> {
     ALL.iter().find(|e| e.id == id)
 }
 
+/// Every experiment id, in presentation order (what `harness --all` runs
+/// and the `das-serve` catalog listing reports).
+pub fn ids() -> Vec<&'static str> {
+    ALL.iter().map(|e| e.id).collect()
+}
+
 // ---------------------------------------------------------------------------
 // Shared building blocks
 // ---------------------------------------------------------------------------

@@ -10,6 +10,12 @@
 //! * [`harness_main`] — the standalone `harness` orchestrator: executes
 //!   any manifest (or the whole catalog) across threads with a resumable
 //!   fsync'd journal, writing `<id>.txt` / `<id>.json` per experiment.
+//!
+//! Argument parsing is pure and `Result`-based ([`parse_bin_args`],
+//! [`parse_harness_args`]): a malformed flag prints a structured usage
+//! error to stderr and exits with code 2 — never a panic or backtrace.
+//! Runtime failures (unreadable manifest, simulation error) keep exit
+//! code 1.
 
 use std::path::{Path, PathBuf};
 
@@ -108,6 +114,13 @@ fn die(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Prints a usage error to stderr and exits with code 2 (the
+/// argument-error convention), never panicking.
+fn usage_die(msg: &str, usage: &str) -> ! {
+    eprintln!("error: {msg}\n{usage}");
+    std::process::exit(2);
+}
+
 /// Opens the content-addressed trace store, honouring `--no-trace-store`
 /// (which wins over `--trace-store DIR`).
 fn open_trace_store(dir: Option<String>, disabled: bool) -> Option<das_trace::TraceStore> {
@@ -139,290 +152,255 @@ fn write_or_die(path: &Path, text: &str) {
     }
 }
 
-/// Entry point of every figure/table/ablation binary: builds the
-/// experiment's manifest from the historical flags and either emits it or
-/// executes it and prints the historical text output.
-///
-/// Flags: `--insts N`, `--scale N`, `--only a,b`, `--json PATH`,
-/// `--threads N`, `--emit-manifest PATH`, `--trace-store DIR`,
-/// `--no-trace-store`.
-///
-/// # Panics
-///
-/// Panics with a usage message on malformed arguments or an unknown
-/// experiment id (both internal/developer errors).
-pub fn bin_main(id: &str) {
-    let exp = catalog::by_id(id).unwrap_or_else(|| panic!("unknown experiment {id:?}"));
-    let mut insts: u64 = 3_000_000;
-    let mut scale: u32 = 64;
-    let mut only: Vec<String> = Vec::new();
-    let mut json: Option<String> = None;
-    let mut threads: usize = 1;
-    let mut emit_manifest: Option<String> = None;
-    let mut trace_store_dir: Option<String> = None;
-    let mut no_trace_store = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--insts" => {
-                insts = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--insts needs an integer");
-            }
-            "--scale" => {
-                scale = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--scale needs an integer");
-            }
-            "--only" => {
-                only = args
-                    .next()
-                    .expect("--only needs a comma-separated list")
-                    .split(',')
-                    .map(str::to_string)
-                    .collect();
-            }
-            "--json" => json = Some(args.next().expect("--json needs a path")),
-            "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads needs an integer");
-            }
-            "--emit-manifest" => {
-                emit_manifest = Some(args.next().expect("--emit-manifest needs a path"));
-            }
-            "--trace-store" => {
-                trace_store_dir = Some(args.next().expect("--trace-store needs a directory"));
-            }
-            "--no-trace-store" => no_trace_store = true,
-            other => panic!(
-                "unknown argument {other:?} \
-                 (use --insts/--scale/--only/--json/--threads/--emit-manifest\
-                 /--trace-store/--no-trace-store)"
-            ),
-        }
-    }
-    let report_path = json
-        .clone()
-        .unwrap_or_else(|| "telemetry_report.json".to_string());
-    let trace_path = derive_trace_path(&report_path);
-    let params = BuildParams {
-        insts,
-        scale,
-        only,
-        trace_name: trace_path.clone(),
-    };
-    let manifest = Manifest {
-        insts,
-        scale,
-        experiments: vec![ExperimentPlan {
-            id: id.to_string(),
-            jobs: (exp.build)(&params),
-        }],
-    };
-    if let Err(e) = manifest.validate() {
-        die(&format!("invalid run matrix: {e}"));
-    }
-    if let Some(path) = emit_manifest {
-        write_or_die(Path::new(&path), &(manifest.render() + "\n"));
-        eprintln!("wrote manifest ({} jobs): {path}", manifest.jobs().len());
-        return;
-    }
-    let jobs = &manifest.experiments[0].jobs;
-    let store = open_trace_store(trace_store_dir, no_trace_store);
-    let opts = ExecOptions {
-        threads,
-        out_dir: Path::new("."),
-        progress: false,
-        trace_store: store.as_ref(),
-    };
-    let reports = execute_jobs(jobs, &opts, None).unwrap_or_else(|e| die(&e));
-    if let Some(s) = &store {
-        eprintln!("{}", store_summary(s));
-    }
-    // Exports happen before rendering, which may assert on the results —
-    // the legacy binaries wrote their files first too.
-    if id == "telemetry" {
-        write_or_die(Path::new(&report_path), &reports[0].render());
-    } else if let Some(path) = &json {
-        write_or_die(Path::new(path), &journal::runs_doc(&reports).render());
-    }
-    let ctx = RenderCtx {
-        insts,
-        scale,
-        jobs,
-        reports: &reports,
-        report_path,
-        trace_path,
-    };
-    print!("{}", (exp.render)(&ctx));
+// ---------------------------------------------------------------------------
+// Argument parsing (pure, Result-based; no process exits)
+// ---------------------------------------------------------------------------
+
+fn need(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
 }
 
-const HARNESS_USAGE: &str = "usage: harness (--manifest PATH | --all | --exp a,b) \
+fn need_u64(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    let v = need(args, flag)?;
+    match v.parse::<u64>() {
+        Ok(0) => Err(format!("{flag} needs a positive integer, got 0")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("{flag} needs a positive integer, got {v:?}")),
+    }
+}
+
+fn need_u32(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<u32, String> {
+    u32::try_from(need_u64(args, flag)?).map_err(|_| format!("{flag} is out of range"))
+}
+
+fn need_list(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<Vec<String>, String> {
+    Ok(need(args, flag)?.split(',').map(str::to_string).collect())
+}
+
+/// Usage line of the legacy figure binaries ([`bin_main`]).
+pub const BIN_USAGE: &str = "usage: <figure-bin> [--insts N] [--scale N] [--only a,b] \
+     [--json PATH] [--threads N] [--emit-manifest PATH] \
+     [--trace-store DIR] [--no-trace-store]";
+
+/// Parsed flags of a legacy figure binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinArgs {
+    /// `--insts N` (per-core instruction budget).
+    pub insts: u64,
+    /// `--scale N` (capacity scale factor).
+    pub scale: u32,
+    /// `--only a,b` (benchmark/mix subset; empty = all).
+    pub only: Vec<String>,
+    /// `--json PATH` (run-report export).
+    pub json: Option<String>,
+    /// `--threads N` (bit-identical for any N ≥ 1).
+    pub threads: usize,
+    /// `--emit-manifest PATH` (describe the matrix instead of running).
+    pub emit_manifest: Option<String>,
+    /// `--trace-store DIR`.
+    pub trace_store_dir: Option<String>,
+    /// `--no-trace-store` (wins over `--trace-store`).
+    pub no_trace_store: bool,
+}
+
+impl Default for BinArgs {
+    fn default() -> BinArgs {
+        BinArgs {
+            insts: 3_000_000,
+            scale: 64,
+            only: Vec::new(),
+            json: None,
+            threads: 1,
+            emit_manifest: None,
+            trace_store_dir: None,
+            no_trace_store: false,
+        }
+    }
+}
+
+/// Parses a legacy figure binary's arguments.
+///
+/// # Errors
+///
+/// Returns a usage message naming the offending flag and value (malformed
+/// integers, missing values, unknown flags) — callers print it and exit 2.
+pub fn parse_bin_args<I: IntoIterator<Item = String>>(args: I) -> Result<BinArgs, String> {
+    let mut out = BinArgs::default();
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--insts" => out.insts = need_u64(&mut args, "--insts")?,
+            "--scale" => out.scale = need_u32(&mut args, "--scale")?,
+            "--only" => out.only = need_list(&mut args, "--only")?,
+            "--json" => out.json = Some(need(&mut args, "--json")?),
+            "--threads" => out.threads = need_u64(&mut args, "--threads")? as usize,
+            "--emit-manifest" => out.emit_manifest = Some(need(&mut args, "--emit-manifest")?),
+            "--trace-store" => out.trace_store_dir = Some(need(&mut args, "--trace-store")?),
+            "--no-trace-store" => out.no_trace_store = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Usage line of the standalone `harness` binary ([`harness_main`]).
+pub const HARNESS_USAGE: &str = "usage: harness (--manifest PATH | --all | --exp a,b) \
      [--insts N] [--scale N] [--only a,b] [--threads N] [--resume] \
      [--json-dir DIR] [--emit-manifest PATH] [--validate-journal PATH] \
      [--trace-store DIR] [--no-trace-store]";
 
-/// Entry point of the standalone `harness` binary.
+/// Parsed flags of the standalone `harness` binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// `--manifest PATH`.
+    pub manifest_path: Option<String>,
+    /// `--all` (the whole catalog).
+    pub all: bool,
+    /// `--exp a,b` (catalog subset).
+    pub exp_ids: Vec<String>,
+    /// `--insts N`.
+    pub insts: u64,
+    /// `--scale N`.
+    pub scale: u32,
+    /// `--only a,b`.
+    pub only: Vec<String>,
+    /// `--threads N`.
+    pub threads: usize,
+    /// `--resume`.
+    pub resume: bool,
+    /// `--json-dir DIR`.
+    pub json_dir: Option<String>,
+    /// `--emit-manifest PATH`.
+    pub emit_manifest: Option<String>,
+    /// `--trace-store DIR`.
+    pub trace_store_dir: Option<String>,
+    /// `--no-trace-store`.
+    pub no_trace_store: bool,
+    /// `--validate-journal PATH` (check a journal and exit).
+    pub validate_journal: Option<String>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> HarnessArgs {
+        HarnessArgs {
+            manifest_path: None,
+            all: false,
+            exp_ids: Vec::new(),
+            insts: 3_000_000,
+            scale: 64,
+            only: Vec::new(),
+            threads: 1,
+            resume: false,
+            json_dir: None,
+            emit_manifest: None,
+            trace_store_dir: None,
+            no_trace_store: false,
+            validate_journal: None,
+        }
+    }
+}
+
+/// Parses the `harness` orchestrator's arguments.
 ///
-/// Selects a run matrix (`--manifest PATH`, the full catalog via `--all`,
-/// or a subset via `--exp a,b`), executes it on `--threads N` workers with
-/// an fsync'd journal at `<json-dir>/journal.jsonl` (`--resume` continues
-/// a previous run), and writes `<id>.txt` + `<id>.json` per experiment.
-/// `--emit-manifest PATH` writes the matrix instead of executing;
-/// `--validate-journal PATH` structurally checks a journal and exits.
-pub fn harness_main() {
-    let mut manifest_path: Option<String> = None;
-    let mut all = false;
-    let mut exp_ids: Vec<String> = Vec::new();
-    let mut insts: u64 = 3_000_000;
-    let mut scale: u32 = 64;
-    let mut only: Vec<String> = Vec::new();
-    let mut threads: usize = 1;
-    let mut resume = false;
-    let mut json_dir: Option<String> = None;
-    let mut emit_manifest: Option<String> = None;
-    let mut trace_store_dir: Option<String> = None;
-    let mut no_trace_store = false;
-    let mut args = std::env::args().skip(1);
-    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
-        args.next()
-            .unwrap_or_else(|| die(&format!("{flag} needs a value\n{HARNESS_USAGE}")))
-    };
+/// # Errors
+///
+/// Returns a usage message naming the offending flag and value — callers
+/// print it and exit 2.
+pub fn parse_harness_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessArgs, String> {
+    let mut out = HarnessArgs::default();
+    let mut args = args.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--manifest" => manifest_path = Some(need(&mut args, "--manifest")),
-            "--all" => all = true,
-            "--exp" => {
-                exp_ids = need(&mut args, "--exp")
-                    .split(',')
-                    .map(str::to_string)
-                    .collect();
-            }
-            "--insts" => {
-                insts = need(&mut args, "--insts")
-                    .parse()
-                    .unwrap_or_else(|_| die("--insts needs an integer"));
-            }
-            "--scale" => {
-                scale = need(&mut args, "--scale")
-                    .parse()
-                    .unwrap_or_else(|_| die("--scale needs an integer"));
-            }
-            "--only" => {
-                only = need(&mut args, "--only")
-                    .split(',')
-                    .map(str::to_string)
-                    .collect();
-            }
-            "--threads" => {
-                threads = need(&mut args, "--threads")
-                    .parse()
-                    .unwrap_or_else(|_| die("--threads needs an integer"));
-            }
-            "--resume" => resume = true,
-            "--json-dir" => json_dir = Some(need(&mut args, "--json-dir")),
-            "--emit-manifest" => emit_manifest = Some(need(&mut args, "--emit-manifest")),
-            "--trace-store" => trace_store_dir = Some(need(&mut args, "--trace-store")),
-            "--no-trace-store" => no_trace_store = true,
+            "--manifest" => out.manifest_path = Some(need(&mut args, "--manifest")?),
+            "--all" => out.all = true,
+            "--exp" => out.exp_ids = need_list(&mut args, "--exp")?,
+            "--insts" => out.insts = need_u64(&mut args, "--insts")?,
+            "--scale" => out.scale = need_u32(&mut args, "--scale")?,
+            "--only" => out.only = need_list(&mut args, "--only")?,
+            "--threads" => out.threads = need_u64(&mut args, "--threads")? as usize,
+            "--resume" => out.resume = true,
+            "--json-dir" => out.json_dir = Some(need(&mut args, "--json-dir")?),
+            "--emit-manifest" => out.emit_manifest = Some(need(&mut args, "--emit-manifest")?),
+            "--trace-store" => out.trace_store_dir = Some(need(&mut args, "--trace-store")?),
+            "--no-trace-store" => out.no_trace_store = true,
             "--validate-journal" => {
-                let path = need(&mut args, "--validate-journal");
-                match journal::load(Path::new(&path)) {
-                    Ok(doc) => {
-                        println!(
-                            "{path}: valid ({}/{} runs, manifest fp {})",
-                            doc.runs.len(),
-                            doc.jobs,
-                            doc.fingerprint
-                        );
-                        return;
-                    }
-                    Err(e) => die(&format!("{path}: invalid journal: {e}")),
-                }
+                out.validate_journal = Some(need(&mut args, "--validate-journal")?);
             }
-            other => die(&format!("unknown argument {other:?}\n{HARNESS_USAGE}")),
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    let manifest = if let Some(path) = &manifest_path {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-        Manifest::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
-    } else {
-        if !all && exp_ids.is_empty() {
-            die(&format!("nothing to run\n{HARNESS_USAGE}"));
-        }
-        let ids: Vec<&str> = if all {
-            catalog::ALL.iter().map(|e| e.id).collect()
-        } else {
-            exp_ids
-                .iter()
-                .map(|id| {
-                    catalog::by_id(id)
-                        .unwrap_or_else(|| die(&format!("unknown experiment {id:?}")))
-                        .id
-                })
-                .collect()
-        };
-        let params = BuildParams {
-            insts,
-            scale,
-            only,
-            trace_name: "telemetry_trace.json".to_string(),
-        };
-        Manifest {
-            insts,
-            scale,
-            experiments: ids
-                .into_iter()
-                .map(|id| ExperimentPlan {
-                    id: id.to_string(),
-                    jobs: (catalog::by_id(id).expect("catalog id").build)(&params),
-                })
-                .collect(),
-        }
+    if out.validate_journal.is_none()
+        && out.manifest_path.is_none()
+        && !out.all
+        && out.exp_ids.is_empty()
+    {
+        return Err("nothing to run (pass --manifest, --all or --exp)".into());
+    }
+    Ok(out)
+}
+
+/// Builds a manifest from catalog ids + grid parameters (the `--exp` /
+/// `--all` path of the harness, and the `submit_experiment` request of
+/// `das-serve`).
+///
+/// # Errors
+///
+/// Returns a message naming an unknown experiment id.
+pub fn build_catalog_manifest(
+    ids: &[String],
+    insts: u64,
+    scale: u32,
+    only: &[String],
+) -> Result<Manifest, String> {
+    let params = BuildParams {
+        insts,
+        scale,
+        only: only.to_vec(),
+        trace_name: "telemetry_trace.json".to_string(),
     };
-    if let Err(e) = manifest.validate() {
-        die(&format!("invalid manifest: {e}"));
+    let mut experiments = Vec::new();
+    for id in ids {
+        let exp = catalog::by_id(id).ok_or_else(|| format!("unknown experiment {id:?}"))?;
+        experiments.push(ExperimentPlan {
+            id: exp.id.to_string(),
+            jobs: (exp.build)(&params),
+        });
     }
-    if let Some(path) = emit_manifest {
-        write_or_die(Path::new(&path), &(manifest.render() + "\n"));
-        eprintln!("wrote manifest ({} jobs): {path}", manifest.jobs().len());
-        return;
+    Ok(Manifest {
+        insts,
+        scale,
+        experiments,
+    })
+}
+
+/// Renders every experiment's `<id>.txt` and `<id>.json` into `out_dir`
+/// from `reports` (aligned with the manifest's flat job order). This is
+/// the shared tail of a `harness` run and a `dasctl` fetch — one code
+/// path, so artifacts fetched from a `das-serve` server are byte-identical
+/// to a direct run's.
+///
+/// # Errors
+///
+/// Returns a message on unknown experiment ids, a report/job count
+/// mismatch, or a write failure.
+pub fn render_experiment_outputs(
+    out_dir: &Path,
+    manifest: &Manifest,
+    reports: &[Value],
+    progress: bool,
+) -> Result<(), String> {
+    let total: usize = manifest.experiments.iter().map(|e| e.jobs.len()).sum();
+    if reports.len() != total {
+        return Err(format!(
+            "{} reports for {total} jobs — cannot render",
+            reports.len()
+        ));
     }
-    let out_dir = PathBuf::from(json_dir.unwrap_or_else(|| ".".to_string()));
-    if let Err(e) = std::fs::create_dir_all(&out_dir) {
-        die(&format!("cannot create {}: {e}", out_dir.display()));
-    }
-    let journal_path = out_dir.join("journal.jsonl");
-    let fp = manifest.fingerprint();
-    let flat: Vec<JobSpec> = manifest
-        .experiments
-        .iter()
-        .flat_map(|e| e.jobs.iter().cloned())
-        .collect();
-    let ids: Vec<&str> = flat.iter().map(|j| j.id.as_str()).collect();
-    let mut jr = if resume {
-        Journal::resume(&journal_path, &fp, &ids)
-    } else {
-        Journal::create(&journal_path, &fp, ids.len())
-    }
-    .unwrap_or_else(|e| die(&e));
-    let store = open_trace_store(trace_store_dir, no_trace_store);
-    let opts = ExecOptions {
-        threads,
-        out_dir: &out_dir,
-        progress: true,
-        trace_store: store.as_ref(),
-    };
-    let reports = execute_jobs(&flat, &opts, Some(&mut jr)).unwrap_or_else(|e| die(&e));
     let mut offset = 0;
     for e in &manifest.experiments {
         let n = e.jobs.len();
         let exp = catalog::by_id(&e.id)
-            .unwrap_or_else(|| die(&format!("manifest names unknown experiment {:?}", e.id)));
+            .ok_or_else(|| format!("manifest names unknown experiment {:?}", e.id))?;
         let report_path = out_dir.join(format!("{}.json", e.id));
         let trace_rel = e
             .jobs
@@ -439,7 +417,9 @@ pub fn harness_main() {
             trace_path: out_dir.join(&trace_rel).display().to_string(),
         };
         let text = (exp.render)(&ctx);
-        write_or_die(&out_dir.join(format!("{}.txt", e.id)), &text);
+        let txt_path = out_dir.join(format!("{}.txt", e.id));
+        std::fs::write(&txt_path, &text)
+            .map_err(|err| format!("cannot write {}: {err}", txt_path.display()))?;
         // The telemetry experiment historically exports its bare run
         // report; everything else exports the legacy runs document.
         let json_doc = if e.id == "telemetry" && n == 1 {
@@ -447,13 +427,161 @@ pub fn harness_main() {
         } else {
             journal::runs_doc(exp_reports).render()
         };
-        write_or_die(&report_path, &json_doc);
-        eprintln!(
-            "rendered {}",
-            out_dir.join(format!("{}.txt", e.id)).display()
-        );
+        std::fs::write(&report_path, &json_doc)
+            .map_err(|err| format!("cannot write {}: {err}", report_path.display()))?;
+        if progress {
+            eprintln!("rendered {}", txt_path.display());
+        }
         offset += n;
     }
+    Ok(())
+}
+
+/// Entry point of every figure/table/ablation binary: builds the
+/// experiment's manifest from the historical flags and either emits it or
+/// executes it and prints the historical text output.
+///
+/// Flags: `--insts N`, `--scale N`, `--only a,b`, `--json PATH`,
+/// `--threads N`, `--emit-manifest PATH`, `--trace-store DIR`,
+/// `--no-trace-store`. Malformed arguments (or an unknown experiment id)
+/// print a usage error to stderr and exit 2 — no panics, no backtraces.
+pub fn bin_main(id: &str) {
+    let args =
+        parse_bin_args(std::env::args().skip(1)).unwrap_or_else(|e| usage_die(&e, BIN_USAGE));
+    let Some(exp) = catalog::by_id(id) else {
+        usage_die(&format!("unknown experiment {id:?}"), BIN_USAGE)
+    };
+    let report_path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "telemetry_report.json".to_string());
+    let trace_path = derive_trace_path(&report_path);
+    let params = BuildParams {
+        insts: args.insts,
+        scale: args.scale,
+        only: args.only.clone(),
+        trace_name: trace_path.clone(),
+    };
+    let manifest = Manifest {
+        insts: args.insts,
+        scale: args.scale,
+        experiments: vec![ExperimentPlan {
+            id: id.to_string(),
+            jobs: (exp.build)(&params),
+        }],
+    };
+    if let Err(e) = manifest.validate() {
+        die(&format!("invalid run matrix: {e}"));
+    }
+    if let Some(path) = args.emit_manifest {
+        write_or_die(Path::new(&path), &(manifest.render() + "\n"));
+        eprintln!("wrote manifest ({} jobs): {path}", manifest.jobs().len());
+        return;
+    }
+    let jobs = &manifest.experiments[0].jobs;
+    let store = open_trace_store(args.trace_store_dir, args.no_trace_store);
+    let opts = ExecOptions {
+        threads: args.threads,
+        out_dir: Path::new("."),
+        progress: false,
+        trace_store: store.as_ref(),
+    };
+    let reports = execute_jobs(jobs, &opts, None).unwrap_or_else(|e| die(&e));
+    if let Some(s) = &store {
+        eprintln!("{}", store_summary(s));
+    }
+    // Exports happen before rendering, which may assert on the results —
+    // the legacy binaries wrote their files first too.
+    if id == "telemetry" {
+        write_or_die(Path::new(&report_path), &reports[0].render());
+    } else if let Some(path) = &args.json {
+        write_or_die(Path::new(path), &journal::runs_doc(&reports).render());
+    }
+    let ctx = RenderCtx {
+        insts: args.insts,
+        scale: args.scale,
+        jobs,
+        reports: &reports,
+        report_path,
+        trace_path,
+    };
+    print!("{}", (exp.render)(&ctx));
+}
+
+/// Entry point of the standalone `harness` binary.
+///
+/// Selects a run matrix (`--manifest PATH`, the full catalog via `--all`,
+/// or a subset via `--exp a,b`), executes it on `--threads N` workers with
+/// an fsync'd journal at `<json-dir>/journal.jsonl` (`--resume` continues
+/// a previous run), and writes `<id>.txt` + `<id>.json` per experiment.
+/// `--emit-manifest PATH` writes the matrix instead of executing;
+/// `--validate-journal PATH` structurally checks a journal and exits.
+/// Malformed arguments print a usage error to stderr and exit 2.
+pub fn harness_main() {
+    let args = parse_harness_args(std::env::args().skip(1))
+        .unwrap_or_else(|e| usage_die(&e, HARNESS_USAGE));
+    if let Some(path) = &args.validate_journal {
+        match journal::load(Path::new(path)) {
+            Ok(doc) => {
+                println!(
+                    "{path}: valid ({}/{} runs, manifest fp {})",
+                    doc.runs.len(),
+                    doc.jobs,
+                    doc.fingerprint
+                );
+                return;
+            }
+            Err(e) => die(&format!("{path}: invalid journal: {e}")),
+        }
+    }
+    let manifest = if let Some(path) = &args.manifest_path {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        Manifest::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+    } else {
+        let ids: Vec<String> = if args.all {
+            catalog::ids().iter().map(|s| s.to_string()).collect()
+        } else {
+            args.exp_ids.clone()
+        };
+        build_catalog_manifest(&ids, args.insts, args.scale, &args.only)
+            .unwrap_or_else(|e| usage_die(&e, HARNESS_USAGE))
+    };
+    if let Err(e) = manifest.validate() {
+        die(&format!("invalid manifest: {e}"));
+    }
+    if let Some(path) = args.emit_manifest {
+        write_or_die(Path::new(&path), &(manifest.render() + "\n"));
+        eprintln!("wrote manifest ({} jobs): {path}", manifest.jobs().len());
+        return;
+    }
+    let out_dir = PathBuf::from(args.json_dir.unwrap_or_else(|| ".".to_string()));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        die(&format!("cannot create {}: {e}", out_dir.display()));
+    }
+    let journal_path = out_dir.join("journal.jsonl");
+    let fp = manifest.fingerprint();
+    let flat: Vec<JobSpec> = manifest
+        .experiments
+        .iter()
+        .flat_map(|e| e.jobs.iter().cloned())
+        .collect();
+    let ids: Vec<&str> = flat.iter().map(|j| j.id.as_str()).collect();
+    let mut jr = if args.resume {
+        Journal::resume(&journal_path, &fp, &ids)
+    } else {
+        Journal::create(&journal_path, &fp, ids.len())
+    }
+    .unwrap_or_else(|e| die(&e));
+    let store = open_trace_store(args.trace_store_dir, args.no_trace_store);
+    let opts = ExecOptions {
+        threads: args.threads,
+        out_dir: &out_dir,
+        progress: true,
+        trace_store: store.as_ref(),
+    };
+    let reports = execute_jobs(&flat, &opts, Some(&mut jr)).unwrap_or_else(|e| die(&e));
+    render_experiment_outputs(&out_dir, &manifest, &reports, true).unwrap_or_else(|e| die(&e));
     if let Some(s) = &store {
         println!("{}", store_summary(s));
     }
@@ -480,6 +608,10 @@ mod tests {
             seed: 42,
             ov: Overrides::default(),
         }
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
     }
 
     #[test]
@@ -537,5 +669,109 @@ mod tests {
         };
         let err = execute_jobs(&[quick_job("t/ok/std", "std"), bad], &opts, None).unwrap_err();
         assert!(err.contains("t/bad/std"), "{err}");
+    }
+
+    #[test]
+    fn bin_args_parse_the_full_flag_set() {
+        let a = parse_bin_args(argv(&[
+            "--insts",
+            "500",
+            "--scale",
+            "8",
+            "--only",
+            "mcf,lbm",
+            "--json",
+            "out.json",
+            "--threads",
+            "4",
+            "--trace-store",
+            "ts",
+            "--no-trace-store",
+        ]))
+        .unwrap();
+        assert_eq!(a.insts, 500);
+        assert_eq!(a.scale, 8);
+        assert_eq!(a.only, vec!["mcf".to_string(), "lbm".to_string()]);
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.trace_store_dir.as_deref(), Some("ts"));
+        assert!(a.no_trace_store);
+        assert_eq!(parse_bin_args(argv(&[])).unwrap(), BinArgs::default());
+    }
+
+    #[test]
+    fn bin_args_reject_each_malformed_flag() {
+        // Every failure mode is a structured message, never a panic.
+        for (args, needle) in [
+            (vec!["--insts", "foo"], "--insts"),
+            (vec!["--insts"], "needs a value"),
+            (vec!["--insts", "0"], "positive"),
+            (vec!["--scale", "-3"], "--scale"),
+            (vec!["--scale", "5000000000"], "--scale"),
+            (vec!["--threads", "two"], "--threads"),
+            (vec!["--threads", "0"], "positive"),
+            (vec!["--json"], "--json needs a value"),
+            (vec!["--only"], "--only needs a value"),
+            (vec!["--emit-manifest"], "needs a value"),
+            (vec!["--trace-store"], "needs a value"),
+            (vec!["--frobnicate"], "unknown argument"),
+        ] {
+            let err = parse_bin_args(argv(&args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn harness_args_reject_each_malformed_flag() {
+        for (args, needle) in [
+            (vec!["--exp"], "--exp needs a value"),
+            (vec!["--manifest"], "--manifest needs a value"),
+            (vec!["--all", "--insts", "abc"], "--insts"),
+            (vec!["--all", "--scale", "x"], "--scale"),
+            (vec!["--all", "--threads", "1.5"], "--threads"),
+            (vec!["--all", "--json-dir"], "needs a value"),
+            (vec!["--all", "--validate-journal"], "needs a value"),
+            (vec!["--all", "--wat"], "unknown argument"),
+            (vec![], "nothing to run"),
+            (vec!["--insts", "100"], "nothing to run"),
+        ] {
+            let err = parse_harness_args(argv(&args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
+        let a = parse_harness_args(argv(&["--exp", "fig8a", "--resume"])).unwrap();
+        assert_eq!(a.exp_ids, vec!["fig8a".to_string()]);
+        assert!(a.resume);
+        // --validate-journal alone is a complete invocation.
+        let a = parse_harness_args(argv(&["--validate-journal", "j.jsonl"])).unwrap();
+        assert_eq!(a.validate_journal.as_deref(), Some("j.jsonl"));
+    }
+
+    #[test]
+    fn build_catalog_manifest_rejects_unknown_ids() {
+        let err = build_catalog_manifest(&["nosuch".to_string()], 100_000, 64, &[]).unwrap_err();
+        assert!(err.contains("nosuch"), "{err}");
+        let m = build_catalog_manifest(
+            &["fig8a".to_string()],
+            100_000,
+            64,
+            &["libquantum".to_string()],
+        )
+        .unwrap();
+        assert_eq!(m.experiments.len(), 1);
+        assert!(!m.experiments[0].jobs.is_empty());
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn render_experiment_outputs_checks_report_count() {
+        let m = build_catalog_manifest(
+            &["fig8a".to_string()],
+            100_000,
+            64,
+            &["libquantum".to_string()],
+        )
+        .unwrap();
+        let err = render_experiment_outputs(Path::new("."), &m, &[], false).unwrap_err();
+        assert!(err.contains("reports"), "{err}");
     }
 }

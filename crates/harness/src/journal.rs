@@ -229,6 +229,160 @@ pub fn load(path: &Path) -> Result<JournalDoc, String> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Service journal (das-serve)
+// ---------------------------------------------------------------------------
+
+/// Service-journal format version (line-1 schema).
+pub const SERVE_JOURNAL_VERSION: u64 = 1;
+
+/// The `das-serve` session journal: one fsync'd JSON line per lifecycle
+/// event (`admit`, `done`, `failed`, `cancelled`, plus `drain`/`drained`
+/// markers). Unlike the run [`Journal`] it stores no reports — it is the
+/// audit trail that lets a drained server prove no job was orphaned:
+/// every admitted job must reach a terminal event before exit.
+#[derive(Debug)]
+pub struct ServiceJournal {
+    file: File,
+}
+
+impl ServiceJournal {
+    /// Creates (truncating) a fresh service journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path) -> Result<ServiceJournal, String> {
+        let mut file = File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+        let header = Value::obj()
+            .set("das_serve_journal", SERVE_JOURNAL_VERSION)
+            .render();
+        file.write_all(header.as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .and_then(|()| file.sync_data())
+            .map_err(|e| format!("write {path:?}: {e}"))?;
+        Ok(ServiceJournal { file })
+    }
+
+    fn append(&mut self, line: Value) -> Result<(), String> {
+        self.file
+            .write_all(line.render().as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("append service journal: {e}"))
+    }
+
+    /// Records a job admission.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn admit(&mut self, job: &str) -> Result<(), String> {
+        self.append(Value::obj().set("event", "admit").set("job", job))
+    }
+
+    /// Records a job's terminal event (`done`, `failed`, `cancelled`),
+    /// with an optional error message.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn terminal(&mut self, event: &str, job: &str, error: Option<&str>) -> Result<(), String> {
+        let mut v = Value::obj().set("event", event).set("job", job);
+        if let Some(e) = error {
+            v = v.set("error", e);
+        }
+        self.append(v)
+    }
+
+    /// Records a bare lifecycle marker (`drain`, `drained`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn marker(&mut self, event: &str) -> Result<(), String> {
+        self.append(Value::obj().set("event", event))
+    }
+}
+
+/// Aggregate view of a parsed service journal.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ServiceSummary {
+    /// Jobs admitted.
+    pub admitted: u64,
+    /// Jobs that completed successfully.
+    pub done: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Jobs cancelled while queued.
+    pub cancelled: u64,
+    /// Admitted jobs with no terminal event — empty after a clean drain.
+    pub orphans: Vec<String>,
+}
+
+/// Reads and validates a `das-serve` session journal: header shape, every
+/// line strict JSON with a known event, terminal events only for admitted
+/// jobs, no duplicate terminals. The returned summary's `orphans` lists
+/// admitted jobs that never reached a terminal event (non-empty means the
+/// server exited without draining).
+///
+/// # Errors
+///
+/// Returns the first structural violation with its line number.
+pub fn load_service(path: &Path) -> Result<ServiceSummary, String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("read {path:?}: {e}"))?;
+    let mut lines = text.lines();
+    let header =
+        json::parse(lines.next().ok_or("empty journal")?).map_err(|e| format!("line 1: {e}"))?;
+    if header.get("das_serve_journal").and_then(Value::as_u64) != Some(SERVE_JOURNAL_VERSION) {
+        return Err(format!(
+            "line 1: not a das_serve_journal v{SERVE_JOURNAL_VERSION}"
+        ));
+    }
+    let mut summary = ServiceSummary::default();
+    let mut open: Vec<String> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let lineno = i + 2;
+        let v = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let event = v
+            .get("event")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing event"))?;
+        let job = v.get("job").and_then(Value::as_str);
+        match event {
+            "admit" => {
+                let id = job.ok_or_else(|| format!("line {lineno}: admit without job"))?;
+                if open.iter().any(|j| j == id) {
+                    return Err(format!("line {lineno}: job {id:?} admitted twice"));
+                }
+                open.push(id.to_string());
+                summary.admitted += 1;
+            }
+            "done" | "failed" | "cancelled" => {
+                let id = job.ok_or_else(|| format!("line {lineno}: {event} without job"))?;
+                let Some(pos) = open.iter().position(|j| j == id) else {
+                    return Err(format!(
+                        "line {lineno}: {event} for {id:?} which is not admitted/open"
+                    ));
+                };
+                open.remove(pos);
+                match event {
+                    "done" => summary.done += 1,
+                    "failed" => summary.failed += 1,
+                    _ => summary.cancelled += 1,
+                }
+            }
+            "drain" | "drained" => {}
+            other => return Err(format!("line {lineno}: unknown event {other:?}")),
+        }
+    }
+    summary.orphans = open;
+    Ok(summary)
+}
+
 /// Converts journalled reports into the legacy `{"runs":[...]}` document
 /// the bench `--json` flag always produced — the compatibility shim that
 /// lets downstream consumers of `results/*.json` keep working unchanged.
@@ -305,6 +459,53 @@ mod tests {
         let j = Journal::resume(&path, "feed", &["a"]).unwrap();
         assert_eq!(j.done(), 0);
         assert_eq!(load(&path).unwrap().fingerprint, "feed");
+    }
+
+    #[test]
+    fn service_journal_round_trips_and_flags_orphans() {
+        let path = tmp("service.jsonl");
+        {
+            let mut j = ServiceJournal::create(&path).unwrap();
+            j.admit("t1/a").unwrap();
+            j.admit("t1/b").unwrap();
+            j.admit("t2/c").unwrap();
+            j.terminal("done", "t1/a", None).unwrap();
+            j.terminal("failed", "t1/b", Some("boom")).unwrap();
+            j.marker("drain").unwrap();
+        }
+        let s = load_service(&path).unwrap();
+        assert_eq!(s.admitted, 3);
+        assert_eq!((s.done, s.failed, s.cancelled), (1, 1, 0));
+        assert_eq!(s.orphans, vec!["t2/c".to_string()], "c never finished");
+        // Close the orphan: the journal validates clean.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"event\":\"cancelled\",\"job\":\"t2/c\"}\n")
+                .unwrap();
+        }
+        let s = load_service(&path).unwrap();
+        assert!(s.orphans.is_empty());
+        assert_eq!(s.cancelled, 1);
+    }
+
+    #[test]
+    fn service_journal_rejects_structural_violations() {
+        let path = tmp("service_bad.jsonl");
+        let write = |lines: &str| {
+            std::fs::write(&path, format!("{{\"das_serve_journal\":1}}\n{lines}")).unwrap()
+        };
+        write("{\"event\":\"done\",\"job\":\"x\"}\n");
+        assert!(load_service(&path).unwrap_err().contains("not admitted"));
+        write("{\"event\":\"admit\",\"job\":\"x\"}\n{\"event\":\"admit\",\"job\":\"x\"}\n");
+        assert!(load_service(&path).unwrap_err().contains("twice"));
+        write("{\"event\":\"warp\"}\n");
+        assert!(load_service(&path).unwrap_err().contains("unknown event"));
+        write("not json\n");
+        assert!(load_service(&path).is_err());
+        std::fs::write(&path, "{\"wrong\":1}\n").unwrap();
+        assert!(load_service(&path)
+            .unwrap_err()
+            .contains("das_serve_journal"));
     }
 
     #[test]

@@ -1,19 +1,38 @@
-//! A deterministic work-stealing thread pool (std-only).
+//! Deterministic work distribution (std-only): a batch-mode ordered pool
+//! and a long-running service pool sharing the same stealing discipline.
 //!
 //! Jobs are dealt round-robin onto per-worker queues; a worker pops from
 //! the *front* of its own queue and steals from the *back* of its
 //! neighbours', so a lightly loaded pool keeps the natural execution
-//! order and a contended one balances itself. Completion order is
-//! whatever the machine gives us — the consumer callback is nevertheless
-//! invoked **in job-id order** via a reorder buffer, so anything driven
-//! from it (journal lines, progress output) is bit-identical no matter
-//! how many workers ran. With jobs that are pure functions of their
-//! index, an N-thread run is therefore indistinguishable from a 1-thread
-//! run everywhere outside wall-clock time.
+//! order and a contended one balances itself. For [`run_ordered`],
+//! completion order is whatever the machine gives us — the consumer
+//! callback is nevertheless invoked **in job-id order** via a reorder
+//! buffer, so anything driven from it (journal lines, progress output) is
+//! bit-identical no matter how many workers ran. With jobs that are pure
+//! functions of their index, an N-thread run is therefore
+//! indistinguishable from a 1-thread run everywhere outside wall-clock
+//! time.
+//!
+//! [`ServicePool`] is the embeddable, continuously-fed variant `das-serve`
+//! builds on: tasks arrive over the pool's lifetime, each task reports its
+//! own completion (the server's job registry), and a panicking task never
+//! takes a worker down.
+//!
+//! Lock-poisoning policy: every queue mutex here guards plain
+//! `VecDeque`s whose operations (`push_back`/`pop_front`/`pop_back`)
+//! cannot panic mid-mutation, so a poisoned lock only means *some other*
+//! thread panicked while holding it — the queue itself is still
+//! consistent. All sites therefore recover with
+//! `PoisonError::into_inner` instead of cascading the panic.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+
+/// Locks a mutex, recovering from poisoning (see the module-level policy).
+fn lock_queue<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Runs `n_jobs` jobs on `threads` workers, invoking `emit(job, result)`
 /// on the calling thread in strictly ascending job order, starting while
@@ -32,10 +51,7 @@ where
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
     for job in 0..n_jobs {
-        queues[job % threads]
-            .lock()
-            .expect("queue lock")
-            .push_back(job);
+        lock_queue(&queues[job % threads]).push_back(job);
     }
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|s| {
@@ -47,11 +63,11 @@ where
                 // Own queue first (front), then steal from the back of the
                 // others. Jobs are fixed up-front, so "every queue empty"
                 // means the pool is drained.
-                let mut job = queues[w].lock().expect("queue lock").pop_front();
+                let mut job = lock_queue(&queues[w]).pop_front();
                 if job.is_none() {
                     for off in 1..queues.len() {
                         let victim = (w + off) % queues.len();
-                        job = queues[victim].lock().expect("queue lock").pop_back();
+                        job = lock_queue(&queues[victim]).pop_back();
                         if job.is_some() {
                             break;
                         }
@@ -82,6 +98,141 @@ where
             next += 1;
         }
     });
+}
+
+/// A boxed unit of service work.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct ServiceShared {
+    /// One deque per worker behind a single lock (stealing needs a
+    /// consistent view of all of them anyway).
+    queues: Mutex<Vec<VecDeque<Task>>>,
+    /// Signalled on submit and on shutdown.
+    available: Condvar,
+    /// Once set, workers exit as soon as every queue is empty — queued
+    /// tasks still run (drain-then-stop, never drop).
+    shutdown: AtomicBool,
+    /// Tasks whose panic was contained by the worker loop.
+    panicked: AtomicU64,
+}
+
+/// A long-running worker pool for continuously arriving tasks — the
+/// service-mode sibling of [`run_ordered`], with the same round-robin
+/// deal + steal-from-the-back discipline.
+///
+/// Unlike `run_ordered` there is no reorder buffer: each task carries its
+/// own completion effect (e.g. updating `das-serve`'s job registry), and
+/// results stay deterministic because every task is a pure function of
+/// its job spec. A panicking task is contained with `catch_unwind`: the
+/// worker survives, the panic is counted, and the remaining queue keeps
+/// draining — one bad job cannot stall the service.
+pub struct ServicePool {
+    shared: Arc<ServiceShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next: AtomicU64,
+}
+
+impl ServicePool {
+    /// Starts `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> ServicePool {
+        let threads = threads.max(1);
+        let shared = Arc::new(ServiceShared {
+            queues: Mutex::new((0..threads).map(|_| VecDeque::new()).collect()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, w))
+            })
+            .collect();
+        ServicePool {
+            shared,
+            workers: Mutex::new(workers),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues one task (round-robin dealt across worker queues).
+    /// Admission control is the caller's job — the pool itself is
+    /// unbounded.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        let mut queues = lock_queue(&self.shared.queues);
+        let w = self.next.fetch_add(1, Ordering::Relaxed) as usize % queues.len();
+        queues[w].push_back(Box::new(task));
+        drop(queues);
+        self.shared.available.notify_one();
+    }
+
+    /// Tasks currently waiting in queues (not yet picked up).
+    pub fn pending(&self) -> usize {
+        lock_queue(&self.shared.queues)
+            .iter()
+            .map(VecDeque::len)
+            .sum()
+    }
+
+    /// Tasks whose panic the pool contained so far.
+    pub fn panicked_tasks(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Drains and stops: already-queued tasks still run, then every worker
+    /// exits and is joined. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        let workers = std::mem::take(&mut *lock_queue(&self.workers));
+        for h in workers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServicePool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &ServiceShared, w: usize) {
+    loop {
+        let task = {
+            let mut queues = lock_queue(&shared.queues);
+            loop {
+                // Own queue first (front), then steal from the back of the
+                // others — the run_ordered discipline.
+                if let Some(t) = queues[w].pop_front() {
+                    break Some(t);
+                }
+                let n = queues.len();
+                let stolen = (1..n).find_map(|off| queues[(w + off) % n].pop_back());
+                if stolen.is_some() {
+                    break stolen;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queues = shared
+                    .available
+                    .wait(queues)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match task {
+            Some(t) => {
+                // Contain task panics: the task's own completion handling
+                // (e.g. marking a job failed) is the task's business; the
+                // worker must survive to run the rest of the queue.
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(t)).is_err() {
+                    shared.panicked.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => return,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,5 +281,60 @@ mod tests {
         );
         assert_eq!(runs.load(Ordering::SeqCst), 100);
         assert_eq!(emitted, 100);
+    }
+
+    #[test]
+    fn service_pool_runs_every_task_across_threads() {
+        let pool = ServicePool::new(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..200 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 200);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn service_pool_shutdown_drains_queued_tasks() {
+        // Queue far more tasks than workers, shut down immediately: every
+        // queued task must still run (drain-then-stop, never drop).
+        let pool = ServicePool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_worker() {
+        let pool = ServicePool::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.submit(|| panic!("job exploded"));
+        let d = Arc::clone(&done);
+        pool.submit(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1, "worker survived the panic");
+        assert_eq!(pool.panicked_tasks(), 1);
+    }
+
+    #[test]
+    fn service_pool_is_idempotent_on_double_shutdown() {
+        let pool = ServicePool::new(2);
+        pool.submit(|| {});
+        pool.shutdown();
+        pool.shutdown();
+        assert_eq!(pool.pending(), 0);
     }
 }

@@ -59,10 +59,14 @@ impl ProfileCache {
         cfg: &SystemConfig,
         workloads: &[WorkloadConfig],
     ) -> Arc<Profile> {
+        // Poison recovery: the map is only ever mutated by this
+        // `entry().or_default()` (which cannot leave it half-updated), so a
+        // poisoned lock means another worker panicked elsewhere while
+        // holding it — the state is still consistent and safe to reuse.
         let slot: Slot = self
             .slots
             .lock()
-            .expect("profile cache lock")
+            .unwrap_or_else(|e| e.into_inner())
             .entry(key.to_string())
             .or_default()
             .clone();
@@ -80,7 +84,7 @@ impl ProfileCache {
 
     /// Number of distinct profiles computed so far.
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("profile cache lock").len()
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether nothing has been profiled yet.

@@ -1,0 +1,332 @@
+//! `dasctl` — the `das-serve` client.
+//!
+//! Subcommands: `submit` (submit experiments, stream results, render the
+//! same `<id>.txt` / `<id>.json` artifacts a direct `harness` run
+//! writes), `status`, `watch`, `cancel`, `stats`, `list`, `drain`.
+//! Malformed arguments exit 2; runtime failures (including structured
+//! server rejections such as `busy`) exit 1.
+
+use std::path::PathBuf;
+
+use das_harness::cli::{build_catalog_manifest, render_experiment_outputs};
+use das_serve::client::{collect_stream, Client};
+use das_serve::proto;
+use das_telemetry::json::Value;
+
+const USAGE: &str = "usage: dasctl <command> --addr HOST:PORT [options]\n\
+  submit  --exp a,b [--insts N] [--scale N] [--only a,b] [--out-dir DIR]\n\
+  status  --job ID\n\
+  watch   --job ID\n\
+  cancel  --job ID\n\
+  stats\n\
+  list\n\
+  drain   [--wait]";
+
+#[derive(Debug, PartialEq, Eq)]
+enum Command {
+    Submit {
+        exps: Vec<String>,
+        insts: u64,
+        scale: u32,
+        only: Vec<String>,
+        out_dir: String,
+    },
+    Status {
+        job: String,
+    },
+    Watch {
+        job: String,
+    },
+    Cancel {
+        job: String,
+    },
+    Stats,
+    List,
+    Drain {
+        wait: bool,
+    },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Args {
+    addr: String,
+    command: Command,
+}
+
+fn need(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn need_u64(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    let v = need(args, flag)?;
+    match v.parse::<u64>() {
+        Ok(0) => Err(format!("{flag} needs a positive integer, got 0")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("{flag} needs a positive integer, got {v:?}")),
+    }
+}
+
+fn need_list(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<Vec<String>, String> {
+    Ok(need(args, flag)?.split(',').map(str::to_string).collect())
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    let mut args = args.into_iter();
+    let cmd = args.next().ok_or("missing command")?;
+    let mut addr: Option<String> = None;
+    let mut exps: Vec<String> = Vec::new();
+    let mut insts = 3_000_000u64;
+    let mut scale = 64u32;
+    let mut only: Vec<String> = Vec::new();
+    let mut out_dir = ".".to_string();
+    let mut job: Option<String> = None;
+    let mut wait = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(need(&mut args, "--addr")?),
+            "--exp" => exps = need_list(&mut args, "--exp")?,
+            "--insts" => insts = need_u64(&mut args, "--insts")?,
+            "--scale" => {
+                scale = u32::try_from(need_u64(&mut args, "--scale")?)
+                    .map_err(|_| "--scale is out of range".to_string())?;
+            }
+            "--only" => only = need_list(&mut args, "--only")?,
+            "--out-dir" => out_dir = need(&mut args, "--out-dir")?,
+            "--job" => job = Some(need(&mut args, "--job")?),
+            "--wait" => wait = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let addr = addr.ok_or("--addr is required")?;
+    let job_for =
+        |cmd: &str, job: Option<String>| job.ok_or_else(|| format!("{cmd} needs --job ID"));
+    let command = match cmd.as_str() {
+        "submit" => {
+            if exps.is_empty() {
+                return Err("submit needs --exp a,b".into());
+            }
+            Command::Submit {
+                exps,
+                insts,
+                scale,
+                only,
+                out_dir,
+            }
+        }
+        "status" => Command::Status {
+            job: job_for("status", job)?,
+        },
+        "watch" => Command::Watch {
+            job: job_for("watch", job)?,
+        },
+        "cancel" => Command::Cancel {
+            job: job_for("cancel", job)?,
+        },
+        "stats" => Command::Stats,
+        "list" => Command::List,
+        "drain" => Command::Drain { wait },
+        other => return Err(format!("unknown command {other:?}")),
+    };
+    Ok(Args { addr, command })
+}
+
+fn str_arr(items: &[String]) -> Value {
+    Value::Arr(items.iter().map(|s| Value::Str(s.clone())).collect())
+}
+
+/// The `submit` flow: submit the experiments, stream every job's result,
+/// and render the artifacts through the exact code path a direct
+/// `harness` run uses — server-fetched `<id>.txt` / `<id>.json` are
+/// byte-identical to a local run's.
+fn cmd_submit(
+    addr: &str,
+    exps: &[String],
+    insts: u64,
+    scale: u32,
+    only: &[String],
+    out_dir: &str,
+) -> Result<(), String> {
+    // Build the manifest locally first: unknown experiment ids fail
+    // before any network traffic, and rendering needs the job layout.
+    let manifest = build_catalog_manifest(exps, insts, scale, only)?;
+    manifest
+        .validate()
+        .map_err(|e| format!("invalid run matrix: {e}"))?;
+    let mut client = Client::connect(addr)?;
+    let req = proto::request("submit_experiment")
+        .set("exp", str_arr(exps))
+        .set("insts", insts)
+        .set("scale", u64::from(scale))
+        .set("only", str_arr(only));
+    let resp = client.request(&req)?;
+    let jobs: Vec<String> = resp
+        .get("jobs")
+        .and_then(Value::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
+        .ok_or("server response carries no job list")?;
+    eprintln!("submitted {} jobs (ticket-prefixed ids)", jobs.len());
+    let reports = collect_stream(&mut client, &jobs, |job, state| {
+        eprintln!("{job}: {state}");
+    })?;
+    let out = PathBuf::from(out_dir);
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    render_experiment_outputs(&out, &manifest, &reports, false)?;
+    println!(
+        "fetched {} runs across {} experiments -> {}",
+        reports.len(),
+        manifest.experiments.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_watch(addr: &str, job: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr)?;
+    let jobs = vec![job.to_string()];
+    let reports = collect_stream(&mut client, &jobs, |job, state| {
+        eprintln!("{job}: {state}");
+    })?;
+    println!("{}", reports[0].render());
+    Ok(())
+}
+
+fn one_shot(addr: &str, req: Value) -> Result<Value, String> {
+    Client::connect(addr)?.request(&req)
+}
+
+fn run(args: Args) -> Result<(), String> {
+    match &args.command {
+        Command::Submit {
+            exps,
+            insts,
+            scale,
+            only,
+            out_dir,
+        } => cmd_submit(&args.addr, exps, *insts, *scale, only, out_dir),
+        Command::Status { job } => {
+            let resp = one_shot(
+                &args.addr,
+                proto::request("status").set("job", job.as_str()),
+            )?;
+            println!("{}", resp.render());
+            Ok(())
+        }
+        Command::Watch { job } => cmd_watch(&args.addr, job),
+        Command::Cancel { job } => {
+            let resp = one_shot(
+                &args.addr,
+                proto::request("cancel").set("job", job.as_str()),
+            )?;
+            println!("{}", resp.render());
+            Ok(())
+        }
+        Command::Stats => {
+            let resp = one_shot(&args.addr, proto::request("stats"))?;
+            println!("{}", resp.render());
+            Ok(())
+        }
+        Command::List => {
+            let resp = one_shot(&args.addr, proto::request("list"))?;
+            println!("{}", resp.render());
+            Ok(())
+        }
+        Command::Drain { wait } => {
+            let mut client = Client::connect(&args.addr)?;
+            // Draining can outlive any default read timeout; block as
+            // long as the server needs.
+            let _ = client.set_read_timeout(None);
+            let resp = client.request(&proto::request("drain").set("wait", *wait))?;
+            println!("{}", resp.render());
+            Ok(())
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}\n{USAGE}");
+        std::process::exit(2);
+    });
+    if let Err(e) = run(args) {
+        eprintln!("dasctl: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_each_command() {
+        let a = parse_args(argv(&[
+            "submit",
+            "--addr",
+            "127.0.0.1:4750",
+            "--exp",
+            "fig8a,fig8b",
+            "--insts",
+            "100000",
+            "--scale",
+            "8",
+            "--only",
+            "mcf",
+            "--out-dir",
+            "results",
+        ]))
+        .unwrap();
+        assert_eq!(a.addr, "127.0.0.1:4750");
+        assert_eq!(
+            a.command,
+            Command::Submit {
+                exps: vec!["fig8a".into(), "fig8b".into()],
+                insts: 100_000,
+                scale: 8,
+                only: vec!["mcf".into()],
+                out_dir: "results".into(),
+            }
+        );
+        let a = parse_args(argv(&["status", "--addr", "h:1", "--job", "t1/x"])).unwrap();
+        assert_eq!(a.command, Command::Status { job: "t1/x".into() });
+        let a = parse_args(argv(&["drain", "--addr", "h:1", "--wait"])).unwrap();
+        assert_eq!(a.command, Command::Drain { wait: true });
+        let a = parse_args(argv(&["stats", "--addr", "h:1"])).unwrap();
+        assert_eq!(a.command, Command::Stats);
+    }
+
+    #[test]
+    fn rejects_each_malformed_invocation() {
+        for (args, needle) in [
+            (vec![] as Vec<&str>, "missing command"),
+            (vec!["frobnicate", "--addr", "h:1"], "unknown command"),
+            (vec!["stats"], "--addr is required"),
+            (vec!["submit", "--addr", "h:1"], "--exp"),
+            (
+                vec!["submit", "--addr", "h:1", "--exp", "a", "--insts", "x"],
+                "--insts",
+            ),
+            (
+                vec!["submit", "--addr", "h:1", "--exp", "a", "--scale", "0"],
+                "positive",
+            ),
+            (vec!["status", "--addr", "h:1"], "needs --job"),
+            (vec!["cancel", "--addr", "h:1"], "needs --job"),
+            (vec!["watch", "--addr", "h:1"], "needs --job"),
+            (
+                vec!["drain", "--addr", "h:1", "--bogus"],
+                "unknown argument",
+            ),
+        ] {
+            let err = parse_args(argv(&args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
+    }
+}

@@ -1,0 +1,737 @@
+//! The `das-serve` server: a thread-per-connection TCP front end over the
+//! shared simulation state, with bounded admission, streaming results and
+//! graceful drain.
+//!
+//! ## Shape
+//!
+//! One [`Server`] owns the process-wide state every connection shares:
+//! the job [`Registry`] (+ condvar for state-change waits), the
+//! [`ServicePool`] executing jobs, the memoized [`ProfileCache`], the
+//! optional content-addressed [`TraceStore`], the fsync'd
+//! [`ServiceJournal`] audit trail, and the [`Metrics`] behind the `stats`
+//! request. The experiment catalog is compiled in (loaded once by
+//! construction); submitting the same experiment twice shares the profile
+//! memo and trace store, not the work queue.
+//!
+//! ## Admission and backpressure
+//!
+//! Capacity bounds *outstanding* jobs (queued + running). A submission
+//! that would exceed it is rejected with a structured `busy` error
+//! carrying `retry_after_ms` — never blocked, never dropped — and a batch
+//! is admitted atomically or not at all, so a rejected client retries the
+//! whole submission. While draining, every submission gets `draining`.
+//!
+//! ## Determinism
+//!
+//! [`das_harness::runner::execute`] is a pure function of the job spec
+//! (the shared profile memo and trace store are themselves
+//! deterministic), so a report fetched from the server renders
+//! byte-identically to one computed by a direct `harness` run — the
+//! loopback tests and the CI smoke job lock this. Ticket prefixes
+//! (`t3/<job-id>`) keep concurrent submissions of the same experiment
+//! distinct without touching report bytes.
+//!
+//! ## Drain
+//!
+//! A `drain` request (the protocol's SIGTERM equivalent) stops admission,
+//! lets in-flight and queued jobs finish, journals `drained`, and wakes
+//! the accept loop so [`Server::run`] returns — the process exits 0 with
+//! every admitted job at a terminal, journalled state.
+//!
+//! Lock order is `registry → journal` everywhere (admission and task
+//! completion both write the journal while holding the registry), which
+//! also guarantees the journal's terminal line is on disk before a job
+//! becomes observably terminal: when drain sees every job terminal, the
+//! journal is complete.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use das_harness::cli::build_catalog_manifest;
+use das_harness::journal::ServiceJournal;
+use das_harness::manifest::JobSpec;
+use das_harness::pool::ServicePool;
+use das_harness::profile::ProfileCache;
+use das_harness::runner;
+use das_telemetry::json::Value;
+use das_trace::TraceStore;
+
+use crate::proto::{self, code, ProtoError};
+use crate::state::{JobState, Metrics, Registry};
+
+/// File name of the service journal inside the output directory.
+pub const SERVE_JOURNAL_NAME: &str = "serve-journal.jsonl";
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Simulation worker threads.
+    pub threads: usize,
+    /// Maximum outstanding (queued + running) jobs; submissions beyond
+    /// this get a structured `busy` rejection.
+    pub capacity: usize,
+    /// Output directory: service journal plus job side-effect exports.
+    pub out_dir: PathBuf,
+    /// Content-addressed trace store directory (optional).
+    pub trace_store_dir: Option<PathBuf>,
+    /// Per-connection read/idle timeout: a connection silent this long is
+    /// closed.
+    pub read_timeout: Duration,
+    /// Maximum accepted frame payload, bytes.
+    pub max_frame: usize,
+    /// The `retry_after_ms` hint sent with `busy` rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: 2,
+            capacity: 16,
+            out_dir: PathBuf::from("."),
+            trace_store_dir: None,
+            read_timeout: Duration::from_secs(30),
+            max_frame: proto::DEFAULT_MAX_FRAME,
+            retry_after_ms: 250,
+        }
+    }
+}
+
+/// Locks a mutex, recovering from poisoning. Registry, journal and
+/// metrics updates are single multi-field writes completed before any
+/// unwind point (the simulation itself runs outside these locks, wrapped
+/// in `catch_unwind`), so a poisoned lock still guards consistent state.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    registry: Mutex<Registry>,
+    /// Notified on every registry transition and on drain.
+    changed: Condvar,
+    journal: Mutex<ServiceJournal>,
+    metrics: Mutex<Metrics>,
+    profiles: ProfileCache,
+    store: Option<TraceStore>,
+    pool: ServicePool,
+    draining: AtomicBool,
+    /// Set once drained: the accept loop exits and connections stop
+    /// picking up new requests.
+    stop: AtomicBool,
+    tickets: AtomicU64,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and initializes
+    /// the shared state: output directory, service journal, optional
+    /// trace store, worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Readable messages for bind, directory, journal or store failures.
+    pub fn bind(addr: &str, cfg: ServerConfig) -> Result<Server, String> {
+        std::fs::create_dir_all(&cfg.out_dir)
+            .map_err(|e| format!("cannot create {}: {e}", cfg.out_dir.display()))?;
+        let journal = ServiceJournal::create(&cfg.out_dir.join(SERVE_JOURNAL_NAME))?;
+        let store = match &cfg.trace_store_dir {
+            Some(dir) => Some(
+                TraceStore::open(dir)
+                    .map_err(|e| format!("cannot open trace store {}: {e}", dir.display()))?,
+            ),
+            None => None,
+        };
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let pool = ServicePool::new(cfg.threads);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cfg,
+                registry: Mutex::new(Registry::default()),
+                changed: Condvar::new(),
+                journal: Mutex::new(journal),
+                metrics: Mutex::new(Metrics::default()),
+                profiles: ProfileCache::new(),
+                store,
+                pool,
+                draining: AtomicBool::new(false),
+                stop: AtomicBool::new(false),
+                tickets: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (interesting with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS lookup failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until drained: accepts connections (one thread each),
+    /// and returns once a `drain` request has been honoured — admission
+    /// stopped, every admitted job terminal, journal flushed.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept-loop failures only; per-connection and per-job
+    /// failures are answered in-protocol.
+    pub fn run(self) -> Result<(), String> {
+        let addr = self
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        let shared = Arc::clone(&self.shared);
+        let completer = std::thread::spawn(move || drain_completer(&shared, addr));
+        let mut conns = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    let shared = Arc::clone(&self.shared);
+                    conns.push(std::thread::spawn(move || handle_connection(&shared, s)));
+                }
+                Err(e) => {
+                    eprintln!("das-serve: accept failed: {e}");
+                }
+            }
+        }
+        // Drained: all jobs terminal, journal complete. Join what's left —
+        // idle connections close within read_timeout.
+        for h in conns {
+            let _ = h.join();
+        }
+        let _ = completer.join();
+        self.shared.pool.shutdown();
+        Ok(())
+    }
+}
+
+/// Waits for "draining and nothing outstanding", journals `drained`, and
+/// wakes the blocked accept loop with a self-connection.
+fn drain_completer(shared: &Arc<Shared>, addr: SocketAddr) {
+    let mut reg = lock(&shared.registry);
+    loop {
+        if shared.draining.load(Ordering::SeqCst) && reg.outstanding() == 0 {
+            break;
+        }
+        reg = shared
+            .changed
+            .wait_timeout(reg, Duration::from_millis(200))
+            .unwrap_or_else(|e| e.into_inner())
+            .0;
+    }
+    {
+        let mut jr = lock(&shared.journal);
+        if let Err(e) = jr.marker("drained") {
+            eprintln!("das-serve: {e}");
+        }
+    }
+    drop(reg);
+    shared.stop.store(true, Ordering::SeqCst);
+    // The accept loop is blocked in accept(); a throwaway connection
+    // wakes it so it can observe `stop`.
+    let _ = TcpStream::connect(addr);
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(mut reader) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let req = match proto::read_frame(&mut reader, shared.cfg.max_frame) {
+            Ok(v) => v,
+            Err(ProtoError::Closed) => return,
+            Err(ProtoError::Io(_)) => return, // disconnect mid-frame or idle timeout
+            Err(ProtoError::Malformed { msg, recoverable }) => {
+                lock(&shared.metrics).malformed_frames += 1;
+                let c = if msg.contains("UTF-8") || msg.contains("JSON") {
+                    code::PARSE
+                } else {
+                    code::FRAME
+                };
+                if proto::write_frame(&mut writer, &proto::error(c, &msg)).is_err() || !recoverable
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        let start = Instant::now();
+        let kind = req
+            .get("kind")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let keep = match handle_request(shared, &req, &kind, &mut writer) {
+            Ok(()) => true,
+            Err(_) => false, // client went away mid-response
+        };
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        lock(&shared.metrics).record_request(&kind, micros);
+        if !keep {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request; everything but `stream` writes exactly one
+/// response frame. Returns `Err` only on transport failure.
+fn handle_request(
+    shared: &Arc<Shared>,
+    req: &Value,
+    kind: &str,
+    writer: &mut TcpStream,
+) -> std::io::Result<()> {
+    if let Err(resp) = proto::check_version(req) {
+        return proto::write_frame(writer, &resp);
+    }
+    match kind {
+        "submit_job" => {
+            let resp = handle_submit_job(shared, req);
+            proto::write_frame(writer, &resp)
+        }
+        "submit_experiment" => {
+            let resp = handle_submit_experiment(shared, req);
+            proto::write_frame(writer, &resp)
+        }
+        "status" => {
+            let resp = handle_status(shared, req);
+            proto::write_frame(writer, &resp)
+        }
+        "stream" => handle_stream(shared, req, writer),
+        "cancel" => {
+            let resp = handle_cancel(shared, req);
+            proto::write_frame(writer, &resp)
+        }
+        "stats" => {
+            let resp = handle_stats(shared);
+            proto::write_frame(writer, &resp)
+        }
+        "list" => {
+            let resp = handle_list(shared);
+            proto::write_frame(writer, &resp)
+        }
+        "drain" => handle_drain(shared, req, writer),
+        other => proto::write_frame(
+            writer,
+            &proto::error(
+                code::BAD_REQUEST,
+                &format!("unknown request kind {other:?}"),
+            ),
+        ),
+    }
+}
+
+/// Admits a batch of jobs atomically: capacity-checked, journalled and
+/// registered under one ticket, then handed to the pool. `Err` carries
+/// the ready-made rejection response (`draining`, `busy`, `internal`).
+fn admit(shared: &Arc<Shared>, specs: Vec<JobSpec>) -> Result<(u64, Vec<String>), Value> {
+    if specs.is_empty() {
+        return Err(proto::error(code::BAD_REQUEST, "nothing to admit"));
+    }
+    let mut reg = lock(&shared.registry);
+    if shared.draining.load(Ordering::SeqCst) {
+        lock(&shared.metrics).rejected_draining += 1;
+        return Err(proto::error(
+            code::DRAINING,
+            "server is draining and admits no new work",
+        ));
+    }
+    let outstanding = reg.outstanding();
+    if outstanding + specs.len() > shared.cfg.capacity {
+        lock(&shared.metrics).rejected_busy += 1;
+        return Err(proto::busy(
+            &format!(
+                "{} outstanding + {} submitted exceeds capacity {}",
+                outstanding,
+                specs.len(),
+                shared.cfg.capacity
+            ),
+            shared.cfg.retry_after_ms,
+        ));
+    }
+    let ticket = shared.tickets.fetch_add(1, Ordering::SeqCst) + 1;
+    let ids: Vec<String> = specs
+        .iter()
+        .map(|s| format!("t{ticket}/{}", s.id))
+        .collect();
+    {
+        let mut jr = lock(&shared.journal);
+        for id in &ids {
+            if let Err(e) = jr.admit(id) {
+                return Err(proto::error(code::INTERNAL, &e));
+            }
+        }
+    }
+    for (id, spec) in ids.iter().zip(specs) {
+        reg.insert_queued(id.clone(), spec);
+    }
+    lock(&shared.metrics).admitted += ids.len() as u64;
+    drop(reg);
+    for id in &ids {
+        let task_shared = Arc::clone(shared);
+        let id = id.clone();
+        shared.pool.submit(move || run_job(&task_shared, &id));
+    }
+    Ok((ticket, ids))
+}
+
+/// Executes one admitted job on a pool worker: start (skipped if
+/// cancelled meanwhile), run the simulation with panic containment,
+/// journal the terminal event, publish the outcome.
+fn run_job(shared: &Arc<Shared>, id: &str) {
+    let spec = {
+        let mut reg = lock(&shared.registry);
+        match reg.start(id) {
+            Some(s) => s,
+            None => return, // cancelled while queued; already journalled
+        }
+    };
+    shared.changed.notify_all();
+    let outcome = match catch_unwind(AssertUnwindSafe(|| {
+        runner::execute(
+            &spec,
+            &shared.profiles,
+            &shared.cfg.out_dir,
+            shared.store.as_ref(),
+        )
+    })) {
+        Ok(r) => r,
+        Err(p) => {
+            let what = p
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Err(format!("job panicked: {what}"))
+        }
+    };
+    let mut reg = lock(&shared.registry);
+    {
+        let mut jr = lock(&shared.journal);
+        let (event, err) = match &outcome {
+            Ok(_) => ("done", None),
+            Err(e) => ("failed", Some(e.as_str())),
+        };
+        if let Err(e) = jr.terminal(event, id, err) {
+            eprintln!("das-serve: {e}");
+        }
+    }
+    reg.finish(id, outcome);
+    drop(reg);
+    shared.changed.notify_all();
+}
+
+fn handle_submit_job(shared: &Arc<Shared>, req: &Value) -> Value {
+    let Some(job) = req.get("job") else {
+        return proto::error(code::BAD_REQUEST, "submit_job needs a \"job\" object");
+    };
+    let spec = match JobSpec::from_value(job) {
+        Ok(s) => s,
+        Err(e) => return proto::error(code::BAD_REQUEST, &format!("bad job spec: {e}")),
+    };
+    match admit(shared, vec![spec]) {
+        Ok((ticket, ids)) => proto::ok("submit_job")
+            .set("ticket", ticket)
+            .set("job", ids[0].as_str()),
+        Err(resp) => resp,
+    }
+}
+
+fn handle_submit_experiment(shared: &Arc<Shared>, req: &Value) -> Value {
+    let ids: Vec<String> = match req.get("exp").and_then(Value::as_arr) {
+        Some(arr) => match arr
+            .iter()
+            .map(|v| v.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()
+        {
+            Some(ids) => ids,
+            None => return proto::error(code::BAD_REQUEST, "\"exp\" must be an array of strings"),
+        },
+        None => {
+            return proto::error(
+                code::BAD_REQUEST,
+                "submit_experiment needs an \"exp\" array of experiment ids",
+            )
+        }
+    };
+    let insts = req
+        .get("insts")
+        .and_then(Value::as_u64)
+        .unwrap_or(3_000_000);
+    let scale = match u32::try_from(req.get("scale").and_then(Value::as_u64).unwrap_or(64)) {
+        Ok(s) => s,
+        Err(_) => return proto::error(code::BAD_REQUEST, "\"scale\" out of range"),
+    };
+    let only: Vec<String> = req
+        .get("only")
+        .and_then(Value::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    let manifest = match build_catalog_manifest(&ids, insts, scale, &only) {
+        Ok(m) => m,
+        Err(e) => return proto::error(code::NOT_FOUND, &e),
+    };
+    if let Err(e) = manifest.validate() {
+        return proto::error(code::BAD_REQUEST, &format!("invalid run matrix: {e}"));
+    }
+    let specs: Vec<JobSpec> = manifest
+        .experiments
+        .iter()
+        .flat_map(|e| e.jobs.iter().cloned())
+        .collect();
+    match admit(shared, specs) {
+        Ok((ticket, ids)) => proto::ok("submit_experiment").set("ticket", ticket).set(
+            "jobs",
+            Value::Arr(ids.iter().map(|i| Value::Str(i.clone())).collect()),
+        ),
+        Err(resp) => resp,
+    }
+}
+
+fn handle_status(shared: &Arc<Shared>, req: &Value) -> Value {
+    let Some(id) = req.get("job").and_then(Value::as_str) else {
+        return proto::error(code::BAD_REQUEST, "status needs a \"job\" id");
+    };
+    let reg = lock(&shared.registry);
+    match reg.entry(id) {
+        Some(e) => {
+            let mut resp = proto::ok("status")
+                .set("job", id)
+                .set("state", e.state.as_str());
+            if let Some(err) = &e.error {
+                resp = resp.set("error", err.as_str());
+            }
+            resp
+        }
+        None => proto::error(code::NOT_FOUND, &format!("unknown job {id:?}")),
+    }
+}
+
+fn handle_cancel(shared: &Arc<Shared>, req: &Value) -> Value {
+    let Some(id) = req.get("job").and_then(Value::as_str) else {
+        return proto::error(code::BAD_REQUEST, "cancel needs a \"job\" id");
+    };
+    let mut reg = lock(&shared.registry);
+    let Some(entry) = reg.entry(id) else {
+        return proto::error(code::NOT_FOUND, &format!("unknown job {id:?}"));
+    };
+    let was = entry.state;
+    if was == JobState::Queued {
+        {
+            let mut jr = lock(&shared.journal);
+            if let Err(e) = jr.terminal("cancelled", id, None) {
+                return proto::error(code::INTERNAL, &e);
+            }
+        }
+        reg.cancel_queued(id);
+        drop(reg);
+        shared.changed.notify_all();
+        proto::ok("cancel")
+            .set("job", id)
+            .set("cancelled", true)
+            .set("state", JobState::Cancelled.as_str())
+    } else {
+        // Running jobs run to completion; terminal jobs stay as they are.
+        proto::ok("cancel")
+            .set("job", id)
+            .set("cancelled", false)
+            .set("state", was.as_str())
+    }
+}
+
+fn handle_stats(shared: &Arc<Shared>) -> Value {
+    let counts = lock(&shared.registry).counts();
+    let m = lock(&shared.metrics);
+    let mut resp = proto::ok("stats")
+        .set("capacity", shared.cfg.capacity)
+        .set("threads", shared.cfg.threads)
+        .set("draining", shared.draining.load(Ordering::SeqCst))
+        .set(
+            "jobs",
+            Value::obj()
+                .set("queued", counts.queued)
+                .set("running", counts.running)
+                .set("done", counts.done)
+                .set("failed", counts.failed)
+                .set("cancelled", counts.cancelled),
+        )
+        .set(
+            "admission",
+            Value::obj()
+                .set("admitted", m.admitted)
+                .set("rejected_busy", m.rejected_busy)
+                .set("rejected_draining", m.rejected_draining),
+        )
+        .set("malformed_frames", m.malformed_frames)
+        .set("pool_pending", shared.pool.pending())
+        .set("pool_panics", shared.pool.panicked_tasks())
+        .set("request_latency_us", m.latency_value());
+    if let Some(store) = &shared.store {
+        let s = store.stats();
+        resp = resp.set(
+            "trace_store",
+            Value::obj()
+                .set("hits", s.hits)
+                .set("misses", s.misses)
+                .set("bytes_written", s.bytes_written)
+                .set("bytes_read", s.bytes_read),
+        );
+    }
+    resp
+}
+
+fn handle_list(shared: &Arc<Shared>) -> Value {
+    let reg = lock(&shared.registry);
+    let jobs: Vec<Value> = reg
+        .list()
+        .into_iter()
+        .map(|(id, state)| Value::obj().set("job", id).set("state", state.as_str()))
+        .collect();
+    proto::ok("list").set("jobs", Value::Arr(jobs))
+}
+
+fn handle_drain(shared: &Arc<Shared>, req: &Value, writer: &mut TcpStream) -> std::io::Result<()> {
+    let first = !shared.draining.swap(true, Ordering::SeqCst);
+    if first {
+        let mut jr = lock(&shared.journal);
+        if let Err(e) = jr.marker("drain") {
+            eprintln!("das-serve: {e}");
+        }
+    }
+    shared.changed.notify_all();
+    let wait = req.get("wait").and_then(Value::as_bool).unwrap_or(false);
+    if wait {
+        let mut reg = lock(&shared.registry);
+        while reg.outstanding() > 0 {
+            reg = shared
+                .changed
+                .wait_timeout(reg, Duration::from_millis(100))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+    let outstanding = lock(&shared.registry).outstanding();
+    proto::write_frame(
+        writer,
+        &proto::ok("drain")
+            .set("draining", true)
+            .set("outstanding", outstanding),
+    )
+}
+
+/// Streams job outcomes: after an ack frame, emits a `progress` frame
+/// when a watched job starts running, a `result` frame (with report or
+/// error) when it reaches a terminal state, in the requested job order,
+/// then a final `stream_end` frame. Unknown ids fail the whole request
+/// up front with `not_found`.
+fn handle_stream(shared: &Arc<Shared>, req: &Value, writer: &mut TcpStream) -> std::io::Result<()> {
+    let ids: Option<Vec<String>> = req.get("jobs").and_then(Value::as_arr).map(|arr| {
+        arr.iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect()
+    });
+    let Some(ids) = ids.filter(|ids| !ids.is_empty()) else {
+        return proto::write_frame(
+            writer,
+            &proto::error(code::BAD_REQUEST, "stream needs a non-empty \"jobs\" array"),
+        );
+    };
+    {
+        let reg = lock(&shared.registry);
+        if let Some(bad) = ids.iter().find(|id| reg.entry(id).is_none()) {
+            return proto::write_frame(
+                writer,
+                &proto::error(code::NOT_FOUND, &format!("unknown job {bad:?}")),
+            );
+        }
+    }
+    proto::write_frame(writer, &proto::ok("stream").set("jobs", ids.len()))?;
+    for id in &ids {
+        let mut reported_running = false;
+        loop {
+            enum Step {
+                Wait,
+                Progress,
+                Result(Value),
+            }
+            let step = {
+                let mut reg = lock(&shared.registry);
+                loop {
+                    // Entry is guaranteed present (validated above;
+                    // entries are never removed).
+                    let Some(e) = reg.entry(id) else {
+                        break Step::Wait;
+                    };
+                    match e.state {
+                        JobState::Queued => {}
+                        JobState::Running if reported_running => {}
+                        JobState::Running => break Step::Progress,
+                        state => {
+                            let mut frame = proto::ok("result")
+                                .set("job", id.as_str())
+                                .set("state", state.as_str());
+                            if let Some(r) = &e.report {
+                                frame = frame.set("report", r.clone());
+                            }
+                            if let Some(err) = &e.error {
+                                frame = frame.set("error", err.as_str());
+                            }
+                            break Step::Result(frame);
+                        }
+                    }
+                    reg = shared
+                        .changed
+                        .wait_timeout(reg, Duration::from_millis(100))
+                        .unwrap_or_else(|p| p.into_inner())
+                        .0;
+                }
+            };
+            match step {
+                Step::Wait => {}
+                Step::Progress => {
+                    reported_running = true;
+                    proto::write_frame(
+                        writer,
+                        &proto::ok("progress")
+                            .set("job", id.as_str())
+                            .set("state", JobState::Running.as_str()),
+                    )?;
+                }
+                Step::Result(frame) => {
+                    proto::write_frame(writer, &frame)?;
+                    break;
+                }
+            }
+        }
+    }
+    proto::write_frame(writer, &proto::ok("stream_end"))
+}

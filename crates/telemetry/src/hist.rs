@@ -164,6 +164,20 @@ impl LatencyHistogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Summary of the distribution as a JSON object — count, min, max,
+    /// mean and the p50/p95/p99 percentiles. This is the per-request-kind
+    /// shape the `das-serve` stats response reports.
+    pub fn summary_value(&self) -> crate::json::Value {
+        crate::json::Value::obj()
+            .set("count", self.count())
+            .set("min", self.min())
+            .set("max", self.max())
+            .set("mean", self.mean())
+            .set("p50", self.percentile(50.0))
+            .set("p95", self.percentile(95.0))
+            .set("p99", self.percentile(99.0))
+    }
+
     /// Non-empty buckets as `(bucket_low, count)` pairs, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.counts

@@ -80,6 +80,9 @@ impl TraceStore {
     }
 
     fn key_lock(&self, hex: &str) -> Arc<Mutex<()>> {
+        // Poison recovery: the map only grows via `entry().or_default()`,
+        // which cannot leave it half-updated, so a poisoned lock (a worker
+        // panicked while holding it) still guards a consistent map.
         let mut keys = self.keys.lock().unwrap_or_else(|e| e.into_inner());
         keys.entry(hex.to_string()).or_default().clone()
     }
@@ -101,6 +104,9 @@ impl TraceStore {
     {
         let hex = fp.hex();
         let path = self.path_of(fp);
+        // Poison recovery: the guarded critical section publishes via
+        // atomic tmp+rename, so after a producer panic the key's file is
+        // either absent (retry materializes) or complete — never torn.
         let lock = self.key_lock(&hex);
         let _guard = lock.lock().unwrap_or_else(|e| e.into_inner());
         if path.is_file() {
