@@ -237,10 +237,13 @@ pub fn load(path: &Path) -> Result<JournalDoc, String> {
 pub const SERVE_JOURNAL_VERSION: u64 = 1;
 
 /// The `das-serve` session journal: one fsync'd JSON line per lifecycle
-/// event (`admit`, `done`, `failed`, `cancelled`, plus `drain`/`drained`
-/// markers). Unlike the run [`Journal`] it stores no reports — it is the
-/// audit trail that lets a drained server prove no job was orphaned:
-/// every admitted job must reach a terminal event before exit.
+/// event (`admit`, `done`, `failed`, `cancelled`, plus
+/// `drain`/`drained`/`restart` markers). Unlike the run [`Journal`] it
+/// stores no reports — it is the audit trail that lets a drained server
+/// prove no job was orphaned: every admitted job must reach a terminal
+/// event before exit. Admissions may carry the job's spec, which is what
+/// lets a restarted worker *re-drive* jobs that were in flight when it
+/// crashed instead of merely reporting them lost.
 #[derive(Debug)]
 pub struct ServiceJournal {
     file: File,
@@ -264,6 +267,69 @@ impl ServiceJournal {
         Ok(ServiceJournal { file })
     }
 
+    /// Re-opens a crashed worker's journal for crash recovery: validates
+    /// the header, keeps the longest prefix of complete, parseable lines
+    /// (a worker killed mid-append leaves a torn, newline-less tail — the
+    /// same discipline as [`Journal::resume`]), truncates the file to that
+    /// prefix, and returns the journal positioned to append together with
+    /// the summary of the kept prefix. The summary's orphans (admitted,
+    /// never terminal) are exactly the jobs the restarted worker must
+    /// re-drive; their admissions stay journalled, so recovery appends
+    /// only their terminal events. A missing file is the same as a fresh
+    /// [`ServiceJournal::create`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, a bad header, or a kept prefix that fails
+    /// structural validation (which truncation cannot cause — it means
+    /// the journal was corrupted in place, not torn).
+    pub fn resume(path: &Path) -> Result<(ServiceJournal, ServiceSummary), String> {
+        if !path.exists() {
+            return Ok((ServiceJournal::create(path)?, ServiceSummary::default()));
+        }
+        let mut text = String::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(|e| format!("read {path:?}: {e}"))?;
+        let mut lines = text.split_inclusive('\n');
+        let header_text = lines.next().unwrap_or("");
+        if !header_text.ends_with('\n') {
+            return Err(format!(
+                "{path:?}: truncated header; delete it to start over"
+            ));
+        }
+        let header =
+            json::parse(header_text.trim_end()).map_err(|e| format!("{path:?} header: {e}"))?;
+        if header.get("das_serve_journal").and_then(Value::as_u64) != Some(SERVE_JOURNAL_VERSION) {
+            return Err(format!(
+                "{path:?}: not a das_serve_journal v{SERVE_JOURNAL_VERSION}"
+            ));
+        }
+        let mut good_bytes = header_text.len() as u64;
+        for line in lines {
+            if !line.ends_with('\n') {
+                break; // torn tail from a crash mid-append
+            }
+            if json::parse(line.trim_end()).is_err() {
+                break;
+            }
+            good_bytes += line.len() as u64;
+        }
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("open {path:?}: {e}"))?;
+        file.set_len(good_bytes)
+            .map_err(|e| format!("truncate {path:?}: {e}"))?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| format!("seek {path:?}: {e}"))?;
+        file.sync_data()
+            .map_err(|e| format!("sync {path:?}: {e}"))?;
+        let summary = load_service(path)?;
+        Ok((ServiceJournal { file }, summary))
+    }
+
     fn append(&mut self, line: Value) -> Result<(), String> {
         self.file
             .write_all(line.render().as_bytes())
@@ -279,6 +345,21 @@ impl ServiceJournal {
     /// Propagates filesystem errors.
     pub fn admit(&mut self, job: &str) -> Result<(), String> {
         self.append(Value::obj().set("event", "admit").set("job", job))
+    }
+
+    /// Records a job admission carrying the job's spec, making the job
+    /// re-drivable after a crash ([`ServiceJournal::resume`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn admit_with_spec(&mut self, job: &str, spec: &Value) -> Result<(), String> {
+        self.append(
+            Value::obj()
+                .set("event", "admit")
+                .set("job", job)
+                .set("spec", spec.clone()),
+        )
     }
 
     /// Records a job's terminal event (`done`, `failed`, `cancelled`),
@@ -306,7 +387,7 @@ impl ServiceJournal {
 }
 
 /// Aggregate view of a parsed service journal.
-#[derive(Debug, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq)]
 pub struct ServiceSummary {
     /// Jobs admitted.
     pub admitted: u64,
@@ -316,8 +397,14 @@ pub struct ServiceSummary {
     pub failed: u64,
     /// Jobs cancelled while queued.
     pub cancelled: u64,
+    /// Worker restarts recorded (`restart` markers).
+    pub restarts: u64,
     /// Admitted jobs with no terminal event — empty after a clean drain.
     pub orphans: Vec<String>,
+    /// Per-orphan job spec, when the admission carried one
+    /// ([`ServiceJournal::admit_with_spec`]); parallel to `orphans`.
+    /// `Some` means the job can be re-driven after a crash.
+    pub orphan_specs: Vec<(String, Option<Value>)>,
 }
 
 /// Reads and validates a `das-serve` session journal: header shape, every
@@ -343,7 +430,7 @@ pub fn load_service(path: &Path) -> Result<ServiceSummary, String> {
         ));
     }
     let mut summary = ServiceSummary::default();
-    let mut open: Vec<String> = Vec::new();
+    let mut open: Vec<(String, Option<Value>)> = Vec::new();
     for (i, line) in lines.enumerate() {
         let lineno = i + 2;
         let v = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
@@ -355,15 +442,15 @@ pub fn load_service(path: &Path) -> Result<ServiceSummary, String> {
         match event {
             "admit" => {
                 let id = job.ok_or_else(|| format!("line {lineno}: admit without job"))?;
-                if open.iter().any(|j| j == id) {
+                if open.iter().any(|(j, _)| j == id) {
                     return Err(format!("line {lineno}: job {id:?} admitted twice"));
                 }
-                open.push(id.to_string());
+                open.push((id.to_string(), v.get("spec").cloned()));
                 summary.admitted += 1;
             }
             "done" | "failed" | "cancelled" => {
                 let id = job.ok_or_else(|| format!("line {lineno}: {event} without job"))?;
-                let Some(pos) = open.iter().position(|j| j == id) else {
+                let Some(pos) = open.iter().position(|(j, _)| j == id) else {
                     return Err(format!(
                         "line {lineno}: {event} for {id:?} which is not admitted/open"
                     ));
@@ -375,11 +462,13 @@ pub fn load_service(path: &Path) -> Result<ServiceSummary, String> {
                     _ => summary.cancelled += 1,
                 }
             }
+            "restart" => summary.restarts += 1,
             "drain" | "drained" => {}
             other => return Err(format!("line {lineno}: unknown event {other:?}")),
         }
     }
-    summary.orphans = open;
+    summary.orphans = open.iter().map(|(j, _)| j.clone()).collect();
+    summary.orphan_specs = open;
     Ok(summary)
 }
 
@@ -504,6 +593,94 @@ mod tests {
         assert!(load_service(&path).is_err());
         std::fs::write(&path, "{\"wrong\":1}\n").unwrap();
         assert!(load_service(&path)
+            .unwrap_err()
+            .contains("das_serve_journal"));
+    }
+
+    #[test]
+    fn service_resume_recovers_orphans_with_specs() {
+        let path = tmp("service_resume.jsonl");
+        let spec = Value::obj().set("id", "a").set("design", "DAS-DRAM");
+        {
+            let mut j = ServiceJournal::create(&path).unwrap();
+            j.admit_with_spec("t1/a", &spec).unwrap();
+            j.admit("t1/b").unwrap();
+            j.terminal("done", "t1/b", None).unwrap();
+        }
+        let (mut j, s) = ServiceJournal::resume(&path).unwrap();
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.orphans, vec!["t1/a".to_string()]);
+        assert_eq!(s.orphan_specs.len(), 1);
+        assert_eq!(
+            s.orphan_specs[0].1.as_ref().map(Value::render),
+            Some(spec.render()),
+            "spec survives the crash so the job can be re-driven"
+        );
+        // The resumed journal appends cleanly after the kept prefix.
+        j.marker("restart").unwrap();
+        j.terminal("done", "t1/a", None).unwrap();
+        let s = load_service(&path).unwrap();
+        assert!(s.orphans.is_empty());
+        assert_eq!(s.restarts, 1);
+        // A missing file resumes as fresh.
+        let fresh = tmp("service_resume_fresh.jsonl");
+        let _ = std::fs::remove_file(&fresh);
+        let (_, s) = ServiceJournal::resume(&fresh).unwrap();
+        assert_eq!(s, ServiceSummary::default());
+    }
+
+    #[test]
+    fn service_resume_survives_truncation_at_every_byte_of_final_record() {
+        // A worker killed mid-append can leave the journal cut at ANY byte
+        // of the record being written. Resume must recover at every such
+        // offset, losing at most that final record.
+        let path = tmp("service_every_byte.jsonl");
+        let spec = Value::obj().set("id", "c").set("insts", 1000u64);
+        {
+            let mut j = ServiceJournal::create(&path).unwrap();
+            j.admit("t1/a").unwrap();
+            j.terminal("done", "t1/a", None).unwrap();
+            j.admit_with_spec("t1/c", &spec).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let final_record = format!(
+            "{}\n",
+            Value::obj()
+                .set("event", "admit")
+                .set("job", "t1/c")
+                .set("spec", spec.clone())
+                .render()
+        );
+        assert!(full.ends_with(final_record.as_bytes()));
+        let keep_base = full.len() - final_record.len();
+        for cut in 0..=final_record.len() {
+            let torn = tmp(&format!("service_cut_{cut}.jsonl"));
+            std::fs::write(&torn, &full[..keep_base + cut]).unwrap();
+            let (_, s) =
+                ServiceJournal::resume(&torn).unwrap_or_else(|e| panic!("cut at byte {cut}: {e}"));
+            assert_eq!(s.admitted - s.done, u64::from(cut == final_record.len()));
+            if cut == final_record.len() {
+                assert_eq!(s.orphans, vec!["t1/c".to_string()], "complete record kept");
+            } else {
+                assert!(s.orphans.is_empty(), "torn record at byte {cut} dropped");
+            }
+            // After truncation the journal validates clean and appends work.
+            let (mut j, _) = ServiceJournal::resume(&torn).unwrap();
+            j.marker("drained").unwrap();
+            load_service(&torn).unwrap();
+            std::fs::remove_file(&torn).unwrap();
+        }
+    }
+
+    #[test]
+    fn service_resume_rejects_bad_headers() {
+        let path = tmp("service_resume_bad.jsonl");
+        std::fs::write(&path, "{\"das_serve_journal\":1}").unwrap(); // no newline
+        assert!(ServiceJournal::resume(&path)
+            .unwrap_err()
+            .contains("truncated header"));
+        std::fs::write(&path, "{\"wrong\":1}\n").unwrap();
+        assert!(ServiceJournal::resume(&path)
             .unwrap_err()
             .contains("das_serve_journal"));
     }

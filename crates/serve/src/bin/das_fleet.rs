@@ -1,0 +1,184 @@
+//! The `das-fleet` supervisor binary.
+//!
+//! Spawns N `das-serve` workers on ephemeral ports, publishes their
+//! addresses in `<dir>/fleet-addrs.json`, prints `fleet ready: <addrs>`
+//! (scripts parse this line), and supervises — heartbeating, restarting
+//! crashed workers with journal recovery — until every worker has been
+//! drained (`dasctl drain --fleet-dir <dir>`), then exits 0 with a
+//! summary line. Malformed arguments exit 2; runtime failures exit 1.
+//! Chaos env vars (`DAS_CHAOS*`) are inherited by the workers.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use das_serve::fleet::{sibling_binary, Fleet, FleetConfig};
+
+const USAGE: &str = "usage: das-fleet --dir DIR [--workers N] [--threads N] [--capacity N] \
+     [--trace-store DIR] [--heartbeat-ms N] [--max-missed N] [--max-restarts N] \
+     [--retry-after-ms N] [--worker-bin PATH]";
+
+#[derive(Debug, PartialEq, Eq)]
+struct Args {
+    dir: String,
+    workers: usize,
+    threads: usize,
+    capacity: usize,
+    trace_store_dir: Option<String>,
+    heartbeat_ms: u64,
+    max_missed: u32,
+    max_restarts: u32,
+    retry_after_ms: u64,
+    worker_bin: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            dir: String::new(),
+            workers: 3,
+            threads: 2,
+            capacity: 16,
+            trace_store_dir: None,
+            heartbeat_ms: 250,
+            max_missed: 4,
+            max_restarts: 5,
+            retry_after_ms: 50,
+            worker_bin: None,
+        }
+    }
+}
+
+fn need(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn need_u64(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    let v = need(args, flag)?;
+    match v.parse::<u64>() {
+        Ok(0) => Err(format!("{flag} needs a positive integer, got 0")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("{flag} needs a positive integer, got {v:?}")),
+    }
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    let mut out = Args::default();
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dir" => out.dir = need(&mut args, "--dir")?,
+            "--workers" => out.workers = need_u64(&mut args, "--workers")? as usize,
+            "--threads" => out.threads = need_u64(&mut args, "--threads")? as usize,
+            "--capacity" => out.capacity = need_u64(&mut args, "--capacity")? as usize,
+            "--trace-store" => out.trace_store_dir = Some(need(&mut args, "--trace-store")?),
+            "--heartbeat-ms" => out.heartbeat_ms = need_u64(&mut args, "--heartbeat-ms")?,
+            "--max-missed" => {
+                out.max_missed = u32::try_from(need_u64(&mut args, "--max-missed")?)
+                    .map_err(|_| "--max-missed is out of range".to_string())?;
+            }
+            "--max-restarts" => {
+                out.max_restarts = u32::try_from(need_u64(&mut args, "--max-restarts")?)
+                    .map_err(|_| "--max-restarts is out of range".to_string())?;
+            }
+            "--retry-after-ms" => out.retry_after_ms = need_u64(&mut args, "--retry-after-ms")?,
+            "--worker-bin" => out.worker_bin = Some(need(&mut args, "--worker-bin")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if out.dir.is_empty() {
+        return Err("--dir is required".to_string());
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}\n{USAGE}");
+        std::process::exit(2);
+    });
+    let cfg = FleetConfig {
+        workers: args.workers,
+        threads: args.threads,
+        capacity: args.capacity,
+        dir: PathBuf::from(&args.dir),
+        trace_store_dir: args.trace_store_dir.map(PathBuf::from),
+        worker_bin: args
+            .worker_bin
+            .map_or_else(|| sibling_binary("das-serve"), PathBuf::from),
+        heartbeat: Duration::from_millis(args.heartbeat_ms),
+        max_missed: args.max_missed,
+        max_restarts: args.max_restarts,
+        retry_after_ms: args.retry_after_ms,
+    };
+    let fleet = Fleet::start(cfg).unwrap_or_else(|e| {
+        eprintln!("das-fleet: {e}");
+        std::process::exit(1);
+    });
+    println!("fleet ready: {}", fleet.addrs().join(" "));
+    match fleet.supervise(|event| eprintln!("das-fleet: {event}")) {
+        Ok(summary) => {
+            println!(
+                "fleet drained: {} workers, {} restarts",
+                summary.workers, summary.restarts
+            );
+        }
+        Err(e) => {
+            eprintln!("das-fleet: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_full_flag_set() {
+        let a = parse_args(argv(&[
+            "--dir",
+            "fleetdir",
+            "--workers",
+            "5",
+            "--threads",
+            "1",
+            "--capacity",
+            "9",
+            "--trace-store",
+            "ts",
+            "--heartbeat-ms",
+            "100",
+            "--max-missed",
+            "3",
+            "--max-restarts",
+            "2",
+            "--retry-after-ms",
+            "75",
+            "--worker-bin",
+            "/x/das-serve",
+        ]))
+        .unwrap();
+        assert_eq!(a.dir, "fleetdir");
+        assert_eq!((a.workers, a.threads, a.capacity), (5, 1, 9));
+        assert_eq!(a.trace_store_dir.as_deref(), Some("ts"));
+        assert_eq!(a.heartbeat_ms, 100);
+        assert_eq!((a.max_missed, a.max_restarts), (3, 2));
+        assert_eq!(a.retry_after_ms, 75);
+        assert_eq!(a.worker_bin.as_deref(), Some("/x/das-serve"));
+    }
+
+    #[test]
+    fn rejects_malformed_invocations() {
+        assert!(parse_args(argv(&[])).unwrap_err().contains("--dir"));
+        assert!(parse_args(argv(&["--dir", "d", "--workers", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_args(argv(&["--wat"]))
+            .unwrap_err()
+            .contains("unknown argument"));
+    }
+}

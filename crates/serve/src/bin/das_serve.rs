@@ -10,13 +10,17 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use das_harness::journal::load_service;
+use das_serve::chaos::ChaosConfig;
 use das_serve::proto::DEFAULT_MAX_FRAME;
 use das_serve::server::{Server, ServerConfig};
 
 const USAGE: &str = "usage: das-serve [--addr HOST:PORT] [--threads N] [--capacity N] \
      [--json-dir DIR] [--trace-store DIR] [--read-timeout-ms N] \
-     [--max-frame BYTES] [--retry-after-ms N]\n\
-       das-serve --validate-journal PATH";
+     [--max-frame BYTES] [--retry-after-ms N] [--resume-journal] [--generation N]\n\
+       das-serve --validate-journal PATH\n\
+chaos (env): DAS_CHAOS=1 arms DAS_CHAOS_SEED / DAS_CHAOS_KILL_AFTER_JOBS / \
+DAS_CHAOS_KILL_MARKER / DAS_CHAOS_DROP_CONN_EVERY / DAS_CHAOS_DELAY_MS / \
+DAS_CHAOS_TRACE_FAIL_FIRST";
 
 #[derive(Debug, PartialEq, Eq)]
 struct Args {
@@ -28,6 +32,8 @@ struct Args {
     read_timeout_ms: u64,
     max_frame: usize,
     retry_after_ms: u64,
+    resume_journal: bool,
+    generation: u64,
     validate_journal: Option<String>,
 }
 
@@ -42,6 +48,8 @@ impl Default for Args {
             read_timeout_ms: 30_000,
             max_frame: DEFAULT_MAX_FRAME,
             retry_after_ms: 250,
+            resume_journal: false,
+            generation: 0,
             validate_journal: None,
         }
     }
@@ -75,6 +83,8 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
             }
             "--max-frame" => out.max_frame = need_u64(&mut args, "--max-frame")? as usize,
             "--retry-after-ms" => out.retry_after_ms = need_u64(&mut args, "--retry-after-ms")?,
+            "--resume-journal" => out.resume_journal = true,
+            "--generation" => out.generation = need_u64(&mut args, "--generation")?,
             "--validate-journal" => {
                 out.validate_journal = Some(need(&mut args, "--validate-journal")?);
             }
@@ -124,6 +134,9 @@ fn main() {
         read_timeout: Duration::from_millis(args.read_timeout_ms),
         max_frame: args.max_frame,
         retry_after_ms: args.retry_after_ms,
+        resume_journal: args.resume_journal,
+        generation: args.generation,
+        chaos: ChaosConfig::from_env(),
     };
     let server = Server::bind(&args.addr, cfg).unwrap_or_else(|e| die(&e));
     let addr = server

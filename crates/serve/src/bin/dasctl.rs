@@ -1,26 +1,58 @@
-//! `dasctl` — the `das-serve` client.
+//! `dasctl` — the `das-serve` / `das-fleet` client.
 //!
 //! Subcommands: `submit` (submit experiments, stream results, render the
 //! same `<id>.txt` / `<id>.json` artifacts a direct `harness` run
 //! writes), `status`, `watch`, `cancel`, `stats`, `list`, `drain`.
-//! Malformed arguments exit 2; runtime failures (including structured
-//! server rejections such as `busy`) exit 1.
+//!
+//! Targets: `--addr HOST:PORT` (one server), `--addrs A,B,C` (a static
+//! fleet), or `--fleet-dir DIR` (a `das-fleet` directory whose address
+//! file is re-read when workers restart). Against a single server,
+//! `submit` retries `busy` rejections with capped seeded-jitter backoff;
+//! against a fleet it runs the full resilience policy: shard routing,
+//! idempotent reconnect-and-resubmit, bounded retries and (with
+//! `--hedge-ms`) hedged duplicate submission. Malformed arguments exit
+//! 2; runtime failures exit 1.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use das_harness::cli::{build_catalog_manifest, render_experiment_outputs};
-use das_serve::client::{collect_stream, Client};
+use das_harness::manifest::JobSpec;
+use das_serve::client::{collect_stream, into_ok, Client};
+use das_serve::fleet_client::{AddrSource, FleetClient, FleetClientConfig};
 use das_serve::proto;
+use das_serve::retry::BackoffPolicy;
+use das_telemetry::counters::merge_numeric;
 use das_telemetry::json::Value;
 
-const USAGE: &str = "usage: dasctl <command> --addr HOST:PORT [options]\n\
+const USAGE: &str = "usage: dasctl <command> (--addr HOST:PORT | --addrs A,B | --fleet-dir DIR) \
+[options]\n\
   submit  --exp a,b [--insts N] [--scale N] [--only a,b] [--out-dir DIR]\n\
+          [--ticket T] [--seed N] [--hedge-ms N] [--job-retries N] [--max-attempts N]\n\
   status  --job ID\n\
   watch   --job ID\n\
   cancel  --job ID\n\
   stats\n\
   list\n\
   drain   [--wait]";
+
+/// Where requests go: one server, or a shard-indexed fleet.
+#[derive(Debug, PartialEq, Eq)]
+enum Target {
+    Single(String),
+    Addrs(Vec<String>),
+    FleetDir(String),
+}
+
+impl Target {
+    fn source(&self) -> AddrSource {
+        match self {
+            Target::Single(a) => AddrSource::Static(vec![a.clone()]),
+            Target::Addrs(a) => AddrSource::Static(a.clone()),
+            Target::FleetDir(d) => AddrSource::Dir(PathBuf::from(d)),
+        }
+    }
+}
 
 #[derive(Debug, PartialEq, Eq)]
 enum Command {
@@ -30,6 +62,11 @@ enum Command {
         scale: u32,
         only: Vec<String>,
         out_dir: String,
+        ticket: Option<String>,
+        seed: u64,
+        hedge_ms: Option<u64>,
+        job_retries: u32,
+        max_attempts: u32,
     },
     Status {
         job: String,
@@ -49,7 +86,7 @@ enum Command {
 
 #[derive(Debug, PartialEq, Eq)]
 struct Args {
-    addr: String,
+    target: Target,
     command: Command,
 }
 
@@ -66,6 +103,12 @@ fn need_u64(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<u64, S
     }
 }
 
+fn need_any_u64(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    let v = need(args, flag)?;
+    v.parse::<u64>()
+        .map_err(|_| format!("{flag} needs an integer, got {v:?}"))
+}
+
 fn need_list(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<Vec<String>, String> {
     Ok(need(args, flag)?.split(',').map(str::to_string).collect())
 }
@@ -74,16 +117,25 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
     let mut args = args.into_iter();
     let cmd = args.next().ok_or("missing command")?;
     let mut addr: Option<String> = None;
+    let mut addrs: Option<Vec<String>> = None;
+    let mut fleet_dir: Option<String> = None;
     let mut exps: Vec<String> = Vec::new();
     let mut insts = 3_000_000u64;
     let mut scale = 64u32;
     let mut only: Vec<String> = Vec::new();
     let mut out_dir = ".".to_string();
+    let mut ticket: Option<String> = None;
+    let mut seed = 0u64;
+    let mut hedge_ms: Option<u64> = None;
+    let mut job_retries = 3u32;
+    let mut max_attempts = 8u32;
     let mut job: Option<String> = None;
     let mut wait = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--addr" => addr = Some(need(&mut args, "--addr")?),
+            "--addrs" => addrs = Some(need_list(&mut args, "--addrs")?),
+            "--fleet-dir" => fleet_dir = Some(need(&mut args, "--fleet-dir")?),
             "--exp" => exps = need_list(&mut args, "--exp")?,
             "--insts" => insts = need_u64(&mut args, "--insts")?,
             "--scale" => {
@@ -92,12 +144,29 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
             }
             "--only" => only = need_list(&mut args, "--only")?,
             "--out-dir" => out_dir = need(&mut args, "--out-dir")?,
+            "--ticket" => ticket = Some(need(&mut args, "--ticket")?),
+            "--seed" => seed = need_any_u64(&mut args, "--seed")?,
+            "--hedge-ms" => hedge_ms = Some(need_u64(&mut args, "--hedge-ms")?),
+            "--job-retries" => {
+                job_retries = u32::try_from(need_any_u64(&mut args, "--job-retries")?)
+                    .map_err(|_| "--job-retries is out of range".to_string())?;
+            }
+            "--max-attempts" => {
+                max_attempts = u32::try_from(need_u64(&mut args, "--max-attempts")?)
+                    .map_err(|_| "--max-attempts is out of range".to_string())?;
+            }
             "--job" => job = Some(need(&mut args, "--job")?),
             "--wait" => wait = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    let addr = addr.ok_or("--addr is required")?;
+    let target = match (addr, addrs, fleet_dir) {
+        (Some(a), None, None) => Target::Single(a),
+        (None, Some(a), None) => Target::Addrs(a),
+        (None, None, Some(d)) => Target::FleetDir(d),
+        (None, None, None) => return Err("one of --addr, --addrs, --fleet-dir is required".into()),
+        _ => return Err("pick exactly one of --addr, --addrs, --fleet-dir".into()),
+    };
     let job_for =
         |cmd: &str, job: Option<String>| job.ok_or_else(|| format!("{cmd} needs --job ID"));
     let command = match cmd.as_str() {
@@ -111,6 +180,11 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
                 scale,
                 only,
                 out_dir,
+                ticket,
+                seed,
+                hedge_ms,
+                job_retries,
+                max_attempts,
             }
         }
         "status" => Command::Status {
@@ -127,38 +201,76 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         "drain" => Command::Drain { wait },
         other => return Err(format!("unknown command {other:?}")),
     };
-    Ok(Args { addr, command })
+    Ok(Args { target, command })
 }
 
 fn str_arr(items: &[String]) -> Value {
     Value::Arr(items.iter().map(|s| Value::Str(s.clone())).collect())
 }
 
-/// The `submit` flow: submit the experiments, stream every job's result,
-/// and render the artifacts through the exact code path a direct
-/// `harness` run uses — server-fetched `<id>.txt` / `<id>.json` are
-/// byte-identical to a local run's.
-fn cmd_submit(
+fn backoff(seed: u64, max_attempts: u32) -> BackoffPolicy {
+    BackoffPolicy {
+        max_attempts,
+        seed,
+        ..BackoffPolicy::default()
+    }
+}
+
+/// Single-server `submit_experiment` with `busy` honored: the request is
+/// retried with capped seeded-jitter backoff, flooring each delay at the
+/// server's `retry_after_ms` hint, instead of failing hard.
+fn submit_experiment_backed_off(
+    client: &mut Client,
+    req: &Value,
+    policy: &BackoffPolicy,
+) -> Result<Value, String> {
+    let mut attempt = 0u32;
+    loop {
+        client.send(req)?;
+        let resp = client
+            .next_frame()
+            .map_err(|e| format!("no response: {e}"))?;
+        match proto::error_of(&resp) {
+            Some(("busy", msg)) => {
+                let hint = resp
+                    .get_path("error/retry_after_ms")
+                    .and_then(Value::as_u64);
+                match policy.delay_ms(attempt, hint) {
+                    Some(ms) => {
+                        attempt += 1;
+                        eprintln!("busy ({msg}); retry {attempt} in {ms} ms");
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                    None => return Err(format!("busy: {msg} (gave up after {attempt} retries)")),
+                }
+            }
+            _ => return into_ok(resp),
+        }
+    }
+}
+
+/// The single-server `submit` flow: submit the experiments, stream every
+/// job's result, and render the artifacts through the exact code path a
+/// direct `harness` run uses — server-fetched `<id>.txt` / `<id>.json`
+/// are byte-identical to a local run's.
+#[allow(clippy::too_many_arguments)]
+fn cmd_submit_single(
     addr: &str,
+    manifest: &das_harness::manifest::Manifest,
     exps: &[String],
     insts: u64,
     scale: u32,
     only: &[String],
     out_dir: &str,
+    policy: &BackoffPolicy,
 ) -> Result<(), String> {
-    // Build the manifest locally first: unknown experiment ids fail
-    // before any network traffic, and rendering needs the job layout.
-    let manifest = build_catalog_manifest(exps, insts, scale, only)?;
-    manifest
-        .validate()
-        .map_err(|e| format!("invalid run matrix: {e}"))?;
     let mut client = Client::connect(addr)?;
     let req = proto::request("submit_experiment")
         .set("exp", str_arr(exps))
         .set("insts", insts)
         .set("scale", u64::from(scale))
         .set("only", str_arr(only));
-    let resp = client.request(&req)?;
+    let resp = submit_experiment_backed_off(&mut client, &req, policy)?;
     let jobs: Vec<String> = resp
         .get("jobs")
         .and_then(Value::as_arr)
@@ -172,9 +284,55 @@ fn cmd_submit(
     let reports = collect_stream(&mut client, &jobs, |job, state| {
         eprintln!("{job}: {state}");
     })?;
+    render_reports(out_dir, manifest, &reports)
+}
+
+/// The fleet `submit` flow: shard-routed idempotent submission with
+/// busy-backoff, reconnect-and-resubmit, bounded job retries and
+/// optional hedging — then the same byte-identical rendering.
+#[allow(clippy::too_many_arguments)]
+fn cmd_submit_fleet(
+    source: AddrSource,
+    manifest: &das_harness::manifest::Manifest,
+    out_dir: &str,
+    ticket: &str,
+    seed: u64,
+    hedge_ms: Option<u64>,
+    job_retries: u32,
+    max_attempts: u32,
+) -> Result<(), String> {
+    let specs: Vec<JobSpec> = manifest
+        .experiments
+        .iter()
+        .flat_map(|e| e.jobs.iter().cloned())
+        .collect();
+    let cfg = FleetClientConfig {
+        backoff: backoff(seed, max_attempts),
+        hedge_after: hedge_ms.map(Duration::from_millis),
+        job_retries,
+        ..FleetClientConfig::default()
+    };
+    let mut fc = FleetClient::new(source, cfg)?;
+    eprintln!(
+        "submitting {} jobs across {} shards (ticket {ticket})",
+        specs.len(),
+        fc.shards()
+    );
+    let reports = fc.run_jobs(ticket, &specs)?;
+    if !fc.counters.is_empty() {
+        eprintln!("resilience: {}", fc.counters.summary());
+    }
+    render_reports(out_dir, manifest, &reports)
+}
+
+fn render_reports(
+    out_dir: &str,
+    manifest: &das_harness::manifest::Manifest,
+    reports: &[Value],
+) -> Result<(), String> {
     let out = PathBuf::from(out_dir);
     std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
-    render_experiment_outputs(&out, &manifest, &reports, false)?;
+    render_experiment_outputs(&out, manifest, reports, false)?;
     println!(
         "fetched {} runs across {} experiments -> {}",
         reports.len(),
@@ -198,6 +356,36 @@ fn one_shot(addr: &str, req: Value) -> Result<Value, String> {
     Client::connect(addr)?.request(&req)
 }
 
+/// Fleet-wide stats: per-worker stats merged by summing every numeric
+/// leaf, plus `workers` and `restarts` (the sum of worker generations —
+/// each restart bumps the incarnation's generation by one).
+fn cmd_stats_fleet(source: AddrSource) -> Result<(), String> {
+    let mut fc = FleetClient::new(source, FleetClientConfig::default())?;
+    let per_worker = fc.broadcast(&proto::request("stats"))?;
+    let restarts: u64 = per_worker
+        .iter()
+        .filter_map(|s| s.get("generation").and_then(Value::as_u64))
+        .sum();
+    let merged = per_worker
+        .iter()
+        .skip(1)
+        .fold(per_worker[0].clone(), |acc, s| merge_numeric(&acc, s));
+    // pid / generation sums are meaningless; replace with fleet-level
+    // fields.
+    let merged = merged
+        .set("workers", per_worker.len() as u64)
+        .set("restarts", restarts);
+    println!("{}", merged.render());
+    Ok(())
+}
+
+fn single_addr(target: &Target, what: &str) -> Result<String, String> {
+    match target {
+        Target::Single(a) => Ok(a.clone()),
+        _ => Err(format!("{what} needs --addr (a single server)")),
+    }
+}
+
 fn run(args: Args) -> Result<(), String> {
     match &args.command {
         Command::Submit {
@@ -206,41 +394,79 @@ fn run(args: Args) -> Result<(), String> {
             scale,
             only,
             out_dir,
-        } => cmd_submit(&args.addr, exps, *insts, *scale, only, out_dir),
+            ticket,
+            seed,
+            hedge_ms,
+            job_retries,
+            max_attempts,
+        } => {
+            // Build the manifest locally first: unknown experiment ids
+            // fail before any network traffic, and rendering needs the
+            // job layout.
+            let manifest = build_catalog_manifest(exps, *insts, *scale, only)?;
+            manifest
+                .validate()
+                .map_err(|e| format!("invalid run matrix: {e}"))?;
+            match &args.target {
+                Target::Single(addr) => cmd_submit_single(
+                    addr,
+                    &manifest,
+                    exps,
+                    *insts,
+                    *scale,
+                    only,
+                    out_dir,
+                    &backoff(*seed, *max_attempts),
+                ),
+                target => cmd_submit_fleet(
+                    target.source(),
+                    &manifest,
+                    out_dir,
+                    ticket.as_deref().unwrap_or("f0"),
+                    *seed,
+                    *hedge_ms,
+                    *job_retries,
+                    *max_attempts,
+                ),
+            }
+        }
         Command::Status { job } => {
-            let resp = one_shot(
-                &args.addr,
-                proto::request("status").set("job", job.as_str()),
-            )?;
+            let addr = single_addr(&args.target, "status")?;
+            let resp = one_shot(&addr, proto::request("status").set("job", job.as_str()))?;
             println!("{}", resp.render());
             Ok(())
         }
-        Command::Watch { job } => cmd_watch(&args.addr, job),
+        Command::Watch { job } => cmd_watch(&single_addr(&args.target, "watch")?, job),
         Command::Cancel { job } => {
-            let resp = one_shot(
-                &args.addr,
-                proto::request("cancel").set("job", job.as_str()),
-            )?;
+            let addr = single_addr(&args.target, "cancel")?;
+            let resp = one_shot(&addr, proto::request("cancel").set("job", job.as_str()))?;
             println!("{}", resp.render());
             Ok(())
         }
-        Command::Stats => {
-            let resp = one_shot(&args.addr, proto::request("stats"))?;
-            println!("{}", resp.render());
-            Ok(())
-        }
+        Command::Stats => match &args.target {
+            Target::Single(addr) => {
+                let resp = one_shot(addr, proto::request("stats"))?;
+                println!("{}", resp.render());
+                Ok(())
+            }
+            target => cmd_stats_fleet(target.source()),
+        },
         Command::List => {
-            let resp = one_shot(&args.addr, proto::request("list"))?;
+            let addr = single_addr(&args.target, "list")?;
+            let resp = one_shot(&addr, proto::request("list"))?;
             println!("{}", resp.render());
             Ok(())
         }
         Command::Drain { wait } => {
-            let mut client = Client::connect(&args.addr)?;
-            // Draining can outlive any default read timeout; block as
-            // long as the server needs.
-            let _ = client.set_read_timeout(None);
-            let resp = client.request(&proto::request("drain").set("wait", *wait))?;
-            println!("{}", resp.render());
+            let addrs = args.target.source().addrs()?;
+            for addr in addrs {
+                let mut client = Client::connect(&addr)?;
+                // Draining can outlive any default read timeout; block as
+                // long as the server needs.
+                let _ = client.set_read_timeout(None);
+                let resp = client.request(&proto::request("drain").set("wait", *wait))?;
+                println!("{}", resp.render());
+            }
             Ok(())
         }
     }
@@ -283,7 +509,7 @@ mod tests {
             "results",
         ]))
         .unwrap();
-        assert_eq!(a.addr, "127.0.0.1:4750");
+        assert_eq!(a.target, Target::Single("127.0.0.1:4750".into()));
         assert_eq!(
             a.command,
             Command::Submit {
@@ -292,6 +518,11 @@ mod tests {
                 scale: 8,
                 only: vec!["mcf".into()],
                 out_dir: "results".into(),
+                ticket: None,
+                seed: 0,
+                hedge_ms: None,
+                job_retries: 3,
+                max_attempts: 8,
             }
         );
         let a = parse_args(argv(&["status", "--addr", "h:1", "--job", "t1/x"])).unwrap();
@@ -303,11 +534,60 @@ mod tests {
     }
 
     #[test]
+    fn parses_fleet_targets_and_resilience_flags() {
+        let a = parse_args(argv(&[
+            "submit",
+            "--addrs",
+            "h:1,h:2,h:3",
+            "--exp",
+            "scale",
+            "--ticket",
+            "ci1",
+            "--seed",
+            "0",
+            "--hedge-ms",
+            "150",
+            "--job-retries",
+            "2",
+            "--max-attempts",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            a.target,
+            Target::Addrs(vec!["h:1".into(), "h:2".into(), "h:3".into()])
+        );
+        match a.command {
+            Command::Submit {
+                ticket,
+                seed,
+                hedge_ms,
+                job_retries,
+                max_attempts,
+                ..
+            } => {
+                assert_eq!(ticket.as_deref(), Some("ci1"));
+                assert_eq!(seed, 0);
+                assert_eq!(hedge_ms, Some(150));
+                assert_eq!(job_retries, 2);
+                assert_eq!(max_attempts, 5);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let a = parse_args(argv(&["stats", "--fleet-dir", "fleet"])).unwrap();
+        assert_eq!(a.target, Target::FleetDir("fleet".into()));
+    }
+
+    #[test]
     fn rejects_each_malformed_invocation() {
         for (args, needle) in [
             (vec![] as Vec<&str>, "missing command"),
             (vec!["frobnicate", "--addr", "h:1"], "unknown command"),
-            (vec!["stats"], "--addr is required"),
+            (vec!["stats"], "one of --addr"),
+            (
+                vec!["stats", "--addr", "h:1", "--fleet-dir", "d"],
+                "exactly one",
+            ),
             (vec!["submit", "--addr", "h:1"], "--exp"),
             (
                 vec!["submit", "--addr", "h:1", "--exp", "a", "--insts", "x"],
@@ -324,8 +604,14 @@ mod tests {
                 vec!["drain", "--addr", "h:1", "--bogus"],
                 "unknown argument",
             ),
+            (vec!["list", "--addrs", "h:1,h:2"], "needs --addr"),
         ] {
-            let err = parse_args(argv(&args)).unwrap_err();
+            // A case that parses fine must fail in run() instead (e.g.
+            // `list --addrs` rejecting a fleet target before connecting).
+            let err = match parse_args(argv(&args)) {
+                Err(e) => e,
+                Ok(a) => run(a).unwrap_err(),
+            };
             assert!(err.contains(needle), "{args:?}: {err}");
         }
     }

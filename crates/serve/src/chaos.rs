@@ -1,0 +1,260 @@
+//! Seeded chaos injection for das-serve: kill workers mid-job, sabotage
+//! connections at the accept path, and fail trace-store reads.
+//!
+//! The chaos layer exists to *prove* the resilience machinery works: a
+//! fleet run with chaos enabled must produce artifacts byte-identical to
+//! a fault-free run. All injection is deterministic — fates are drawn
+//! from SplitMix64 over `(seed, event counter)`, never wall-clock — and
+//! every knob is env-driven (`DAS_CHAOS=1` arms the layer) so the CI
+//! smoke job can flip it on without code changes.
+//!
+//! Process kills are **one-shot via a marker file**: before aborting, the
+//! worker creates the marker; a chaos layer that finds the marker already
+//! present at startup leaves its kill disarmed. Pointing every worker in
+//! a fleet at the *same* marker path therefore means exactly one worker
+//! dies, and its restarted incarnation runs to completion.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::retry::splitmix64;
+
+/// Static chaos knobs, normally parsed from `DAS_CHAOS_*` env vars.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for all fate draws.
+    pub seed: u64,
+    /// Abort the process when the Nth job *starts* (1-based), once.
+    pub kill_after_jobs: Option<u64>,
+    /// Marker file making the kill one-shot across restarts (and across a
+    /// fleet, when shared). Required for `kill_after_jobs` to arm.
+    pub kill_marker: Option<PathBuf>,
+    /// Sabotage every Nth accepted connection (1-based counting).
+    pub drop_conn_every: Option<u64>,
+    /// Delay used by the `Delay` connection fate, in milliseconds.
+    pub delay_ms: u64,
+    /// Fail the first K job executions with a simulated trace-read error.
+    pub trace_fail_first: u64,
+}
+
+/// What to do to a sabotaged connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFate {
+    /// Close the socket immediately without reading a frame.
+    Drop,
+    /// Stall for `delay_ms` before serving normally.
+    Delay,
+    /// Write a torn partial frame header, then close.
+    Truncate,
+}
+
+impl ChaosConfig {
+    /// Parses the chaos knobs from a key lookup (the env, in production).
+    /// Returns `None` unless `DAS_CHAOS` is set to `1`.
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> Option<ChaosConfig> {
+        if get("DAS_CHAOS").as_deref() != Some("1") {
+            return None;
+        }
+        let num = |k: &str| get(k).and_then(|v| v.parse::<u64>().ok());
+        Some(ChaosConfig {
+            seed: num("DAS_CHAOS_SEED").unwrap_or(0),
+            kill_after_jobs: num("DAS_CHAOS_KILL_AFTER_JOBS"),
+            kill_marker: get("DAS_CHAOS_KILL_MARKER").map(PathBuf::from),
+            drop_conn_every: num("DAS_CHAOS_DROP_CONN_EVERY"),
+            delay_ms: num("DAS_CHAOS_DELAY_MS").unwrap_or(50),
+            trace_fail_first: num("DAS_CHAOS_TRACE_FAIL_FIRST").unwrap_or(0),
+        })
+    }
+
+    /// Parses the chaos knobs from the process environment.
+    pub fn from_env() -> Option<ChaosConfig> {
+        ChaosConfig::from_lookup(|k| std::env::var(k).ok())
+    }
+}
+
+/// Live chaos state: the config plus the event counters fates are keyed
+/// on. One per server; all methods are thread-safe.
+#[derive(Debug)]
+pub struct Chaos {
+    cfg: ChaosConfig,
+    kill_armed: bool,
+    jobs_started: AtomicU64,
+    conns_accepted: AtomicU64,
+    trace_fails: AtomicU64,
+}
+
+impl Chaos {
+    /// Builds the live layer. The kill is armed only when a marker path
+    /// is configured and the marker does not already exist — a restarted
+    /// (or sibling) worker finds the marker and stays alive.
+    pub fn new(cfg: ChaosConfig) -> Chaos {
+        let kill_armed = cfg.kill_after_jobs.is_some()
+            && cfg.kill_marker.as_deref().is_some_and(|m| !m.exists());
+        Chaos {
+            cfg,
+            kill_armed,
+            jobs_started: AtomicU64::new(0),
+            conns_accepted: AtomicU64::new(0),
+            trace_fails: AtomicU64::new(0),
+        }
+    }
+
+    /// Called when a job starts executing. Returns `true` when the caller
+    /// must abort the process *now*; the marker file has already been
+    /// written, so the next incarnation will not kill again. Exactly one
+    /// caller across the process's lifetime can see `true`.
+    pub fn should_kill_on_job_start(&self) -> bool {
+        let nth = self.jobs_started.fetch_add(1, Ordering::SeqCst) + 1;
+        if !self.kill_armed || Some(nth) != self.cfg.kill_after_jobs {
+            return false;
+        }
+        let Some(marker) = self.cfg.kill_marker.as_deref() else {
+            return false;
+        };
+        // O_EXCL create: if a sibling worker sharing the marker beat us
+        // to it, the kill is theirs and we stay alive.
+        std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(marker)
+            .is_ok()
+    }
+
+    /// Called per accepted connection. Returns the fate of the Nth
+    /// connection (deterministic in `(seed, N)`), or `None` to serve it
+    /// normally.
+    pub fn fate_for_connection(&self) -> Option<ConnFate> {
+        let nth = self.conns_accepted.fetch_add(1, Ordering::SeqCst) + 1;
+        let every = self.cfg.drop_conn_every?;
+        if every == 0 || !nth.is_multiple_of(every) {
+            return None;
+        }
+        Some(match splitmix64(self.cfg.seed ^ nth) % 3 {
+            0 => ConnFate::Drop,
+            1 => ConnFate::Delay,
+            _ => ConnFate::Truncate,
+        })
+    }
+
+    /// The delay the `Delay` fate should impose.
+    pub fn delay(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.cfg.delay_ms)
+    }
+
+    /// Called per job execution. Returns `Some(error)` for the first K
+    /// executions, simulating a trace-store read failure the job must
+    /// surface as a terminal `failed` (which the client then retries).
+    pub fn trace_read_error(&self) -> Option<String> {
+        if self.trace_fails.load(Ordering::SeqCst) >= self.cfg.trace_fail_first {
+            return None;
+        }
+        let nth = self.trace_fails.fetch_add(1, Ordering::SeqCst) + 1;
+        if nth > self.cfg.trace_fail_first {
+            return None;
+        }
+        Some(format!(
+            "chaos: injected trace-store read failure ({nth}/{})",
+            self.cfg.trace_fail_first
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn env(pairs: &[(&str, &str)]) -> impl Fn(&str) -> Option<String> {
+        let map: HashMap<String, String> = pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        move |k: &str| map.get(k).cloned()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("das-serve-chaos-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn config_parses_from_lookup_and_requires_arming() {
+        assert_eq!(ChaosConfig::from_lookup(env(&[])), None, "off by default");
+        assert_eq!(
+            ChaosConfig::from_lookup(env(&[("DAS_CHAOS", "0")])),
+            None,
+            "explicitly off"
+        );
+        let cfg = ChaosConfig::from_lookup(env(&[
+            ("DAS_CHAOS", "1"),
+            ("DAS_CHAOS_SEED", "7"),
+            ("DAS_CHAOS_KILL_AFTER_JOBS", "2"),
+            ("DAS_CHAOS_KILL_MARKER", "/tmp/m"),
+            ("DAS_CHAOS_DROP_CONN_EVERY", "3"),
+            ("DAS_CHAOS_TRACE_FAIL_FIRST", "4"),
+        ]))
+        .unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.kill_after_jobs, Some(2));
+        assert_eq!(
+            cfg.kill_marker.as_deref(),
+            Some(std::path::Path::new("/tmp/m"))
+        );
+        assert_eq!(cfg.drop_conn_every, Some(3));
+        assert_eq!(cfg.trace_fail_first, 4);
+    }
+
+    #[test]
+    fn kill_fires_once_and_marker_disarms_the_next_incarnation() {
+        let marker = tmp("kill_once.marker");
+        let _ = std::fs::remove_file(&marker);
+        let cfg = ChaosConfig {
+            kill_after_jobs: Some(2),
+            kill_marker: Some(marker.clone()),
+            ..ChaosConfig::default()
+        };
+        let c = Chaos::new(cfg.clone());
+        assert!(!c.should_kill_on_job_start(), "job 1 survives");
+        assert!(c.should_kill_on_job_start(), "job 2 triggers the kill");
+        assert!(marker.is_file(), "marker written before the abort");
+        assert!(!c.should_kill_on_job_start(), "kill is one-shot");
+        // A restarted incarnation finds the marker and stays disarmed.
+        let restarted = Chaos::new(cfg);
+        assert!(!restarted.should_kill_on_job_start());
+        assert!(!restarted.should_kill_on_job_start());
+        assert!(!restarted.should_kill_on_job_start());
+        std::fs::remove_file(&marker).unwrap();
+    }
+
+    #[test]
+    fn connection_fates_are_periodic_and_seed_deterministic() {
+        let cfg = ChaosConfig {
+            seed: 11,
+            drop_conn_every: Some(3),
+            ..ChaosConfig::default()
+        };
+        let a = Chaos::new(cfg.clone());
+        let b = Chaos::new(cfg);
+        let fates_a: Vec<_> = (0..12).map(|_| a.fate_for_connection()).collect();
+        let fates_b: Vec<_> = (0..12).map(|_| b.fate_for_connection()).collect();
+        assert_eq!(fates_a, fates_b, "deterministic under a fixed seed");
+        for (i, f) in fates_a.iter().enumerate() {
+            assert_eq!(f.is_some(), (i + 1) % 3 == 0, "conn {}: {f:?}", i + 1);
+        }
+        let off = Chaos::new(ChaosConfig::default());
+        assert!((0..10).all(|_| off.fate_for_connection().is_none()));
+    }
+
+    #[test]
+    fn trace_read_failures_stop_after_the_first_k() {
+        let c = Chaos::new(ChaosConfig {
+            trace_fail_first: 2,
+            ..ChaosConfig::default()
+        });
+        assert!(c.trace_read_error().is_some());
+        assert!(c.trace_read_error().is_some());
+        assert!(c.trace_read_error().is_none());
+        assert!(c.trace_read_error().is_none());
+    }
+}

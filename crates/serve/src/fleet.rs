@@ -1,0 +1,431 @@
+//! The `das-fleet` supervisor: N worker processes, heartbeat monitoring,
+//! crash restart with journal-driven job recovery.
+//!
+//! ## Supervision tree
+//!
+//! One supervisor process spawns N `das-serve` workers, each owning a
+//! shard of the job space (clients route by consistent hashing —
+//! [`crate::shard`]) and its own directory (`worker-<i>/`: journal,
+//! artifacts, log). The content-addressed trace store is shared across
+//! workers — safe because materialization is atomic-rename-published and
+//! cross-process-locked with liveness-checked reclamation.
+//!
+//! ## Discovery
+//!
+//! Workers bind ephemeral ports (a crashed worker's port lingers in
+//! TIME_WAIT, so restarts get a *new* port). The supervisor parses each
+//! worker's `listening on <addr>` line from its log and maintains
+//! `fleet-addrs.json` in the fleet directory — rewritten atomically
+//! (tmp + rename) with a bumped version on every restart. Clients
+//! re-read it when a connection fails.
+//!
+//! ## Crash recovery
+//!
+//! The monitor loop detects death two ways: process exit
+//! (`try_wait`) and heartbeat loss (`ping` request failing
+//! `max_missed` consecutive times — a hung worker is killed first).
+//! A worker that exited 0 has drained and is done; anything else is
+//! restarted (bounded by `max_restarts`) with `--resume-journal
+//! --generation <g+1>`, which torn-tail-truncates its journal and
+//! re-drives every admitted-but-unfinished job. The invariant: a crash
+//! loses at most the *progress* of in-flight jobs, never their identity
+//! — every admitted job still reaches a journalled terminal state, so
+//! `--validate-journal` stays clean across kills.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use das_telemetry::json::Value;
+
+use crate::client::Client;
+use crate::fleet_client::FLEET_ADDRS_NAME;
+use crate::proto;
+
+/// Supervisor construction parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of worker processes (= shards).
+    pub workers: usize,
+    /// `--threads` per worker.
+    pub threads: usize,
+    /// `--capacity` per worker.
+    pub capacity: usize,
+    /// Fleet root directory: `worker-<i>/` subdirectories plus
+    /// `fleet-addrs.json`.
+    pub dir: PathBuf,
+    /// Shared trace-store directory (optional).
+    pub trace_store_dir: Option<PathBuf>,
+    /// Path to the `das-serve` binary (default: next to this executable).
+    pub worker_bin: PathBuf,
+    /// Heartbeat interval.
+    pub heartbeat: Duration,
+    /// Consecutive missed heartbeats before a worker is killed.
+    pub max_missed: u32,
+    /// Restarts allowed per worker before the fleet gives up.
+    pub max_restarts: u32,
+    /// `--retry-after-ms` passed to workers.
+    pub retry_after_ms: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            workers: 3,
+            threads: 2,
+            capacity: 16,
+            dir: PathBuf::from("fleet"),
+            trace_store_dir: None,
+            worker_bin: sibling_binary("das-serve"),
+            heartbeat: Duration::from_millis(250),
+            max_missed: 4,
+            max_restarts: 5,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// The path of a binary sitting next to the current executable (how the
+/// supervisor finds `das-serve` without a PATH dependency).
+pub fn sibling_binary(name: &str) -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join(name)))
+        .unwrap_or_else(|| PathBuf::from(name))
+}
+
+/// Outcome of a completed fleet run.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct FleetSummary {
+    /// Workers supervised.
+    pub workers: usize,
+    /// Total restarts performed across all workers.
+    pub restarts: u64,
+}
+
+struct Worker {
+    index: usize,
+    child: Child,
+    addr: String,
+    generation: u64,
+    missed: u32,
+    done: bool,
+}
+
+/// The running supervisor.
+pub struct Fleet {
+    cfg: FleetConfig,
+    workers: Vec<Worker>,
+    addrs_version: u64,
+    restarts: u64,
+}
+
+impl Fleet {
+    /// Spawns every worker, waits for them to bind, and publishes the
+    /// initial `fleet-addrs.json`.
+    ///
+    /// # Errors
+    ///
+    /// Spawn, bind-parse or address-file failures (spawned workers are
+    /// killed on the way out).
+    pub fn start(cfg: FleetConfig) -> Result<Fleet, String> {
+        if cfg.workers == 0 {
+            return Err("a fleet needs at least one worker".to_string());
+        }
+        std::fs::create_dir_all(&cfg.dir)
+            .map_err(|e| format!("cannot create {}: {e}", cfg.dir.display()))?;
+        let mut fleet = Fleet {
+            cfg,
+            workers: Vec::new(),
+            addrs_version: 0,
+            restarts: 0,
+        };
+        for i in 0..fleet.cfg.workers {
+            match fleet.spawn_worker(i, 0, false) {
+                Ok(w) => fleet.workers.push(w),
+                Err(e) => {
+                    for w in &mut fleet.workers {
+                        let _ = w.child.kill();
+                        let _ = w.child.wait();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        fleet.publish_addrs()?;
+        Ok(fleet)
+    }
+
+    /// The current shard-indexed worker addresses.
+    pub fn addrs(&self) -> Vec<String> {
+        self.workers.iter().map(|w| w.addr.clone()).collect()
+    }
+
+    fn worker_dir(&self, index: usize) -> PathBuf {
+        self.cfg.dir.join(format!("worker-{index}"))
+    }
+
+    /// A worker's journal path (for post-run validation).
+    pub fn journal_path(&self, index: usize) -> PathBuf {
+        self.worker_dir(index)
+            .join(crate::server::SERVE_JOURNAL_NAME)
+    }
+
+    fn spawn_worker(&self, index: usize, generation: u64, resume: bool) -> Result<Worker, String> {
+        let dir = self.worker_dir(index);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let log_path = dir.join(format!("worker-g{generation}.log"));
+        let log = std::fs::File::create(&log_path)
+            .map_err(|e| format!("cannot create {}: {e}", log_path.display()))?;
+        let log_err = log
+            .try_clone()
+            .map_err(|e| format!("cannot clone log handle: {e}"))?;
+        let mut cmd = Command::new(&self.cfg.worker_bin);
+        cmd.arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--threads")
+            .arg(self.cfg.threads.to_string())
+            .arg("--capacity")
+            .arg(self.cfg.capacity.to_string())
+            .arg("--json-dir")
+            .arg(&dir)
+            .arg("--retry-after-ms")
+            .arg(self.cfg.retry_after_ms.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::from(log))
+            .stderr(Stdio::from(log_err));
+        if let Some(ts) = &self.cfg.trace_store_dir {
+            cmd.arg("--trace-store").arg(ts);
+        }
+        if generation > 0 {
+            cmd.arg("--generation").arg(generation.to_string());
+        }
+        if resume {
+            cmd.arg("--resume-journal");
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| format!("cannot spawn {}: {e}", self.cfg.worker_bin.display()))?;
+        let addr = match wait_for_listening(&log_path, &mut child, Duration::from_secs(20)) {
+            Ok(a) => a,
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!("worker {index} (gen {generation}): {e}"));
+            }
+        };
+        Ok(Worker {
+            index,
+            child,
+            addr,
+            generation,
+            missed: 0,
+            done: false,
+        })
+    }
+
+    /// Atomically rewrites `fleet-addrs.json` with a bumped version.
+    fn publish_addrs(&mut self) -> Result<(), String> {
+        self.addrs_version += 1;
+        let doc = Value::obj()
+            .set("fleet", 1u64)
+            .set("version", self.addrs_version)
+            .set(
+                "addrs",
+                Value::Arr(
+                    self.workers
+                        .iter()
+                        .map(|w| Value::Str(w.addr.clone()))
+                        .collect(),
+                ),
+            );
+        let path = self.cfg.dir.join(FLEET_ADDRS_NAME);
+        let tmp = self.cfg.dir.join(format!("{FLEET_ADDRS_NAME}.tmp"));
+        std::fs::File::create(&tmp)
+            .and_then(|mut f| {
+                f.write_all(doc.render().as_bytes())?;
+                f.sync_data()
+            })
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| format!("cannot publish {}: {e}", path.display()))
+    }
+
+    /// Supervises until every worker has exited 0 (i.e. been drained).
+    /// Calls `on_event` with one readable line per lifecycle event.
+    ///
+    /// # Errors
+    ///
+    /// A worker that exhausts `max_restarts`, or spawn/publish failures
+    /// during a restart.
+    pub fn supervise(mut self, mut on_event: impl FnMut(&str)) -> Result<FleetSummary, String> {
+        loop {
+            if self.workers.iter().all(|w| w.done) {
+                return Ok(FleetSummary {
+                    workers: self.cfg.workers,
+                    restarts: self.restarts,
+                });
+            }
+            std::thread::sleep(self.cfg.heartbeat);
+            let mut need_publish = false;
+            for wi in 0..self.workers.len() {
+                if self.workers[wi].done {
+                    continue;
+                }
+                match self.workers[wi].child.try_wait() {
+                    Ok(Some(status)) if status.success() => {
+                        self.workers[wi].done = true;
+                        on_event(&format!("worker {wi}: drained, exited 0"));
+                    }
+                    Ok(Some(status)) => {
+                        // A worker that journalled `drained` finished its
+                        // work — even if its exit was messy (e.g. it was
+                        // killed while flushing), restarting it would
+                        // resurrect a fleet nobody will drain again.
+                        if self.worker_drained(wi) {
+                            self.workers[wi].done = true;
+                            on_event(&format!("worker {wi}: exited ({status}) after draining"));
+                        } else {
+                            on_event(&format!("worker {wi}: died ({status}), restarting"));
+                            self.restart(wi)?;
+                            need_publish = true;
+                        }
+                    }
+                    Ok(None) => {
+                        // Alive — heartbeat it.
+                        if self.ping(wi) {
+                            self.workers[wi].missed = 0;
+                        } else {
+                            self.workers[wi].missed += 1;
+                            if self.workers[wi].missed >= self.cfg.max_missed {
+                                if self.worker_drained(wi) {
+                                    // Drained and winding down — silent
+                                    // heartbeats are expected, not a hang.
+                                    continue;
+                                }
+                                on_event(&format!(
+                                    "worker {wi}: {} heartbeats missed, killing and restarting",
+                                    self.workers[wi].missed
+                                ));
+                                let _ = self.workers[wi].child.kill();
+                                let _ = self.workers[wi].child.wait();
+                                self.restart(wi)?;
+                                need_publish = true;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        return Err(format!("worker {wi}: cannot poll: {e}"));
+                    }
+                }
+            }
+            if need_publish {
+                self.publish_addrs()?;
+            }
+        }
+    }
+
+    /// One heartbeat: connect with a short timeout and exchange a `ping`.
+    fn ping(&mut self, wi: usize) -> bool {
+        let addr = self.workers[wi].addr.clone();
+        let Ok(sock_addr) = addr.parse() else {
+            return false;
+        };
+        let timeout = self.cfg.heartbeat.max(Duration::from_millis(100));
+        let Ok(stream) = std::net::TcpStream::connect_timeout(&sock_addr, timeout) else {
+            return false;
+        };
+        let _ = stream.set_read_timeout(Some(timeout.max(Duration::from_secs(2))));
+        let mut client = match Client::from_stream(stream) {
+            Ok(c) => c,
+            Err(_) => return false,
+        };
+        client.request(&proto::request("ping")).is_ok()
+    }
+
+    /// Replaces a dead worker with a resumed incarnation on a fresh port.
+    fn restart(&mut self, wi: usize) -> Result<(), String> {
+        let index = self.workers[wi].index;
+        let generation = self.workers[wi].generation + 1;
+        if self.restarts_of(index) >= u64::from(self.cfg.max_restarts) {
+            return Err(format!(
+                "worker {index}: exceeded {} restarts, giving up",
+                self.cfg.max_restarts
+            ));
+        }
+        self.restarts += 1;
+        let w = self.spawn_worker(index, generation, true)?;
+        self.workers[wi] = w;
+        Ok(())
+    }
+
+    /// Whether a worker's journal records a completed drain as its last
+    /// event (a resumed incarnation appends `restart` after it, so a
+    /// stale drain from a previous life does not count).
+    fn worker_drained(&self, wi: usize) -> bool {
+        let index = self.workers[wi].index;
+        std::fs::read_to_string(self.journal_path(index))
+            .ok()
+            .and_then(|text| {
+                text.lines()
+                    .rfind(|l| !l.trim().is_empty())
+                    .map(|l| l.trim() == "{\"event\":\"drained\"}")
+            })
+            .unwrap_or(false)
+    }
+
+    fn restarts_of(&self, index: usize) -> u64 {
+        self.workers
+            .iter()
+            .find(|w| w.index == index)
+            .map_or(0, |w| w.generation)
+    }
+}
+
+/// Polls a worker's log for the `listening on <addr>` line.
+fn wait_for_listening(log: &Path, child: &mut Child, timeout: Duration) -> Result<String, String> {
+    let start = Instant::now();
+    loop {
+        if let Ok(text) = std::fs::read_to_string(log) {
+            if let Some(line) = text.lines().find(|l| l.starts_with("listening on ")) {
+                return Ok(line["listening on ".len()..].trim().to_string());
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            let tail = std::fs::read_to_string(log).unwrap_or_default();
+            return Err(format!(
+                "worker exited ({status}) before binding: {}",
+                tail.lines().last().unwrap_or("")
+            ));
+        }
+        if start.elapsed() > timeout {
+            return Err("timed out waiting for the worker to bind".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_worker_fleets_are_rejected() {
+        let err = match Fleet::start(FleetConfig {
+            workers: 0,
+            ..FleetConfig::default()
+        }) {
+            Err(e) => e,
+            Ok(_) => panic!("zero-worker fleet started"),
+        };
+        assert!(err.contains("at least one worker"));
+    }
+
+    #[test]
+    fn sibling_binary_is_anchored_to_the_executable() {
+        let p = sibling_binary("das-serve");
+        assert!(p.file_name().is_some());
+        assert_eq!(p.file_name().unwrap(), "das-serve");
+    }
+}

@@ -1,0 +1,497 @@
+//! The fleet-aware resilient client: shard routing, idempotent
+//! retry/resubmission, and hedged duplicate submission.
+//!
+//! This is the policy layer `dasctl` uses against a `das-fleet`: every
+//! job gets a client-chosen id (`{ticket}/{job}` — retries and hedges get
+//! distinct ids), is routed to its shard by consistent hashing
+//! ([`crate::shard`]), and is driven to a terminal state through whatever
+//! the fleet throws at it:
+//!
+//! - `busy` rejections retry with capped seeded-jitter backoff honoring
+//!   the server's `retry_after_ms` hint ([`crate::retry`]);
+//! - transport drops reconnect (re-reading the fleet address file, since
+//!   a crashed worker restarts on a *new* port) and blindly resubmit —
+//!   safe because explicit ids make submission idempotent;
+//! - `failed` jobs are retried under a fresh id, a bounded number of
+//!   times;
+//! - a straggler past the hedge timeout gets a duplicate submission on
+//!   the next shard; the first terminal `done` wins and the loser is
+//!   cancelled exactly once.
+//!
+//! Reports carry no job id (they are a pure function of the spec), so
+//! none of this machinery can change artifact bytes — the chaos smoke
+//! proves it with `cmp`.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use das_harness::manifest::JobSpec;
+use das_telemetry::counters::Counters;
+use das_telemetry::json::{self, Value};
+
+use crate::client::{collect_stream, Client};
+use crate::proto;
+use crate::retry::BackoffPolicy;
+use crate::shard::{hedge_shard_of, shard_of};
+
+/// File the supervisor maintains inside the fleet directory mapping
+/// shard index to current worker address.
+pub const FLEET_ADDRS_NAME: &str = "fleet-addrs.json";
+
+/// Where the client learns worker addresses from.
+#[derive(Debug, Clone)]
+pub enum AddrSource {
+    /// A fixed address list (tests, `--addrs a,b,c`).
+    Static(Vec<String>),
+    /// A fleet directory whose `fleet-addrs.json` the supervisor rewrites
+    /// on every restart — re-read on connect failure so the client finds
+    /// a restarted worker's new port.
+    Dir(PathBuf),
+}
+
+impl AddrSource {
+    /// The current shard-indexed address list.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable or malformed address file, or an empty list.
+    pub fn addrs(&self) -> Result<Vec<String>, String> {
+        let addrs = match self {
+            AddrSource::Static(a) => a.clone(),
+            AddrSource::Dir(dir) => {
+                let path = dir.join(FLEET_ADDRS_NAME);
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+                doc.get("addrs")
+                    .and_then(Value::as_arr)
+                    .map(|arr| {
+                        arr.iter()
+                            .filter_map(|v| v.as_str().map(str::to_string))
+                            .collect()
+                    })
+                    .ok_or_else(|| format!("{}: no \"addrs\" array", path.display()))?
+            }
+        };
+        if addrs.is_empty() {
+            return Err("fleet has no worker addresses".to_string());
+        }
+        Ok(addrs)
+    }
+}
+
+/// Fleet client policy knobs.
+#[derive(Debug, Clone)]
+pub struct FleetClientConfig {
+    /// Backoff for `busy` rejections, reconnects and transient failures.
+    pub backoff: BackoffPolicy,
+    /// Hedge a job still unfinished after this long (`None` = never).
+    pub hedge_after: Option<Duration>,
+    /// How many times a `failed` job is retried under a fresh id.
+    pub job_retries: u32,
+    /// Status poll interval while waiting for results.
+    pub poll: Duration,
+}
+
+impl Default for FleetClientConfig {
+    fn default() -> FleetClientConfig {
+        FleetClientConfig {
+            backoff: BackoffPolicy::default(),
+            hedge_after: None,
+            job_retries: 3,
+            poll: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What one submission attempt came back with.
+enum Submit {
+    Admitted,
+    Busy { retry_after_ms: Option<u64> },
+    Fatal(String),
+}
+
+/// One in-flight submission of a job (primary, retry, or hedge).
+struct Attempt {
+    id: String,
+    shard: usize,
+}
+
+/// Per-job driving state.
+struct Track {
+    spec: JobSpec,
+    active: Vec<Attempt>,
+    retries: u32,
+    hedged: bool,
+    started: Instant,
+    report: Option<Value>,
+}
+
+/// The fleet client: shard-indexed cached connections plus resilience
+/// counters ([`Counters`]: `busy_retries`, `reconnects`, `resubmits`,
+/// `hedges_fired`, `hedge_wins`, `loser_cancels`, `job_retries`,
+/// `rediscoveries`, `report_refetches`).
+pub struct FleetClient {
+    source: AddrSource,
+    cfg: FleetClientConfig,
+    conns: HashMap<usize, Client>,
+    addrs: Vec<String>,
+    /// Resilience event counters, readable after a run.
+    pub counters: Counters,
+}
+
+impl FleetClient {
+    /// Builds a client over `source`, reading the initial address list.
+    ///
+    /// # Errors
+    ///
+    /// Address-source failures.
+    pub fn new(source: AddrSource, cfg: FleetClientConfig) -> Result<FleetClient, String> {
+        let addrs = source.addrs()?;
+        Ok(FleetClient {
+            source,
+            cfg,
+            conns: HashMap::new(),
+            addrs,
+            counters: Counters::new(),
+        })
+    }
+
+    /// Number of shards (workers) currently known.
+    pub fn shards(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn connect_shard(&mut self, shard: usize) -> Result<(), String> {
+        let addr = self
+            .addrs
+            .get(shard)
+            .ok_or_else(|| format!("shard {shard} out of range"))?
+            .clone();
+        match Client::connect(&addr) {
+            Ok(c) => {
+                let _ = c.set_read_timeout(Some(Duration::from_secs(10)));
+                self.conns.insert(shard, c);
+                Ok(())
+            }
+            Err(first) => {
+                // The worker may have restarted on a new port: re-read the
+                // address file and try once more.
+                self.counters.incr("rediscoveries");
+                self.addrs = self.source.addrs()?;
+                let addr = self
+                    .addrs
+                    .get(shard)
+                    .ok_or_else(|| format!("shard {shard} out of range"))?;
+                let c = Client::connect(addr).map_err(|e| format!("{first}; retry: {e}"))?;
+                let _ = c.set_read_timeout(Some(Duration::from_secs(10)));
+                self.conns.insert(shard, c);
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs `req` against `shard`, transparently reconnecting (with
+    /// backoff) on transport failure. Only safe for idempotent requests —
+    /// which all of ours are, thanks to explicit job ids.
+    fn request(&mut self, shard: usize, req: &Value) -> Result<Value, String> {
+        let mut attempt = 0u32;
+        loop {
+            if !self.conns.contains_key(&shard) {
+                if let Err(e) = self.connect_shard(shard) {
+                    match self.cfg.backoff.delay_ms(attempt, None) {
+                        Some(ms) => {
+                            attempt += 1;
+                            self.counters.incr("reconnects");
+                            std::thread::sleep(Duration::from_millis(ms));
+                            continue;
+                        }
+                        None => return Err(format!("shard {shard} unreachable: {e}")),
+                    }
+                }
+            }
+            let conn = self.conns.get_mut(&shard).expect("just connected");
+            match conn
+                .send(req)
+                .and_then(|()| conn.next_frame().map_err(|e| format!("no response: {e}")))
+            {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    // Transport failure (drop, truncation, worker death):
+                    // reconnect and re-drive.
+                    self.conns.remove(&shard);
+                    match self.cfg.backoff.delay_ms(attempt, None) {
+                        Some(ms) => {
+                            attempt += 1;
+                            self.counters.incr("reconnects");
+                            std::thread::sleep(Duration::from_millis(ms));
+                        }
+                        None => return Err(format!("shard {shard}: {e}")),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Submits `spec` as `id` to `shard`, classifying the response.
+    fn submit_once(
+        &mut self,
+        shard: usize,
+        id: &str,
+        spec: &JobSpec,
+        hedge: bool,
+    ) -> Result<Submit, String> {
+        let req = proto::request("submit_job")
+            .set("job", spec.to_value())
+            .set("as", id)
+            .set("hedge", hedge);
+        let resp = self.request(shard, &req)?;
+        match proto::error_of(&resp) {
+            None => {
+                if resp
+                    .get("duplicate")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false)
+                {
+                    self.counters.incr("resubmits");
+                }
+                Ok(Submit::Admitted)
+            }
+            Some(("busy", _)) => Ok(Submit::Busy {
+                retry_after_ms: resp
+                    .get_path("error/retry_after_ms")
+                    .and_then(Value::as_u64),
+            }),
+            Some((code, msg)) => Ok(Submit::Fatal(format!("{code}: {msg}"))),
+        }
+    }
+
+    /// Submits with busy-backoff until admitted or retries exhaust.
+    fn submit_backed_off(
+        &mut self,
+        shard: usize,
+        id: &str,
+        spec: &JobSpec,
+        hedge: bool,
+    ) -> Result<(), String> {
+        let mut attempt = 0u32;
+        loop {
+            match self.submit_once(shard, id, spec, hedge)? {
+                Submit::Admitted => return Ok(()),
+                Submit::Busy { retry_after_ms } => {
+                    match self.cfg.backoff.delay_ms(attempt, retry_after_ms) {
+                        Some(ms) => {
+                            attempt += 1;
+                            self.counters.incr("busy_retries");
+                            std::thread::sleep(Duration::from_millis(ms));
+                        }
+                        None => {
+                            return Err(format!("job {id}: still busy after {attempt} retries"))
+                        }
+                    }
+                }
+                Submit::Fatal(e) => return Err(format!("job {id}: {e}")),
+            }
+        }
+    }
+
+    /// The terminal state of `id` on `shard`, if it is terminal.
+    /// `Ok(None)` covers still-running AND unknown ids — an unknown id
+    /// means the submission was lost before it was journalled (worker
+    /// died first), which the caller heals by resubmitting idempotently.
+    fn poll_status(&mut self, shard: usize, id: &str) -> Result<Option<(String, bool)>, String> {
+        let resp = self.request(shard, &proto::request("status").set("job", id))?;
+        match proto::error_of(&resp) {
+            Some(("not_found", _)) => Ok(Some(("lost".to_string(), false))),
+            Some((code, msg)) => Err(format!("status {id}: {code}: {msg}")),
+            None => {
+                let state = resp
+                    .get("state")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                let terminal = matches!(state.as_str(), "done" | "failed" | "cancelled");
+                Ok(if terminal { Some((state, true)) } else { None })
+            }
+        }
+    }
+
+    /// Fetches a finished job's report via a single-id stream.
+    fn fetch_report(&mut self, shard: usize, id: &str) -> Result<Value, String> {
+        // collect_stream needs exclusive use of one connection; take it
+        // out of the cache (and reconnect if absent).
+        if !self.conns.contains_key(&shard) {
+            self.connect_shard(shard)?;
+        }
+        let mut conn = self.conns.remove(&shard).expect("just connected");
+        let ids = vec![id.to_string()];
+        let result = collect_stream(&mut conn, &ids, |_, _| {});
+        self.conns.insert(shard, conn);
+        result.map(|mut r| r.remove(0))
+    }
+
+    /// Drives `specs` to completion across the fleet and returns their
+    /// reports in spec order. `ticket` namespaces this submission's job
+    /// ids (reuse a ticket and you reuse — idempotently — its jobs).
+    ///
+    /// # Errors
+    ///
+    /// A job that exhausts its retries, a fatal rejection, or a fleet
+    /// that is unreachable past the backoff budget.
+    pub fn run_jobs(&mut self, ticket: &str, specs: &[JobSpec]) -> Result<Vec<Value>, String> {
+        let shards = self.shards();
+        let mut tracks: Vec<Track> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let id = format!("{ticket}/{}", spec.id);
+            let shard = shard_of(&id, shards);
+            self.submit_backed_off(shard, &id, spec, false)?;
+            tracks.push(Track {
+                spec: spec.clone(),
+                active: vec![Attempt { id, shard }],
+                retries: 0,
+                hedged: false,
+                started: Instant::now(),
+                report: None,
+            });
+        }
+        while tracks.iter().any(|t| t.report.is_none()) {
+            for ti in 0..tracks.len() {
+                if tracks[ti].report.is_some() {
+                    continue;
+                }
+                self.drive(ticket, &mut tracks, ti)?;
+            }
+            std::thread::sleep(self.cfg.poll);
+        }
+        Ok(tracks
+            .into_iter()
+            .map(|t| t.report.expect("loop ended with every report present"))
+            .collect())
+    }
+
+    /// One poll step for one job: check its active attempts, collect a
+    /// winner, heal losses, hedge stragglers.
+    fn drive(&mut self, ticket: &str, tracks: &mut [Track], ti: usize) -> Result<(), String> {
+        let mut winner: Option<(String, usize)> = None;
+        let mut lost: Vec<usize> = Vec::new();
+        for (ai, a) in tracks[ti].active.iter().enumerate() {
+            let (id, shard) = (a.id.clone(), a.shard);
+            match self.poll_status(shard, &id)? {
+                None => {}
+                Some((state, _)) if state == "done" => {
+                    winner = Some((id, shard));
+                    break;
+                }
+                Some(_) => lost.push(ai), // failed / cancelled / lost
+            }
+        }
+        if let Some((win_id, win_shard)) = winner {
+            let losers: Vec<Attempt> = tracks[ti]
+                .active
+                .drain(..)
+                .filter(|a| a.id != win_id)
+                .collect();
+            for l in losers {
+                let resp =
+                    self.request(l.shard, &proto::request("cancel").set("job", l.id.as_str()))?;
+                let _ = resp;
+                self.counters.incr("loser_cancels");
+            }
+            let was_hedge = win_id.contains("/h/");
+            if was_hedge {
+                self.counters.incr("hedge_wins");
+            }
+            // A worker can die between the status poll that saw `done`
+            // and this fetch — the report dies with it (its restarted
+            // incarnation only recovers *unfinished* jobs). Not fatal:
+            // leave the track attempt-less and the next drive pass
+            // re-runs the job under a fresh id, reproducing the same
+            // bytes.
+            match self.fetch_report(win_shard, &win_id) {
+                Ok(report) => tracks[ti].report = Some(report),
+                Err(_) => self.counters.incr("report_refetches"),
+            }
+            return Ok(());
+        }
+        // Remove dead attempts (reverse order keeps indices valid).
+        for &ai in lost.iter().rev() {
+            tracks[ti].active.remove(ai);
+        }
+        if tracks[ti].active.is_empty() {
+            // Every attempt failed or was lost: retry under a fresh id.
+            if tracks[ti].retries >= self.cfg.job_retries {
+                return Err(format!(
+                    "job {}: failed after {} retries",
+                    tracks[ti].spec.id, tracks[ti].retries
+                ));
+            }
+            tracks[ti].retries += 1;
+            self.counters.incr("job_retries");
+            let id = format!("{ticket}/r{}/{}", tracks[ti].retries, tracks[ti].spec.id);
+            let shard = shard_of(&id, self.shards());
+            let spec = tracks[ti].spec.clone();
+            self.submit_backed_off(shard, &id, &spec, false)?;
+            tracks[ti].started = Instant::now();
+            tracks[ti].active.push(Attempt { id, shard });
+            return Ok(());
+        }
+        // Straggler? Hedge once, to the next shard over.
+        if let Some(after) = self.cfg.hedge_after {
+            if !tracks[ti].hedged && self.shards() > 1 && tracks[ti].started.elapsed() >= after {
+                tracks[ti].hedged = true;
+                let id = format!("{ticket}/h/{}", tracks[ti].spec.id);
+                let primary = format!("{ticket}/{}", tracks[ti].spec.id);
+                let shard = hedge_shard_of(&primary, self.shards());
+                let spec = tracks[ti].spec.clone();
+                self.counters.incr("hedges_fired");
+                self.submit_backed_off(shard, &id, &spec, true)?;
+                tracks[ti].active.push(Attempt { id, shard });
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends `req` to every shard and returns the responses (used by
+    /// fleet-wide `stats` and `drain`).
+    ///
+    /// # Errors
+    ///
+    /// The first shard that cannot be reached or rejects the request.
+    pub fn broadcast(&mut self, req: &Value) -> Result<Vec<Value>, String> {
+        let shards = self.shards();
+        let mut out = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let resp = self.request(shard, req)?;
+            match proto::error_of(&resp) {
+                None => out.push(resp),
+                Some((code, msg)) => return Err(format!("shard {shard}: {code}: {msg}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_source_reads_static_and_dir() {
+        let s = AddrSource::Static(vec!["a:1".into(), "b:2".into()]);
+        assert_eq!(s.addrs().unwrap(), vec!["a:1", "b:2"]);
+        assert!(AddrSource::Static(Vec::new()).addrs().is_err());
+
+        let dir = std::env::temp_dir().join(format!("das-fleet-addrs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = AddrSource::Dir(dir.clone());
+        assert!(d.addrs().is_err(), "no file yet");
+        std::fs::write(
+            dir.join(FLEET_ADDRS_NAME),
+            "{\"fleet\":1,\"version\":2,\"addrs\":[\"x:1\",\"y:2\",\"z:3\"]}",
+        )
+        .unwrap();
+        assert_eq!(d.addrs().unwrap(), vec!["x:1", "y:2", "z:3"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

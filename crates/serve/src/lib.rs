@@ -15,7 +15,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod client;
+pub mod fleet;
+pub mod fleet_client;
 pub mod proto;
+pub mod retry;
 pub mod server;
+pub mod shard;
 pub mod state;

@@ -44,6 +44,7 @@
 //! becomes observably terminal: when drain sees every job terminal, the
 //! journal is complete.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -60,6 +61,7 @@ use das_harness::runner;
 use das_telemetry::json::Value;
 use das_trace::TraceStore;
 
+use crate::chaos::{Chaos, ChaosConfig, ConnFate};
 use crate::proto::{self, code, ProtoError};
 use crate::state::{JobState, Metrics, Registry};
 
@@ -85,6 +87,16 @@ pub struct ServerConfig {
     pub max_frame: usize,
     /// The `retry_after_ms` hint sent with `busy` rejections.
     pub retry_after_ms: u64,
+    /// Resume an existing service journal instead of truncating it:
+    /// torn-tail-truncate, journal a `restart` marker, and re-drive every
+    /// orphaned job whose admission carried a spec (crash recovery).
+    pub resume_journal: bool,
+    /// Worker incarnation number, bumped by the supervisor on each
+    /// restart; reported by `ping` and `stats`.
+    pub generation: u64,
+    /// Chaos injection knobs (normally parsed from `DAS_CHAOS_*` env by
+    /// the binary; `None` disables the layer entirely).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +109,9 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             max_frame: proto::DEFAULT_MAX_FRAME,
             retry_after_ms: 250,
+            resume_journal: false,
+            generation: 0,
+            chaos: None,
         }
     }
 }
@@ -124,6 +139,13 @@ struct Shared {
     /// picking up new requests.
     stop: AtomicBool,
     tickets: AtomicU64,
+    chaos: Option<Chaos>,
+    /// Read-halves of live connections, shut down on stop so handlers
+    /// blocked in a read see EOF instead of holding shutdown for up to
+    /// `read_timeout` (a drained worker must exit promptly or its
+    /// supervisor will mistake it for hung).
+    conn_socks: Mutex<HashMap<u64, TcpStream>>,
+    conn_seq: AtomicU64,
 }
 
 /// A bound, not-yet-running server.
@@ -143,7 +165,23 @@ impl Server {
     pub fn bind(addr: &str, cfg: ServerConfig) -> Result<Server, String> {
         std::fs::create_dir_all(&cfg.out_dir)
             .map_err(|e| format!("cannot create {}: {e}", cfg.out_dir.display()))?;
-        let journal = ServiceJournal::create(&cfg.out_dir.join(SERVE_JOURNAL_NAME))?;
+        let journal_path = cfg.out_dir.join(SERVE_JOURNAL_NAME);
+        let (mut journal, orphans) = if cfg.resume_journal {
+            let (mut j, summary) = ServiceJournal::resume(&journal_path)?;
+            if !summary.orphan_specs.is_empty() || summary.admitted > 0 {
+                j.marker("restart")?;
+            }
+            (j, summary.orphan_specs)
+        } else {
+            (ServiceJournal::create(&journal_path)?, Vec::new())
+        };
+        // Tickets resume past every number a prior incarnation can have
+        // used (one ticket per admitted batch, each batch >= 1 job), so
+        // fresh admissions never collide with journalled ids.
+        let admitted_before = {
+            let summary = das_harness::journal::load_service(&journal_path)?;
+            summary.admitted
+        };
         let store = match &cfg.trace_store_dir {
             Some(dir) => Some(
                 TraceStore::open(dir)
@@ -153,22 +191,48 @@ impl Server {
         };
         let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
         let pool = ServicePool::new(cfg.threads);
-        Ok(Server {
-            listener,
-            shared: Arc::new(Shared {
-                cfg,
-                registry: Mutex::new(Registry::default()),
-                changed: Condvar::new(),
-                journal: Mutex::new(journal),
-                metrics: Mutex::new(Metrics::default()),
-                profiles: ProfileCache::new(),
-                store,
-                pool,
-                draining: AtomicBool::new(false),
-                stop: AtomicBool::new(false),
-                tickets: AtomicU64::new(0),
-            }),
-        })
+        // Orphans whose admission carried a spec are re-queued (their
+        // admit line is already journalled; only a terminal event is
+        // owed). Spec-less orphans cannot be re-driven: close them as
+        // failed so the journal validates clean and clients resubmit.
+        let mut registry = Registry::default();
+        let mut recovered_ids = Vec::new();
+        let mut recovered = 0u64;
+        for (id, spec) in orphans {
+            match spec.as_ref().map(JobSpec::from_value) {
+                Some(Ok(spec)) => {
+                    registry.insert_queued(id.clone(), spec);
+                    recovered_ids.push(id);
+                    recovered += 1;
+                }
+                _ => {
+                    journal.terminal("failed", &id, Some("job spec lost across restart"))?;
+                }
+            }
+        }
+        let chaos = cfg.chaos.clone().map(Chaos::new);
+        let shared = Arc::new(Shared {
+            cfg,
+            registry: Mutex::new(registry),
+            changed: Condvar::new(),
+            journal: Mutex::new(journal),
+            metrics: Mutex::new(Metrics::default()),
+            profiles: ProfileCache::new(),
+            store,
+            pool,
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            tickets: AtomicU64::new(admitted_before),
+            chaos,
+            conn_socks: Mutex::new(HashMap::new()),
+            conn_seq: AtomicU64::new(0),
+        });
+        lock(&shared.metrics).recovered = recovered;
+        for id in recovered_ids {
+            let task_shared = Arc::clone(&shared);
+            shared.pool.submit(move || run_job(&task_shared, &id));
+        }
+        Ok(Server { listener, shared })
     }
 
     /// The bound address (interesting with port 0).
@@ -201,16 +265,33 @@ impl Server {
             }
             match stream {
                 Ok(s) => {
+                    let fate = self
+                        .shared
+                        .chaos
+                        .as_ref()
+                        .and_then(Chaos::fate_for_connection);
+                    let id = self.shared.conn_seq.fetch_add(1, Ordering::SeqCst);
+                    if let Ok(dup) = s.try_clone() {
+                        lock(&self.shared.conn_socks).insert(id, dup);
+                    }
                     let shared = Arc::clone(&self.shared);
-                    conns.push(std::thread::spawn(move || handle_connection(&shared, s)));
+                    conns.push(std::thread::spawn(move || {
+                        sabotage_connection(&shared, s, fate);
+                        lock(&shared.conn_socks).remove(&id);
+                    }));
                 }
                 Err(e) => {
                     eprintln!("das-serve: accept failed: {e}");
                 }
             }
         }
-        // Drained: all jobs terminal, journal complete. Join what's left —
-        // idle connections close within read_timeout.
+        // Drained: all jobs terminal, journal complete. Shut down the
+        // read half of every live connection so handlers blocked in a
+        // read return *now* (in-flight response writes still complete),
+        // then join what's left.
+        for sock in lock(&self.shared.conn_socks).values() {
+            let _ = sock.shutdown(std::net::Shutdown::Read);
+        }
         for h in conns {
             let _ = h.join();
         }
@@ -250,6 +331,28 @@ fn drain_completer(shared: &Arc<Shared>, addr: SocketAddr) {
 // ---------------------------------------------------------------------------
 // Connection handling
 // ---------------------------------------------------------------------------
+
+/// Applies the chaos layer's connection fate (if any) before — or
+/// instead of — serving the connection normally. `Drop` closes the
+/// socket unread; `Truncate` writes a torn partial frame header then
+/// closes (exercising the client's malformed-frame recovery); `Delay`
+/// stalls, then serves normally (exercising client timeouts/hedging).
+fn sabotage_connection(shared: &Arc<Shared>, mut stream: TcpStream, fate: Option<ConnFate>) {
+    match fate {
+        Some(ConnFate::Drop) => (),
+        Some(ConnFate::Truncate) => {
+            use std::io::Write;
+            let _ = stream.write_all(&[0x00, 0x00]);
+        }
+        Some(ConnFate::Delay) => {
+            if let Some(chaos) = &shared.chaos {
+                std::thread::sleep(chaos.delay());
+            }
+            handle_connection(shared, stream);
+        }
+        None => handle_connection(shared, stream),
+    }
+}
 
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
@@ -327,6 +430,14 @@ fn handle_request(
             let resp = handle_cancel(shared, req);
             proto::write_frame(writer, &resp)
         }
+        "ping" => {
+            let resp = proto::ok("pong")
+                .set("pid", u64::from(std::process::id()))
+                .set("generation", shared.cfg.generation)
+                .set("draining", shared.draining.load(Ordering::SeqCst))
+                .set("outstanding", lock(&shared.registry).outstanding());
+            proto::write_frame(writer, &resp)
+        }
         "stats" => {
             let resp = handle_stats(shared);
             proto::write_frame(writer, &resp)
@@ -381,8 +492,8 @@ fn admit(shared: &Arc<Shared>, specs: Vec<JobSpec>) -> Result<(u64, Vec<String>)
         .collect();
     {
         let mut jr = lock(&shared.journal);
-        for id in &ids {
-            if let Err(e) = jr.admit(id) {
+        for (id, spec) in ids.iter().zip(&specs) {
+            if let Err(e) = jr.admit_with_spec(id, &spec.to_value()) {
                 return Err(proto::error(code::INTERNAL, &e));
             }
         }
@@ -412,6 +523,28 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
         }
     };
     shared.changed.notify_all();
+    if let Some(chaos) = &shared.chaos {
+        if chaos.should_kill_on_job_start() {
+            // Simulated worker crash: die hard, mid-job, no cleanup. The
+            // journal has this job admitted but not terminal; the
+            // supervisor restarts us and resume re-drives it.
+            eprintln!("das-serve: chaos kill on job {id}");
+            std::process::abort();
+        }
+        if let Some(err) = chaos.trace_read_error() {
+            let mut reg = lock(&shared.registry);
+            {
+                let mut jr = lock(&shared.journal);
+                if let Err(e) = jr.terminal("failed", id, Some(&err)) {
+                    eprintln!("das-serve: {e}");
+                }
+            }
+            reg.finish(id, Err(err));
+            drop(reg);
+            shared.changed.notify_all();
+            return;
+        }
+    }
     let outcome = match catch_unwind(AssertUnwindSafe(|| {
         runner::execute(
             &spec,
@@ -446,6 +579,60 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
     shared.changed.notify_all();
 }
 
+/// Admits one job under a client-chosen id — the idempotent path retries,
+/// resubmissions and hedges use. If the id is already registered the
+/// submission is a no-op answered with the job's current state
+/// (`duplicate: true`), making reconnect-and-resubmit safe: the client
+/// can blindly resend after a transport drop without double-running.
+fn admit_explicit(shared: &Arc<Shared>, id: String, spec: JobSpec, hedge: bool) -> Value {
+    let mut reg = lock(&shared.registry);
+    if let Some(e) = reg.entry(&id) {
+        lock(&shared.metrics).resubmitted += 1;
+        return proto::ok("submit_job")
+            .set("ticket", 0u64)
+            .set("job", id.as_str())
+            .set("duplicate", true)
+            .set("state", e.state.as_str());
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        lock(&shared.metrics).rejected_draining += 1;
+        return proto::error(code::DRAINING, "server is draining and admits no new work");
+    }
+    let outstanding = reg.outstanding();
+    if outstanding + 1 > shared.cfg.capacity {
+        lock(&shared.metrics).rejected_busy += 1;
+        return proto::busy(
+            &format!(
+                "{outstanding} outstanding + 1 submitted exceeds capacity {}",
+                shared.cfg.capacity
+            ),
+            shared.cfg.retry_after_ms,
+        );
+    }
+    {
+        let mut jr = lock(&shared.journal);
+        if let Err(e) = jr.admit_with_spec(&id, &spec.to_value()) {
+            return proto::error(code::INTERNAL, &e);
+        }
+    }
+    reg.insert_queued(id.clone(), spec);
+    {
+        let mut m = lock(&shared.metrics);
+        m.admitted += 1;
+        if hedge {
+            m.hedged += 1;
+        }
+    }
+    drop(reg);
+    let task_shared = Arc::clone(shared);
+    let task_id = id.clone();
+    shared.pool.submit(move || run_job(&task_shared, &task_id));
+    proto::ok("submit_job")
+        .set("ticket", 0u64)
+        .set("job", id.as_str())
+        .set("duplicate", false)
+}
+
 fn handle_submit_job(shared: &Arc<Shared>, req: &Value) -> Value {
     let Some(job) = req.get("job") else {
         return proto::error(code::BAD_REQUEST, "submit_job needs a \"job\" object");
@@ -454,6 +641,13 @@ fn handle_submit_job(shared: &Arc<Shared>, req: &Value) -> Value {
         Ok(s) => s,
         Err(e) => return proto::error(code::BAD_REQUEST, &format!("bad job spec: {e}")),
     };
+    if let Some(id) = req.get("as").and_then(Value::as_str) {
+        if id.is_empty() {
+            return proto::error(code::BAD_REQUEST, "\"as\" id must be non-empty");
+        }
+        let hedge = req.get("hedge").and_then(Value::as_bool).unwrap_or(false);
+        return admit_explicit(shared, id.to_string(), spec, hedge);
+    }
     match admit(shared, vec![spec]) {
         Ok((ticket, ids)) => proto::ok("submit_job")
             .set("ticket", ticket)
@@ -574,6 +768,8 @@ fn handle_stats(shared: &Arc<Shared>) -> Value {
     let mut resp = proto::ok("stats")
         .set("capacity", shared.cfg.capacity)
         .set("threads", shared.cfg.threads)
+        .set("pid", u64::from(std::process::id()))
+        .set("generation", shared.cfg.generation)
         .set("draining", shared.draining.load(Ordering::SeqCst))
         .set(
             "jobs",
@@ -589,7 +785,10 @@ fn handle_stats(shared: &Arc<Shared>) -> Value {
             Value::obj()
                 .set("admitted", m.admitted)
                 .set("rejected_busy", m.rejected_busy)
-                .set("rejected_draining", m.rejected_draining),
+                .set("rejected_draining", m.rejected_draining)
+                .set("resubmitted", m.resubmitted)
+                .set("hedged", m.hedged)
+                .set("recovered", m.recovered),
         )
         .set("malformed_frames", m.malformed_frames)
         .set("pool_pending", shared.pool.pending())
@@ -603,7 +802,9 @@ fn handle_stats(shared: &Arc<Shared>) -> Value {
                 .set("hits", s.hits)
                 .set("misses", s.misses)
                 .set("bytes_written", s.bytes_written)
-                .set("bytes_read", s.bytes_read),
+                .set("bytes_read", s.bytes_read)
+                .set("locks_reclaimed", s.locks_reclaimed)
+                .set("lock_waits", s.lock_waits),
         );
     }
     resp

@@ -1,0 +1,113 @@
+//! Shard routing for the das-fleet: consistent hashing over job ids.
+//!
+//! Workers each own a shard of the job-id space. Clients route a job by
+//! hashing its full (ticket-prefixed) id with FNV-64 and mapping the hash
+//! to a shard with Lamport & Veach's *jump consistent hash* — so routing
+//! needs no shared table, every client agrees on the owner, and growing
+//! the fleet from `n` to `n+1` workers remaps only ~`1/(n+1)` of the ids
+//! instead of reshuffling everything. Hedged submissions go to the
+//! *next* shard in ring order ([`hedge_shard_of`]), which is guaranteed
+//! distinct from the primary whenever there are at least two shards.
+
+/// FNV-1a 64-bit hash — deterministic, dependency-free, good mixing for
+/// short id strings.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Jump consistent hash (Lamport & Veach 2014): maps `key` to a bucket in
+/// `0..buckets` such that going from `n` to `n+1` buckets moves only
+/// `1/(n+1)` of the keys. `buckets == 0` is treated as 1.
+pub fn jump_hash(mut key: u64, buckets: usize) -> usize {
+    let n = buckets.max(1) as i64;
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < n {
+        b = j;
+        // LCG step from the paper; the constant is fixed by the algorithm.
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        let r = ((key >> 33) + 1) as f64;
+        j = (((b.wrapping_add(1)) as f64) * (f64::from(1u32 << 31) / r)) as i64;
+    }
+    b as usize
+}
+
+/// The shard that owns job `id` in a fleet of `shards` workers.
+pub fn shard_of(id: &str, shards: usize) -> usize {
+    jump_hash(fnv64(id.as_bytes()), shards)
+}
+
+/// The backup shard a hedged duplicate of job `id` is sent to: the next
+/// shard in ring order, distinct from the primary whenever `shards > 1`.
+pub fn hedge_shard_of(id: &str, shards: usize) -> usize {
+    (shard_of(id, shards) + 1) % shards.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_routing_is_deterministic_and_in_range() {
+        for shards in 1..=8 {
+            for i in 0..200 {
+                let id = format!("t{i}/scale/DAS-DRAM/stream/{i}");
+                let s = shard_of(&id, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(&id, shards), "same id, same shard");
+            }
+        }
+        assert_eq!(shard_of("anything", 1), 0);
+        assert_eq!(shard_of("anything", 0), 0, "zero shards clamps to one");
+    }
+
+    #[test]
+    fn shards_are_reasonably_balanced() {
+        let shards = 3;
+        let mut counts = [0usize; 3];
+        for i in 0..900 {
+            counts[shard_of(&format!("t{i}/job-{i}"), shards)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (150..=450).contains(&c),
+                "shard {s} got {c} of 900 — badly unbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_fleet_remaps_only_a_fraction_of_ids() {
+        let n = 4;
+        let mut moved = 0;
+        let total = 1000;
+        for i in 0..total {
+            let id = format!("t{i}/jump-{i}");
+            if shard_of(&id, n) != shard_of(&id, n + 1) {
+                moved += 1;
+            }
+        }
+        // Expected ~ total/(n+1) = 200; allow generous slack either side.
+        assert!(
+            (100..=320).contains(&moved),
+            "{moved}/{total} ids moved when growing {n}->{} shards",
+            n + 1
+        );
+    }
+
+    #[test]
+    fn hedge_shard_differs_from_primary() {
+        for shards in 2..=5 {
+            for i in 0..50 {
+                let id = format!("t{i}/h-{i}");
+                assert_ne!(shard_of(&id, shards), hedge_shard_of(&id, shards));
+            }
+        }
+        assert_eq!(hedge_shard_of("x", 1), 0, "single shard hedges to itself");
+    }
+}

@@ -196,6 +196,13 @@ pub struct Metrics {
     pub rejected_busy: u64,
     /// Submissions rejected with `draining`.
     pub rejected_draining: u64,
+    /// Idempotent resubmissions answered from the registry (a client
+    /// retried a job id that was already admitted).
+    pub resubmitted: u64,
+    /// Submissions marked as hedged duplicates by the client.
+    pub hedged: u64,
+    /// Orphaned jobs re-driven from the journal after a crash restart.
+    pub recovered: u64,
     /// Frames that violated the codec (answered with `frame`/`parse`).
     pub malformed_frames: u64,
     /// Latency per request kind, in microseconds. BTreeMap so the stats

@@ -1,0 +1,165 @@
+//! Multi-process fleet test: the real `das-fleet` binary supervising
+//! real `das-serve` workers, with the chaos layer killing one of them
+//! mid-job. The headline invariant: a chaos run's reports are
+//! byte-identical to a fault-free direct harness run, every worker
+//! journal validates clean, and the supervisor records the restart it
+//! performed. (The CI chaos smoke repeats this end-to-end through
+//! `dasctl`, adding connection sabotage and artifact `cmp`.)
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use das_harness::cli::{execute_jobs, ExecOptions};
+use das_harness::journal::load_service;
+use das_harness::manifest::{JobSpec, Overrides};
+use das_serve::fleet_client::{AddrSource, FleetClient, FleetClientConfig, FLEET_ADDRS_NAME};
+use das_serve::proto;
+use das_serve::retry::BackoffPolicy;
+use das_serve::server::SERVE_JOURNAL_NAME;
+use das_telemetry::json::Value;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("das-fleet-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec(id: &str, insts: u64) -> JobSpec {
+    JobSpec {
+        id: id.into(),
+        design: "std".into(),
+        workload: "libquantum".into(),
+        insts,
+        scale: 64,
+        seed: 42,
+        ov: Overrides::default(),
+    }
+}
+
+#[test]
+fn a_chaos_kill_is_survived_with_byte_identical_reports() {
+    let dir = tmp_dir("chaos-kill");
+    let marker = dir.join("kill.marker");
+    let child = Command::new(env!("CARGO_BIN_EXE_das-fleet"))
+        .args([
+            "--dir",
+            dir.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--threads",
+            "1",
+            "--capacity",
+            "8",
+            "--heartbeat-ms",
+            "100",
+            "--retry-after-ms",
+            "5",
+            "--worker-bin",
+            env!("CARGO_BIN_EXE_das-serve"),
+        ])
+        // One worker (whichever starts its 2nd job first — they share the
+        // marker) aborts mid-run; its restarted incarnation must re-drive
+        // the orphaned jobs.
+        .env("DAS_CHAOS", "1")
+        .env("DAS_CHAOS_SEED", "3")
+        .env("DAS_CHAOS_KILL_AFTER_JOBS", "2")
+        .env("DAS_CHAOS_KILL_MARKER", &marker)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn das-fleet");
+
+    // The supervisor publishes the address file once every worker is up.
+    let addrs_path = dir.join(FLEET_ADDRS_NAME);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !addrs_path.is_file() {
+        assert!(Instant::now() < deadline, "fleet never published addresses");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Six jobs across two single-threaded workers: by pigeonhole some
+    // worker starts a 2nd job, so the kill is guaranteed to fire.
+    let specs: Vec<JobSpec> = ["a", "b", "c", "d", "e", "f"]
+        .iter()
+        .map(|id| spec(id, 40_000))
+        .collect();
+    let cfg = FleetClientConfig {
+        backoff: BackoffPolicy {
+            base_ms: 10,
+            cap_ms: 250,
+            max_attempts: 14,
+            seed: 1,
+        },
+        hedge_after: None,
+        job_retries: 3,
+        poll: Duration::from_millis(10),
+    };
+    let mut fc = FleetClient::new(AddrSource::Dir(dir.clone()), cfg).unwrap();
+    let reports = fc.run_jobs("f0", &specs).unwrap();
+    assert_eq!(reports.len(), specs.len());
+
+    // The kill really happened, and the client really felt it.
+    assert!(marker.is_file(), "chaos kill never fired");
+    assert!(
+        fc.counters.get("reconnects") >= 1,
+        "the crash must have severed at least one connection: {}",
+        fc.counters.summary()
+    );
+
+    // Byte-identity against a fault-free direct run.
+    let direct_dir = tmp_dir("chaos-kill-direct");
+    let opts = ExecOptions {
+        threads: 2,
+        out_dir: &direct_dir,
+        progress: false,
+        trace_store: None,
+    };
+    let direct = execute_jobs(&specs, &opts, None).unwrap();
+    for (d, s) in direct.iter().zip(&reports) {
+        assert_eq!(d.render(), s.render(), "reports diverged under chaos");
+    }
+
+    // The fleet knows it restarted someone and recovered their jobs.
+    let stats = fc.broadcast(&proto::request("stats")).unwrap();
+    let generations: u64 = stats
+        .iter()
+        .filter_map(|s| s.get("generation").and_then(Value::as_u64))
+        .sum();
+    assert!(generations >= 1, "no worker reports a restarted generation");
+    let recovered: u64 = stats
+        .iter()
+        .filter_map(|s| s.get_path("admission/recovered").and_then(Value::as_u64))
+        .sum();
+    assert!(
+        recovered >= 1,
+        "the killed worker's jobs were not recovered"
+    );
+
+    // Drain the fleet; the supervisor exits 0 with a restart count.
+    fc.broadcast(&proto::request("drain").set("wait", true))
+        .unwrap();
+    let out = child.wait_with_output().expect("fleet exit");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fleet failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("fleet ready: "), "{stdout}");
+    let drained = stdout
+        .lines()
+        .find(|l| l.starts_with("fleet drained: "))
+        .unwrap_or_else(|| panic!("no drain summary in:\n{stdout}"));
+    assert!(drained.contains("2 workers"), "{drained}");
+    assert!(!drained.contains(" 0 restarts"), "{drained}");
+    assert!(stderr.contains("restarting"), "{stderr}");
+
+    // Every worker journal validates clean — no orphans survive a kill —
+    // and the victim's journal records its restart.
+    let mut restarts = 0;
+    for i in 0..2 {
+        let s = load_service(&dir.join(format!("worker-{i}")).join(SERVE_JOURNAL_NAME)).unwrap();
+        assert!(s.orphans.is_empty(), "worker {i} orphans: {:?}", s.orphans);
+        restarts += s.restarts;
+    }
+    assert!(restarts >= 1, "no worker journal records a restart");
+}

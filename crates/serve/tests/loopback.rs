@@ -37,6 +37,7 @@ fn config(out_dir: &Path) -> ServerConfig {
         read_timeout: Duration::from_secs(10),
         max_frame: 1024 * 1024,
         retry_after_ms: 123,
+        ..ServerConfig::default()
     }
 }
 

@@ -1,0 +1,326 @@
+//! Resilience integration tests: real servers on loopback sockets, the
+//! fleet client's full retry/hedge/reconnect policy, and the chaos
+//! layer's connection sabotage — no mocks. The invariant under test
+//! throughout: whatever the failure mode, the reports that come back are
+//! byte-identical to a direct, fault-free harness run.
+//!
+//! Process-kill chaos is deliberately NOT exercised here (it would abort
+//! the test binary); the spawned-binary fleet test and the CI chaos
+//! smoke cover it.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use das_harness::cli::{execute_jobs, ExecOptions};
+use das_harness::journal::{load_service, ServiceJournal};
+use das_harness::manifest::{JobSpec, Overrides};
+use das_serve::chaos::ChaosConfig;
+use das_serve::client::{collect_stream, Client};
+use das_serve::fleet_client::{AddrSource, FleetClient, FleetClientConfig};
+use das_serve::proto;
+use das_serve::retry::BackoffPolicy;
+use das_serve::server::{Server, ServerConfig, SERVE_JOURNAL_NAME};
+use das_serve::shard::{hedge_shard_of, shard_of};
+use das_telemetry::json::Value;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("das-serve-resilience-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(out_dir: &Path) -> ServerConfig {
+    ServerConfig {
+        threads: 1,
+        capacity: 8,
+        out_dir: out_dir.to_path_buf(),
+        trace_store_dir: None,
+        read_timeout: Duration::from_secs(10),
+        max_frame: 1024 * 1024,
+        retry_after_ms: 5,
+        ..ServerConfig::default()
+    }
+}
+
+fn start(cfg: ServerConfig) -> (String, std::thread::JoinHandle<Result<(), String>>) {
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn spec(id: &str, insts: u64) -> JobSpec {
+    JobSpec {
+        id: id.into(),
+        design: "std".into(),
+        workload: "libquantum".into(),
+        insts,
+        scale: 64,
+        seed: 42,
+        ov: Overrides::default(),
+    }
+}
+
+/// Fleet-client policy tuned for tests: fast polls, generous attempt
+/// budget, optional hedging.
+fn fcfg(hedge_ms: Option<u64>) -> FleetClientConfig {
+    FleetClientConfig {
+        backoff: BackoffPolicy {
+            base_ms: 10,
+            cap_ms: 250,
+            max_attempts: 14,
+            seed: 1,
+        },
+        hedge_after: hedge_ms.map(Duration::from_millis),
+        job_retries: 3,
+        poll: Duration::from_millis(10),
+    }
+}
+
+/// The fault-free ground truth: the same specs through the direct
+/// harness code path.
+fn direct_reports(tag: &str, specs: &[JobSpec]) -> Vec<Value> {
+    let dir = tmp_dir(&format!("direct-{tag}"));
+    let opts = ExecOptions {
+        threads: 2,
+        out_dir: &dir,
+        progress: false,
+        trace_store: None,
+    };
+    execute_jobs(specs, &opts, None).unwrap()
+}
+
+fn assert_identical(tag: &str, got: &[Value], specs: &[JobSpec]) {
+    let direct = direct_reports(tag, specs);
+    assert_eq!(direct.len(), got.len());
+    for (d, s) in direct.iter().zip(got) {
+        assert_eq!(d.render(), s.render(), "{tag}: report bytes differ");
+    }
+}
+
+fn submit(client: &mut Client, s: &JobSpec) -> Result<String, String> {
+    let resp = client.request(&proto::request("submit_job").set("job", s.to_value()))?;
+    Ok(resp
+        .get("job")
+        .and_then(Value::as_str)
+        .expect("admitted id")
+        .to_string())
+}
+
+fn drain_and_join(addr: &str, handle: std::thread::JoinHandle<Result<(), String>>) {
+    let mut c = Client::connect(addr).unwrap();
+    c.set_read_timeout(None).unwrap();
+    c.request(&proto::request("drain").set("wait", true))
+        .unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn busy_rejections_retry_with_backoff_until_every_job_completes() {
+    let dir = tmp_dir("busy-retry");
+    let mut cfg = config(&dir);
+    cfg.capacity = 1; // every submission past the first is `busy`
+    let (addr, h) = start(cfg);
+
+    let specs = vec![spec("a", 40_000), spec("b", 40_000), spec("c", 40_000)];
+    let mut fc = FleetClient::new(AddrSource::Static(vec![addr.clone()]), fcfg(None)).unwrap();
+    let reports = fc.run_jobs("b0", &specs).unwrap();
+    assert_eq!(reports.len(), 3);
+    assert!(
+        fc.counters.get("busy_retries") > 0,
+        "capacity 1 must have forced busy retries: {}",
+        fc.counters.summary()
+    );
+    assert_identical("busy-retry", &reports, &specs);
+
+    // The server saw the rejections it handed out.
+    let stats = fc.broadcast(&proto::request("stats")).unwrap().remove(0);
+    assert!(
+        stats
+            .get_path("admission/rejected_busy")
+            .and_then(Value::as_u64)
+            .unwrap()
+            > 0
+    );
+    drain_and_join(&addr, h);
+    let s = load_service(&dir.join(SERVE_JOURNAL_NAME)).unwrap();
+    assert_eq!((s.admitted, s.done), (3, 3));
+    assert!(s.orphans.is_empty());
+}
+
+#[test]
+fn hedged_submission_first_result_wins_and_loser_is_cancelled_once() {
+    let slow_dir = tmp_dir("hedge-slow");
+    let fast_dir = tmp_dir("hedge-fast");
+    let mut slow_cfg = config(&slow_dir);
+    slow_cfg.threads = 1; // one worker thread, easy to occupy
+    let mut fast_cfg = config(&fast_dir);
+    fast_cfg.threads = 2;
+    let (slow_addr, slow_h) = start(slow_cfg);
+    let (fast_addr, fast_h) = start(fast_cfg);
+
+    // Arrange the address list so consistent hashing routes the target
+    // job's primary submission to the slow server, its hedge to the fast.
+    let target = spec("target", 50_000);
+    let primary = shard_of("h0/target", 2);
+    assert_eq!(hedge_shard_of("h0/target", 2), 1 - primary);
+    let mut addrs = vec![String::new(); 2];
+    addrs[primary] = slow_addr.clone();
+    addrs[1 - primary] = fast_addr.clone();
+
+    // Occupy the slow shard's only worker thread with a long-running job
+    // so the primary submission queues behind it — a straggler by
+    // construction.
+    let mut blocker_client = Client::connect(&slow_addr).unwrap();
+    blocker_client.set_read_timeout(None).unwrap();
+    let blocker = submit(&mut blocker_client, &spec("blocker", 2_000_000)).unwrap();
+
+    let mut fc = FleetClient::new(AddrSource::Static(addrs), fcfg(Some(150))).unwrap();
+    let reports = fc.run_jobs("h0", std::slice::from_ref(&target)).unwrap();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(
+        (
+            fc.counters.get("hedges_fired"),
+            fc.counters.get("hedge_wins"),
+            fc.counters.get("loser_cancels"),
+        ),
+        (1, 1, 1),
+        "counters: {}",
+        fc.counters.summary()
+    );
+    // The hedged run's report is byte-identical to a fault-free one.
+    assert_identical("hedge", &reports, std::slice::from_ref(&target));
+
+    // The loser on the slow shard really was cancelled (it never ran),
+    // and the fast shard counted the winning submission as a hedge.
+    let mut slow_c = Client::connect(&slow_addr).unwrap();
+    let resp = slow_c
+        .request(&proto::request("status").set("job", "h0/target"))
+        .unwrap();
+    assert_eq!(resp.get("state").and_then(Value::as_str), Some("cancelled"));
+    let mut fast_c = Client::connect(&fast_addr).unwrap();
+    let stats = fast_c.request(&proto::request("stats")).unwrap();
+    assert_eq!(
+        stats.get_path("admission/hedged").and_then(Value::as_u64),
+        Some(1)
+    );
+
+    // The blocker still finishes; both journals validate clean.
+    let got = collect_stream(
+        &mut blocker_client,
+        std::slice::from_ref(&blocker),
+        |_, _| {},
+    );
+    assert_eq!(got.unwrap().len(), 1);
+    drain_and_join(&slow_addr, slow_h);
+    drain_and_join(&fast_addr, fast_h);
+    let s = load_service(&slow_dir.join(SERVE_JOURNAL_NAME)).unwrap();
+    assert_eq!((s.admitted, s.done, s.cancelled), (2, 1, 1));
+    assert!(s.orphans.is_empty());
+    let s = load_service(&fast_dir.join(SERVE_JOURNAL_NAME)).unwrap();
+    assert_eq!((s.admitted, s.done), (1, 1));
+    assert!(s.orphans.is_empty());
+}
+
+#[test]
+fn connection_sabotage_is_healed_by_reconnecting() {
+    let dir = tmp_dir("chaos-conns");
+    let mut cfg = config(&dir);
+    cfg.threads = 2;
+    // Seed 8467 sabotages EVERY accepted connection with the fate
+    // sequence Drop, Truncate, Delay, ... (SplitMix64(seed ^ n) % 3) and
+    // never strands the client more than 3 connections in a row.
+    cfg.chaos = Some(ChaosConfig {
+        seed: 8467,
+        drop_conn_every: Some(1),
+        delay_ms: 10,
+        ..ChaosConfig::default()
+    });
+    let (addr, h) = start(cfg);
+
+    let specs = vec![spec("x", 60_000), spec("y", 60_000)];
+    let mut fc = FleetClient::new(AddrSource::Static(vec![addr]), fcfg(None)).unwrap();
+    let reports = fc.run_jobs("c0", &specs).unwrap();
+    assert_eq!(reports.len(), 2);
+    assert!(
+        fc.counters.get("reconnects") >= 2,
+        "the dropped and truncated connections forced reconnects: {}",
+        fc.counters.summary()
+    );
+    assert_identical("chaos-conns", &reports, &specs);
+
+    fc.broadcast(&proto::request("drain").set("wait", true))
+        .unwrap();
+    h.join().unwrap().unwrap();
+    let s = load_service(&dir.join(SERVE_JOURNAL_NAME)).unwrap();
+    assert_eq!((s.admitted, s.done), (2, 2));
+    assert!(s.orphans.is_empty());
+}
+
+#[test]
+fn resume_redrives_spec_carrying_orphans_and_fails_the_rest() {
+    let dir = tmp_dir("resume");
+    let path = dir.join(SERVE_JOURNAL_NAME);
+    let redrive = spec("redrive", 60_000);
+    // Craft the journal a crashed worker leaves behind: a finished job, a
+    // spec-carrying orphan, a spec-less orphan, and a torn final record
+    // (killed mid-append).
+    {
+        let mut j = ServiceJournal::create(&path).unwrap();
+        j.admit_with_spec("t1/finished", &spec("finished", 50_000).to_value())
+            .unwrap();
+        j.terminal("done", "t1/finished", None).unwrap();
+        j.admit_with_spec("t2/redrive", &redrive.to_value())
+            .unwrap();
+        j.admit("t3/lost").unwrap();
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    f.write_all(b"{\"event\":\"admit\",\"job\":\"t4/torn")
+        .unwrap();
+    drop(f);
+
+    let mut cfg = config(&dir);
+    cfg.resume_journal = true;
+    cfg.generation = 1;
+    let (addr, h) = start(cfg);
+    let mut c = Client::connect(&addr).unwrap();
+
+    // The spec-carrying orphan is re-driven to done with the exact bytes
+    // a fault-free run produces — and no fresh admit line.
+    let ids = vec!["t2/redrive".to_string()];
+    let reports = collect_stream(&mut c, &ids, |_, _| {}).unwrap();
+    assert_identical("resume", &reports, std::slice::from_ref(&redrive));
+
+    // The spec-less orphan and the torn admit are gone from the registry:
+    // a client's status poll sees not_found and resubmits idempotently.
+    for id in ["t3/lost", "t4/torn", "t1/finished"] {
+        let err = c
+            .request(&proto::request("status").set("job", id))
+            .unwrap_err();
+        assert!(err.starts_with("not_found:"), "{id}: {err}");
+    }
+
+    let stats = c.request(&proto::request("stats")).unwrap();
+    assert_eq!(
+        stats
+            .get_path("admission/recovered")
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    let ping = c.request(&proto::request("ping")).unwrap();
+    assert_eq!(ping.get("generation").and_then(Value::as_u64), Some(1));
+
+    // After drain the journal validates clean: the restart is recorded,
+    // the recovered job is done, the spec-less orphan is failed, and the
+    // torn record never happened.
+    drain_and_join(&addr, h);
+    let s = load_service(&path).unwrap();
+    assert_eq!(s.restarts, 1);
+    assert_eq!((s.admitted, s.done, s.failed), (3, 2, 1));
+    assert!(s.orphans.is_empty(), "{:?}", s.orphans);
+}

@@ -1,0 +1,144 @@
+//! Named monotonic counters and numeric-JSON aggregation.
+//!
+//! [`Counters`] is the dependency-free counter bag the resilience layer
+//! uses for client-side retry/hedge accounting: insertion-order-free
+//! (BTreeMap) so renders are deterministic, and mergeable so per-shard
+//! stats can be summed into a fleet-wide view. [`merge_numeric`] is the
+//! structural sibling: it folds two arbitrary stats documents together by
+//! summing every numeric leaf, which is exactly what `dasctl stats` over a
+//! multi-worker fleet needs — each worker reports the same shape, the
+//! aggregate is the field-wise sum.
+
+use std::collections::BTreeMap;
+
+use crate::json::Value;
+
+/// A deterministic bag of named `u64` counters.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Counters {
+    map: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// An empty counter bag.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Increments `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to `name` (creating it at zero first).
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.map.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// The current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Whether no counter was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Folds `other` into `self` (field-wise sum).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in &other.map {
+            self.add(k, *v);
+        }
+    }
+
+    /// Renders the counters as a JSON object in sorted key order.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::obj();
+        for (k, n) in &self.map {
+            v = v.set(k, *n);
+        }
+        v
+    }
+
+    /// One-line `k=v` summary in sorted key order (for log lines).
+    pub fn summary(&self) -> String {
+        self.map
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Merges `b` into `a` by summing numeric leaves: objects merge key-wise
+/// (keys present in either side survive), numbers add, and any other
+/// shape mismatch keeps `a`'s side. Arrays and strings are treated as
+/// opaque (first writer wins) — per-worker stats like addresses or state
+/// labels must not be summed.
+pub fn merge_numeric(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Obj(ka), Value::Obj(kb)) => {
+            let mut out: Vec<(String, Value)> = Vec::new();
+            for (k, va) in ka {
+                match kb.iter().find(|(kk, _)| kk == k) {
+                    Some((_, vb)) => out.push((k.clone(), merge_numeric(va, vb))),
+                    None => out.push((k.clone(), va.clone())),
+                }
+            }
+            for (k, vb) in kb {
+                if !ka.iter().any(|(kk, _)| kk == k) {
+                    out.push((k.clone(), vb.clone()));
+                }
+            }
+            Value::Obj(out)
+        }
+        (Value::U64(x), Value::U64(y)) => Value::U64(x + y),
+        (Value::I64(x), Value::I64(y)) => Value::I64(x + y),
+        (Value::F64(x), Value::F64(y)) => Value::F64(x + y),
+        _ => a.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_merge_and_render_deterministically() {
+        let mut a = Counters::new();
+        a.incr("reconnects");
+        a.add("busy_retries", 3);
+        let mut b = Counters::new();
+        b.add("busy_retries", 2);
+        b.incr("hedges_fired");
+        a.merge(&b);
+        assert_eq!(a.get("busy_retries"), 5);
+        assert_eq!(a.get("hedges_fired"), 1);
+        assert_eq!(a.get("never_touched"), 0);
+        assert_eq!(
+            a.to_value().render(),
+            "{\"busy_retries\":5,\"hedges_fired\":1,\"reconnects\":1}"
+        );
+        assert_eq!(a.summary(), "busy_retries=5 hedges_fired=1 reconnects=1");
+    }
+
+    #[test]
+    fn merge_numeric_sums_leaves_and_keeps_shape() {
+        let a = Value::obj()
+            .set("admitted", 3u64)
+            .set("jobs", Value::obj().set("done", 2u64).set("failed", 0u64))
+            .set("addr", "127.0.0.1:1");
+        let b = Value::obj()
+            .set("admitted", 4u64)
+            .set("jobs", Value::obj().set("done", 5u64).set("queued", 1u64))
+            .set("addr", "127.0.0.1:2");
+        let m = merge_numeric(&a, &b);
+        assert_eq!(m.get("admitted").and_then(Value::as_u64), Some(7));
+        assert_eq!(m.get_path("jobs/done").and_then(Value::as_u64), Some(7));
+        assert_eq!(m.get_path("jobs/failed").and_then(Value::as_u64), Some(0));
+        assert_eq!(m.get_path("jobs/queued").and_then(Value::as_u64), Some(1));
+        // Non-numeric leaves are opaque: first side wins, no concatenation.
+        assert_eq!(m.get("addr").and_then(Value::as_str), Some("127.0.0.1:1"));
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod counters;
 pub mod hist;
 pub mod json;
 pub mod series;
@@ -30,6 +31,7 @@ pub mod trace;
 
 use std::collections::HashMap;
 
+pub use counters::Counters;
 pub use hist::LatencyHistogram;
 pub use series::{EpochCounters, EpochSample, EpochSeries};
 pub use trace::{Arg, EventTrace, Phase, TraceEvent};

@@ -7,13 +7,33 @@
 //! absent or complete — concurrent workers (threads or processes) never
 //! observe a torn trace. Within one process a per-key lock additionally
 //! guarantees each distinct trace is produced at most once per grid.
+//!
+//! ## Cross-process materialize-once locking
+//!
+//! When several *processes* share one store (a `das-fleet` of workers),
+//! each key is additionally guarded by an on-disk `<key>.lock` file
+//! created with `O_EXCL` and carrying the holder's pid and a wall-clock
+//! stamp. A process that loses the race waits for the lock to clear (or
+//! for the trace to appear) instead of duplicating the work. Crash
+//! safety: a holder that dies mid-materialize leaks its lock file, so
+//! waiters run a liveness check — a lock whose pid is no longer alive
+//! (Linux `/proc` probe) or whose stamp is older than the staleness
+//! window is *reclaimed* (deleted) and the waiter takes over. The lock is
+//! purely a work-deduplication device: correctness never depends on it,
+//! because publication is an atomic tmp+rename of deterministic bytes —
+//! if two processes ever do materialize the same key, the second rename
+//! simply overwrites identical content. That is also why the bounded
+//! wait ([`LockOptions::max_wait`]) may safely fall through to a
+//! lock-less "barge" materialization instead of deadlocking on a hung
+//! but live holder.
 
 use std::collections::HashMap;
-use std::fs::{self, File};
-use std::io::{self, BufWriter};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use crate::fingerprint::Fingerprint;
 use crate::format::TraceWriter;
@@ -30,6 +50,34 @@ pub struct StoreStats {
     pub bytes_written: u64,
     /// Bytes of trace opened for replay by this process.
     pub bytes_read: u64,
+    /// Stale cross-process locks reclaimed (holder dead or timed out).
+    pub locks_reclaimed: u64,
+    /// Materializations that waited on another process's lock.
+    pub lock_waits: u64,
+}
+
+/// Tuning for the cross-process materialize-once lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockOptions {
+    /// A lock older than this is stale even if its pid looks alive
+    /// (guards against pid reuse and non-Linux hosts without `/proc`).
+    pub staleness: Duration,
+    /// Poll interval while waiting on another process's lock.
+    pub poll: Duration,
+    /// Upper bound on waiting for a live holder; past it the waiter
+    /// barges and materializes without the lock (safe: atomic rename of
+    /// deterministic bytes).
+    pub max_wait: Duration,
+}
+
+impl Default for LockOptions {
+    fn default() -> LockOptions {
+        LockOptions {
+            staleness: Duration::from_secs(120),
+            poll: Duration::from_millis(50),
+            max_wait: Duration::from_secs(600),
+        }
+    }
 }
 
 /// A content-addressed store of `.dtr` traces in one directory.
@@ -39,10 +87,56 @@ pub struct TraceStore {
     /// Per-fingerprint locks so one process materializes each key once.
     keys: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     tmp_seq: AtomicU64,
+    lock_opts: LockOptions,
     hits: AtomicU64,
     misses: AtomicU64,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
+    locks_reclaimed: AtomicU64,
+    lock_waits: AtomicU64,
+}
+
+/// How one attempt at the on-disk key lock went.
+enum LockAttempt {
+    /// We hold the lock (guard removes the file on drop).
+    Held(LockGuard),
+    /// Another process holds a live lock — wait and retry.
+    Busy,
+    /// Waited past `max_wait` on a live holder — proceed without a lock.
+    Barged,
+}
+
+/// Deletes the lock file on drop (including the producer-error path).
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+fn now_epoch_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Whether `pid` is demonstrably dead. On hosts without `/proc` this is
+/// always `false` and staleness falls back to the time window alone.
+fn pid_is_dead(pid: u64) -> bool {
+    Path::new("/proc").is_dir() && !Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Parses `pid epoch_ms` from a lock file. `None` means torn/unreadable —
+/// treated as stale (the writer crashed mid-write or the file is foreign).
+fn parse_lock(text: &str) -> Option<(u64, u64)> {
+    let mut it = text.split_whitespace();
+    let pid = it.next()?.parse().ok()?;
+    let stamp = it.next()?.parse().ok()?;
+    Some((pid, stamp))
 }
 
 impl TraceStore {
@@ -57,11 +151,74 @@ impl TraceStore {
             dir: dir.to_path_buf(),
             keys: Mutex::new(HashMap::new()),
             tmp_seq: AtomicU64::new(0),
+            lock_opts: LockOptions::default(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
+            locks_reclaimed: AtomicU64::new(0),
+            lock_waits: AtomicU64::new(0),
         })
+    }
+
+    /// Overrides the cross-process lock tuning (tests and impatient
+    /// callers).
+    pub fn set_lock_options(&mut self, opts: LockOptions) {
+        self.lock_opts = opts;
+    }
+
+    /// The on-disk lock path guarding `fp`'s materialization.
+    pub fn lock_path_of(&self, fp: &Fingerprint) -> PathBuf {
+        self.dir.join(format!("{}.lock", fp.hex()))
+    }
+
+    /// One shot at taking the on-disk lock: `O_EXCL`-creates it, or
+    /// inspects the incumbent and reclaims it when stale.
+    fn try_file_lock(&self, lock_path: &Path, waited: Duration) -> io::Result<LockAttempt> {
+        match OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(lock_path)
+        {
+            Ok(mut f) => {
+                // Best-effort identity stamp; a torn write parses as
+                // stale, which is the safe direction.
+                let _ = write!(f, "{} {}", std::process::id(), now_epoch_ms());
+                let _ = f.sync_data();
+                Ok(LockAttempt::Held(LockGuard {
+                    path: lock_path.to_path_buf(),
+                }))
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                let stale = match fs::read_to_string(lock_path) {
+                    Ok(text) => match parse_lock(&text) {
+                        Some((pid, stamp)) => {
+                            pid_is_dead(pid)
+                                || u128::from(now_epoch_ms().saturating_sub(stamp))
+                                    > self.lock_opts.staleness.as_millis()
+                        }
+                        None => true, // torn/foreign content
+                    },
+                    // Raced with the holder's release: retry from the top.
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => false,
+                    Err(_) => true,
+                };
+                if stale {
+                    // Reclaim. Two waiters may race here and one may even
+                    // delete a *fresh* lock re-created in the window — the
+                    // result is at worst a duplicate materialization of
+                    // identical bytes, never corruption (atomic rename).
+                    let _ = fs::remove_file(lock_path);
+                    self.locks_reclaimed.fetch_add(1, Ordering::Relaxed);
+                    return Ok(LockAttempt::Busy); // retry the create
+                }
+                if waited >= self.lock_opts.max_wait {
+                    return Ok(LockAttempt::Barged);
+                }
+                Ok(LockAttempt::Busy)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// The store's directory.
@@ -113,6 +270,29 @@ impl TraceStore {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(path);
         }
+        // Cross-process turn-taking: hold `<key>.lock` while producing, or
+        // wait for whoever does (re-probing for the published file), with
+        // stale-lock reclamation and a bounded-wait barge.
+        let lock_path = self.dir.join(format!("{hex}.lock"));
+        let started = Instant::now();
+        let mut waited_once = false;
+        let _file_guard = loop {
+            if path.is_file() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(path);
+            }
+            match self.try_file_lock(&lock_path, started.elapsed())? {
+                LockAttempt::Held(g) => break Some(g),
+                LockAttempt::Barged => break None,
+                LockAttempt::Busy => {
+                    if !waited_once {
+                        waited_once = true;
+                        self.lock_waits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(self.lock_opts.poll);
+                }
+            }
+        };
         let tmp = self.dir.join(format!(
             ".tmp-{hex}-{}-{}",
             std::process::id(),
@@ -164,6 +344,8 @@ impl TraceStore {
             misses: self.misses.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            locks_reclaimed: self.locks_reclaimed.load(Ordering::Relaxed),
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
         }
     }
 }
@@ -280,6 +462,124 @@ mod tests {
             })
             .unwrap();
         assert!(store.contains(&fp));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_a_crashed_process_is_reclaimed() {
+        let dir = tmpdir("stale-lock");
+        let store = TraceStore::open(&dir).unwrap();
+        let fp = fp_of("w-stale");
+        // A crashed materializer left its lock behind: a pid that cannot
+        // be alive (pid_max is far below this) and an ancient stamp.
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(store.lock_path_of(&fp), "4294900000 1000").unwrap();
+        let path = store
+            .get_or_materialize(&fp, |w| {
+                for i in items(50) {
+                    w.push(i)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert!(path.is_file(), "reclaimed lock lets the waiter produce");
+        assert!(
+            !store.lock_path_of(&fp).exists(),
+            "reclaimed+released lock leaves no file"
+        );
+        let s = store.stats();
+        assert_eq!(s.locks_reclaimed, 1);
+        assert_eq!(s.misses, 1);
+
+        // Torn lock content (crash mid-write) is also stale.
+        let fp2 = fp_of("w-torn");
+        fs::write(store.lock_path_of(&fp2), "gar").unwrap();
+        store
+            .get_or_materialize(&fp2, |w| {
+                for i in items(10) {
+                    w.push(i)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(store.stats().locks_reclaimed, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_lock_is_waited_on_until_released() {
+        let dir = tmpdir("live-lock");
+        let mut store = TraceStore::open(&dir).unwrap();
+        store.set_lock_options(LockOptions {
+            staleness: Duration::from_secs(120),
+            poll: Duration::from_millis(5),
+            max_wait: Duration::from_secs(30),
+        });
+        let fp = fp_of("w-live");
+        // A *live* holder (our own pid, fresh stamp): the materializer
+        // must wait, not reclaim. Release the lock from another thread
+        // after a delay and watch the wait be counted.
+        let lock_path = store.lock_path_of(&fp);
+        fs::write(
+            &lock_path,
+            format!("{} {}", std::process::id(), now_epoch_ms()),
+        )
+        .unwrap();
+        let releaser = {
+            let lock_path = lock_path.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(60));
+                fs::remove_file(&lock_path).unwrap();
+            })
+        };
+        store
+            .get_or_materialize(&fp, |w| {
+                for i in items(10) {
+                    w.push(i)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        releaser.join().unwrap();
+        let s = store.stats();
+        assert_eq!(s.locks_reclaimed, 0, "live lock must not be reclaimed");
+        assert_eq!(s.lock_waits, 1);
+        assert!(store.contains(&fp));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_wait_barges_past_a_hung_live_holder() {
+        let dir = tmpdir("barge");
+        let mut store = TraceStore::open(&dir).unwrap();
+        store.set_lock_options(LockOptions {
+            staleness: Duration::from_secs(120),
+            poll: Duration::from_millis(5),
+            max_wait: Duration::from_millis(40),
+        });
+        let fp = fp_of("w-hung");
+        // Live pid + fresh stamp, never released: the waiter must barge
+        // after max_wait instead of deadlocking — publication stays safe
+        // because it is an atomic rename.
+        fs::write(
+            store.lock_path_of(&fp),
+            format!("{} {}", std::process::id(), now_epoch_ms()),
+        )
+        .unwrap();
+        store
+            .get_or_materialize(&fp, |w| {
+                for i in items(10) {
+                    w.push(i)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert!(store.contains(&fp));
+        assert!(
+            store.lock_path_of(&fp).exists(),
+            "barging leaves the foreign lock alone"
+        );
+        assert_eq!(store.stats().locks_reclaimed, 0);
         let _ = fs::remove_dir_all(&dir);
     }
 
