@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench;
 pub mod catalog;
 pub mod cli;
 pub mod journal;

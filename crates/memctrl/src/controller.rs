@@ -211,6 +211,13 @@ impl MemoryController {
         self.writes.len()
     }
 
+    /// Total scheduling backlog: demand reads + writes + pending swaps.
+    /// This is the work the timing engine still has to drain, which is what
+    /// the perf profiler's DRAM-stage depth probe samples.
+    pub fn backlog(&self) -> usize {
+        self.queued() + self.queued_swaps()
+    }
+
     /// Enqueues a demand request, rejecting it with
     /// [`ControllerError::QueueOverflow`] when the corresponding queue is
     /// full (callers should check `can_accept_*` first).

@@ -2,7 +2,10 @@
 //!
 //! Subcommands: `submit` (submit experiments, stream results, render the
 //! same `<id>.txt` / `<id>.json` artifacts a direct `harness` run
-//! writes), `status`, `watch`, `cancel`, `stats`, `list`, `drain`.
+//! writes), `status`, `watch`, `cancel`, `stats` (one-shot JSON or a
+//! `--watch` top-style live fleet view with per-worker generation,
+//! uptime and QPS), `metrics` (Prometheus exposition text), `list`,
+//! `drain`.
 //!
 //! Targets: `--addr HOST:PORT` (one server), `--addrs A,B,C` (a static
 //! fleet), or `--fleet-dir DIR` (a `das-fleet` directory whose address
@@ -14,7 +17,7 @@
 //! 2; runtime failures exit 1.
 
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use das_harness::cli::{build_catalog_manifest, render_experiment_outputs};
 use das_harness::manifest::JobSpec;
@@ -23,6 +26,7 @@ use das_serve::fleet_client::{AddrSource, FleetClient, FleetClientConfig};
 use das_serve::proto;
 use das_serve::retry::BackoffPolicy;
 use das_telemetry::counters::merge_numeric;
+use das_telemetry::hist::LatencyHistogram;
 use das_telemetry::json::Value;
 
 const USAGE: &str = "usage: dasctl <command> (--addr HOST:PORT | --addrs A,B | --fleet-dir DIR) \
@@ -32,7 +36,8 @@ const USAGE: &str = "usage: dasctl <command> (--addr HOST:PORT | --addrs A,B | -
   status  --job ID\n\
   watch   --job ID\n\
   cancel  --job ID\n\
-  stats\n\
+  stats   [--watch] [--interval-ms N] [--iterations N]\n\
+  metrics\n\
   list\n\
   drain   [--wait]";
 
@@ -77,7 +82,16 @@ enum Command {
     Cancel {
         job: String,
     },
-    Stats,
+    Stats {
+        /// Refreshing top-style view instead of a one-shot JSON dump.
+        watch: bool,
+        /// Refresh interval in watch mode.
+        interval_ms: u64,
+        /// Watch iterations; 0 means until interrupted (bounded values
+        /// make the mode scriptable and testable).
+        iterations: u64,
+    },
+    Metrics,
     List,
     Drain {
         wait: bool,
@@ -131,6 +145,9 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
     let mut max_attempts = 8u32;
     let mut job: Option<String> = None;
     let mut wait = false;
+    let mut watch = false;
+    let mut interval_ms = 1000u64;
+    let mut iterations = 0u64;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--addr" => addr = Some(need(&mut args, "--addr")?),
@@ -157,6 +174,9 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
             }
             "--job" => job = Some(need(&mut args, "--job")?),
             "--wait" => wait = true,
+            "--watch" => watch = true,
+            "--interval-ms" => interval_ms = need_u64(&mut args, "--interval-ms")?,
+            "--iterations" => iterations = need_u64(&mut args, "--iterations")?,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -196,7 +216,12 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         "cancel" => Command::Cancel {
             job: job_for("cancel", job)?,
         },
-        "stats" => Command::Stats,
+        "stats" => Command::Stats {
+            watch,
+            interval_ms,
+            iterations,
+        },
+        "metrics" => Command::Metrics,
         "list" => Command::List,
         "drain" => Command::Drain { wait },
         other => return Err(format!("unknown command {other:?}")),
@@ -356,11 +381,44 @@ fn one_shot(addr: &str, req: Value) -> Result<Value, String> {
     Client::connect(addr)?.request(&req)
 }
 
+/// Sets `key` on an object, replacing an existing entry instead of
+/// appending a duplicate (what `Value::set` would do after a merge).
+fn put(v: Value, key: &str, val: impl Into<Value>) -> Value {
+    match v {
+        Value::Obj(mut pairs) => {
+            let val = val.into();
+            if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = val;
+            } else {
+                pairs.push((key.to_string(), val));
+            }
+            Value::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
+/// Total requests a worker has handled, summed across request kinds
+/// (the basis of the watch view's QPS estimate).
+fn total_requests(stats: &Value) -> u64 {
+    match stats.get("request_latency_us") {
+        Some(Value::Obj(kinds)) => kinds
+            .iter()
+            .filter_map(|(_, s)| s.get("count").and_then(Value::as_u64))
+            .sum(),
+        _ => 0,
+    }
+}
+
 /// Fleet-wide stats: per-worker stats merged by summing every numeric
 /// leaf, plus `workers` and `restarts` (the sum of worker generations —
-/// each restart bumps the incarnation's generation by one).
-fn cmd_stats_fleet(source: AddrSource) -> Result<(), String> {
-    let mut fc = FleetClient::new(source, FleetClientConfig::default())?;
+/// each restart bumps the incarnation's generation by one). Summed
+/// `uptime_ms` is meaningless, so it is replaced with the fleet maximum;
+/// `job_latency_ms` is recomputed *exactly* by merging the per-worker
+/// histogram buckets (percentiles do not sum); and a `per_worker` array
+/// keeps each shard's generation, uptime and load visible after the
+/// merge flattens them.
+fn fleet_stats_snapshot(fc: &mut FleetClient) -> Result<Value, String> {
     let per_worker = fc.broadcast(&proto::request("stats"))?;
     let restarts: u64 = per_worker
         .iter()
@@ -370,12 +428,183 @@ fn cmd_stats_fleet(source: AddrSource) -> Result<(), String> {
         .iter()
         .skip(1)
         .fold(per_worker[0].clone(), |acc, s| merge_numeric(&acc, s));
-    // pid / generation sums are meaningless; replace with fleet-level
-    // fields.
-    let merged = merged
+    let uptime = per_worker
+        .iter()
+        .filter_map(|s| s.get("uptime_ms").and_then(Value::as_u64))
+        .max()
+        .unwrap_or(0);
+    let mut fleet_wall = LatencyHistogram::new();
+    for s in &per_worker {
+        if let Some(h) = s
+            .get_path("job_latency_ms/buckets")
+            .and_then(LatencyHistogram::from_buckets_value)
+        {
+            fleet_wall.merge(&h);
+        }
+    }
+    let rows: Vec<Value> = per_worker
+        .iter()
+        .enumerate()
+        .map(|(shard, s)| {
+            let g = |k: &str| s.get(k).and_then(Value::as_u64).unwrap_or(0);
+            Value::obj()
+                .set("shard", shard as u64)
+                .set("generation", g("generation"))
+                .set("uptime_ms", g("uptime_ms"))
+                .set("pid", g("pid"))
+                .set(
+                    "running",
+                    s.get_path("jobs/running")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0),
+                )
+                .set(
+                    "admitted",
+                    s.get_path("admission/admitted")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0),
+                )
+                .set("requests", total_requests(s))
+        })
+        .collect();
+    // pid / generation sums are meaningless; replace or supersede them
+    // with fleet-level fields.
+    let merged = put(merged, "uptime_ms", uptime);
+    let merged = put(
+        merged,
+        "job_latency_ms",
+        Value::obj()
+            .set("summary", fleet_wall.summary_value())
+            .set("buckets", fleet_wall.buckets_value()),
+    );
+    Ok(merged
         .set("workers", per_worker.len() as u64)
-        .set("restarts", restarts);
-    println!("{}", merged.render());
+        .set("restarts", restarts)
+        .set("per_worker", Value::Arr(rows)))
+}
+
+/// The refreshing `stats --watch` screen: fleet totals, job states,
+/// admission counters, exact job-latency percentiles, and one row per
+/// worker.
+fn render_stats_watch(stats: &Value, qps: f64) -> String {
+    let g = |p: &str| stats.get_path(p).and_then(Value::as_u64).unwrap_or(0);
+    let workers = g("workers").max(1);
+    let mut out = format!(
+        "fleet: {} worker(s), {} restart(s), uptime {:.1}s, {:.1} req/s\n",
+        workers,
+        g("restarts"),
+        g("uptime_ms") as f64 / 1e3,
+        qps,
+    );
+    out += &format!(
+        "jobs: queued {} running {} done {} failed {} cancelled {}\n",
+        g("jobs/queued"),
+        g("jobs/running"),
+        g("jobs/done"),
+        g("jobs/failed"),
+        g("jobs/cancelled"),
+    );
+    out += &format!(
+        "admission: admitted {} busy {} draining {} resubmitted {} hedged {} recovered {}\n",
+        g("admission/admitted"),
+        g("admission/rejected_busy"),
+        g("admission/rejected_draining"),
+        g("admission/resubmitted"),
+        g("admission/hedged"),
+        g("admission/recovered"),
+    );
+    out += &format!(
+        "job latency ms: n={} p50 {} p95 {} p99 {}\n",
+        g("job_latency_ms/summary/count"),
+        g("job_latency_ms/summary/p50"),
+        g("job_latency_ms/summary/p95"),
+        g("job_latency_ms/summary/p99"),
+    );
+    if let Some(rows) = stats.get("per_worker").and_then(Value::as_arr) {
+        out += "shard  gen  uptime_s  pid     running  admitted  requests\n";
+        for row in rows {
+            let r = |k: &str| row.get(k).and_then(Value::as_u64).unwrap_or(0);
+            out += &format!(
+                "{:<5}  {:<3}  {:<8.1}  {:<6}  {:<7}  {:<8}  {}\n",
+                r("shard"),
+                r("generation"),
+                r("uptime_ms") as f64 / 1e3,
+                r("pid"),
+                r("running"),
+                r("admitted"),
+                r("requests"),
+            );
+        }
+    }
+    out
+}
+
+/// `stats`: one-shot JSON, or a `--watch` loop that refreshes a compact
+/// fleet view and derives QPS from request-count deltas between samples.
+fn cmd_stats(
+    target: &Target,
+    watch: bool,
+    interval_ms: u64,
+    iterations: u64,
+) -> Result<(), String> {
+    let mut fleet = match target {
+        Target::Single(_) => None,
+        t => Some(FleetClient::new(t.source(), FleetClientConfig::default())?),
+    };
+    let mut snapshot = || -> Result<Value, String> {
+        match (&mut fleet, target) {
+            (Some(fc), _) => fleet_stats_snapshot(fc),
+            (None, Target::Single(addr)) => one_shot(addr, proto::request("stats")),
+            (None, _) => unreachable!("fleet client exists for non-single targets"),
+        }
+    };
+    if !watch {
+        println!("{}", snapshot()?.render());
+        return Ok(());
+    }
+    let mut prev: Option<(u64, Instant)> = None;
+    let mut shown = 0u64;
+    loop {
+        let stats = snapshot()?;
+        let now = Instant::now();
+        let requests = total_requests(&stats);
+        let qps = match prev {
+            Some((last, at)) => {
+                requests.saturating_sub(last) as f64 / (now - at).as_secs_f64().max(1e-9)
+            }
+            None => 0.0,
+        };
+        prev = Some((requests, now));
+        // Clear screen + home, top-style, so the view refreshes in place.
+        print!("\x1b[2J\x1b[H{}", render_stats_watch(&stats, qps));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        shown += 1;
+        if iterations != 0 && shown >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
+/// `metrics`: Prometheus exposition text from one server, or from every
+/// shard of a fleet (separated by shard-comment lines).
+fn cmd_metrics(target: &Target) -> Result<(), String> {
+    let responses = match target {
+        Target::Single(addr) => vec![one_shot(addr, proto::request("metrics"))?],
+        t => FleetClient::new(t.source(), FleetClientConfig::default())?
+            .broadcast(&proto::request("metrics"))?,
+    };
+    for (shard, resp) in responses.iter().enumerate() {
+        let body = resp
+            .get("body")
+            .and_then(Value::as_str)
+            .ok_or("metrics response carries no body")?;
+        if responses.len() > 1 {
+            println!("# shard {shard}");
+        }
+        print!("{body}");
+    }
     Ok(())
 }
 
@@ -443,14 +672,12 @@ fn run(args: Args) -> Result<(), String> {
             println!("{}", resp.render());
             Ok(())
         }
-        Command::Stats => match &args.target {
-            Target::Single(addr) => {
-                let resp = one_shot(addr, proto::request("stats"))?;
-                println!("{}", resp.render());
-                Ok(())
-            }
-            target => cmd_stats_fleet(target.source()),
-        },
+        Command::Stats {
+            watch,
+            interval_ms,
+            iterations,
+        } => cmd_stats(&args.target, *watch, *interval_ms, *iterations),
+        Command::Metrics => cmd_metrics(&args.target),
         Command::List => {
             let addr = single_addr(&args.target, "list")?;
             let resp = one_shot(&addr, proto::request("list"))?;
@@ -530,7 +757,35 @@ mod tests {
         let a = parse_args(argv(&["drain", "--addr", "h:1", "--wait"])).unwrap();
         assert_eq!(a.command, Command::Drain { wait: true });
         let a = parse_args(argv(&["stats", "--addr", "h:1"])).unwrap();
-        assert_eq!(a.command, Command::Stats);
+        assert_eq!(
+            a.command,
+            Command::Stats {
+                watch: false,
+                interval_ms: 1000,
+                iterations: 0,
+            }
+        );
+        let a = parse_args(argv(&[
+            "stats",
+            "--fleet-dir",
+            "fleet",
+            "--watch",
+            "--interval-ms",
+            "200",
+            "--iterations",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            a.command,
+            Command::Stats {
+                watch: true,
+                interval_ms: 200,
+                iterations: 3,
+            }
+        );
+        let a = parse_args(argv(&["metrics", "--addr", "h:1"])).unwrap();
+        assert_eq!(a.command, Command::Metrics);
     }
 
     #[test]
@@ -603,6 +858,14 @@ mod tests {
             (
                 vec!["drain", "--addr", "h:1", "--bogus"],
                 "unknown argument",
+            ),
+            (
+                vec!["stats", "--addr", "h:1", "--interval-ms", "0"],
+                "positive",
+            ),
+            (
+                vec!["stats", "--addr", "h:1", "--iterations", "x"],
+                "positive",
             ),
             (vec!["list", "--addrs", "h:1,h:2"], "needs --addr"),
         ] {

@@ -109,6 +109,9 @@ struct Worker {
     child: Child,
     addr: String,
     generation: u64,
+    /// Wall-clock spawn time (unix ms), stamped into the published
+    /// `workers` metadata so fleet views can show incarnation age.
+    spawned_unix_ms: u64,
     missed: u32,
     done: bool,
 }
@@ -216,11 +219,16 @@ impl Fleet {
                 return Err(format!("worker {index} (gen {generation}): {e}"));
             }
         };
+        let spawned_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
         Ok(Worker {
             index,
             child,
             addr,
             generation,
+            spawned_unix_ms,
             missed: 0,
             done: false,
         })
@@ -238,6 +246,24 @@ impl Fleet {
                     self.workers
                         .iter()
                         .map(|w| Value::Str(w.addr.clone()))
+                        .collect(),
+                ),
+            )
+            // Per-worker metadata rides beside the flat `addrs` array
+            // (which existing clients keep reading) so observability
+            // tooling can show generation and incarnation age per shard.
+            .set(
+                "workers",
+                Value::Arr(
+                    self.workers
+                        .iter()
+                        .map(|w| {
+                            Value::obj()
+                                .set("shard", w.index)
+                                .set("addr", w.addr.clone())
+                                .set("generation", w.generation)
+                                .set("spawned_unix_ms", w.spawned_unix_ms)
+                        })
                         .collect(),
                 ),
             );

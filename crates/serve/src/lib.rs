@@ -19,6 +19,7 @@ pub mod chaos;
 pub mod client;
 pub mod fleet;
 pub mod fleet_client;
+pub mod metrics_text;
 pub mod proto;
 pub mod retry;
 pub mod server;

@@ -146,6 +146,9 @@ struct Shared {
     /// supervisor will mistake it for hung).
     conn_socks: Mutex<HashMap<u64, TcpStream>>,
     conn_seq: AtomicU64,
+    /// When this incarnation bound its listener; `stats` reports the
+    /// elapsed time as `uptime_ms` so fleet views can spot fresh restarts.
+    started: Instant,
 }
 
 /// A bound, not-yet-running server.
@@ -226,6 +229,7 @@ impl Server {
             chaos,
             conn_socks: Mutex::new(HashMap::new()),
             conn_seq: AtomicU64::new(0),
+            started: Instant::now(),
         });
         lock(&shared.metrics).recovered = recovered;
         for id in recovered_ids {
@@ -442,6 +446,15 @@ fn handle_request(
             let resp = handle_stats(shared);
             proto::write_frame(writer, &resp)
         }
+        "metrics" => {
+            // Prometheus-style projection of the same stats document —
+            // two encodings, one source of numbers.
+            let stats = handle_stats(shared);
+            let resp = proto::ok("metrics")
+                .set("content_type", crate::metrics_text::CONTENT_TYPE)
+                .set("body", crate::metrics_text::render(&stats));
+            proto::write_frame(writer, &resp)
+        }
         "list" => {
             let resp = handle_list(shared);
             proto::write_frame(writer, &resp)
@@ -545,6 +558,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
             return;
         }
     }
+    let exec_start = Instant::now();
     let outcome = match catch_unwind(AssertUnwindSafe(|| {
         runner::execute(
             &spec,
@@ -563,6 +577,8 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
             Err(format!("job panicked: {what}"))
         }
     };
+    let wall_ms = u64::try_from(exec_start.elapsed().as_millis()).unwrap_or(u64::MAX);
+    lock(&shared.metrics).record_job_wall(wall_ms);
     let mut reg = lock(&shared.registry);
     {
         let mut jr = lock(&shared.journal);
@@ -770,6 +786,10 @@ fn handle_stats(shared: &Arc<Shared>) -> Value {
         .set("threads", shared.cfg.threads)
         .set("pid", u64::from(std::process::id()))
         .set("generation", shared.cfg.generation)
+        .set(
+            "uptime_ms",
+            u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+        )
         .set("draining", shared.draining.load(Ordering::SeqCst))
         .set(
             "jobs",
@@ -793,7 +813,8 @@ fn handle_stats(shared: &Arc<Shared>) -> Value {
         .set("malformed_frames", m.malformed_frames)
         .set("pool_pending", shared.pool.pending())
         .set("pool_panics", shared.pool.panicked_tasks())
-        .set("request_latency_us", m.latency_value());
+        .set("request_latency_us", m.latency_value())
+        .set("job_latency_ms", m.job_latency_value());
     if let Some(store) = &shared.store {
         let s = store.stats();
         resp = resp.set(

@@ -208,6 +208,9 @@ pub struct Metrics {
     /// Latency per request kind, in microseconds. BTreeMap so the stats
     /// JSON renders in a deterministic key order.
     latency: BTreeMap<String, LatencyHistogram>,
+    /// Wall-clock execution time of completed jobs (milliseconds,
+    /// success and failure alike) — the fleet-level job-latency signal.
+    job_wall: LatencyHistogram,
 }
 
 impl Metrics {
@@ -217,6 +220,21 @@ impl Metrics {
             .entry(kind.to_string())
             .or_default()
             .record(micros);
+    }
+
+    /// Records one executed job taking `millis` of wall time.
+    pub fn record_job_wall(&mut self, millis: u64) {
+        self.job_wall.record(millis);
+    }
+
+    /// The job wall-time distribution as `{summary, buckets}`. The raw
+    /// buckets ride along so a fleet aggregator can merge histograms
+    /// exactly (via `LatencyHistogram::from_buckets_value`) instead of
+    /// averaging percentiles.
+    pub fn job_latency_value(&self) -> Value {
+        Value::obj()
+            .set("summary", self.job_wall.summary_value())
+            .set("buckets", self.job_wall.buckets_value())
     }
 
     /// The per-kind latency summaries as a JSON object
@@ -309,5 +327,25 @@ mod tests {
         );
         // BTreeMap ordering makes the render deterministic.
         assert!(v.render().find("status").unwrap() < v.render().find("submit_job").unwrap());
+    }
+
+    #[test]
+    fn job_wall_times_round_trip_through_buckets() {
+        let mut m = Metrics::default();
+        for ms in [12, 40, 40, 900] {
+            m.record_job_wall(ms);
+        }
+        let v = m.job_latency_value();
+        assert_eq!(v.get_path("summary/count").and_then(Value::as_u64), Some(4));
+        // Reconstruction is exact at bucket granularity: re-projecting a
+        // rebuilt histogram is a fixed point (what fleet merging relies
+        // on), even though raw values were quantized to bucket bounds.
+        let rebuilt = LatencyHistogram::from_buckets_value(v.get("buckets").unwrap())
+            .expect("buckets must reconstruct");
+        assert_eq!(rebuilt.count(), 4);
+        assert_eq!(
+            rebuilt.buckets_value().render(),
+            v.get("buckets").unwrap().render()
+        );
     }
 }

@@ -1,0 +1,199 @@
+//! Fleet observability loopback test: a real `das-fleet` supervising
+//! real `das-serve` workers, observed end to end through the new
+//! surfaces — the `metrics` wire method (Prometheus exposition text),
+//! per-worker `uptime_ms`/`job_latency_ms` in `stats`, the supervisor's
+//! `workers` metadata in `fleet-addrs.json`, and the `dasctl stats`
+//! fleet view (one-shot JSON and the `--watch` refreshing screen).
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use das_harness::manifest::{JobSpec, Overrides};
+use das_serve::fleet_client::{AddrSource, FleetClient, FleetClientConfig, FLEET_ADDRS_NAME};
+use das_serve::proto;
+use das_telemetry::json::{self, Value};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("das-observe-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec(id: &str) -> JobSpec {
+    JobSpec {
+        id: id.into(),
+        design: "std".into(),
+        workload: "libquantum".into(),
+        insts: 40_000,
+        scale: 64,
+        seed: 42,
+        ov: Overrides::default(),
+    }
+}
+
+fn dasctl(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dasctl"))
+        .args(args)
+        .output()
+        .expect("run dasctl");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn a_live_fleet_is_observable_through_metrics_stats_and_watch() {
+    let dir = tmp_dir("fleet");
+    let child = Command::new(env!("CARGO_BIN_EXE_das-fleet"))
+        .args([
+            "--dir",
+            dir.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--threads",
+            "1",
+            "--capacity",
+            "8",
+            "--heartbeat-ms",
+            "100",
+            "--retry-after-ms",
+            "5",
+            "--worker-bin",
+            env!("CARGO_BIN_EXE_das-serve"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn das-fleet");
+
+    let addrs_path = dir.join(FLEET_ADDRS_NAME);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !addrs_path.is_file() {
+        assert!(Instant::now() < deadline, "fleet never published addresses");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The supervisor stamps per-worker metadata beside the flat address
+    // list: shard index, generation, and wall-clock spawn time.
+    let addrs_doc = json::parse(&std::fs::read_to_string(&addrs_path).unwrap()).unwrap();
+    let workers = addrs_doc.get("workers").and_then(Value::as_arr).unwrap();
+    assert_eq!(workers.len(), 2);
+    for (i, w) in workers.iter().enumerate() {
+        assert_eq!(w.get("shard").and_then(Value::as_u64), Some(i as u64));
+        assert_eq!(w.get("generation").and_then(Value::as_u64), Some(0));
+        assert!(w.get("spawned_unix_ms").and_then(Value::as_u64).unwrap() > 0);
+        assert!(w.get("addr").and_then(Value::as_str).is_some());
+    }
+
+    // Run a few jobs so job-latency histograms have content.
+    let mut fc =
+        FleetClient::new(AddrSource::Dir(dir.clone()), FleetClientConfig::default()).unwrap();
+    let specs: Vec<JobSpec> = ["a", "b", "c", "d"].iter().map(|id| spec(id)).collect();
+    let reports = fc.run_jobs("obs0", &specs).unwrap();
+    assert_eq!(reports.len(), specs.len());
+
+    // Per-worker stats now expose uptime and the job wall-time
+    // distribution (summary + raw buckets for exact fleet merging).
+    let per_worker = fc.broadcast(&proto::request("stats")).unwrap();
+    let mut jobs_counted = 0;
+    for s in &per_worker {
+        assert!(s.get("uptime_ms").and_then(Value::as_u64).unwrap() > 0);
+        jobs_counted += s
+            .get_path("job_latency_ms/summary/count")
+            .and_then(Value::as_u64)
+            .unwrap();
+    }
+    assert_eq!(jobs_counted, specs.len() as u64, "every job must be timed");
+
+    // The `metrics` wire method answers with Prometheus exposition text.
+    let metrics = fc.broadcast(&proto::request("metrics")).unwrap();
+    for resp in &metrics {
+        assert_eq!(
+            resp.get("content_type").and_then(Value::as_str),
+            Some("text/plain; version=0.0.4")
+        );
+        let body = resp.get("body").and_then(Value::as_str).unwrap();
+        for needle in [
+            "# TYPE das_uptime_ms gauge",
+            "das_generation 0",
+            "das_jobs{state=\"done\"}",
+            "das_admission_total{kind=\"admitted\"}",
+            "das_job_latency_ms_count{scope=\"all\"}",
+        ] {
+            assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
+        }
+        for line in body.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad exposition line {line:?}");
+        }
+    }
+
+    // `dasctl stats` one-shot: merged fleet JSON with exact job-latency
+    // percentiles and a per-worker array carrying generation and uptime.
+    let (stdout, stderr, ok) = dasctl(&["stats", "--fleet-dir", dir.to_str().unwrap()]);
+    assert!(ok, "dasctl stats failed: {stderr}");
+    let merged = json::parse(stdout.trim()).unwrap();
+    assert_eq!(merged.get("workers").and_then(Value::as_u64), Some(2));
+    assert_eq!(
+        merged
+            .get_path("job_latency_ms/summary/count")
+            .and_then(Value::as_u64),
+        Some(specs.len() as u64),
+        "fleet job-latency histogram must merge exactly"
+    );
+    let rows = merged.get("per_worker").and_then(Value::as_arr).unwrap();
+    assert_eq!(rows.len(), 2);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.get("shard").and_then(Value::as_u64), Some(i as u64));
+        assert_eq!(row.get("generation").and_then(Value::as_u64), Some(0));
+        assert!(row.get("uptime_ms").and_then(Value::as_u64).unwrap() > 0);
+    }
+    let admitted: u64 = rows
+        .iter()
+        .filter_map(|r| r.get("admitted").and_then(Value::as_u64))
+        .sum();
+    assert_eq!(admitted, specs.len() as u64);
+
+    // `dasctl metrics` prints every shard's exposition text.
+    let (stdout, stderr, ok) = dasctl(&["metrics", "--fleet-dir", dir.to_str().unwrap()]);
+    assert!(ok, "dasctl metrics failed: {stderr}");
+    assert!(stdout.contains("# shard 0"), "{stdout}");
+    assert!(stdout.contains("# shard 1"), "{stdout}");
+    assert!(stdout.contains("das_uptime_ms"), "{stdout}");
+
+    // `dasctl stats --watch`: a bounded run of the refreshing view shows
+    // fleet totals and one row per worker.
+    let (stdout, stderr, ok) = dasctl(&[
+        "stats",
+        "--fleet-dir",
+        dir.to_str().unwrap(),
+        "--watch",
+        "--interval-ms",
+        "50",
+        "--iterations",
+        "2",
+    ]);
+    assert!(ok, "dasctl stats --watch failed: {stderr}");
+    assert!(stdout.contains("fleet: 2 worker(s)"), "{stdout}");
+    assert!(stdout.contains("job latency ms: n=4"), "{stdout}");
+    assert!(stdout.contains("shard  gen  uptime_s"), "{stdout}");
+    assert!(
+        stdout.matches("\x1b[2J").count() >= 2,
+        "watch must refresh the screen per iteration"
+    );
+
+    // Drain; the supervisor exits 0.
+    fc.broadcast(&proto::request("drain").set("wait", true))
+        .unwrap();
+    let out = child.wait_with_output().expect("fleet exit");
+    assert!(
+        out.status.success(),
+        "fleet failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

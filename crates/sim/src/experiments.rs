@@ -9,7 +9,7 @@ use das_dram::geometry::GlobalRowId;
 use das_workloads::config::WorkloadConfig;
 use das_workloads::gen::TraceGen;
 
-use das_telemetry::TelemetryReport;
+use das_telemetry::{StageReport, TelemetryReport};
 
 use crate::config::{Design, SystemConfig};
 use crate::stats::RunMetrics;
@@ -150,6 +150,33 @@ pub fn run_one_instrumented_with_profile(
         None => None,
     };
     System::new(cfg.clone(), design, &scaled, profile).run_instrumented()
+}
+
+/// Like [`run_one_instrumented`], but also returns the stage-profiler
+/// report (`None` when `cfg.stage_profile` is off). The stage report
+/// measures host wall-clock time — it is perf-diagnostic only and never
+/// alters or accompanies the run's simulated results.
+pub fn run_one_profiled(
+    cfg: &SystemConfig,
+    design: Design,
+    workloads: &[WorkloadConfig],
+) -> (
+    Result<RunMetrics, SimError>,
+    Option<TelemetryReport>,
+    Option<StageReport>,
+) {
+    let scaled: Vec<WorkloadConfig> = workloads
+        .iter()
+        .map(|w| w.scaled(cfg.scale as u64))
+        .collect();
+    let computed;
+    let profile = if design.needs_profile() {
+        computed = profile_row_counts(cfg, &scaled);
+        Some(&computed)
+    } else {
+        None
+    };
+    System::new(cfg.clone(), design, &scaled, profile).run_profiled()
 }
 
 /// Runs one simulation over **recorded traces** (one per core), e.g. loaded

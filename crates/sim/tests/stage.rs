@@ -1,0 +1,96 @@
+//! Stage-profiler behaviour of the full system: an Off profiler leaves
+//! runs bit-identical to unprofiled ones (including the serialized run
+//! report), an On profiler never perturbs the simulated results, and the
+//! report it produces covers every probed stage with shares summing to
+//! one.
+
+use das_sim::config::{Design, SystemConfig};
+use das_sim::experiments::{run_one, run_one_profiled};
+use das_sim::report::run_report_json;
+use das_sim::stats::RunMetrics;
+use das_telemetry::{json, Stage, StageProfilerConfig, TelemetryConfig};
+use das_workloads::spec;
+
+fn mcf() -> Vec<das_workloads::config::WorkloadConfig> {
+    vec![spec::by_name("mcf")]
+}
+
+fn fingerprint(m: &RunMetrics) -> impl PartialEq + std::fmt::Debug {
+    (
+        m.access_mix,
+        m.promotions,
+        m.memory_accesses,
+        m.llc_misses,
+        m.table_fetch_reads,
+        m.window_cycles,
+        m.cores
+            .iter()
+            .map(|c| (c.insts, c.cycles, c.llc_misses))
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[test]
+fn off_profiler_is_bit_identical_and_reports_nothing() {
+    let cfg = SystemConfig::test_small();
+    let base = run_one(&cfg, Design::DasDram, &mcf()).unwrap();
+    let (res, tel, stages) = run_one_profiled(&cfg, Design::DasDram, &mcf());
+    let off = res.unwrap();
+    assert!(stages.is_none(), "Off profiler must not produce a report");
+    assert_eq!(fingerprint(&base), fingerprint(&off));
+    // The serialized run report is the artifact downstream consumers hash;
+    // it must be byte-identical with the profiler compiled in but off.
+    assert_eq!(
+        run_report_json(&base, None),
+        run_report_json(&off, tel.as_ref()),
+        "run report bytes must not change when profiling is off"
+    );
+}
+
+#[test]
+fn on_profiler_does_not_perturb_the_simulation_or_its_report() {
+    // The profiler measures host time; it must never steer simulated
+    // behaviour, and its data must never leak into the run report.
+    let cfg = SystemConfig::test_small();
+    let prof = cfg
+        .clone()
+        .with_stage_profile(StageProfilerConfig::on(16))
+        .with_telemetry(TelemetryConfig::on(50_000));
+    let base = run_one(&cfg, Design::DasDram, &mcf()).unwrap();
+    let (res, tel, stages) = run_one_profiled(&prof, Design::DasDram, &mcf());
+    let on = res.unwrap();
+    assert_eq!(fingerprint(&base), fingerprint(&on));
+    let stages = stages.expect("On profiler must produce a report");
+    let report = run_report_json(&on, tel.as_ref());
+    for stage in Stage::ALL {
+        assert!(
+            stages.occurrences[stage as usize] > 0,
+            "stage {} never ran",
+            stage.label()
+        );
+        assert!(
+            !report.contains(stage.label()),
+            "stage data must not leak into the run report"
+        );
+    }
+    let shares: f64 = stages.shares().iter().sum();
+    assert!(
+        (shares - 1.0).abs() < 1e-9,
+        "stage shares must sum to 1, got {shares}"
+    );
+    let exported = stages.to_value().render();
+    json::validate(&exported).expect("stage export must be valid JSON");
+}
+
+#[test]
+fn profiled_runs_reproduce_their_simulated_results() {
+    // Wall-clock samples differ run to run; everything simulated must not.
+    let cfg = SystemConfig::test_small().with_stage_profile(StageProfilerConfig::on(16));
+    let (r1, _, s1) = run_one_profiled(&cfg, Design::DasDram, &mcf());
+    let (r2, _, s2) = run_one_profiled(&cfg, Design::DasDram, &mcf());
+    assert_eq!(fingerprint(&r1.unwrap()), fingerprint(&r2.unwrap()));
+    let (s1, s2) = (s1.unwrap(), s2.unwrap());
+    // Occurrence counts are event-loop facts, not timings: deterministic.
+    assert_eq!(s1.occurrences, s2.occurrences);
+    assert_eq!(s1.sample_every, s2.sample_every);
+}

@@ -30,9 +30,13 @@ impl Counters {
         self.add(name, 1);
     }
 
-    /// Adds `n` to `name` (creating it at zero first).
+    /// Adds `n` to `name` (creating it at zero first). Saturates instead
+    /// of overflowing: a counter pinned at `u64::MAX` is a visible "this
+    /// overflowed" signal, a wrapped counter is silent nonsense (and a
+    /// debug-build panic in a stats path).
     pub fn add(&mut self, name: &str, n: u64) {
-        *self.map.entry(name.to_string()).or_insert(0) += n;
+        let e = self.map.entry(name.to_string()).or_insert(0);
+        *e = e.saturating_add(n);
     }
 
     /// The current value of `name` (zero if never touched).
@@ -93,8 +97,8 @@ pub fn merge_numeric(a: &Value, b: &Value) -> Value {
             }
             Value::Obj(out)
         }
-        (Value::U64(x), Value::U64(y)) => Value::U64(x + y),
-        (Value::I64(x), Value::I64(y)) => Value::I64(x + y),
+        (Value::U64(x), Value::U64(y)) => Value::U64(x.saturating_add(*y)),
+        (Value::I64(x), Value::I64(y)) => Value::I64(x.saturating_add(*y)),
         (Value::F64(x), Value::F64(y)) => Value::F64(x + y),
         _ => a.clone(),
     }
@@ -121,6 +125,75 @@ mod tests {
             "{\"busy_retries\":5,\"hedges_fired\":1,\"reconnects\":1}"
         );
         assert_eq!(a.summary(), "busy_retries=5 hedges_fired=1 reconnects=1");
+    }
+
+    #[test]
+    fn add_and_merge_saturate_instead_of_wrapping() {
+        let mut c = Counters::new();
+        c.add("big", u64::MAX - 1);
+        c.incr("big");
+        assert_eq!(c.get("big"), u64::MAX);
+        c.incr("big"); // would wrap; must pin
+        c.add("big", u64::MAX);
+        assert_eq!(c.get("big"), u64::MAX);
+
+        let mut other = Counters::new();
+        other.add("big", 5);
+        c.merge(&other);
+        assert_eq!(c.get("big"), u64::MAX, "merge saturates too");
+
+        let m = merge_numeric(
+            &Value::obj().set("n", u64::MAX).set("i", i64::MAX),
+            &Value::obj().set("n", 1u64).set("i", 1i64),
+        );
+        assert_eq!(m.get("n").and_then(Value::as_u64), Some(u64::MAX));
+        assert_eq!(m.get("i").unwrap().render(), i64::MAX.to_string());
+    }
+
+    #[test]
+    fn concurrent_increments_from_many_threads_all_land() {
+        // The bag itself is single-threaded by design; shared use goes
+        // through a mutex (as in FleetClient call sites). Hammer one from
+        // several threads and check nothing is lost.
+        use std::sync::{Arc, Mutex};
+        let shared = Arc::new(Mutex::new(Counters::new()));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        let mut c = shared.lock().unwrap();
+                        c.incr("total");
+                        c.add(if t % 2 == 0 { "even" } else { "odd" }, i % 3);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let c = shared.lock().unwrap();
+        assert_eq!(c.get("total"), 8_000);
+        // Each thread adds sum(i%3 for i in 0..1000) = 999.
+        assert_eq!(c.get("even") + c.get("odd"), 8 * 999);
+        assert_eq!(c.get("even"), c.get("odd"));
+    }
+
+    #[test]
+    fn render_is_stable_across_insertion_orders() {
+        let mut fwd = Counters::new();
+        let mut rev = Counters::new();
+        let keys = ["zeta", "alpha", "mid"];
+        for k in keys {
+            fwd.add(k, 2);
+        }
+        for k in keys.iter().rev() {
+            rev.add(k, 2);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.to_value().render(), rev.to_value().render());
+        assert_eq!(fwd.summary(), rev.summary());
+        assert_eq!(fwd.summary(), "alpha=2 mid=2 zeta=2");
     }
 
     #[test]

@@ -13,7 +13,13 @@
 //!   instants, per-epoch counters) exporting Chrome trace-event JSON
 //!   viewable in Perfetto;
 //!
-//! plus [`json`], the minimal value builder/validator the exporters share.
+//! plus [`json`], the minimal value builder/validator the exporters share,
+//! [`counters`], a deterministic string-keyed counter map, and one
+//! deliberate exception to the simulated-clock rule: [`stage`], a sampling
+//! *wall-clock* profiler of the simulator's own event-loop stages. Stage
+//! timings measure the host, not the model, so they are non-reproducible
+//! by design and are kept out of every deterministic report path (see the
+//! module docs for its overhead contract).
 //!
 //! [`Telemetry`] is the sink the simulator holds. Constructed [`SinkMode::Off`]
 //! (the default), every record method returns after one branch and no
@@ -27,6 +33,7 @@ pub mod counters;
 pub mod hist;
 pub mod json;
 pub mod series;
+pub mod stage;
 pub mod trace;
 
 use std::collections::HashMap;
@@ -34,6 +41,7 @@ use std::collections::HashMap;
 pub use counters::Counters;
 pub use hist::LatencyHistogram;
 pub use series::{EpochCounters, EpochSample, EpochSeries};
+pub use stage::{Stage, StageProfiler, StageProfilerConfig, StageReport};
 pub use trace::{Arg, EventTrace, Phase, TraceEvent};
 
 /// Whether the sink records anything.
@@ -443,5 +451,45 @@ mod tests {
         t.swap_commit(99, 10); // no matching begin
         let r = t.into_report().unwrap();
         assert_eq!(r.trace.events().len(), 0);
+    }
+
+    #[test]
+    fn cross_class_merge_is_exact_per_class() {
+        // Merging per-channel ClassHistograms must equal recording every
+        // sample into one set, class by class — classes never bleed into
+        // each other, including classes empty on one side.
+        let mut ch0 = ClassHistograms::default();
+        let mut ch1 = ClassHistograms::default();
+        let mut whole = ClassHistograms::default();
+        for v in 0..1_500u64 {
+            let x = (v * 2_654_435_761) % 50_000;
+            let class = match v % 3 {
+                0 => LatencyClass::RowBufferHit,
+                1 => LatencyClass::FastMiss,
+                _ => LatencyClass::SlowMiss,
+            };
+            // SlowMiss lands only on channel 1: channel 0's slow histogram
+            // stays empty across the merge.
+            if class == LatencyClass::SlowMiss || v % 2 == 1 {
+                ch1.record(class, x);
+            } else {
+                ch0.record(class, x);
+            }
+            whole.record(class, x);
+        }
+        assert_eq!(ch0.class(LatencyClass::SlowMiss).count(), 0);
+        ch0.merge(&ch1);
+        assert_eq!(ch0.total_count(), whole.total_count());
+        for class in LatencyClass::ALL {
+            let (m, w) = (ch0.class(class), whole.class(class));
+            assert_eq!(m.count(), w.count(), "{}", class.label());
+            assert_eq!(m.min(), w.min(), "{}", class.label());
+            assert_eq!(m.max(), w.max(), "{}", class.label());
+            assert_eq!(m.nonzero_buckets(), w.nonzero_buckets());
+            for p in [50.0, 95.0, 99.0] {
+                assert_eq!(m.percentile(p), w.percentile(p), "p{p}");
+            }
+        }
+        assert_eq!(ch0.to_value().render(), whole.to_value().render());
     }
 }
