@@ -104,6 +104,104 @@ impl TlDramAreaModel {
     }
 }
 
+/// Parameters of the CLR-DRAM morphing-driver area model (ISCA 2020 §6).
+///
+/// CLR-DRAM re-wires the existing sense amplifiers and wordline drivers with
+/// a handful of extra isolation transistors per local row; the paper puts
+/// the total at **0.045 % die area** — orders of magnitude below the
+/// subarray-granularity designs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClrDramAreaModel {
+    /// Extra isolation/coupling transistors per subarray, in row-equivalent
+    /// heights (the paper's 0.045 % of die area ≈ a quarter row per
+    /// 512-row subarray).
+    pub driver_rows: f64,
+    /// Rows per subarray.
+    pub subarray_rows: u32,
+    /// Sense-amplifier stripe height in row-equivalents.
+    pub sense_height: f64,
+}
+
+impl Default for ClrDramAreaModel {
+    fn default() -> Self {
+        ClrDramAreaModel {
+            driver_rows: 0.25,
+            subarray_rows: 512,
+            sense_height: 85.0,
+        }
+    }
+}
+
+impl ClrDramAreaModel {
+    /// Fractional area overhead versus a homogeneous device.
+    pub fn overhead(&self) -> f64 {
+        self.driver_rows / (self.subarray_rows as f64 + self.sense_height)
+    }
+}
+
+/// Parameters of the LISA inter-subarray link area model (HPCA 2016 §4).
+///
+/// LISA adds isolation transistors linking adjacent subarrays' bitlines;
+/// the paper reports **0.8 % die area**.
+#[derive(Debug, Clone, Copy)]
+pub struct LisaAreaModel {
+    /// Link-transistor stripe height per subarray boundary, in
+    /// row-equivalents.
+    pub link_rows: f64,
+    /// Rows per subarray.
+    pub subarray_rows: u32,
+    /// Sense-amplifier stripe height in row-equivalents.
+    pub sense_height: f64,
+}
+
+impl Default for LisaAreaModel {
+    fn default() -> Self {
+        LisaAreaModel {
+            link_rows: 4.8,
+            subarray_rows: 512,
+            sense_height: 85.0,
+        }
+    }
+}
+
+impl LisaAreaModel {
+    /// Fractional area overhead versus an unlinked device.
+    pub fn overhead(&self) -> f64 {
+        self.link_rows / (self.subarray_rows as f64 + self.sense_height)
+    }
+}
+
+/// Parameters of the SALP-MASA area model (Kim et al., ISCA 2012 §5).
+///
+/// SALP's subarray-select latches and the designated-bit wiring cost
+/// **~0.15 % die area** in the MASA variant.
+#[derive(Debug, Clone, Copy)]
+pub struct SalpAreaModel {
+    /// Per-subarray latch/wiring overhead in row-equivalents.
+    pub latch_rows: f64,
+    /// Rows per subarray.
+    pub subarray_rows: u32,
+    /// Sense-amplifier stripe height in row-equivalents.
+    pub sense_height: f64,
+}
+
+impl Default for SalpAreaModel {
+    fn default() -> Self {
+        SalpAreaModel {
+            latch_rows: 0.9,
+            subarray_rows: 512,
+            sense_height: 85.0,
+        }
+    }
+}
+
+impl SalpAreaModel {
+    /// Fractional area overhead versus a single-subarray-at-a-time device.
+    pub fn overhead(&self) -> f64 {
+        self.latch_rows / (self.subarray_rows as f64 + self.sense_height)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +246,40 @@ mod tests {
         assert!(
             TlDramAreaModel::default().overhead() > 3.0 * AsymmetricAreaModel::default().overhead()
         );
+    }
+
+    #[test]
+    fn backend_overheads_match_papers_md_table() {
+        // Quoted in PAPERS.md: CLR-DRAM ≈0.045 %, LISA ≈0.8 %, SALP ≈0.15 %.
+        let table: [(&str, f64, f64, f64); 3] = [
+            (
+                "clr",
+                ClrDramAreaModel::default().overhead(),
+                0.0003,
+                0.0006,
+            ),
+            ("lisa", LisaAreaModel::default().overhead(), 0.007, 0.009),
+            ("salp", SalpAreaModel::default().overhead(), 0.0012, 0.0018),
+        ];
+        for (name, o, lo, hi) in table {
+            assert!(
+                (lo..hi).contains(&o),
+                "{name} overhead {:.3}% outside [{:.3}%, {:.3}%]",
+                o * 100.0,
+                lo * 100.0,
+                hi * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn backend_overhead_ordering_is_tl_das_lisa_salp_clr() {
+        let tl = TlDramAreaModel::default().overhead();
+        let das = AsymmetricAreaModel::default().overhead();
+        let lisa = LisaAreaModel::default().overhead();
+        let salp = SalpAreaModel::default().overhead();
+        let clr = ClrDramAreaModel::default().overhead();
+        assert!(tl > das && das > lisa && lisa > salp && salp > clr);
+        assert!(clr > 0.0);
     }
 }

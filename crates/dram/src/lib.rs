@@ -54,7 +54,9 @@ pub mod rank;
 pub mod tick;
 pub mod timing;
 
-pub use area::{AsymmetricAreaModel, TlDramAreaModel};
+pub use area::{
+    AsymmetricAreaModel, ClrDramAreaModel, LisaAreaModel, SalpAreaModel, TlDramAreaModel,
+};
 pub use bank::{Bank, BankStats, RowBufferState};
 pub use channel::{ChannelDevice, IssueOutcome};
 pub use command::{DramCommand, MigrationKind};

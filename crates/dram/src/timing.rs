@@ -121,6 +121,23 @@ impl TimingParams {
         p
     }
 
+    /// CLR-DRAM max-latency-reduction morph (Luo et al., ISCA 2020, §4):
+    /// coupling a row with its neighbour doubles the drivers per cell, so
+    /// activation, restore, and precharge all shrink — tRCD by ~60 %,
+    /// tRAS by ~64 %, tRP by ~35 % — at the cost of the coupled row's
+    /// capacity.
+    pub fn clr_morphed() -> Self {
+        let p = TimingParams {
+            trcd: Tick::from_ns(5.5),
+            tras: Tick::from_ns(12.5),
+            trp: Tick::from_ns(9.0),
+            twr: Tick::from_ns(7.0),
+            ..Self::ddr3_1600()
+        };
+        p.validate();
+        p
+    }
+
     /// Row cycle time: `tRAS + tRP`.
     pub fn trc(&self) -> Tick {
         self.tras + self.trp
@@ -233,6 +250,34 @@ impl TimingSet {
         }
     }
 
+    /// CLR-DRAM (Luo et al., ISCA 2020): rows dynamically morph between
+    /// max-capacity (commodity timings) and max-latency-reduction (coupled
+    /// drivers) modes. Morphing a row is an in-place ACT+PRE pair on the
+    /// coupled pair — one tRC per direction, two for an exchange — so we
+    /// reuse the migration hooks with intra-subarray costs.
+    pub fn clr_dram() -> Self {
+        let slow = TimingParams::ddr3_1600();
+        TimingSet {
+            slow,
+            fast: TimingParams::clr_morphed(),
+            single_migration: slow.trc(),
+            swap: slow.trc() * 2,
+        }
+    }
+
+    /// LISA (Chang et al., HPCA 2016): links neighbouring subarrays'
+    /// bitlines so a row buffer movement (RBM) copies a row across the
+    /// boundary in ~8 ns instead of rank-level copy. A DAS-style swap
+    /// becomes two RBM hops plus the source/destination activations —
+    /// one third of the migration-cell path's 146.25 ns.
+    pub fn lisa() -> Self {
+        TimingSet {
+            single_migration: Tick::from_ns(24.375),
+            swap: Tick::from_ns(48.75),
+            ..Self::asymmetric()
+        }
+    }
+
     /// The parameter set applied to rows of subarray `kind`.
     pub fn params_for(&self, kind: SubarrayKind) -> &TimingParams {
         match kind {
@@ -311,6 +356,30 @@ mod tests {
         let set = TimingSet::tl_dram();
         assert!(set.supports_migration());
         assert!(set.single_migration < TimingSet::asymmetric().single_migration * 2);
+    }
+
+    #[test]
+    fn clr_morphed_shrinks_cell_timings_only() {
+        let m = TimingParams::clr_morphed();
+        let base = TimingParams::ddr3_1600();
+        assert!(m.trcd < base.trcd);
+        assert!(m.trc() < TimingParams::fast_subarray().trc());
+        assert_eq!(m.cl, base.cl, "morphing does not touch the column path");
+        let set = TimingSet::clr_dram();
+        assert_eq!(set.single_migration, base.trc());
+        assert_eq!(set.swap.as_ns(), 2.0 * base.trc().as_ns());
+        assert!(set.supports_migration());
+    }
+
+    #[test]
+    fn lisa_swap_is_one_third_of_das() {
+        let lisa = TimingSet::lisa();
+        let das = TimingSet::asymmetric();
+        assert_eq!(lisa.slow, das.slow);
+        assert_eq!(lisa.fast, das.fast);
+        assert_eq!(lisa.swap.as_ns() * 3.0, das.swap.as_ns());
+        assert_eq!(lisa.single_migration * 2, lisa.swap);
+        assert!(lisa.supports_migration());
     }
 
     #[test]

@@ -192,6 +192,36 @@ pub const ALL: &[Experiment] = &[
         build: build_telemetry,
         render: render_telemetry,
     },
+    Experiment {
+        id: "cross_arch_rank",
+        build: build_cross_arch_rank,
+        render: render_cross_arch_rank,
+    },
+    Experiment {
+        id: "cross_arch_mix",
+        build: build_cross_arch_mix,
+        render: render_cross_arch_mix,
+    },
+    Experiment {
+        id: "cross_arch_sweep",
+        build: build_cross_arch_sweep,
+        render: render_cross_arch_sweep,
+    },
+    Experiment {
+        id: "cross_arch_copy",
+        build: build_cross_arch_copy,
+        render: render_cross_arch_copy,
+    },
+    Experiment {
+        id: "cross_arch_salp",
+        build: build_cross_arch_salp,
+        render: render_cross_arch_salp,
+    },
+    Experiment {
+        id: "cross_arch_area",
+        build: build_cross_arch_area,
+        render: render_cross_arch_area,
+    },
 ];
 
 /// Looks an experiment up by id.
@@ -203,6 +233,29 @@ pub fn by_id(id: &str) -> Option<&'static Experiment> {
 /// and the `das-serve` catalog listing reports).
 pub fn ids() -> Vec<&'static str> {
     ALL.iter().map(|e| e.id).collect()
+}
+
+/// Experiment-family prefixes, for grouped listings (`dasctl list`).
+/// `power` deliberately covers `powerdown` too.
+const FAMILIES: [&str; 7] = [
+    "table",
+    "fig7",
+    "fig8",
+    "fig9",
+    "power",
+    "ablation",
+    "cross_arch",
+];
+
+/// The family an experiment id belongs to: the longest matching prefix
+/// from [`FAMILIES`], or the id itself for one-off experiments
+/// (`fault_sweep`, `telemetry`).
+pub fn family_of(id: &str) -> &str {
+    FAMILIES
+        .iter()
+        .find(|f| id.starts_with(*f))
+        .copied()
+        .unwrap_or(id)
 }
 
 // ---------------------------------------------------------------------------
@@ -1671,6 +1724,392 @@ fn render_telemetry(ctx: &RenderCtx) -> String {
     o
 }
 
+// ---------------------------------------------------------------------------
+// Cross-architecture backend family (ROADMAP "Multi-backend DRAM")
+// ---------------------------------------------------------------------------
+
+/// Non-baseline backend design keys, catalog order
+/// (`das_sim::config::Design::backends()` minus `std`).
+const CROSS_KEYS: [&str; 5] = ["das", "tl", "clr", "lisa", "salp"];
+
+/// Backends that sweep the fast-capacity ratio freely. TL-DRAM is absent
+/// deliberately: its backend placement pins ratio 1/4 (the 128-near /
+/// 384-far tiling), overriding any sweep point; SALP and the baseline
+/// have no fast level.
+const CROSS_SWEEP_KEYS: [&str; 3] = ["das", "clr", "lisa"];
+
+/// Workloads whose traffic is dominated by streaming/sequential sweeps.
+/// The complement of `spec::names()` is the irregular/pointer class.
+const STREAMING_CLASS: [&str; 6] = [
+    "cactusADM",
+    "GemsFDTD",
+    "lbm",
+    "leslie3d",
+    "libquantum",
+    "milc",
+];
+
+/// Pointer-chasing workloads for the copy-cost comparison.
+const POINTER_WORKLOADS: [&str; 4] = ["astar", "mcf", "omnetpp", "soplex"];
+
+fn workload_class(name: &str) -> &'static str {
+    if STREAMING_CLASS.contains(&name) {
+        "streaming"
+    } else {
+        "irregular"
+    }
+}
+
+/// Per-workload jobs: a DDR3 baseline plus every non-baseline backend.
+fn cross_arch_jobs(exp: &str, names: &[&str], insts: u64, p: &BuildParams) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for name in names {
+        for key in std::iter::once("std").chain(CROSS_KEYS) {
+            jobs.push(JobSpec {
+                id: format!("{exp}/{name}/{key}"),
+                design: key.to_string(),
+                workload: name.to_string(),
+                insts,
+                scale: p.scale,
+                seed: 42,
+                ov: Overrides::default(),
+            });
+        }
+    }
+    jobs
+}
+
+/// Improvement matrix over the per-group DDR3 baseline:
+/// `(group names, rows[group][backend])` in `keys` column order.
+fn cross_arch_matrix<'a>(
+    ctx: &RenderCtx<'a>,
+    exp: &str,
+    keys: &[&str],
+) -> (Vec<&'a str>, Vec<Vec<f64>>) {
+    let names = ctx.group_names();
+    let rows = names
+        .iter()
+        .map(|name| {
+            let base = ctx.by_id(&format!("{exp}/{name}/std"));
+            keys.iter()
+                .map(|key| {
+                    ctx.by_id(&format!("{exp}/{name}/{key}"))
+                        .improvement_over(&base)
+                })
+                .collect()
+        })
+        .collect();
+    (names, rows)
+}
+
+/// Appends a gmean-ranking block: backends ordered by gmean IPC
+/// improvement over the DDR3 baseline, one ranking per workload class.
+fn write_class_ranking(o: &mut String, names: &[&str], rows: &[Vec<f64>], keys: &[&str]) {
+    let _ = writeln!(
+        o,
+        "\n## ranking by gmean IPC improvement over {} (per workload class)",
+        design_label("std")
+    );
+    let mut classes: Vec<&str> = names.iter().map(|n| workload_class(n)).collect();
+    classes.sort_unstable();
+    classes.dedup();
+    for class in classes {
+        let member_rows: Vec<&Vec<f64>> = names
+            .iter()
+            .zip(rows)
+            .filter(|(n, _)| workload_class(n) == class)
+            .map(|(_, r)| r)
+            .collect();
+        let mut ranked: Vec<(&str, f64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| {
+                let col: Vec<f64> = member_rows.iter().map(|r| r[i]).collect();
+                (design_label(key), gmean_improvement(&col))
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+        let _ = write!(o, "{:<12}", format!("{class}:"));
+        for (i, (label, g)) in ranked.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(o, "  >");
+            }
+            let _ = write!(o, " {label} {}", pct(*g));
+        }
+        let _ = writeln!(o);
+    }
+}
+
+fn build_cross_arch_rank(p: &BuildParams) -> Vec<JobSpec> {
+    cross_arch_jobs("cross_arch_rank", &singles(p), p.insts, p)
+}
+
+fn render_cross_arch_rank(ctx: &RenderCtx) -> String {
+    let (names, rows) = cross_arch_matrix(ctx, "cross_arch_rank", &CROSS_KEYS);
+    let columns: Vec<String> = CROSS_KEYS
+        .iter()
+        .map(|k| design_label(k).to_string())
+        .collect();
+    let mut o = String::new();
+    improvement_table(
+        &mut o,
+        "Cross-architecture: IPC improvement over DDR3 baseline",
+        &names,
+        &columns,
+        14,
+        &rows,
+    );
+    write_class_ranking(&mut o, &names, &rows, &CROSS_KEYS);
+    o
+}
+
+fn build_cross_arch_mix(p: &BuildParams) -> Vec<JobSpec> {
+    let mixes: Vec<String> = mix_list(p).iter().map(|m| format!("mix:{m}")).collect();
+    let mut jobs = Vec::new();
+    for (name, wl) in mix_list(p).iter().zip(&mixes) {
+        for key in std::iter::once("std").chain(CROSS_KEYS) {
+            jobs.push(JobSpec {
+                id: format!("cross_arch_mix/{name}/{key}"),
+                design: key.to_string(),
+                workload: wl.clone(),
+                insts: multi_insts(p),
+                scale: p.scale,
+                seed: 42,
+                ov: Overrides::default(),
+            });
+        }
+    }
+    jobs
+}
+
+fn render_cross_arch_mix(ctx: &RenderCtx) -> String {
+    let (names, rows) = cross_arch_matrix(ctx, "cross_arch_mix", &CROSS_KEYS);
+    let columns: Vec<String> = CROSS_KEYS
+        .iter()
+        .map(|k| design_label(k).to_string())
+        .collect();
+    let mut o = String::new();
+    improvement_table(
+        &mut o,
+        "Cross-architecture: four-program mixes (weighted IPC improvement over DDR3)",
+        &names,
+        &columns,
+        14,
+        &rows,
+    );
+    o
+}
+
+fn cross_sweep_segs() -> Vec<String> {
+    CROSS_SWEEP_KEYS
+        .iter()
+        .flat_map(|key| RATIO_DENS.iter().map(move |den| format!("{key}_d{den}")))
+        .collect()
+}
+
+fn build_cross_arch_sweep(p: &BuildParams) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for name in singles(p) {
+        jobs.push(job(
+            p,
+            format!("cross_arch_sweep/{name}/std"),
+            "std",
+            name,
+            Overrides::default(),
+        ));
+        for key in CROSS_SWEEP_KEYS {
+            for den in RATIO_DENS {
+                jobs.push(job(
+                    p,
+                    format!("cross_arch_sweep/{name}/{key}_d{den}"),
+                    key,
+                    name,
+                    Overrides {
+                        fast_ratio_den: Some(den),
+                        ..Overrides::default()
+                    },
+                ));
+            }
+        }
+    }
+    jobs
+}
+
+fn render_cross_arch_sweep(ctx: &RenderCtx) -> String {
+    let segs = cross_sweep_segs();
+    let seg_refs: Vec<&str> = segs.iter().map(String::as_str).collect();
+    let columns: Vec<String> = CROSS_SWEEP_KEYS
+        .iter()
+        .flat_map(|key| RATIO_DENS.iter().map(move |den| format!("{key} 1/{den}")))
+        .collect();
+    render_sweep_table(
+        ctx,
+        "cross_arch_sweep",
+        "Cross-architecture: fast-capacity sweep (TL-DRAM pinned to 1/4, omitted)",
+        &seg_refs,
+        &columns,
+        10,
+    )
+}
+
+/// Copy-cost combos: designs distinguished purely by inter-row copy cost.
+const COPY_KEYS: [&str; 4] = ["das", "das_fm", "lisa", "clr"];
+
+fn build_cross_arch_copy(p: &BuildParams) -> Vec<JobSpec> {
+    let names = filter(&p.only, POINTER_WORKLOADS.to_vec());
+    let mut jobs = Vec::new();
+    for name in names {
+        for key in std::iter::once("std").chain(COPY_KEYS) {
+            jobs.push(job(
+                p,
+                format!("cross_arch_copy/{name}/{key}"),
+                key,
+                name,
+                Overrides::default(),
+            ));
+        }
+    }
+    jobs
+}
+
+fn render_cross_arch_copy(ctx: &RenderCtx) -> String {
+    let mut o = String::new();
+    let _ = writeln!(
+        o,
+        "# Cross-architecture: inter-row copy cost (pointer-chasing workloads)"
+    );
+    let _ = writeln!(o, "swap latency per design:");
+    for key in COPY_KEYS {
+        let t = parse_design(key).expect("catalog design key").timing();
+        let _ = writeln!(o, "  {:<14} {:>8.3} ns", design_label(key), t.swap.as_ns());
+    }
+    let _ = writeln!(o);
+    let (names, rows) = cross_arch_matrix(ctx, "cross_arch_copy", &COPY_KEYS);
+    let columns: Vec<String> = COPY_KEYS
+        .iter()
+        .map(|k| design_label(k).to_string())
+        .collect();
+    improvement_table(
+        &mut o,
+        "IPC improvement over DDR3 baseline",
+        &names,
+        &columns,
+        14,
+        &rows,
+    );
+    o
+}
+
+/// SALP composition combos: `(id segment, design key, salp override)`.
+const CROSS_SALP_COMBOS: [(&str, &str, Option<bool>); 5] = [
+    ("salp", "salp", None),
+    ("das", "das", None),
+    ("das_salp", "das", Some(true)),
+    ("lisa", "lisa", None),
+    ("lisa_salp", "lisa", Some(true)),
+];
+
+/// The SALP composition runs on three representative workloads (one
+/// streaming, two irregular) to keep the grid bounded.
+const CROSS_SALP_WORKLOADS: [&str; 3] = ["libquantum", "mcf", "omnetpp"];
+
+fn build_cross_arch_salp(p: &BuildParams) -> Vec<JobSpec> {
+    let names = filter(&p.only, CROSS_SALP_WORKLOADS.to_vec());
+    let mut jobs = Vec::new();
+    for name in names {
+        jobs.push(job(
+            p,
+            format!("cross_arch_salp/{name}/std"),
+            "std",
+            name,
+            Overrides::default(),
+        ));
+        for (seg, key, salp) in CROSS_SALP_COMBOS {
+            jobs.push(job(
+                p,
+                format!("cross_arch_salp/{name}/{seg}"),
+                key,
+                name,
+                Overrides {
+                    salp,
+                    ..Overrides::default()
+                },
+            ));
+        }
+    }
+    jobs
+}
+
+fn render_cross_arch_salp(ctx: &RenderCtx) -> String {
+    let segs: Vec<&str> = CROSS_SALP_COMBOS.iter().map(|(seg, ..)| *seg).collect();
+    let columns: Vec<String> = vec![
+        "SALP".into(),
+        "DAS".into(),
+        "DAS+SALP".into(),
+        "LISA".into(),
+        "LISA+SALP".into(),
+    ];
+    let mut o = render_sweep_table(
+        ctx,
+        "cross_arch_salp",
+        "Cross-architecture: SALP composition (improvement over DDR3)",
+        &segs,
+        &columns,
+        11,
+    );
+    let _ = writeln!(
+        o,
+        "\nSALP attacks bank-conflict serialisation, the asymmetric designs\n\
+         attack activation latency; the composed variants stack both."
+    );
+    o
+}
+
+fn build_cross_arch_area(p: &BuildParams) -> Vec<JobSpec> {
+    cross_arch_jobs("cross_arch_area", &["mcf"], p.insts, p)
+}
+
+fn render_cross_arch_area(ctx: &RenderCtx) -> String {
+    let (names, rows) = cross_arch_matrix(ctx, "cross_arch_area", &CROSS_KEYS);
+    let mut o = String::new();
+    let _ = writeln!(
+        o,
+        "# Cross-architecture: performance per silicon area ({})",
+        names.join("+")
+    );
+    let _ = writeln!(
+        o,
+        "{:<14} {:>12} {:>10} {:>14}",
+        "design", "improvement", "area", "improv/area%"
+    );
+    for (i, key) in CROSS_KEYS.iter().enumerate() {
+        let improv = gmean_improvement(&rows.iter().map(|r| r[i]).collect::<Vec<_>>());
+        let area = parse_design(key)
+            .expect("catalog design key")
+            .backend()
+            .expect("cross-arch designs are backends")
+            .area_overhead();
+        let per_area = if area > 0.0 {
+            format!("{:>14.2}", improv * 100.0 / (area * 100.0))
+        } else {
+            format!("{:>14}", "inf")
+        };
+        let _ = writeln!(
+            o,
+            "{:<14} {:>12} {:>9.2}% {per_area}",
+            design_label(key),
+            pct(improv),
+            area * 100.0,
+        );
+    }
+    let _ = writeln!(
+        o,
+        "\narea figures from dram::area models (PAPERS.md quoted overheads);\n\
+         CLR-DRAM additionally surrenders the morphed rows' capacity."
+    );
+    o
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1725,6 +2164,80 @@ mod tests {
         let tele = (by_id("telemetry").unwrap().build)(&p);
         assert_eq!(tele[0].ov.telemetry_epoch, Some(EPOCH_CYCLES));
         assert!(tele[0].ov.trace_path.is_some());
+    }
+
+    #[test]
+    fn cross_arch_family_covers_all_backends() {
+        use das_sim::config::Design;
+        let p = tiny_params();
+        // rank: per workload, a DDR3 baseline plus every backend.
+        let rank = (by_id("cross_arch_rank").unwrap().build)(&p);
+        assert_eq!(rank.len(), spec::names().len() * 6);
+        let mcf_designs: Vec<&str> = rank
+            .iter()
+            .filter(|j| j.id.contains("/mcf/"))
+            .map(|j| j.design.as_str())
+            .collect();
+        let backend_keys: Vec<&str> = Design::backends()
+            .iter()
+            .map(|d| crate::manifest::design_key(*d))
+            .collect();
+        assert_eq!(mcf_designs, backend_keys);
+        // sweep: TL-DRAM excluded (its placement pins ratio 1/4).
+        let sweep = (by_id("cross_arch_sweep").unwrap().build)(&p);
+        assert!(sweep.iter().all(|j| j.design != "tl" && j.design != "salp"));
+        assert_eq!(
+            sweep.len(),
+            spec::names().len() * (1 + CROSS_SWEEP_KEYS.len() * RATIO_DENS.len())
+        );
+        // copy: pointer workloads only, FM bound included.
+        let copy = (by_id("cross_arch_copy").unwrap().build)(&p);
+        assert_eq!(copy.len(), POINTER_WORKLOADS.len() * 5);
+        assert!(copy.iter().any(|j| j.design == "das_fm"));
+        // salp: composition overrides arm SALP on asymmetric designs.
+        let salp = (by_id("cross_arch_salp").unwrap().build)(&p);
+        assert!(salp
+            .iter()
+            .any(|j| j.design == "lisa" && j.ov.salp == Some(true)));
+        // area: single pinned workload.
+        let area = (by_id("cross_arch_area").unwrap().build)(&p);
+        assert_eq!(area.len(), 6);
+        assert!(area.iter().all(|j| j.workload == "mcf"));
+        // mixes at the multi-programming budget.
+        let mix = (by_id("cross_arch_mix").unwrap().build)(&p);
+        assert_eq!(mix.len(), mixes::names().len() * 6);
+        assert!(mix
+            .iter()
+            .all(|j| j.insts == multi_insts(&p) && j.workload.starts_with("mix:")));
+    }
+
+    #[test]
+    fn workload_classes_partition_the_benchmarks() {
+        let streaming = spec::names()
+            .into_iter()
+            .filter(|n| workload_class(n) == "streaming")
+            .count();
+        assert_eq!(streaming, STREAMING_CLASS.len());
+        assert_eq!(
+            spec::names().len() - streaming,
+            POINTER_WORKLOADS.len(),
+            "every benchmark is classified"
+        );
+    }
+
+    #[test]
+    fn families_group_the_catalog() {
+        assert_eq!(family_of("cross_arch_rank"), "cross_arch");
+        assert_eq!(family_of("fig7a"), "fig7");
+        assert_eq!(family_of("ablation_salp"), "ablation");
+        assert_eq!(family_of("powerdown"), "power");
+        assert_eq!(family_of("fault_sweep"), "fault_sweep");
+        assert_eq!(family_of("telemetry"), "telemetry");
+        let cross: Vec<&str> = ids()
+            .into_iter()
+            .filter(|id| family_of(id) == "cross_arch")
+            .collect();
+        assert_eq!(cross.len(), 6);
     }
 
     #[test]

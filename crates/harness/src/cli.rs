@@ -374,11 +374,14 @@ pub fn parse_harness_args<I: IntoIterator<Item = String>>(args: I) -> Result<Har
 
 /// Builds a manifest from catalog ids + grid parameters (the `--exp` /
 /// `--all` path of the harness, and the `submit_experiment` request of
-/// `das-serve`).
+/// `das-serve`). An id ending in `*` expands to every catalog experiment
+/// with that prefix in presentation order (`--exp cross_arch_*` runs the
+/// whole family).
 ///
 /// # Errors
 ///
-/// Returns a message naming an unknown experiment id.
+/// Returns a message naming an unknown experiment id or a glob that
+/// matches nothing.
 pub fn build_catalog_manifest(
     ids: &[String],
     insts: u64,
@@ -391,9 +394,25 @@ pub fn build_catalog_manifest(
         only: only.to_vec(),
         trace_name: "telemetry_trace.json".to_string(),
     };
-    let mut experiments = Vec::new();
+    let mut expanded: Vec<&'static str> = Vec::new();
     for id in ids {
-        let exp = catalog::by_id(id).ok_or_else(|| format!("unknown experiment {id:?}"))?;
+        if let Some(prefix) = id.strip_suffix('*') {
+            let matches: Vec<&'static str> = catalog::ids()
+                .into_iter()
+                .filter(|e| e.starts_with(prefix))
+                .collect();
+            if matches.is_empty() {
+                return Err(format!("no experiments match {id:?}"));
+            }
+            expanded.extend(matches);
+        } else {
+            let exp = catalog::by_id(id).ok_or_else(|| format!("unknown experiment {id:?}"))?;
+            expanded.push(exp.id);
+        }
+    }
+    let mut experiments = Vec::new();
+    for id in expanded {
+        let exp = catalog::by_id(id).expect("expanded ids come from the catalog");
         experiments.push(ExperimentPlan {
             id: exp.id.to_string(),
             jobs: (exp.build)(&params),
@@ -818,6 +837,29 @@ mod tests {
         assert_eq!(m.experiments.len(), 1);
         assert!(!m.experiments[0].jobs.is_empty());
         m.validate().unwrap();
+    }
+
+    #[test]
+    fn build_catalog_manifest_expands_prefix_globs() {
+        let m = build_catalog_manifest(
+            &["cross_arch_*".to_string()],
+            100_000,
+            64,
+            &["libquantum".to_string()],
+        )
+        .unwrap();
+        assert_eq!(m.experiments.len(), 6, "the whole cross_arch family");
+        assert!(m
+            .experiments
+            .iter()
+            .all(|e| e.id.starts_with("cross_arch_")));
+        m.validate().unwrap();
+        // Globs matching nothing are an error, not an empty grid.
+        let err = build_catalog_manifest(&["warp_*".to_string()], 100_000, 64, &[]).unwrap_err();
+        assert!(err.contains("warp_*"), "{err}");
+        // A bare `*` is the full catalog.
+        let all = build_catalog_manifest(&["*".to_string()], 100_000, 64, &[]).unwrap();
+        assert_eq!(all.experiments.len(), crate::catalog::ids().len());
     }
 
     #[test]

@@ -19,7 +19,16 @@ use das_workloads::config::WorkloadConfig;
 use das_workloads::{mixes, spec};
 
 /// Manifest format version (bumped on breaking schema changes).
-pub const MANIFEST_VERSION: u64 = 1;
+///
+/// Version history:
+/// * **1** — initial schema (PR 3).
+/// * **2** — design-key vocabulary grew `clr`/`lisa`/`salp` for the
+///   cross-architecture backend family. Structurally identical to v1, so
+///   v1 documents still parse.
+pub const MANIFEST_VERSION: u64 = 2;
+
+/// The oldest manifest version this build still reads.
+pub const MANIFEST_MIN_VERSION: u64 = 1;
 
 /// A complete run matrix: one or more experiments.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,6 +133,9 @@ pub fn design_key(d: Design) -> &'static str {
         Design::FsDram => "fs",
         Design::DasInclusive => "das_incl",
         Design::TlDram => "tl",
+        Design::ClrDram => "clr",
+        Design::Lisa => "lisa",
+        Design::Salp => "salp",
     }
 }
 
@@ -142,6 +154,9 @@ pub fn parse_design(key: &str) -> Result<Design, String> {
         "fs" => Design::FsDram,
         "das_incl" => Design::DasInclusive,
         "tl" => Design::TlDram,
+        "clr" => Design::ClrDram,
+        "lisa" => Design::Lisa,
+        "salp" => Design::Salp,
         other => return Err(format!("unknown design key {other:?}")),
     })
 }
@@ -437,9 +452,10 @@ impl Manifest {
             .get("das_manifest")
             .and_then(Value::as_u64)
             .ok_or("not a das_manifest document")?;
-        if version != MANIFEST_VERSION {
+        if !(MANIFEST_MIN_VERSION..=MANIFEST_VERSION).contains(&version) {
             return Err(format!(
-                "manifest version {version} unsupported (this build reads {MANIFEST_VERSION})"
+                "manifest version {version} unsupported (this build reads \
+                 {MANIFEST_MIN_VERSION}..={MANIFEST_VERSION})"
             ));
         }
         let insts = doc
@@ -629,11 +645,33 @@ mod tests {
             Design::FsDram,
             Design::DasInclusive,
             Design::TlDram,
+            Design::ClrDram,
+            Design::Lisa,
+            Design::Salp,
         ] {
             assert_eq!(parse_design(design_key(d)).unwrap(), d);
         }
         assert!(parse_design("warp").is_err());
         assert!(resolve_workload("mix:M99").is_err());
         assert!(resolve_workload("nosuchbench").is_err());
+    }
+
+    #[test]
+    fn v1_manifests_still_parse() {
+        // A v2 reader must accept documents written by the v1 schema: same
+        // structure, smaller design-key vocabulary.
+        let v1_text = sample().render().replace(
+            &format!("\"das_manifest\":{MANIFEST_VERSION}"),
+            "\"das_manifest\":1",
+        );
+        assert_ne!(v1_text, sample().render(), "substitution must hit");
+        let back = Manifest::parse(&v1_text).expect("v1 document parses");
+        assert_eq!(back, sample());
+        // Future versions stay rejected.
+        let v3_text = sample().render().replace(
+            &format!("\"das_manifest\":{MANIFEST_VERSION}"),
+            "\"das_manifest\":3",
+        );
+        assert!(Manifest::parse(&v3_text).unwrap_err().contains("version"));
     }
 }

@@ -126,6 +126,82 @@ fn truncated_journal_resumes_and_converges() {
 }
 
 #[test]
+fn cross_arch_manifest_round_trips_and_journal_validates() {
+    let exe = env!("CARGO_BIN_EXE_harness");
+    let dir = tmp_dir("cross-arch");
+    let manifest_path = dir.join("cross.json");
+    let out_dir = dir.join("out");
+    let run = |args: &[&str]| {
+        let out = std::process::Command::new(exe)
+            .args(args)
+            .output()
+            .expect("spawn harness");
+        assert!(
+            out.status.success(),
+            "harness {args:?} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    // The `cross_arch_*` glob emits the whole six-experiment family; the
+    // document round-trips through the v2 schema.
+    run(&[
+        "--exp",
+        "cross_arch_*",
+        "--insts",
+        "60000",
+        "--only",
+        "mcf",
+        "--emit-manifest",
+        manifest_path.to_str().unwrap(),
+    ]);
+    let text = fs::read_to_string(&manifest_path).unwrap();
+    assert!(
+        text.contains("\"das_manifest\":2"),
+        "cross-arch manifests carry the bumped schema version"
+    );
+    let m = Manifest::parse(&text).unwrap();
+    assert_eq!(m.experiments.len(), 6);
+    assert!(m
+        .experiments
+        .iter()
+        .all(|e| e.id.starts_with("cross_arch_")));
+    for key in ["clr", "lisa", "salp"] {
+        assert!(
+            m.jobs().iter().any(|j| j.design == key),
+            "family covers design {key}"
+        );
+    }
+    // `--emit-manifest` writes a trailing newline around the rendered doc.
+    assert_eq!(
+        format!("{}\n", m.render()),
+        text,
+        "round trip is byte-stable"
+    );
+
+    // Execute the smallest family member and structurally validate its
+    // journal through the same `--validate-journal` path CI uses.
+    run(&[
+        "--exp",
+        "cross_arch_salp",
+        "--insts",
+        "60000",
+        "--only",
+        "mcf",
+        "--threads",
+        "2",
+        "--json-dir",
+        out_dir.to_str().unwrap(),
+    ]);
+    let txt = fs::read_to_string(out_dir.join("cross_arch_salp.txt")).unwrap();
+    assert!(txt.starts_with("# Cross-architecture: SALP composition"));
+    let journal_path = out_dir.join("journal.jsonl");
+    let verdict = run(&["--validate-journal", journal_path.to_str().unwrap()]);
+    assert!(verdict.contains("valid (6/6 runs"), "{verdict}");
+}
+
+#[test]
 fn harness_binary_emit_execute_validate_resume() {
     let exe = env!("CARGO_BIN_EXE_harness");
     let dir = tmp_dir("cli");

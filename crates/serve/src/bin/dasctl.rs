@@ -681,7 +681,7 @@ fn run(args: Args) -> Result<(), String> {
         Command::List => {
             let addr = single_addr(&args.target, "list")?;
             let resp = one_shot(&addr, proto::request("list"))?;
-            println!("{}", resp.render());
+            print!("{}", render_grouped_list(&resp));
             Ok(())
         }
         Command::Drain { wait } => {
@@ -697,6 +697,74 @@ fn run(args: Args) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// The experiment family of a served job id (`<ticket>/<exp>/...`): the
+/// first path segment naming a catalog experiment decides, so ticket
+/// prefixes, retry (`r<k>/`) and hedge (`h/`) wrappers all group
+/// correctly. Ids with no catalog segment fall into `other`.
+fn job_family(id: &str) -> &str {
+    id.split('/')
+        .find(|seg| das_harness::catalog::by_id(seg).is_some())
+        .map(das_harness::catalog::family_of)
+        .unwrap_or("other")
+}
+
+/// Renders a `list` response grouped by experiment family: the server's
+/// catalog stays readable as families grow (the six `cross_arch_*`
+/// entries fold into one group instead of flattening the listing), and
+/// tracked jobs are grouped the same way.
+fn render_grouped_list(resp: &Value) -> String {
+    use std::fmt::Write as _;
+    let mut o = String::new();
+    // Available catalog, grouped by family in presentation order.
+    let ids = das_harness::catalog::ids();
+    let mut families: Vec<&str> = Vec::new();
+    for id in &ids {
+        let f = das_harness::catalog::family_of(id);
+        if !families.contains(&f) {
+            families.push(f);
+        }
+    }
+    let _ = writeln!(
+        o,
+        "catalog: {} experiments in {} families",
+        ids.len(),
+        families.len()
+    );
+    for fam in &families {
+        let members: Vec<&str> = ids
+            .iter()
+            .copied()
+            .filter(|id| das_harness::catalog::family_of(id) == *fam)
+            .collect();
+        let _ = writeln!(o, "  {:<12} {}", fam, members.join(" "));
+    }
+    // Tracked jobs, grouped the same way (insertion order of families).
+    let empty = Vec::new();
+    let jobs = match resp.get("jobs") {
+        Some(Value::Arr(jobs)) => jobs,
+        _ => &empty,
+    };
+    let _ = writeln!(o, "jobs: {}", jobs.len());
+    let mut groups: Vec<(&str, Vec<String>)> = Vec::new();
+    for j in jobs {
+        let id = j.get("job").and_then(Value::as_str).unwrap_or("?");
+        let state = j.get("state").and_then(Value::as_str).unwrap_or("?");
+        let fam = job_family(id);
+        let line = format!("    {id:<44} {state}");
+        match groups.iter_mut().find(|(f, _)| *f == fam) {
+            Some((_, lines)) => lines.push(line),
+            None => groups.push((fam, vec![line])),
+        }
+    }
+    for (fam, lines) in &groups {
+        let _ = writeln!(o, "  {fam}:");
+        for line in lines {
+            let _ = writeln!(o, "{line}");
+        }
+    }
+    o
 }
 
 fn main() {
@@ -786,6 +854,64 @@ mod tests {
         );
         let a = parse_args(argv(&["metrics", "--addr", "h:1"])).unwrap();
         assert_eq!(a.command, Command::Metrics);
+    }
+
+    #[test]
+    fn list_groups_jobs_by_experiment_family() {
+        // A synthetic `list` response: ticket-prefixed jobs from three
+        // families, including a hedge-wrapped cross-arch job.
+        let jobs = vec![
+            Value::obj()
+                .set("job", "t1/fig7a/mcf/das")
+                .set("state", "done"),
+            Value::obj()
+                .set("job", "t1/cross_arch_rank/mcf/lisa")
+                .set("state", "running"),
+            Value::obj()
+                .set("job", "h/t2/cross_arch_sweep/mcf/clr_d8")
+                .set("state", "queued"),
+            Value::obj()
+                .set("job", "t3/fault_sweep/das/clean")
+                .set("state", "done"),
+            Value::obj().set("job", "bogus-id").set("state", "failed"),
+        ];
+        let resp = proto::ok("list").set("jobs", Value::Arr(jobs));
+        let text = render_grouped_list(&resp);
+        // Catalog section: one line per family, cross_arch folded into one.
+        assert!(text.contains("catalog: "), "{text}");
+        let cross_catalog: Vec<&str> = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with("cross_arch "))
+            .collect();
+        assert_eq!(cross_catalog.len(), 1, "{text}");
+        assert!(cross_catalog[0].contains("cross_arch_rank"), "{text}");
+        assert!(cross_catalog[0].contains("cross_arch_area"), "{text}");
+        // Jobs section: grouped headers, members under their family, the
+        // hedge-wrapped id resolved by its catalog segment.
+        assert!(text.contains("jobs: 5"), "{text}");
+        let fam_of_line = |needle: &str| {
+            let mut fam = "";
+            for line in text.lines() {
+                let trimmed = line.trim_start();
+                if line.starts_with("  ") && !line.starts_with("    ") && trimmed.ends_with(':') {
+                    fam = trimmed.trim_end_matches(':');
+                }
+                if line.starts_with("    ") && trimmed.contains(needle) {
+                    return fam;
+                }
+            }
+            panic!("{needle} not rendered:\n{text}");
+        };
+        assert_eq!(fam_of_line("t1/fig7a/mcf/das"), "fig7");
+        assert_eq!(fam_of_line("t1/cross_arch_rank/mcf/lisa"), "cross_arch");
+        assert_eq!(
+            fam_of_line("h/t2/cross_arch_sweep/mcf/clr_d8"),
+            "cross_arch"
+        );
+        assert_eq!(fam_of_line("t3/fault_sweep/das/clean"), "fault_sweep");
+        assert_eq!(fam_of_line("bogus-id"), "other");
+        // States ride along.
+        assert!(text.contains("running"), "{text}");
     }
 
     #[test]

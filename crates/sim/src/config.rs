@@ -8,6 +8,7 @@
 //! while leaving all *latencies* untouched — the capacity ratios that drive
 //! the paper's results (footprint : fast level : LLC) are preserved.
 
+use das_backends::{backend, BackendKind, DramBackend, FastLevelManagement};
 use das_cache::hierarchy::HierarchyConfig;
 use das_core::management::ManagementConfig;
 use das_core::replacement::ReplacementPolicy;
@@ -41,6 +42,15 @@ pub enum Design {
     /// segments of their own subarray; the far segment pays the isolation-
     /// transistor restore penalty, and the area overhead is ~24 %.
     TlDram,
+    /// CLR-DRAM (ISCA 2020): rows morph in place into a coupled
+    /// low-latency mode; the partner row's capacity is lost.
+    ClrDram,
+    /// LISA (HPCA 2016): the asymmetric device with linked subarrays —
+    /// row swaps cost a third of the migration-cell path.
+    Lisa,
+    /// SALP (ISCA 2012): commodity timings with subarray-level
+    /// parallelism only — no fast level.
+    Salp,
 }
 
 impl Design {
@@ -56,6 +66,39 @@ impl Design {
         ]
     }
 
+    /// The six backend architectures of the cross-architecture family, in
+    /// catalog order (baseline first).
+    pub fn backends() -> [Design; 6] {
+        [
+            Design::Standard,
+            Design::DasDram,
+            Design::TlDram,
+            Design::ClrDram,
+            Design::Lisa,
+            Design::Salp,
+        ]
+    }
+
+    /// The `das-backends` kind this design corresponds to, if any. The
+    /// paper's intermediate probes (SAS/CHARM/FM/FS/inclusive-DAS) are not
+    /// standalone architectures and keep their bespoke timing paths.
+    pub fn backend_kind(self) -> Option<BackendKind> {
+        match self {
+            Design::Standard => Some(BackendKind::Ddr3Baseline),
+            Design::DasDram => Some(BackendKind::Das),
+            Design::TlDram => Some(BackendKind::TlDram),
+            Design::ClrDram => Some(BackendKind::ClrDram),
+            Design::Lisa => Some(BackendKind::Lisa),
+            Design::Salp => Some(BackendKind::Salp),
+            _ => None,
+        }
+    }
+
+    /// The backend implementation behind this design, if it has one.
+    pub fn backend(self) -> Option<&'static dyn DramBackend> {
+        self.backend_kind().map(backend)
+    }
+
     /// Display label matching the paper's legends.
     pub fn label(self) -> &'static str {
         match self {
@@ -67,50 +110,80 @@ impl Design {
             Design::FsDram => "FS-DRAM",
             Design::DasInclusive => "DAS-incl",
             Design::TlDram => "TL-DRAM",
+            Design::ClrDram => "CLR-DRAM",
+            Design::Lisa => "LISA",
+            Design::Salp => "SALP",
         }
     }
 
-    /// The device timing set for this design.
+    /// The device timing set for this design. Backend designs take their
+    /// latency classes and copy costs from the `das-backends` registry; the
+    /// paper's probe designs keep their bespoke sets.
     pub fn timing(self) -> das_dram::timing::TimingSet {
         use das_dram::timing::TimingSet;
+        if let Some(b) = self.backend() {
+            return b.timing();
+        }
         match self {
-            Design::Standard => TimingSet::homogeneous_slow(),
             Design::SasDram => TimingSet::asymmetric(),
             Design::Charm => TimingSet::charm(),
-            Design::DasDram => TimingSet::asymmetric(),
             Design::DasDramFm => TimingSet::asymmetric_free_migration(),
             Design::FsDram => TimingSet::homogeneous_fast(),
             Design::DasInclusive => TimingSet::asymmetric(),
-            Design::TlDram => TimingSet::tl_dram(),
+            _ => unreachable!("backend designs handled above"),
         }
     }
 
     /// Whether the design manages an asymmetric fast level at all.
     pub fn is_asymmetric(self) -> bool {
-        !matches!(self, Design::Standard | Design::FsDram)
+        match self.backend() {
+            Some(b) => !matches!(b.management(), FastLevelManagement::None),
+            None => !matches!(self, Design::FsDram),
+        }
     }
 
     /// Whether the design migrates rows dynamically.
     pub fn is_dynamic(self) -> bool {
-        matches!(
-            self,
-            Design::DasDram | Design::DasDramFm | Design::DasInclusive | Design::TlDram
-        )
+        match self.backend() {
+            Some(b) => !matches!(b.management(), FastLevelManagement::None),
+            None => matches!(self, Design::DasDramFm | Design::DasInclusive),
+        }
     }
 
     /// Whether the design manages the fast level as an inclusive cache.
     pub fn is_inclusive(self) -> bool {
-        matches!(self, Design::DasInclusive | Design::TlDram)
+        match self.backend() {
+            Some(b) => matches!(b.management(), FastLevelManagement::Inclusive),
+            None => matches!(self, Design::DasInclusive),
+        }
+    }
+
+    /// Usable data rows per bank when the architecture trades capacity for
+    /// latency (CLR-DRAM); `None` means full capacity.
+    pub fn usable_rows_per_bank(self, layout: &BankLayout) -> Option<u64> {
+        self.backend().and_then(|b| b.usable_rows(layout))
     }
 
     /// Adjusts a configuration for designs with non-Table-1 organisations
-    /// (TL-DRAM's 128-row near / 384-row far segments at ratio 1/4).
+    /// (e.g. TL-DRAM's 128-row near / 384-row far segments at ratio 1/4),
+    /// applying the backend's placement spec where one exists.
     pub fn apply_overrides(self, cfg: &mut SystemConfig) {
-        if self == Design::TlDram {
-            cfg.management.fast_ratio = FastRatio::new(1, 4);
-            cfg.management.group_size = 64;
-            cfg.arrangement = Arrangement::Interleaving;
-            cfg.slow_subarray_rows = 384;
+        let Some(b) = self.backend() else { return };
+        let p = b.placement();
+        if let Some(r) = p.fast_ratio {
+            cfg.management.fast_ratio = r;
+        }
+        if let Some(g) = p.group_size {
+            cfg.management.group_size = g;
+        }
+        if let Some(a) = p.arrangement {
+            cfg.arrangement = a;
+        }
+        if let Some(s) = p.slow_subarray_rows {
+            cfg.slow_subarray_rows = s;
+        }
+        if p.salp {
+            cfg.salp = true;
         }
     }
 
@@ -422,6 +495,70 @@ mod tests {
         assert!(Design::DasDramFm.timing().swap == Tick::ZERO);
         assert_eq!(Design::all().len(), 6);
         assert_eq!(Design::DasDram.label(), "DAS-DRAM");
+    }
+
+    #[test]
+    fn backend_designs_delegate_to_the_registry() {
+        use das_dram::timing::TimingSet;
+        assert_eq!(Design::backends().len(), 6);
+        assert_eq!(Design::backends()[0], Design::Standard);
+        // The refactor lock: backend-backed designs produce the exact
+        // timing sets the hard-wired match used to.
+        assert_eq!(Design::Standard.timing(), TimingSet::homogeneous_slow());
+        assert_eq!(Design::DasDram.timing(), TimingSet::asymmetric());
+        assert_eq!(Design::TlDram.timing(), TimingSet::tl_dram());
+        assert_eq!(Design::ClrDram.timing(), TimingSet::clr_dram());
+        assert_eq!(Design::Lisa.timing(), TimingSet::lisa());
+        assert_eq!(Design::Salp.timing(), TimingSet::homogeneous_slow());
+        // Probe designs have no backend.
+        for d in [
+            Design::SasDram,
+            Design::Charm,
+            Design::DasDramFm,
+            Design::FsDram,
+            Design::DasInclusive,
+        ] {
+            assert!(d.backend_kind().is_none());
+        }
+        // Management classification.
+        assert!(Design::Lisa.is_asymmetric() && Design::Lisa.is_dynamic());
+        assert!(Design::ClrDram.is_dynamic() && !Design::ClrDram.is_inclusive());
+        assert!(!Design::Salp.is_asymmetric() && !Design::Salp.is_dynamic());
+        assert!(Design::TlDram.is_inclusive());
+        for d in Design::backends() {
+            assert!(!d.needs_profile());
+        }
+    }
+
+    #[test]
+    fn overrides_follow_backend_placement() {
+        let mut cfg = SystemConfig::test_small();
+        Design::Salp.apply_overrides(&mut cfg);
+        assert!(cfg.salp);
+        assert_eq!(cfg.management.fast_ratio, FastRatio::PAPER_DEFAULT);
+        let mut cfg = SystemConfig::test_small();
+        Design::TlDram.apply_overrides(&mut cfg);
+        assert_eq!(cfg.management.fast_ratio, FastRatio::new(1, 4));
+        assert_eq!(cfg.management.group_size, 64);
+        assert_eq!(cfg.arrangement, Arrangement::Interleaving);
+        assert_eq!(cfg.slow_subarray_rows, 384);
+        // CLR and LISA leave the geometry free for sweeps.
+        let before = SystemConfig::test_small();
+        let mut cfg = SystemConfig::test_small();
+        Design::ClrDram.apply_overrides(&mut cfg);
+        Design::Lisa.apply_overrides(&mut cfg);
+        assert_eq!(cfg.management.fast_ratio, before.management.fast_ratio);
+        assert!(!cfg.salp);
+    }
+
+    #[test]
+    fn clr_capacity_loss_is_the_fast_share() {
+        let cfg = SystemConfig::test_small();
+        let layout = cfg.bank_layout();
+        let usable = Design::ClrDram.usable_rows_per_bank(&layout).unwrap();
+        assert_eq!(usable, layout.slow_rows() as u64);
+        assert!(Design::DasDram.usable_rows_per_bank(&layout).is_none());
+        assert!(Design::Standard.usable_rows_per_bank(&layout).is_none());
     }
 
     #[test]

@@ -659,6 +659,12 @@ impl System {
                     .total_rows()
                     .div_ceil(cfg.geometry.row_bytes as u64);
             AddressMap::with_usable_rows(&cfg, workloads, usable)
+        } else if let Some(per_bank) = design.usable_rows_per_bank(&cfg.bank_layout()) {
+            // Capacity-trading backends (CLR-DRAM): morphed rows couple
+            // with neighbours whose storage is lost, shrinking the
+            // OS-visible space without inclusive-cache management.
+            let usable = per_bank * cfg.geometry.total_banks() as u64;
+            AddressMap::with_usable_rows(&cfg, workloads, usable)
         } else {
             AddressMap::new(&cfg, workloads)
         };
@@ -1320,7 +1326,7 @@ impl System {
         // layout's nominal classification.
         let adjusted = match (self.design, service) {
             (_, ServiceClass::RowBufferHit) => ServiceClass::RowBufferHit,
-            (Design::Standard, _) => ServiceClass::SlowMiss,
+            (Design::Standard | Design::Salp, _) => ServiceClass::SlowMiss,
             (Design::FsDram, _) => ServiceClass::FastMiss,
             (_, s) => s,
         };

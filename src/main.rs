@@ -29,7 +29,8 @@ USAGE:
     das list
 
 OPTIONS:
-    --design <std|sas|charm|das|das-fm|fs|das-incl|tl>   design (default: das)
+    --design <std|sas|charm|das|das-fm|fs|das-incl|tl|clr|lisa|salp>
+                         design (default: das)
     --insts <N>          instructions per core (default: 3000000)
     --scale <N>          capacity scale factor (default: 64)
     --threshold <N>      promotion threshold (default: 1)
@@ -52,6 +53,9 @@ fn parse_design(s: &str) -> Option<Design> {
         "fs" => Design::FsDram,
         "das-incl" => Design::DasInclusive,
         "tl" => Design::TlDram,
+        "clr" => Design::ClrDram,
+        "lisa" => Design::Lisa,
+        "salp" => Design::Salp,
         _ => return None,
     })
 }
@@ -249,7 +253,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_list() {
-    println!("designs    : std, sas, charm, das, das-fm, fs, das-incl, tl");
+    println!("designs    : std, sas, charm, das, das-fm, fs, das-incl, tl, clr, lisa, salp");
     println!("benchmarks : {}", spec::names().join(", "));
     println!("mixes      : {}", mixes::names().join(", "));
 }
@@ -292,6 +296,9 @@ mod tests {
         assert_eq!(parse_design("das"), Some(Design::DasDram));
         assert_eq!(parse_design("fs"), Some(Design::FsDram));
         assert_eq!(parse_design("tl"), Some(Design::TlDram));
+        assert_eq!(parse_design("clr"), Some(Design::ClrDram));
+        assert_eq!(parse_design("lisa"), Some(Design::Lisa));
+        assert_eq!(parse_design("salp"), Some(Design::Salp));
         assert_eq!(parse_design("bogus"), None);
     }
 

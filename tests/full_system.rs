@@ -37,7 +37,14 @@ fn sanity(m: &RunMetrics) {
 
 #[test]
 fn every_design_runs_and_reports_sane_metrics() {
-    for design in Design::all() {
+    let extras = [
+        Design::TlDram,
+        Design::DasInclusive,
+        Design::ClrDram,
+        Design::Lisa,
+        Design::Salp,
+    ];
+    for design in Design::all().into_iter().chain(extras) {
         let m = run_one(&cfg(), design, &soplex());
         sanity(&m);
         match design {
@@ -49,8 +56,14 @@ fn every_design_runs_and_reports_sane_metrics() {
                 assert_eq!(m.access_mix.slow, 0);
                 assert_eq!(m.promotions, 0);
             }
-            Design::SasDram | Design::Charm => assert_eq!(m.promotions, 0),
-            Design::DasDram | Design::DasDramFm | Design::DasInclusive | Design::TlDram => {
+            // SALP keeps homogeneous timing: nothing to promote into.
+            Design::SasDram | Design::Charm | Design::Salp => assert_eq!(m.promotions, 0),
+            Design::DasDram
+            | Design::DasDramFm
+            | Design::DasInclusive
+            | Design::TlDram
+            | Design::ClrDram
+            | Design::Lisa => {
                 assert!(m.promotions > 0, "dynamic designs must migrate")
             }
         }
