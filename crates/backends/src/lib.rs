@@ -28,7 +28,7 @@ use das_dram::area::{
     AsymmetricAreaModel, ClrDramAreaModel, LisaAreaModel, SalpAreaModel, TlDramAreaModel,
 };
 use das_dram::geometry::{Arrangement, BankLayout, FastRatio};
-use das_dram::timing::TimingSet;
+use das_dram::timing::{RefreshCadence, TimingSet};
 
 /// Identifies one of the six backend architectures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -125,6 +125,44 @@ pub struct PlacementSpec {
     pub salp: bool,
 }
 
+/// Per-latency-level refresh rates of a backend.
+///
+/// Short-bitline (fast) cells can trade retention for latency, so an
+/// architecture may refresh its fast level on a different cadence than its
+/// slow level. The stock backends are all homogeneous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshAsymmetry {
+    /// Refresh cadence of the slow level.
+    pub slow: RefreshCadence,
+    /// Refresh cadence of the fast level.
+    pub fast: RefreshCadence,
+}
+
+impl RefreshAsymmetry {
+    /// The cadences already carried by a timing set (homogeneous for every
+    /// stock device).
+    pub fn from_timing(t: &TimingSet) -> Self {
+        RefreshAsymmetry {
+            slow: t.slow.refresh_cadence(),
+            fast: t.fast.refresh_cadence(),
+        }
+    }
+
+    /// Whether both levels refresh on the same cadence.
+    pub fn is_homogeneous(&self) -> bool {
+        self.slow == self.fast
+    }
+
+    /// Writes the cadences back into a timing set, from which the channel
+    /// device derives its per-rank refresh schedules.
+    pub fn apply(&self, t: &mut TimingSet) {
+        t.slow.trefi = self.slow.trefi;
+        t.slow.trfc = self.slow.trfc;
+        t.fast.trefi = self.fast.trefi;
+        t.fast.trfc = self.fast.trfc;
+    }
+}
+
 /// One DRAM timing architecture.
 ///
 /// Implementations are stateless: everything the constraint engine needs is
@@ -145,6 +183,15 @@ pub trait DramBackend: Sync {
 
     /// How rows move (or don't) between latency levels.
     fn management(&self) -> FastLevelManagement;
+
+    /// Refresh rates of the two latency levels. The default derives the
+    /// homogeneous cadences already carried by [`DramBackend::timing`], so
+    /// overriding nothing is bit-identical to the pre-hook engine; backends
+    /// modelling shorter-retention fast cells override this with distinct
+    /// tREFI/tRFC per level.
+    fn refresh(&self) -> RefreshAsymmetry {
+        RefreshAsymmetry::from_timing(&self.timing())
+    }
 
     /// Geometry the backend requires (defaults to no constraints).
     fn placement(&self) -> PlacementSpec {
@@ -400,6 +447,66 @@ mod tests {
         assert_eq!(p.group_size, Some(64));
         assert_eq!(p.arrangement, Some(Arrangement::Interleaving));
         assert_eq!(p.slow_subarray_rows, Some(384));
+    }
+
+    #[test]
+    fn stock_backends_refresh_homogeneously() {
+        for kind in BackendKind::all() {
+            let b = backend(kind);
+            let r = b.refresh();
+            assert!(r.is_homogeneous(), "{kind:?} must default homogeneous");
+            assert_eq!(r, RefreshAsymmetry::from_timing(&b.timing()));
+            // Applying the default back is the identity.
+            let mut t = b.timing();
+            r.apply(&mut t);
+            assert_eq!(t, b.timing());
+            assert_eq!(t.refresh_cadences().len(), 1);
+        }
+    }
+
+    #[test]
+    fn refresh_asymmetry_hook_reaches_the_rank_schedule() {
+        /// A DAS variant whose fast level refreshes twice as often at half
+        /// the cost (shorter rows, shorter retention).
+        struct FastRetentionDas;
+        impl DramBackend for FastRetentionDas {
+            fn kind(&self) -> BackendKind {
+                BackendKind::Das
+            }
+            fn timing(&self) -> TimingSet {
+                let mut t = TimingSet::asymmetric();
+                self.refresh().apply(&mut t);
+                t
+            }
+            fn management(&self) -> FastLevelManagement {
+                FastLevelManagement::Exclusive
+            }
+            fn refresh(&self) -> RefreshAsymmetry {
+                let base = TimingSet::asymmetric();
+                let slow = base.slow.refresh_cadence();
+                RefreshAsymmetry {
+                    slow,
+                    fast: RefreshCadence {
+                        trefi: Tick::new(slow.trefi.raw() / 2),
+                        trfc: Tick::new(slow.trfc.raw() / 2),
+                    },
+                }
+            }
+            fn area_overhead(&self) -> f64 {
+                AsymmetricAreaModel::default().overhead()
+            }
+        }
+        let b = FastRetentionDas;
+        assert!(!b.refresh().is_homogeneous());
+        let cadences = b.timing().refresh_cadences();
+        assert_eq!(cadences.len(), 2, "distinct cadences become two schedules");
+        assert_eq!(cadences[0], b.refresh().slow);
+        assert_eq!(cadences[1], b.refresh().fast);
+        // The fast schedule fires first (half the tREFI).
+        let mut rank = das_dram::rank::RankTracker::with_cadences(&cadences);
+        assert_eq!(rank.next_refresh_due(), b.refresh().fast.trefi);
+        let due = rank.next_refresh_due();
+        assert_eq!(rank.refresh(due), due + b.refresh().fast.trfc);
     }
 
     #[test]

@@ -223,6 +223,14 @@ impl CacheHierarchy {
         (false, writebacks)
     }
 
+    /// Absorbs a dirty line written back from a cache level *above* the
+    /// LLC (e.g. a coherent private-cache cluster mounted in front of the
+    /// hierarchy). Returns `true` if the LLC held the line and took the
+    /// data; on `false` the caller must write it to DRAM.
+    pub fn llc_write_back(&mut self, addr: u64) -> bool {
+        self.llc.write_back_into(addr)
+    }
+
     fn promote_to_l1(&mut self, core: usize, addr: u64, dirty: bool, wbs: &mut Vec<u64>) {
         if let Some(v) = self.l1[core].fill(addr, dirty) {
             if v.dirty {

@@ -72,7 +72,7 @@ impl ChannelDevice {
         refresh_enabled: bool,
         salp: bool,
     ) -> Self {
-        let trefi = timing.rank_params().trefi;
+        let cadences = timing.refresh_cadences();
         let buffers = if salp { layout.subarrays().len() } else { 1 };
         ChannelDevice {
             channel_id,
@@ -82,7 +82,9 @@ impl ChannelDevice {
             banks: (0..ranks as usize * banks_per_rank as usize)
                 .map(|_| Bank::with_subarrays(buffers))
                 .collect(),
-            ranks: (0..ranks).map(|_| RankTracker::new(trefi)).collect(),
+            ranks: (0..ranks)
+                .map(|_| RankTracker::with_cadences(&cadences))
+                .collect(),
             bus: DataBus::new(),
             refresh_enabled,
             salp,
@@ -320,7 +322,7 @@ impl ChannelDevice {
                 }
             }
             DramCommand::Refresh { rank } => {
-                let done = self.ranks[rank as usize].refresh(rp.trfc, rp.trefi, at);
+                let done = self.ranks[rank as usize].refresh(at);
                 for b in 0..self.banks_per_rank {
                     let coord = BankCoord::new(self.channel_id, rank, b);
                     let idx = self.bank_idx(coord);

@@ -163,6 +163,30 @@ impl TimingParams {
     }
 }
 
+/// One refresh schedule: a REF command every `trefi` costing `trfc` of
+/// rank-blocking time.
+///
+/// A homogeneous device runs one cadence per rank; asymmetric-retention
+/// devices (short-bitline cells can trade retention for latency) may run
+/// the fast and slow levels on distinct cadences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshCadence {
+    /// Average refresh interval.
+    pub trefi: Tick,
+    /// Refresh cycle time (rank blocked).
+    pub trfc: Tick,
+}
+
+impl TimingParams {
+    /// The refresh cadence carried by this parameter set.
+    pub fn refresh_cadence(&self) -> RefreshCadence {
+        RefreshCadence {
+            trefi: self.trefi,
+            trfc: self.trfc,
+        }
+    }
+}
+
 /// The pair of timing parameter sets used by a hybrid-bitline device, plus
 /// the migration costs of §4.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -296,6 +320,20 @@ impl TimingSet {
     pub fn supports_migration(&self) -> bool {
         self.swap != Tick::MAX
     }
+
+    /// The distinct refresh cadences of the two latency levels. Equal
+    /// cadences (every stock device today) collapse into one schedule, so a
+    /// homogeneous-refresh rank is driven exactly as before the per-level
+    /// hook existed.
+    pub fn refresh_cadences(&self) -> Vec<RefreshCadence> {
+        let slow = self.slow.refresh_cadence();
+        let fast = self.fast.refresh_cadence();
+        if fast == slow {
+            vec![slow]
+        } else {
+            vec![slow, fast]
+        }
+    }
 }
 
 #[cfg(test)]
@@ -387,6 +425,27 @@ mod tests {
         let fm = TimingSet::asymmetric_free_migration();
         assert_eq!(fm.swap, Tick::ZERO);
         assert!(fm.supports_migration());
+    }
+
+    #[test]
+    fn equal_refresh_cadences_collapse_to_one_schedule() {
+        for set in [
+            TimingSet::homogeneous_slow(),
+            TimingSet::asymmetric(),
+            TimingSet::tl_dram(),
+            TimingSet::clr_dram(),
+            TimingSet::lisa(),
+        ] {
+            let c = set.refresh_cadences();
+            assert_eq!(c.len(), 1, "stock devices refresh homogeneously");
+            assert_eq!(c[0], set.slow.refresh_cadence());
+        }
+        let mut asym = TimingSet::asymmetric();
+        asym.fast.trefi = Tick::from_ns(3900.0);
+        let c = asym.refresh_cadences();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0], asym.slow.refresh_cadence());
+        assert_eq!(c[1], asym.fast.refresh_cadence());
     }
 
     #[test]

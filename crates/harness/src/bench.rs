@@ -17,10 +17,10 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use das_sim::config::{Design, SystemConfig};
-use das_sim::experiments::run_one_profiled;
+use das_sim::experiments::{run_one_coherent_profiled, run_one_profiled};
 use das_telemetry::json::Value;
 use das_telemetry::{Stage, StageProfilerConfig};
-use das_workloads::spec;
+use das_workloads::{shared, spec};
 
 use crate::manifest::design_key;
 
@@ -33,13 +33,16 @@ pub const BENCH_SCHEMA: u64 = 1;
 pub const BENCH_SAMPLE_EVERY: u32 = 64;
 
 /// The pinned job subset: small enough for CI, varied enough that a
-/// regression in the baseline path, the DAS management path, or the
-/// inclusive/TL path is visible in isolation.
-pub const BENCH_JOBS: [(Design, &str); 4] = [
+/// regression in the baseline path, the DAS management path, the
+/// inclusive/TL path, or the coherent front end is visible in isolation.
+/// A `shared:<kind>` workload token runs under the two-core MESI
+/// coherent front end at mid sharing intensity.
+pub const BENCH_JOBS: [(Design, &str); 5] = [
     (Design::Standard, "mcf"),
     (Design::DasDram, "mcf"),
     (Design::DasDram, "libquantum"),
     (Design::TlDram, "mcf"),
+    (Design::DasDram, "shared:lock"),
 ];
 
 /// Knobs of a bench session (`--insts` / `--scale` pass through from the
@@ -79,9 +82,21 @@ fn run_bench_job(design: Design, workload: &str, opts: &BenchOptions) -> Result<
     let id = bench_job_id(design, workload);
     let cfg = SystemConfig::scaled_by(opts.scale, opts.insts)
         .with_stage_profile(StageProfilerConfig::on(BENCH_SAMPLE_EVERY));
-    let workloads = vec![spec::by_name(workload)];
-    let start = Instant::now();
-    let (res, _tel, stages) = run_one_profiled(&cfg, design, &workloads);
+    let start;
+    let (res, stages) = if let Some(kind) = workload.strip_prefix("shared:") {
+        let kind = shared::SharedKind::parse(kind)
+            .ok_or_else(|| format!("{id}: unknown shared workload kind"))?;
+        let spec = shared::SharedSpec::new(kind, 2, shared::Sharing::Mid);
+        start = Instant::now();
+        let (res, _tel, stages) =
+            run_one_coherent_profiled(&cfg, design, &spec, das_coherence::ProtocolKind::Mesi);
+        (res, stages)
+    } else {
+        let workloads = vec![spec::by_name(workload)];
+        start = Instant::now();
+        let (res, _tel, stages) = run_one_profiled(&cfg, design, &workloads);
+        (res, stages)
+    };
     let wall = start.elapsed();
     let m = res.map_err(|e| format!("{id}: {e}"))?;
     let stages = stages.ok_or_else(|| format!("{id}: bench run produced no stage report"))?;
@@ -268,6 +283,11 @@ mod tests {
             let rate = job.get("insts_per_sec").and_then(Value::as_f64).unwrap();
             assert!(rate > 0.0, "rates must be positive, got {rate}");
         }
+        assert!(
+            jobs.iter()
+                .any(|j| { j.get("id").and_then(Value::as_str) == Some("bench/das/shared:lock") }),
+            "the coherent front end is covered by the pinned suite"
+        );
         das_telemetry::json::validate(&doc.render()).expect("bench doc must render as valid JSON");
     }
 

@@ -222,6 +222,21 @@ pub const ALL: &[Experiment] = &[
         build: build_cross_arch_area,
         render: render_cross_arch_area,
     },
+    Experiment {
+        id: "coherent_rank",
+        build: build_coherent_rank,
+        render: render_coherent_rank,
+    },
+    Experiment {
+        id: "coherent_protocol",
+        build: build_coherent_protocol,
+        render: render_coherent_protocol,
+    },
+    Experiment {
+        id: "coherent_sharing",
+        build: build_coherent_sharing,
+        render: render_coherent_sharing,
+    },
 ];
 
 /// Looks an experiment up by id.
@@ -235,9 +250,10 @@ pub fn ids() -> Vec<&'static str> {
     ALL.iter().map(|e| e.id).collect()
 }
 
-/// Experiment-family prefixes, for grouped listings (`dasctl list`).
-/// `power` deliberately covers `powerdown` too.
-const FAMILIES: [&str; 7] = [
+/// Experiment-family prefixes, for grouped listings (`dasctl list`) and
+/// the `--exp` unknown-id diagnostics. `power` deliberately covers
+/// `powerdown` too.
+pub const FAMILIES: [&str; 8] = [
     "table",
     "fig7",
     "fig8",
@@ -245,6 +261,7 @@ const FAMILIES: [&str; 7] = [
     "power",
     "ablation",
     "cross_arch",
+    "coherent",
 ];
 
 /// The family an experiment id belongs to: the longest matching prefix
@@ -2110,6 +2127,250 @@ fn render_cross_arch_area(ctx: &RenderCtx) -> String {
     o
 }
 
+// ---------------------------------------------------------------------------
+// Coherent multi-core front end (ROADMAP "das-coherence")
+// ---------------------------------------------------------------------------
+
+/// Shared-footprint workload kinds (`das_workloads::shared::SharedKind`
+/// keys), catalog order.
+const SHARED_KINDS: [&str; 3] = ["ring", "lock", "frontier"];
+/// Coherence-protocol keys (`das_coherence::ProtocolKind` keys).
+const COH_PROTOCOLS: [&str; 2] = ["mesi", "dragon"];
+/// Sharing-intensity keys (`das_workloads::shared::Sharing` keys), in
+/// increasing shared-fraction order.
+const SHARING_LEVELS: [&str; 3] = ["low", "mid", "high"];
+
+fn protocol_label(key: &str) -> &'static str {
+    das_coherence::ProtocolKind::parse(key)
+        .expect("catalog protocol key")
+        .label()
+}
+
+/// One coherent job at the multi-programming budget (four trace-fed
+/// cores share the memory system, like the Fig. 7e mixes).
+fn coherent_job(p: &BuildParams, id: String, design: &str, kind: &str, ov: Overrides) -> JobSpec {
+    JobSpec {
+        id,
+        design: design.to_string(),
+        workload: format!("shared:{kind}"),
+        insts: multi_insts(p),
+        scale: p.scale,
+        seed: 42,
+        ov,
+    }
+}
+
+/// Appends one coherence-traffic line per group, read from the named
+/// job's `metrics/coherence` block.
+fn write_coherence_lines(o: &mut String, ctx: &RenderCtx, ids: &[(String, String)]) {
+    for (label, id) in ids {
+        let r = ctx.by_id(id);
+        let _ = writeln!(
+            o,
+            "{label:<12} bus_tx={:>8}  inval={:>7}  interv={:>7}  upd={:>7}  \
+             l1_hit={:>5.1}%  bus_wait={}",
+            r.u64("metrics/coherence/bus_transactions"),
+            r.u64("metrics/coherence/invalidations"),
+            r.u64("metrics/coherence/interventions"),
+            r.u64("metrics/coherence/bus_upd"),
+            r.f64("metrics/coherence/l1_hit_rate") * 100.0,
+            r.u64("metrics/coherence/bus_wait_cycles"),
+        );
+    }
+}
+
+fn build_coherent_rank(p: &BuildParams) -> Vec<JobSpec> {
+    let kinds = filter(&p.only, SHARED_KINDS.to_vec());
+    let mut jobs = Vec::new();
+    for kind in kinds {
+        for key in std::iter::once("std").chain(CROSS_KEYS) {
+            jobs.push(coherent_job(
+                p,
+                format!("coherent_rank/{kind}/{key}"),
+                key,
+                kind,
+                Overrides::default(),
+            ));
+        }
+    }
+    jobs
+}
+
+fn render_coherent_rank(ctx: &RenderCtx) -> String {
+    let (names, rows) = cross_arch_matrix(ctx, "coherent_rank", &CROSS_KEYS);
+    let columns: Vec<String> = CROSS_KEYS
+        .iter()
+        .map(|k| design_label(k).to_string())
+        .collect();
+    let mut o = String::new();
+    improvement_table(
+        &mut o,
+        "Coherent front end: IPC improvement over DDR3 baseline (MESI, 4 cores)",
+        &names,
+        &columns,
+        14,
+        &rows,
+    );
+    let mut ranked: Vec<(&str, f64)> = CROSS_KEYS
+        .iter()
+        .enumerate()
+        .map(|(i, key)| {
+            let col: Vec<f64> = rows.iter().map(|r| r[i]).collect();
+            (design_label(key), gmean_improvement(&col))
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+    let _ = write!(o, "\nranking:");
+    for (i, (label, g)) in ranked.iter().enumerate() {
+        if i > 0 {
+            let _ = write!(o, "  >");
+        }
+        let _ = write!(o, " {label} {}", pct(*g));
+    }
+    let _ = writeln!(o);
+    let _ = writeln!(o, "\n## MESI coherence traffic (Std-DRAM backend)");
+    let ids: Vec<(String, String)> = names
+        .iter()
+        .map(|n| ((*n).to_string(), format!("coherent_rank/{n}/std")))
+        .collect();
+    write_coherence_lines(&mut o, ctx, &ids);
+    o
+}
+
+fn build_coherent_protocol(p: &BuildParams) -> Vec<JobSpec> {
+    let kinds = filter(&p.only, SHARED_KINDS.to_vec());
+    let mut jobs = Vec::new();
+    for kind in kinds {
+        for proto in COH_PROTOCOLS {
+            for key in ["std", "das"] {
+                jobs.push(coherent_job(
+                    p,
+                    format!("coherent_protocol/{kind}/{proto}_{key}"),
+                    key,
+                    kind,
+                    Overrides {
+                        protocol: Some(proto.to_string()),
+                        ..Overrides::default()
+                    },
+                ));
+            }
+        }
+    }
+    jobs
+}
+
+fn render_coherent_protocol(ctx: &RenderCtx) -> String {
+    let names = ctx.group_names();
+    let columns: Vec<String> = COH_PROTOCOLS
+        .iter()
+        .map(|p| format!("DAS {}", protocol_label(p)))
+        .collect();
+    let rows: Vec<Vec<f64>> = names
+        .iter()
+        .map(|kind| {
+            COH_PROTOCOLS
+                .iter()
+                .map(|proto| {
+                    let base = ctx.by_id(&format!("coherent_protocol/{kind}/{proto}_std"));
+                    ctx.by_id(&format!("coherent_protocol/{kind}/{proto}_das"))
+                        .improvement_over(&base)
+                })
+                .collect()
+        })
+        .collect();
+    let mut o = String::new();
+    improvement_table(
+        &mut o,
+        "Coherent front end: protocol comparison (DAS-DRAM improvement over DDR3)",
+        &names,
+        &columns,
+        14,
+        &rows,
+    );
+    for proto in COH_PROTOCOLS {
+        let _ = writeln!(
+            o,
+            "\n## {} coherence traffic (DAS-DRAM backend)",
+            protocol_label(proto)
+        );
+        let ids: Vec<(String, String)> = names
+            .iter()
+            .map(|n| {
+                (
+                    (*n).to_string(),
+                    format!("coherent_protocol/{n}/{proto}_das"),
+                )
+            })
+            .collect();
+        write_coherence_lines(&mut o, ctx, &ids);
+    }
+    o
+}
+
+fn build_coherent_sharing(p: &BuildParams) -> Vec<JobSpec> {
+    let kinds = filter(&p.only, SHARED_KINDS.to_vec());
+    let mut jobs = Vec::new();
+    for kind in kinds {
+        for level in SHARING_LEVELS {
+            for key in ["std", "das"] {
+                jobs.push(coherent_job(
+                    p,
+                    format!("coherent_sharing/{kind}/{level}_{key}"),
+                    key,
+                    kind,
+                    Overrides {
+                        sharing: Some(level.to_string()),
+                        ..Overrides::default()
+                    },
+                ));
+            }
+        }
+    }
+    jobs
+}
+
+fn render_coherent_sharing(ctx: &RenderCtx) -> String {
+    let names = ctx.group_names();
+    let columns: Vec<String> = SHARING_LEVELS.iter().map(|l| (*l).to_string()).collect();
+    let rows: Vec<Vec<f64>> = names
+        .iter()
+        .map(|kind| {
+            SHARING_LEVELS
+                .iter()
+                .map(|level| {
+                    let base = ctx.by_id(&format!("coherent_sharing/{kind}/{level}_std"));
+                    ctx.by_id(&format!("coherent_sharing/{kind}/{level}_das"))
+                        .improvement_over(&base)
+                })
+                .collect()
+        })
+        .collect();
+    let mut o = String::new();
+    improvement_table(
+        &mut o,
+        "Coherent front end: sharing-intensity sweep (DAS-DRAM improvement over DDR3)",
+        &names,
+        &columns,
+        14,
+        &rows,
+    );
+    let _ = writeln!(o, "\n## bus pressure vs sharing (DAS-DRAM backend, MESI)");
+    for kind in &names {
+        let _ = write!(o, "{kind:<12}");
+        for level in SHARING_LEVELS {
+            let r = ctx.by_id(&format!("coherent_sharing/{kind}/{level}_das"));
+            let _ = write!(
+                o,
+                "  {level}: inval={} wait={}",
+                r.u64("metrics/coherence/invalidations"),
+                r.u64("metrics/coherence/bus_wait_cycles"),
+            );
+        }
+        let _ = writeln!(o);
+    }
+    o
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2233,11 +2494,48 @@ mod tests {
         assert_eq!(family_of("powerdown"), "power");
         assert_eq!(family_of("fault_sweep"), "fault_sweep");
         assert_eq!(family_of("telemetry"), "telemetry");
+        assert_eq!(family_of("coherent_rank"), "coherent");
         let cross: Vec<&str> = ids()
             .into_iter()
             .filter(|id| family_of(id) == "cross_arch")
             .collect();
         assert_eq!(cross.len(), 6);
+        let coherent: Vec<&str> = ids()
+            .into_iter()
+            .filter(|id| family_of(id) == "coherent")
+            .collect();
+        assert_eq!(coherent.len(), 3);
+    }
+
+    #[test]
+    fn coherent_family_spans_protocol_backend_and_sharing() {
+        let p = tiny_params();
+        // rank: per shared kind, a DDR3 baseline plus every backend, all
+        // at the multi-programming budget (four cores share the system).
+        let rank = (by_id("coherent_rank").unwrap().build)(&p);
+        assert_eq!(rank.len(), SHARED_KINDS.len() * (1 + CROSS_KEYS.len()));
+        assert!(rank
+            .iter()
+            .all(|j| j.workload.starts_with("shared:") && j.insts == multi_insts(&p)));
+        assert!(rank.iter().all(|j| j.ov.protocol.is_none()), "MESI default");
+        // protocol: every kind under both protocols, std + das.
+        let proto = (by_id("coherent_protocol").unwrap().build)(&p);
+        assert_eq!(proto.len(), SHARED_KINDS.len() * COH_PROTOCOLS.len() * 2);
+        assert!(proto
+            .iter()
+            .any(|j| j.ov.protocol.as_deref() == Some("dragon") && j.design == "das"));
+        // sharing: every kind at each sharing level, std + das.
+        let sharing = (by_id("coherent_sharing").unwrap().build)(&p);
+        assert_eq!(sharing.len(), SHARED_KINDS.len() * SHARING_LEVELS.len() * 2);
+        assert!(sharing
+            .iter()
+            .any(|j| j.ov.sharing.as_deref() == Some("high")));
+        // the only-filter prunes on shared kind.
+        let mut only = tiny_params();
+        only.only = vec!["lock".to_string()];
+        let pruned = (by_id("coherent_rank").unwrap().build)(&only);
+        assert_eq!(pruned.len(), 1 + CROSS_KEYS.len());
+        assert!(pruned.iter().all(|j| j.workload == "shared:lock"));
     }
 
     #[test]

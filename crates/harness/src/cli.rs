@@ -372,6 +372,12 @@ pub fn parse_harness_args<I: IntoIterator<Item = String>>(args: I) -> Result<Har
     Ok(out)
 }
 
+/// The experiment-family vocabulary quoted by `--exp` diagnostics, so an
+/// unknown id or empty glob tells the user what the catalog groups into.
+fn known_families() -> String {
+    catalog::FAMILIES.join(", ")
+}
+
 /// Builds a manifest from catalog ids + grid parameters (the `--exp` /
 /// `--all` path of the harness, and the `submit_experiment` request of
 /// `das-serve`). An id ending in `*` expands to every catalog experiment
@@ -381,7 +387,7 @@ pub fn parse_harness_args<I: IntoIterator<Item = String>>(args: I) -> Result<Har
 /// # Errors
 ///
 /// Returns a message naming an unknown experiment id or a glob that
-/// matches nothing.
+/// matches nothing, quoting the known family prefixes.
 pub fn build_catalog_manifest(
     ids: &[String],
     insts: u64,
@@ -402,11 +408,19 @@ pub fn build_catalog_manifest(
                 .filter(|e| e.starts_with(prefix))
                 .collect();
             if matches.is_empty() {
-                return Err(format!("no experiments match {id:?}"));
+                return Err(format!(
+                    "no experiments match {id:?} (known families: {})",
+                    known_families()
+                ));
             }
             expanded.extend(matches);
         } else {
-            let exp = catalog::by_id(id).ok_or_else(|| format!("unknown experiment {id:?}"))?;
+            let exp = catalog::by_id(id).ok_or_else(|| {
+                format!(
+                    "unknown experiment {id:?} (known families: {})",
+                    known_families()
+                )
+            })?;
             expanded.push(exp.id);
         }
     }
@@ -854,9 +868,18 @@ mod tests {
             .iter()
             .all(|e| e.id.starts_with("cross_arch_")));
         m.validate().unwrap();
-        // Globs matching nothing are an error, not an empty grid.
+        // Globs matching nothing are an error, not an empty grid — and the
+        // message lists the family vocabulary.
         let err = build_catalog_manifest(&["warp_*".to_string()], 100_000, 64, &[]).unwrap_err();
         assert!(err.contains("warp_*"), "{err}");
+        assert!(err.contains("known families"), "{err}");
+        assert!(
+            err.contains("cross_arch") && err.contains("coherent"),
+            "{err}"
+        );
+        let err = build_catalog_manifest(&["warp".to_string()], 100_000, 64, &[]).unwrap_err();
+        assert!(err.contains("unknown experiment"), "{err}");
+        assert!(err.contains("known families"), "{err}");
         // A bare `*` is the full catalog.
         let all = build_catalog_manifest(&["*".to_string()], 100_000, 64, &[]).unwrap();
         assert_eq!(all.experiments.len(), crate::catalog::ids().len());

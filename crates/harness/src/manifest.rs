@@ -16,7 +16,7 @@
 use das_sim::config::{Design, SystemConfig};
 use das_telemetry::json::{self, Value};
 use das_workloads::config::WorkloadConfig;
-use das_workloads::{mixes, spec};
+use das_workloads::{mixes, shared, spec};
 
 /// Manifest format version (bumped on breaking schema changes).
 ///
@@ -25,7 +25,10 @@ use das_workloads::{mixes, spec};
 /// * **2** — design-key vocabulary grew `clr`/`lisa`/`salp` for the
 ///   cross-architecture backend family. Structurally identical to v1, so
 ///   v1 documents still parse.
-pub const MANIFEST_VERSION: u64 = 2;
+/// * **3** — workload tokens grew `shared:<kind>` (coherent multi-core
+///   front end) and overrides grew `protocol`/`cores`/`sharing`. Older
+///   documents still parse.
+pub const MANIFEST_VERSION: u64 = 3;
 
 /// The oldest manifest version this build still reads.
 pub const MANIFEST_MIN_VERSION: u64 = 1;
@@ -117,6 +120,12 @@ pub struct Overrides {
     /// Side-effect export: write the run's Chrome trace-event JSON here
     /// (requires `telemetry_epoch`).
     pub trace_path: Option<String>,
+    /// Coherence protocol for `shared:*` workloads (`mesi`, `dragon`).
+    pub protocol: Option<String>,
+    /// Core count for `shared:*` workloads (default 4).
+    pub cores: Option<u32>,
+    /// Sharing intensity for `shared:*` workloads (`low`, `mid`, `high`).
+    pub sharing: Option<String>,
 }
 
 /// Default fault-plan seed (the fault-sweep bench's historic constant).
@@ -164,7 +173,10 @@ pub fn parse_design(key: &str) -> Result<Design, String> {
 /// Resolves a workload token into the (full-scale) workload set:
 /// `"<bench>"` → one Table 2 benchmark; `"mix:<M>"` → the paper's
 /// four-benchmark mix with per-benchmark footprints halved (the
-/// multi-programming execution point of Fig. 7e).
+/// multi-programming execution point of Fig. 7e); `"shared:<kind>"` → a
+/// shared-footprint coherent workload (`ring`, `lock`, `frontier`) at the
+/// default four-core mid-sharing point (overrides refine it, see
+/// [`JobSpec::coherent_spec`]).
 ///
 /// # Errors
 ///
@@ -175,6 +187,10 @@ pub fn resolve_workload(token: &str) -> Result<Vec<WorkloadConfig>, String> {
             return Err(format!("unknown mix {mix_name:?}"));
         }
         Ok(mixes::mix(mix_name).iter().map(|w| w.scaled(2)).collect())
+    } else if let Some(kind) = token.strip_prefix("shared:") {
+        let kind = shared::SharedKind::parse(kind)
+            .ok_or_else(|| format!("unknown shared workload {kind:?}"))?;
+        Ok(shared::SharedSpec::new(kind, 4, shared::Sharing::Mid).workload_configs())
     } else {
         if !spec::names().contains(&token) {
             return Err(format!("unknown benchmark {token:?}"));
@@ -184,6 +200,48 @@ pub fn resolve_workload(token: &str) -> Result<Vec<WorkloadConfig>, String> {
 }
 
 impl JobSpec {
+    /// For `shared:<kind>` workload tokens, resolves the coherent
+    /// front-end parameters: the full-scale shared-footprint spec (kind,
+    /// core count, sharing intensity) and the coherence protocol. Classic
+    /// workload tokens return `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown kind/protocol/sharing tokens, an
+    /// out-of-range core count, or coherent overrides on a classic
+    /// workload.
+    pub fn coherent_spec(
+        &self,
+    ) -> Result<Option<(shared::SharedSpec, das_coherence::ProtocolKind)>, String> {
+        let Some(kind) = self.workload.strip_prefix("shared:") else {
+            if self.ov.protocol.is_some() || self.ov.cores.is_some() || self.ov.sharing.is_some() {
+                return Err("protocol/cores/sharing overrides need a shared:* workload".to_string());
+            }
+            return Ok(None);
+        };
+        let kind = shared::SharedKind::parse(kind)
+            .ok_or_else(|| format!("unknown shared workload {kind:?}"))?;
+        let cores = match self.ov.cores {
+            Some(c) if (1..=16).contains(&c) => c as usize,
+            Some(c) => return Err(format!("cores override must be 1..=16, got {c}")),
+            None => 4,
+        };
+        let sharing = match &self.ov.sharing {
+            Some(s) => shared::Sharing::parse(s)
+                .ok_or_else(|| format!("unknown sharing intensity {s:?}"))?,
+            None => shared::Sharing::Mid,
+        };
+        let protocol = match &self.ov.protocol {
+            Some(p) => das_coherence::ProtocolKind::parse(p)
+                .ok_or_else(|| format!("unknown coherence protocol {p:?}"))?,
+            None => das_coherence::ProtocolKind::Mesi,
+        };
+        Ok(Some((
+            shared::SharedSpec::new(kind, cores, sharing),
+            protocol,
+        )))
+    }
+
     /// Materialises the job: the system configuration (with all overrides
     /// applied), the design, and the full-scale workload set.
     ///
@@ -196,7 +254,19 @@ impl JobSpec {
         use das_memctrl::controller::{PagePolicy, SchedulerKind};
 
         let design = parse_design(&self.design)?;
-        let workloads = resolve_workload(&self.workload)?;
+        let workloads = match self.coherent_spec()? {
+            Some((spec, _)) => {
+                if design.needs_profile() {
+                    return Err(format!(
+                        "design {:?} needs a profiling pre-pass, which shared:* \
+                         workloads do not support",
+                        self.design
+                    ));
+                }
+                spec.workload_configs()
+            }
+            None => resolve_workload(&self.workload)?,
+        };
         let mut cfg = SystemConfig::scaled_by(self.scale, self.insts);
         cfg.seed = self.seed;
         let ov = &self.ov;
@@ -303,6 +373,9 @@ impl JobSpec {
         put!(event_budget as u64);
         put!(watchdog_wakes as u64);
         put!(trace_path);
+        put!(protocol);
+        put!(cores as u64);
+        put!(sharing);
         Value::obj()
             .set("id", self.id.as_str())
             .set("design", self.design.as_str())
@@ -391,6 +464,9 @@ impl Overrides {
                 "event_budget" => ov.event_budget = Some(req_u64(val, k)?),
                 "watchdog_wakes" => ov.watchdog_wakes = Some(req_u32(val, k)?),
                 "trace_path" => ov.trace_path = Some(req_str(val, k)?),
+                "protocol" => ov.protocol = Some(req_str(val, k)?),
+                "cores" => ov.cores = Some(req_u32(val, k)?),
+                "sharing" => ov.sharing = Some(req_str(val, k)?),
                 other => return Err(format!("unknown override {other:?}")),
             }
         }
@@ -658,20 +734,79 @@ mod tests {
 
     #[test]
     fn v1_manifests_still_parse() {
-        // A v2 reader must accept documents written by the v1 schema: same
-        // structure, smaller design-key vocabulary.
-        let v1_text = sample().render().replace(
-            &format!("\"das_manifest\":{MANIFEST_VERSION}"),
-            "\"das_manifest\":1",
-        );
-        assert_ne!(v1_text, sample().render(), "substitution must hit");
-        let back = Manifest::parse(&v1_text).expect("v1 document parses");
-        assert_eq!(back, sample());
+        // A v3 reader must accept documents written by the older schemas:
+        // same structure, smaller design-key/workload-token vocabulary.
+        for old in 1..MANIFEST_VERSION {
+            let old_text = sample().render().replace(
+                &format!("\"das_manifest\":{MANIFEST_VERSION}"),
+                &format!("\"das_manifest\":{old}"),
+            );
+            assert_ne!(old_text, sample().render(), "substitution must hit");
+            let back = Manifest::parse(&old_text).expect("old document parses");
+            assert_eq!(back, sample());
+        }
         // Future versions stay rejected.
-        let v3_text = sample().render().replace(
+        let next = MANIFEST_VERSION + 1;
+        let next_text = sample().render().replace(
             &format!("\"das_manifest\":{MANIFEST_VERSION}"),
-            "\"das_manifest\":3",
+            &format!("\"das_manifest\":{next}"),
         );
-        assert!(Manifest::parse(&v3_text).unwrap_err().contains("version"));
+        assert!(Manifest::parse(&next_text).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn shared_workload_tokens_materialize() {
+        let job = JobSpec {
+            id: "coh/lock/das".into(),
+            design: "das".into(),
+            workload: "shared:lock".into(),
+            insts: 100_000,
+            scale: 64,
+            seed: 42,
+            ov: Overrides {
+                protocol: Some("dragon".into()),
+                cores: Some(2),
+                sharing: Some("high".into()),
+                ..Overrides::default()
+            },
+        };
+        let (spec, protocol) = job.coherent_spec().unwrap().expect("coherent job");
+        assert_eq!(protocol, das_coherence::ProtocolKind::Dragon);
+        assert_eq!(spec.cores, 2);
+        assert_eq!(spec.name(), "lock x2 @high");
+        let (_, design, wl) = job.materialize().unwrap();
+        assert_eq!(design, Design::DasDram);
+        assert_eq!(wl.len(), 2, "one stream per core");
+        // Round trip preserves the coherent overrides.
+        let back = JobSpec::from_value(&job.to_value()).unwrap();
+        assert_eq!(back, job);
+    }
+
+    #[test]
+    fn coherent_token_errors_are_loud() {
+        let mut job = JobSpec {
+            id: "coh/bad".into(),
+            design: "das".into(),
+            workload: "shared:nosuch".into(),
+            insts: 1_000,
+            scale: 64,
+            seed: 42,
+            ov: Overrides::default(),
+        };
+        assert!(job.materialize().unwrap_err().contains("shared workload"));
+        job.workload = "shared:ring".into();
+        job.ov.protocol = Some("moesi".into());
+        assert!(job.materialize().unwrap_err().contains("protocol"));
+        job.ov.protocol = None;
+        job.ov.cores = Some(99);
+        assert!(job.materialize().unwrap_err().contains("1..=16"));
+        job.ov.cores = None;
+        job.design = "sas".into();
+        assert!(job.materialize().unwrap_err().contains("pre-pass"));
+        // Coherent overrides on a classic workload are rejected.
+        job.design = "das".into();
+        job.workload = "mcf".into();
+        job.ov.sharing = Some("mid".into());
+        assert!(job.materialize().unwrap_err().contains("shared:*"));
     }
 }

@@ -23,7 +23,10 @@ use std::path::Path;
 
 use das_dram::geometry::GlobalRowId;
 use das_sim::config::{Design, SystemConfig};
-use das_sim::experiments::{run_one_instrumented_with_profile, run_one_with_profile};
+use das_sim::experiments::{
+    run_one_coherent, run_one_coherent_instrumented, run_one_instrumented_with_profile,
+    run_one_with_profile,
+};
 use das_sim::report::run_report;
 use das_sim::stats::RunMetrics;
 use das_sim::{SimError, System, TraceSource};
@@ -107,15 +110,26 @@ pub fn execute(
         .then(|| profiles.get_or_compute(&profile_key(job), &cfg, &workloads));
     let profile = profile.as_deref();
     let instrumented = job.ov.telemetry_epoch.is_some();
-    let (res, tel) = match store {
-        Some(s) => run_stored(job, &cfg, design, &workloads, profile, s, instrumented)?,
-        None if instrumented => {
-            run_one_instrumented_with_profile(&cfg, design, &workloads, profile)
+    let (res, tel) = if let Some((spec, protocol)) = job.coherent_spec()? {
+        // Coherent runs synthesize their shared-footprint streams
+        // in-process (deterministic by construction), so the trace store
+        // is bypassed.
+        if instrumented {
+            run_one_coherent_instrumented(&cfg, design, &spec, protocol)
+        } else {
+            (run_one_coherent(&cfg, design, &spec, protocol), None)
         }
-        None => (
-            run_one_with_profile(&cfg, design, &workloads, profile),
-            None,
-        ),
+    } else {
+        match store {
+            Some(s) => run_stored(job, &cfg, design, &workloads, profile, s, instrumented)?,
+            None if instrumented => {
+                run_one_instrumented_with_profile(&cfg, design, &workloads, profile)
+            }
+            None => (
+                run_one_with_profile(&cfg, design, &workloads, profile),
+                None,
+            ),
+        }
     };
     let m = res.map_err(|e| {
         format!(
@@ -245,6 +259,28 @@ mod tests {
         assert!(
             err.contains("mid-run") || err.contains("truncated"),
             "error names the cause: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coherent_job_runs_and_ignores_the_store() {
+        let dir = store_dir("coherent");
+        let store = TraceStore::open(&dir).unwrap();
+        let mut job = quick("t/coh", "das");
+        job.workload = "shared:lock".into();
+        job.ov.cores = Some(2);
+        let profiles = ProfileCache::new();
+        let stored = execute(&job, &profiles, Path::new("."), Some(&store)).unwrap();
+        let direct = execute(&job, &profiles, Path::new("."), None).unwrap();
+        assert_eq!(stored.render(), direct.render());
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "coherent runs bypass the store");
+        assert_eq!(
+            stored
+                .get_path("metrics/coherence/protocol")
+                .and_then(Value::as_str),
+            Some("MESI")
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -145,7 +145,7 @@ fn cross_arch_manifest_round_trips_and_journal_validates() {
     };
 
     // The `cross_arch_*` glob emits the whole six-experiment family; the
-    // document round-trips through the v2 schema.
+    // document round-trips through the current schema.
     run(&[
         "--exp",
         "cross_arch_*",
@@ -158,8 +158,11 @@ fn cross_arch_manifest_round_trips_and_journal_validates() {
     ]);
     let text = fs::read_to_string(&manifest_path).unwrap();
     assert!(
-        text.contains("\"das_manifest\":2"),
-        "cross-arch manifests carry the bumped schema version"
+        text.contains(&format!(
+            "\"das_manifest\":{}",
+            das_harness::manifest::MANIFEST_VERSION
+        )),
+        "cross-arch manifests carry the current schema version"
     );
     let m = Manifest::parse(&text).unwrap();
     assert_eq!(m.experiments.len(), 6);

@@ -176,6 +176,36 @@ pub fn render(stats: &Value) -> String {
         "kind",
         "Content-addressed trace store counters.",
     );
+    // Per-protocol coherence counters nest one level deeper than
+    // object_family handles ({protocol: {counter: n}}). The derived
+    // l1_hit_rate ratio is skipped — scrapers recompute it from the hit
+    // and miss counters.
+    if let Some(Value::Obj(protocols)) = stats.get("coherence") {
+        header(
+            &mut out,
+            "das_coherence_total",
+            "counter",
+            "Coherence-bus counters aggregated per protocol.",
+        );
+        for (protocol, counters) in protocols {
+            let Value::Obj(fields) = counters else {
+                continue;
+            };
+            for (k, v) in fields {
+                if k == "l1_hit_rate" {
+                    continue;
+                }
+                if let Some(n) = num(Some(v)) {
+                    push_metric(
+                        &mut out,
+                        "das_coherence_total",
+                        &format!("{{protocol=\"{protocol}\",kind=\"{k}\"}}"),
+                        n,
+                    );
+                }
+            }
+        }
+    }
     if let Some(lat) = stats.get("request_latency_us") {
         summary_family(
             &mut out,
@@ -243,6 +273,17 @@ mod tests {
                         .set("p99", 120u64),
                 ),
             )
+            .set(
+                "coherence",
+                Value::obj().set(
+                    "MESI",
+                    Value::obj()
+                        .set("jobs", 2u64)
+                        .set("bus_transactions", 150u64)
+                        .set("invalidations", 12u64)
+                        .set("l1_hit_rate", 0.85),
+                ),
+            )
     }
 
     #[test]
@@ -262,9 +303,16 @@ mod tests {
             "das_job_latency_ms{scope=\"all\",quantile=\"0.99\"} 120",
             "das_job_latency_ms_count{scope=\"all\"} 7",
             "das_malformed_frames_total 3",
+            "# TYPE das_coherence_total counter",
+            "das_coherence_total{protocol=\"MESI\",kind=\"bus_transactions\"} 150",
+            "das_coherence_total{protocol=\"MESI\",kind=\"invalidations\"} 12",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+        assert!(
+            !text.contains("l1_hit_rate"),
+            "derived ratios stay out of the counter family"
+        );
         // Every non-comment line is `name[labels] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');

@@ -578,7 +578,13 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
         }
     };
     let wall_ms = u64::try_from(exec_start.elapsed().as_millis()).unwrap_or(u64::MAX);
-    lock(&shared.metrics).record_job_wall(wall_ms);
+    {
+        let mut m = lock(&shared.metrics);
+        m.record_job_wall(wall_ms);
+        if let Ok(report) = &outcome {
+            m.record_coherence(report);
+        }
+    }
     let mut reg = lock(&shared.registry);
     {
         let mut jr = lock(&shared.journal);
@@ -815,6 +821,9 @@ fn handle_stats(shared: &Arc<Shared>) -> Value {
         .set("pool_panics", shared.pool.panicked_tasks())
         .set("request_latency_us", m.latency_value())
         .set("job_latency_ms", m.job_latency_value());
+    if let Some(c) = m.coherence_value() {
+        resp = resp.set("coherence", c);
+    }
     if let Some(store) = &shared.store {
         let s = store.stats();
         resp = resp.set(

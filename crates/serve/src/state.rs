@@ -211,6 +211,25 @@ pub struct Metrics {
     /// Wall-clock execution time of completed jobs (milliseconds,
     /// success and failure alike) — the fleet-level job-latency signal.
     job_wall: LatencyHistogram,
+    /// Coherence counters aggregated per protocol label from finished
+    /// coherent jobs' reports. BTreeMap for deterministic render; empty
+    /// (and absent from the stats response) until a coherent job runs.
+    coherence: BTreeMap<String, CoherenceAgg>,
+}
+
+/// Summed `metrics/coherence` counters of every finished job under one
+/// protocol.
+#[derive(Debug, Default)]
+struct CoherenceAgg {
+    jobs: u64,
+    bus_transactions: u64,
+    invalidations: u64,
+    interventions: u64,
+    bus_upd: u64,
+    writeback_flushes: u64,
+    bus_wait_cycles: u64,
+    l1_hits: u64,
+    l1_misses: u64,
 }
 
 impl Metrics {
@@ -245,6 +264,62 @@ impl Metrics {
             v = v.set(kind, h.summary_value());
         }
         v
+    }
+
+    /// Folds a finished job's report into the per-protocol coherence
+    /// aggregates. Classic reports (no `metrics/coherence` block) are a
+    /// no-op.
+    pub fn record_coherence(&mut self, report: &Value) {
+        let Some(c) = report.get_path("metrics/coherence") else {
+            return;
+        };
+        let Some(protocol) = c.get("protocol").and_then(Value::as_str) else {
+            return;
+        };
+        let n = |key: &str| c.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let agg = self.coherence.entry(protocol.to_string()).or_default();
+        agg.jobs += 1;
+        agg.bus_transactions += n("bus_transactions");
+        agg.invalidations += n("invalidations");
+        agg.interventions += n("interventions");
+        agg.bus_upd += n("bus_upd");
+        agg.writeback_flushes += n("writeback_flushes");
+        agg.bus_wait_cycles += n("bus_wait_cycles");
+        agg.l1_hits += n("l1_hits");
+        agg.l1_misses += n("l1_misses");
+    }
+
+    /// The per-protocol coherence aggregates as a JSON object
+    /// (`protocol → counters`), or `None` when no coherent job has
+    /// finished — the stats response omits the key entirely then.
+    pub fn coherence_value(&self) -> Option<Value> {
+        if self.coherence.is_empty() {
+            return None;
+        }
+        let mut v = Value::obj();
+        for (protocol, a) in &self.coherence {
+            let accesses = a.l1_hits + a.l1_misses;
+            let hit_rate = if accesses == 0 {
+                0.0
+            } else {
+                a.l1_hits as f64 / accesses as f64
+            };
+            v = v.set(
+                protocol,
+                Value::obj()
+                    .set("jobs", a.jobs)
+                    .set("bus_transactions", a.bus_transactions)
+                    .set("invalidations", a.invalidations)
+                    .set("interventions", a.interventions)
+                    .set("bus_upd", a.bus_upd)
+                    .set("writeback_flushes", a.writeback_flushes)
+                    .set("bus_wait_cycles", a.bus_wait_cycles)
+                    .set("l1_hits", a.l1_hits)
+                    .set("l1_misses", a.l1_misses)
+                    .set("l1_hit_rate", hit_rate),
+            );
+        }
+        Some(v)
     }
 }
 
@@ -327,6 +402,51 @@ mod tests {
         );
         // BTreeMap ordering makes the render deterministic.
         assert!(v.render().find("status").unwrap() < v.render().find("submit_job").unwrap());
+    }
+
+    #[test]
+    fn coherence_aggregates_per_protocol_and_stays_absent_for_classic_runs() {
+        let mut m = Metrics::default();
+        assert!(m.coherence_value().is_none(), "no coherent jobs yet");
+        // Classic report: no-op.
+        let classic = Value::obj().set("metrics", Value::obj().set("ipc_sum", 1.0));
+        m.record_coherence(&classic);
+        assert!(m.coherence_value().is_none());
+        let coh = |protocol: &str, inval: u64| {
+            Value::obj().set(
+                "metrics",
+                Value::obj().set(
+                    "coherence",
+                    Value::obj()
+                        .set("protocol", protocol)
+                        .set("bus_transactions", 100u64)
+                        .set("invalidations", inval)
+                        .set("l1_hits", 80u64)
+                        .set("l1_misses", 20u64),
+                ),
+            )
+        };
+        m.record_coherence(&coh("MESI", 7));
+        m.record_coherence(&coh("MESI", 3));
+        m.record_coherence(&coh("Dragon", 0));
+        let v = m.coherence_value().expect("coherent jobs aggregated");
+        assert_eq!(v.get_path("MESI/jobs").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            v.get_path("MESI/invalidations").and_then(Value::as_u64),
+            Some(10)
+        );
+        assert_eq!(
+            v.get_path("MESI/bus_transactions").and_then(Value::as_u64),
+            Some(200)
+        );
+        assert_eq!(
+            v.get_path("MESI/l1_hit_rate").and_then(Value::as_f64),
+            Some(0.8)
+        );
+        assert_eq!(v.get_path("Dragon/jobs").and_then(Value::as_u64), Some(1));
+        // BTreeMap ordering keeps the render deterministic.
+        let text = v.render();
+        assert!(text.find("Dragon").unwrap() < text.find("MESI").unwrap());
     }
 
     #[test]

@@ -122,7 +122,13 @@ impl Design {
     pub fn timing(self) -> das_dram::timing::TimingSet {
         use das_dram::timing::TimingSet;
         if let Some(b) = self.backend() {
-            return b.timing();
+            // The per-level refresh hook is applied here so a backend whose
+            // fast level refreshes on its own cadence reaches the channel's
+            // rank schedules; the default derives from `timing()` itself,
+            // leaving stock backends bit-identical.
+            let mut t = b.timing();
+            b.refresh().apply(&mut t);
+            return t;
         }
         match self {
             Design::SasDram => TimingSet::asymmetric(),

@@ -226,6 +226,68 @@ pub fn run_recorded(
     System::from_recorded(cfg.clone(), design, traces, profile.as_ref()).run()
 }
 
+/// Runs one full-system simulation with the coherent multi-core front end
+/// mounted: `spec.cores` trace-fed cores with private L1s kept coherent by
+/// `protocol` over a snooping bus, sharing the LLC → memctrl → DRAM path.
+/// The workload streams are generated from `spec` (shared-footprint
+/// producer/consumer, lock, or frontier traffic); `spec` should already be
+/// scaled (see [`das_workloads::shared::SharedSpec::scaled`]).
+///
+/// # Errors
+///
+/// Returns the [`SimError`] if the run could not finish.
+///
+/// # Panics
+///
+/// Panics if `design` needs a profiling pre-pass (static designs are not
+/// supported under the coherent front end).
+pub fn run_one_coherent(
+    cfg: &SystemConfig,
+    design: Design,
+    spec: &das_workloads::shared::SharedSpec,
+    protocol: das_coherence::ProtocolKind,
+) -> Result<RunMetrics, SimError> {
+    let scaled = spec.scaled(cfg.scale as u64);
+    System::with_coherence(cfg.clone(), design, &scaled, protocol).run()
+}
+
+/// Like [`run_one_coherent`], but also returns the telemetry report
+/// (`None` when `cfg.telemetry` is off).
+///
+/// # Panics
+///
+/// Panics if `design` needs a profiling pre-pass.
+pub fn run_one_coherent_instrumented(
+    cfg: &SystemConfig,
+    design: Design,
+    spec: &das_workloads::shared::SharedSpec,
+    protocol: das_coherence::ProtocolKind,
+) -> (Result<RunMetrics, SimError>, Option<TelemetryReport>) {
+    let scaled = spec.scaled(cfg.scale as u64);
+    System::with_coherence(cfg.clone(), design, &scaled, protocol).run_instrumented()
+}
+
+/// Like [`run_one_coherent`], but additionally returns the stage-profiler
+/// report (`None` when `cfg.stage_profile` is off) — the bench-mode entry
+/// point.
+///
+/// # Panics
+///
+/// Panics if `design` needs a profiling pre-pass.
+pub fn run_one_coherent_profiled(
+    cfg: &SystemConfig,
+    design: Design,
+    spec: &das_workloads::shared::SharedSpec,
+    protocol: das_coherence::ProtocolKind,
+) -> (
+    Result<RunMetrics, SimError>,
+    Option<TelemetryReport>,
+    Option<StageReport>,
+) {
+    let scaled = spec.scaled(cfg.scale as u64);
+    System::with_coherence(cfg.clone(), design, &scaled, protocol).run_profiled()
+}
+
 /// Runs `designs` over the same workload set, returning results in order.
 ///
 /// # Errors
@@ -350,6 +412,65 @@ mod tests {
         assert!(!counts.is_empty());
         let total: u64 = counts.values().sum();
         assert!(total > 100, "plenty of misses profiled: {total}");
+    }
+
+    #[test]
+    fn coherent_run_completes_and_reports_coherence() {
+        use das_coherence::ProtocolKind;
+        use das_workloads::shared::{SharedKind, SharedSpec, Sharing};
+        // Lock: a hot shared set small enough to live in the private L1s,
+        // so write contention actually invalidates peers (Ring's streaming
+        // sweep evicts lines before the consumer reaches them).
+        let cfg = quick_cfg();
+        let spec = SharedSpec::new(SharedKind::Lock, 2, Sharing::Mid);
+        let m = run_one_coherent(&cfg, Design::Standard, &spec, ProtocolKind::Mesi).unwrap();
+        assert_eq!(m.cores.len(), 2);
+        assert!(m.ipc_sum() > 0.0, "coherent run must retire: {m:?}");
+        let coh = m.coherence.as_ref().expect("coherence metrics present");
+        assert_eq!(coh.protocol, "MESI");
+        assert_eq!(coh.cores, 2);
+        assert!(coh.stats.bus_transactions() > 0, "bus must see traffic");
+        assert!(
+            coh.stats.invalidations > 0,
+            "lock contention must invalidate: {:?}",
+            coh.stats
+        );
+        assert!(
+            coh.stats.interventions > 0,
+            "dirty hot lines must be supplied cache-to-cache: {:?}",
+            coh.stats
+        );
+        assert!(coh.stats.l1_hits > 0 && coh.stats.l1_misses > 0);
+    }
+
+    #[test]
+    fn coherent_run_is_deterministic() {
+        use das_coherence::ProtocolKind;
+        use das_workloads::shared::{SharedKind, SharedSpec, Sharing};
+        let cfg = quick_cfg();
+        let spec = SharedSpec::new(SharedKind::Lock, 2, Sharing::High);
+        let a = run_one_coherent(&cfg, Design::DasDram, &spec, ProtocolKind::Mesi).unwrap();
+        let b = run_one_coherent(&cfg, Design::DasDram, &spec, ProtocolKind::Mesi).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "rebuild must replay");
+    }
+
+    #[test]
+    fn dragon_updates_instead_of_invalidating() {
+        use das_coherence::ProtocolKind;
+        use das_workloads::shared::{SharedKind, SharedSpec, Sharing};
+        let cfg = quick_cfg();
+        let spec = SharedSpec::new(SharedKind::Lock, 2, Sharing::Mid);
+        let m = run_one_coherent(&cfg, Design::Standard, &spec, ProtocolKind::Dragon).unwrap();
+        let coh = m.coherence.as_ref().unwrap();
+        assert_eq!(coh.protocol, "Dragon");
+        assert_eq!(coh.stats.invalidations, 0, "Dragon never invalidates");
+        assert!(coh.stats.bus_upd > 0, "Dragon updates on shared writes");
+    }
+
+    #[test]
+    fn classic_runs_carry_no_coherence_metrics() {
+        let m = run_one(&quick_cfg(), Design::Standard, &libq()).unwrap();
+        assert!(m.coherence.is_none(), "single-core path must be untouched");
     }
 
     #[test]

@@ -15,6 +15,26 @@ use crate::stats::RunMetrics;
 
 /// Serialises one run's metrics as a JSON object.
 pub fn metrics_to_value(m: &RunMetrics) -> Value {
+    let coherence = m.coherence.as_ref().map(|c| {
+        Value::obj()
+            .set("protocol", c.protocol.as_str())
+            .set("cores", c.cores as u64)
+            .set("bus_rd", c.stats.bus_rd)
+            .set("bus_rdx", c.stats.bus_rdx)
+            .set("bus_upgr", c.stats.bus_upgr)
+            .set("bus_upd", c.stats.bus_upd)
+            .set("bus_transactions", c.stats.bus_transactions())
+            .set("invalidations", c.stats.invalidations)
+            .set("interventions", c.stats.interventions)
+            .set("writeback_flushes", c.stats.writeback_flushes)
+            .set("bus_wait_cycles", c.stats.bus_wait_cycles)
+            .set("bus_busy_cycles", c.stats.bus_busy_cycles)
+            .set("l1_hits", c.stats.l1_hits)
+            .set("l1_misses", c.stats.l1_misses)
+            .set("l1_hit_rate", c.l1_hit_rate())
+            .set("invalidations_per_tx", c.invalidations_per_tx())
+            .set("shared_promotions", c.stats.shared_promotions)
+    });
     let cores = Value::Arr(
         m.cores
             .iter()
@@ -29,7 +49,7 @@ pub fn metrics_to_value(m: &RunMetrics) -> Value {
             .collect(),
     );
     let (rb, fast, slow) = m.access_mix.fractions();
-    Value::obj()
+    let v = Value::obj()
         .set("ipc_sum", m.ipc_sum())
         .set("mpki", m.mpki())
         .set("cores", cores)
@@ -86,7 +106,13 @@ pub fn metrics_to_value(m: &RunMetrics) -> Value {
                 .set("fatal", m.faults.total_fatal())
                 .set("invariant_checks_passed", m.faults.invariant_checks_passed)
                 .set("tcache_rebuilds", m.faults.tcache_rebuilds),
-        )
+        );
+    // The key is absent (not null) on classic runs so their reports stay
+    // byte-identical to pre-coherence builds.
+    match coherence {
+        Some(c) => v.set("coherence", c),
+        None => v,
+    }
 }
 
 /// Builds the full run report: identification, metrics, and (when the sink
@@ -144,6 +170,33 @@ mod tests {
         assert!(json.contains("\"design\":\"DAS-DRAM\""));
         assert!(json.contains("\"telemetry\":null"));
         assert!(json.contains("\"aborted_promotions\":1"));
+        assert!(
+            !json.contains("coherence"),
+            "classic reports must not grow a coherence key"
+        );
+    }
+
+    #[test]
+    fn coherence_block_appears_when_front_end_was_mounted() {
+        use crate::stats::CoherenceMetrics;
+        let mut m = metrics();
+        m.coherence = Some(CoherenceMetrics {
+            protocol: "MESI".into(),
+            cores: 4,
+            stats: das_coherence::CoherenceStats {
+                bus_rd: 10,
+                bus_rdx: 5,
+                invalidations: 3,
+                l1_hits: 90,
+                l1_misses: 15,
+                ..Default::default()
+            },
+        });
+        let json = run_report_json(&m, None);
+        validate(&json).unwrap();
+        assert!(json.contains("\"coherence\":{\"protocol\":\"MESI\""));
+        assert!(json.contains("\"bus_transactions\":15"));
+        assert!(json.contains("\"invalidations_per_tx\":0.2"));
     }
 
     #[test]

@@ -1,8 +1,43 @@
 //! Run metrics: everything the paper's figures report.
 
+use das_coherence::CoherenceStats;
 use das_core::promotion::FilterStats;
 use das_core::translation::TranslationStats;
 use das_memctrl::request::ServiceClass;
+
+/// Coherence results of a run with the multi-core front end mounted
+/// (`None` on every classic run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoherenceMetrics {
+    /// Protocol label ("MESI" / "Dragon").
+    pub protocol: String,
+    /// Cores in the coherent cluster.
+    pub cores: usize,
+    /// Event counters from the cluster.
+    pub stats: CoherenceStats,
+}
+
+impl CoherenceMetrics {
+    /// Private-cache hit rate of the cluster.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.stats.l1_hits + self.stats.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// Invalidations per bus transaction (invalidation-protocol pressure).
+    pub fn invalidations_per_tx(&self) -> f64 {
+        let tx = self.stats.bus_transactions();
+        if tx == 0 {
+            0.0
+        } else {
+            self.stats.invalidations as f64 / tx as f64
+        }
+    }
+}
 
 /// Distribution of serviced DRAM accesses over the Fig. 7c/7f categories.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -182,6 +217,8 @@ pub struct RunMetrics {
     pub total_subarrays: usize,
     /// Fault-injection accounting (all zeros under `FaultPlan::none()`).
     pub faults: das_faults::FaultStats,
+    /// Coherence metrics when the multi-core front end is mounted.
+    pub coherence: Option<CoherenceMetrics>,
 }
 
 impl RunMetrics {

@@ -20,6 +20,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use das_cache::hierarchy::{CacheHierarchy, CacheLevel};
 use das_cache::mshr::Mshr;
+use das_coherence::{ClusterConfig, CoherentCluster, ProtocolKind};
 use das_core::inclusive::{FillRequest, InclusiveManager};
 use das_core::management::{ConsistencyError, DasManager, SwapRequest};
 use das_core::translation::TranslationSource;
@@ -37,6 +38,7 @@ use das_telemetry::{
 };
 use das_workloads::config::WorkloadConfig;
 use das_workloads::gen::TraceGen;
+use das_workloads::shared::{SharedGen, SharedSpec};
 
 use crate::config::{Design, SystemConfig};
 use crate::stats::{AccessMix, CoreMetrics, EnergyBreakdown, EnergyModel, RunMetrics};
@@ -503,6 +505,22 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
     a
 }
 
+/// The coherent multi-core front end, mounted by
+/// [`System::with_coherence`]: per-core private L1s kept coherent over a
+/// snooping bus, between the trace-fed cores and the shared LLC. Always
+/// `None` on the classic constructors, whose behaviour is bit-identical to
+/// before the front end existed (locked by report tests and the CI golden
+/// journals).
+struct CoherentFrontEnd {
+    cluster: CoherentCluster,
+    /// Bytes of the shared prefix of each core's virtual footprint: those
+    /// addresses map through core 0's placement for every core.
+    shared_bytes: u64,
+    /// Logical `(bank, row)` coordinates of the shared region — DAS
+    /// promotions of these rows count as sharing-induced.
+    shared_rows: HashSet<(BankCoord, u32)>,
+}
+
 /// One full-system simulation of `workloads` (one per core) on `design`.
 pub struct System {
     cfg: SystemConfig,
@@ -514,6 +532,9 @@ pub struct System {
     ctrls: Vec<MemoryController>,
     manager: Option<Management>,
     mshr: Mshr<Waiter>,
+    /// Coherent front end; `None` for every classic (single-address-space)
+    /// run.
+    coherence: Option<CoherentFrontEnd>,
     line_dirty: HashMap<u64, bool>,
     events: BinaryHeap<Reverse<Ev>>,
     seq: u64,
@@ -633,6 +654,68 @@ impl System {
         Self::assemble(cfg, design, &workloads, sources, profile)
     }
 
+    /// Builds a coherent multi-core system: `spec.cores` cores running the
+    /// shared-footprint workload, their private L1s kept coherent by
+    /// `protocol` over a snooping bus, in front of the shared LLC and the
+    /// `design` memory system.
+    ///
+    /// The first [`SharedSpec::shared_bytes`] of every core's virtual
+    /// footprint map through core 0's placement, so all cores name the
+    /// same physical rows there; the private remainder keeps the per-core
+    /// scatter. The mapping stays injective because the shared prefix only
+    /// ever occupies core-0 row slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design` needs a profile (the coherent front end only
+    /// runs dynamic designs: a per-core profile of a shared footprint is
+    /// ill-defined), or on the usual configuration mismatches.
+    pub fn with_coherence(
+        cfg: SystemConfig,
+        design: Design,
+        spec: &SharedSpec,
+        protocol: ProtocolKind,
+    ) -> Self {
+        assert!(
+            !design.needs_profile(),
+            "coherent runs support dynamic designs only"
+        );
+        let workloads = spec.workload_configs();
+        let sources: Vec<TraceSource> = (0..spec.cores)
+            .map(|c| TraceSource::streaming(SharedGen::new(spec.clone(), cfg.seed, c)))
+            .collect();
+        let mut sys = Self::assemble(cfg, design, &workloads, sources, None);
+        let h = sys.cfg.hierarchy;
+        let cluster = CoherentCluster::new(
+            protocol,
+            ClusterConfig {
+                cores: spec.cores,
+                l1_lines: (h.l1_bytes / h.line_bytes) as usize,
+                line_bytes: h.line_bytes,
+                hit_cycles: h.l1_latency,
+            },
+        );
+        let shared_bytes = spec.shared_bytes();
+        let row_bytes = sys.cfg.geometry.row_bytes as u64;
+        let shared_rows = (0..shared_bytes / row_bytes)
+            .map(|vrow| {
+                let coord = sys
+                    .cfg
+                    .geometry
+                    .decode(sys.addr_map.map(0, vrow * row_bytes));
+                (coord.bank, coord.row)
+            })
+            .collect();
+        sys.coherence = Some(CoherentFrontEnd {
+            cluster,
+            shared_bytes,
+            shared_rows,
+        });
+        // `ring x4 @mid` reads better than `ring/c0+ring/c1+…`.
+        sys.workload_label = spec.name();
+        sys
+    }
+
     fn assemble(
         cfg: SystemConfig,
         design: Design,
@@ -731,6 +814,7 @@ impl System {
             ctrls,
             manager,
             mshr: Mshr::new(1 << 16),
+            coherence: None,
             line_dirty: HashMap::new(),
             events: BinaryHeap::new(),
             seq: 0,
@@ -1042,6 +1126,9 @@ impl System {
         addr: u64,
         is_write: bool,
     ) -> Result<(), SimError> {
+        if self.coherence.is_some() {
+            return self.handle_coherent_issue(core, id, addr, is_write);
+        }
         let t = self.clock;
         // OS-style physical placement: scatter the workload-local address
         // over the whole usable row space.
@@ -1075,6 +1162,92 @@ impl System {
                 let t_found = t + self.cfg.cycles_to_ticks(outcome.lookup_cycles);
                 self.start_demand_read(line, t_found, core);
             }
+            Some(false) => {} // merged
+            None => return Err(SimError::MshrSaturated { line }),
+        }
+        Ok(())
+    }
+
+    /// The coherent front end's issue path: the access first resolves in
+    /// the private-cache cluster, which may satisfy it entirely (hit, or a
+    /// peer's cache-to-cache transfer); only cluster misses that no peer
+    /// supplies consult the shared LLC and, below it, DRAM.
+    fn handle_coherent_issue(
+        &mut self,
+        core: usize,
+        id: u64,
+        vaddr: u64,
+        is_write: bool,
+    ) -> Result<(), SimError> {
+        let t = self.clock;
+        let shared_bytes = self
+            .coherence
+            .as_ref()
+            .expect("coherent path without front end")
+            .shared_bytes;
+        // Shared prefix: every core names the same physical rows (core 0's
+        // placement); the private remainder keeps the per-core scatter.
+        let addr = if vaddr < shared_bytes {
+            self.addr_map.map(0, vaddr)
+        } else {
+            self.addr_map.map(core, vaddr)
+        };
+        self.footprint_rows
+            .insert(addr / self.cfg.geometry.row_bytes as u64);
+        let now_cycles = t.raw() / self.cfg.core.ticks_per_cycle;
+        let line = addr & !(self.cfg.hierarchy.line_bytes - 1);
+        let coh = self.coherence.as_mut().expect("checked above");
+        let before = coh.cluster.stats().clone();
+        let out = coh.cluster.access(core, line, is_write, now_cycles);
+        let after = coh.cluster.stats();
+        let deltas = [
+            after.bus_rd - before.bus_rd,
+            after.bus_rdx - before.bus_rdx,
+            after.bus_upgr - before.bus_upgr,
+            after.bus_upd - before.bus_upd,
+            after.invalidations - before.invalidations,
+            after.interventions - before.interventions,
+            after.writeback_flushes - before.writeback_flushes,
+        ];
+        let wait_delta = after.bus_wait_cycles - before.bus_wait_cycles;
+        self.tel.coh_access(deltas, wait_delta);
+        // Dirty lines flushed out of the cluster land in the LLC when it
+        // holds them; otherwise they go to DRAM.
+        for wb in out.writebacks {
+            if !self.hierarchy.llc_write_back(wb) {
+                self.issue_writeback_at(wb, t);
+            }
+        }
+        let done = t + self.cfg.cycles_to_ticks(out.cycles);
+        if !out.fetch_below {
+            if !is_write {
+                self.complete_core(core, id, done);
+            }
+            return Ok(());
+        }
+        // Cluster miss with no peer supplier: consult the shared LLC. The
+        // LLC allocates at lookup time (as the table-fetch path does); the
+        // DRAM round trip still gates this requester's completion.
+        let llc_lat = self.cfg.cycles_to_ticks(self.cfg.hierarchy.llc_latency);
+        let (hit, wbs) = self.hierarchy.llc_side_access(line);
+        for wb in wbs {
+            self.issue_writeback_at(wb, done);
+        }
+        if hit {
+            if !is_write {
+                self.complete_core(core, id, done + llc_lat);
+            }
+            return Ok(());
+        }
+        // LLC miss: a real DRAM read fetches the line.
+        self.core_misses[core] += 1;
+        let waiter = Waiter {
+            core,
+            id,
+            is_load: !is_write,
+        };
+        match self.mshr.register(line, waiter) {
+            Some(true) => self.start_demand_read(line, done + llc_lat, core),
             Some(false) => {} // merged
             None => return Err(SimError::MshrSaturated { line }),
         }
@@ -1383,10 +1556,15 @@ impl System {
                         self.record_mix(service);
                         self.record_subarray(bank, logical_row);
                         self.after_data_access(bank, logical_row, false, at);
-                        let dirty = self.line_dirty.remove(&line).unwrap_or(false);
-                        let wbs = self.hierarchy.fill_from_memory(fill_core, line, dirty);
-                        for wb in wbs {
-                            self.issue_writeback_at(wb, at);
+                        if self.coherence.is_none() {
+                            // Coherent runs skip this: the private copy
+                            // lives in the cluster and the LLC already
+                            // allocated at lookup time.
+                            let dirty = self.line_dirty.remove(&line).unwrap_or(false);
+                            let wbs = self.hierarchy.fill_from_memory(fill_core, line, dirty);
+                            for wb in wbs {
+                                self.issue_writeback_at(wb, at);
+                            }
                         }
                         let waiters = self.mshr.complete(line);
                         let mut touched = HashSet::new();
@@ -1617,6 +1795,14 @@ impl System {
             }
         };
         if let Some((pending, mut op)) = op {
+            // Sharing-induced promotion accounting: a promoted row inside
+            // the coherent shared footprint got hot because multiple cores
+            // hammered it.
+            if let Some(coh) = self.coherence.as_mut() {
+                if coh.shared_rows.contains(&(bank, logical_row)) {
+                    coh.cluster.note_shared_promotion();
+                }
+            }
             self.next_swap_token += 1;
             op.token = self.next_swap_token;
             self.pending_swaps.insert(op.token, pending);
@@ -1713,6 +1899,14 @@ impl System {
             active_subarrays: self.subarray_activity.len(),
             total_subarrays,
             faults: *self.injector.stats(),
+            coherence: self
+                .coherence
+                .as_ref()
+                .map(|c| crate::stats::CoherenceMetrics {
+                    protocol: c.cluster.protocol_kind().label().to_string(),
+                    cores: c.cluster.config().cores,
+                    stats: c.cluster.stats().clone(),
+                }),
         }
     }
 }

@@ -126,6 +126,18 @@ impl LatencyClass {
     }
 }
 
+/// Coherence event kinds tracked by the sink, in report order. Indices
+/// match the `counts` argument of [`Telemetry::coh_access`].
+pub const COH_EVENTS: [&str; 7] = [
+    "bus_rd",
+    "bus_rdx",
+    "bus_upgr",
+    "bus_upd",
+    "invalidations",
+    "interventions",
+    "writeback_flushes",
+];
+
 /// Per-class latency histograms (one [`LatencyHistogram`] per
 /// [`LatencyClass`]).
 #[derive(Debug, Clone, Default)]
@@ -200,6 +212,10 @@ pub struct Telemetry {
     swap_begin: HashMap<u64, (u64, u32)>,
     /// Retries observed per in-flight migration span.
     swap_retries: HashMap<u64, u64>,
+    /// Coherence event counts, indexed as [`COH_EVENTS`].
+    coh_counts: [u64; 7],
+    /// Bus-arbitration wait per coherence transaction, in core cycles.
+    coh_bus_wait: LatencyHistogram,
 }
 
 impl Telemetry {
@@ -219,6 +235,8 @@ impl Telemetry {
             trace: EventTrace::new(),
             swap_begin: HashMap::new(),
             swap_retries: HashMap::new(),
+            coh_counts: [0; 7],
+            coh_bus_wait: LatencyHistogram::default(),
         }
     }
 
@@ -327,6 +345,24 @@ impl Telemetry {
         });
     }
 
+    /// Records the coherence activity one cluster access caused: per-kind
+    /// event deltas (indexed as [`COH_EVENTS`]) and the cycles the access's
+    /// bus transactions spent waiting for arbitration. A sample lands in
+    /// the bus-wait histogram only when the access used the bus at all.
+    pub fn coh_access(&mut self, counts: [u64; 7], bus_wait: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut used_bus = false;
+        for (total, d) in self.coh_counts.iter_mut().zip(counts) {
+            *total += d;
+            used_bus |= d != 0;
+        }
+        if used_bus {
+            self.coh_bus_wait.record(bus_wait);
+        }
+    }
+
     /// Records an instant event (`tcache_rebuild`, `watchdog_fire`, …).
     pub fn instant(&mut self, name: &'static str, cat: &'static str, tick: u64) {
         if !self.enabled() {
@@ -360,6 +396,8 @@ impl Telemetry {
             per_channel: self.channel_hists,
             series: self.series,
             trace: self.trace,
+            coh_counts: self.coh_counts,
+            coh_bus_wait: self.coh_bus_wait,
         })
     }
 }
@@ -379,6 +417,11 @@ pub struct TelemetryReport {
     pub series: EpochSeries,
     /// The structured event trace.
     pub trace: EventTrace,
+    /// Coherence event counts, indexed as [`COH_EVENTS`] (all zero for
+    /// runs without a coherent front end).
+    pub coh_counts: [u64; 7],
+    /// Bus-arbitration wait per coherence transaction, core cycles.
+    pub coh_bus_wait: LatencyHistogram,
 }
 
 impl TelemetryReport {
@@ -391,7 +434,7 @@ impl TelemetryReport {
     /// per-channel) plus the epoch series and the trace-event count (the
     /// full trace exports separately via [`Self::chrome_trace_json`]).
     pub fn to_value(&self) -> json::Value {
-        json::Value::obj()
+        let mut v = json::Value::obj()
             .set("epoch_cycles", self.epoch_cycles)
             .set("trace_events", self.trace.events().len())
             .set("latency_ticks", self.merged.to_value())
@@ -404,7 +447,30 @@ impl TelemetryReport {
                         .collect(),
                 ),
             )
-            .set("epochs", self.series.to_value())
+            .set("epochs", self.series.to_value());
+        // The coherence block appears only when a coherent front end
+        // recorded something: reports of pre-existing single-core runs stay
+        // byte-identical.
+        if self.coh_counts.iter().any(|&c| c != 0) {
+            let mut counts = json::Value::obj();
+            for (name, &c) in COH_EVENTS.iter().zip(self.coh_counts.iter()) {
+                counts = counts.set(name, c);
+            }
+            let h = &self.coh_bus_wait;
+            v = v.set(
+                "coherence",
+                json::Value::obj().set("events", counts).set(
+                    "bus_wait_cycles",
+                    json::Value::obj()
+                        .set("count", h.count())
+                        .set("mean", h.mean())
+                        .set("p50", h.percentile(50.0))
+                        .set("p99", h.percentile(99.0))
+                        .set("max", h.max()),
+                ),
+            );
+        }
+        v
     }
 }
 
@@ -443,6 +509,31 @@ mod tests {
         let doc = r.to_value().render();
         json::validate(&doc).unwrap();
         json::validate(&r.chrome_trace_json()).unwrap();
+    }
+
+    #[test]
+    fn coherence_block_appears_only_when_events_recorded() {
+        // No coherence activity: the report value has no "coherence" key.
+        let t = Telemetry::new(TelemetryConfig::on(1_000), 1, 24_000.0);
+        let quiet = t.into_report().unwrap().to_value().render();
+        assert!(!quiet.contains("\"coherence\""));
+
+        let mut t = Telemetry::new(TelemetryConfig::on(1_000), 1, 24_000.0);
+        t.coh_access([1, 0, 0, 0, 0, 1, 0], 4); // BusRd + intervention
+        t.coh_access([0, 0, 0, 0, 0, 0, 0], 0); // pure hit: no sample
+        let r = t.into_report().unwrap();
+        assert_eq!(r.coh_counts[0], 1);
+        assert_eq!(r.coh_counts[5], 1);
+        assert_eq!(r.coh_bus_wait.count(), 1);
+        let doc = r.to_value().render();
+        assert!(doc.contains("\"coherence\""));
+        assert!(doc.contains("\"bus_rd\""));
+        json::validate(&doc).unwrap();
+
+        // Off sink: the hook is a no-op.
+        let mut off = Telemetry::off();
+        off.coh_access([1; 7], 10);
+        assert!(off.into_report().is_none());
     }
 
     #[test]

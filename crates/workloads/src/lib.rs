@@ -26,6 +26,7 @@ pub mod config;
 pub mod dtr;
 pub mod gen;
 pub mod mixes;
+pub mod shared;
 pub mod spec;
 pub mod trace_file;
 

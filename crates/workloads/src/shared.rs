@@ -1,0 +1,495 @@
+//! Shared-footprint multi-core workloads for the coherent front end.
+//!
+//! Unlike the multi-programmed mixes (independent address spaces glued
+//! side by side), these generators emit per-core streams over a *genuinely
+//! shared* address range: the first [`SharedSpec::shared_bytes`] of every
+//! core's virtual footprint name the same physical rows, so private-cache
+//! copies of those lines must be kept coherent. Three kernels cover the
+//! canonical sharing shapes:
+//!
+//! * [`SharedKind::Ring`] — producer/consumer ring buffer: core 0 writes
+//!   slots in order, the other cores sweep behind it reading them
+//!   (migratory lines, reader-after-writer).
+//! * [`SharedKind::Lock`] — lock-contended counters: all cores
+//!   read-modify-write a small set of hot lines (heavy invalidation /
+//!   update traffic, the protocol-separating case).
+//! * [`SharedKind::Frontier`] — graph frontier walk: cores read scattered
+//!   shared frontier lines and write private next-frontier data
+//!   (read-mostly sharing, wide footprint).
+//!
+//! Determinism: two [`SharedGen`]s built with the same
+//! `(spec, seed, core)` emit identical streams, and cores only share the
+//! spec — never mutable state — so an N-thread harness schedule cannot
+//! perturb the traces.
+
+use das_cpu::TraceItem;
+use das_faults::Prng;
+
+use crate::config::{Pattern, WorkloadConfig, LINE_BYTES, ROW_BYTES};
+
+/// Which sharing kernel a [`SharedSpec`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharedKind {
+    /// Producer/consumer ring buffer.
+    Ring,
+    /// Lock-contended counters.
+    Lock,
+    /// Graph frontier walk.
+    Frontier,
+}
+
+impl SharedKind {
+    /// Every kind, in catalog order.
+    pub const ALL: [SharedKind; 3] = [SharedKind::Ring, SharedKind::Lock, SharedKind::Frontier];
+
+    /// Stable manifest key.
+    pub fn key(self) -> &'static str {
+        match self {
+            SharedKind::Ring => "ring",
+            SharedKind::Lock => "lock",
+            SharedKind::Frontier => "frontier",
+        }
+    }
+
+    /// Human-facing label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SharedKind::Ring => "producer/consumer ring",
+            SharedKind::Lock => "lock-contended counter",
+            SharedKind::Frontier => "frontier walk",
+        }
+    }
+
+    /// Parses a manifest key.
+    pub fn parse(s: &str) -> Option<SharedKind> {
+        SharedKind::ALL.into_iter().find(|k| k.key() == s)
+    }
+}
+
+/// How much of each core's footprint is shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sharing {
+    /// 20 % of the footprint (and of the accesses) is shared.
+    Low,
+    /// 50 %.
+    Mid,
+    /// 80 %.
+    High,
+}
+
+impl Sharing {
+    /// Every intensity, in catalog order.
+    pub const ALL: [Sharing; 3] = [Sharing::Low, Sharing::Mid, Sharing::High];
+
+    /// Fraction of the footprint that is shared — also the probability
+    /// that any one access targets the shared region.
+    pub fn shared_frac(self) -> f64 {
+        match self {
+            Sharing::Low => 0.2,
+            Sharing::Mid => 0.5,
+            Sharing::High => 0.8,
+        }
+    }
+
+    /// Stable manifest key.
+    pub fn key(self) -> &'static str {
+        match self {
+            Sharing::Low => "low",
+            Sharing::Mid => "mid",
+            Sharing::High => "high",
+        }
+    }
+
+    /// Parses a manifest key.
+    pub fn parse(s: &str) -> Option<Sharing> {
+        Sharing::ALL.into_iter().find(|s2| s2.key() == s)
+    }
+}
+
+/// Full description of one shared-footprint workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedSpec {
+    /// Sharing kernel.
+    pub kind: SharedKind,
+    /// Number of cores emitting streams.
+    pub cores: usize,
+    /// Sharing intensity.
+    pub sharing: Sharing,
+    /// Per-core virtual footprint in bytes (shared prefix + private rest).
+    pub footprint_bytes: u64,
+    /// Target LLC misses per kilo-instruction per core.
+    pub mpki: f64,
+}
+
+impl SharedSpec {
+    /// Creates a spec with the default (paper-scale) footprint and MPKI.
+    pub fn new(kind: SharedKind, cores: usize, sharing: Sharing) -> SharedSpec {
+        assert!(cores >= 1, "a shared workload needs at least one core");
+        SharedSpec {
+            kind,
+            cores,
+            sharing,
+            footprint_bytes: 32 << 20,
+            mpki: 20.0,
+        }
+    }
+
+    /// Returns a copy with the footprint divided by `factor` (floored at
+    /// two rows so shared and private regions both survive).
+    pub fn scaled(&self, factor: u64) -> SharedSpec {
+        let mut s = self.clone();
+        s.footprint_bytes = (self.footprint_bytes / factor.max(1)).max(2 * ROW_BYTES);
+        s
+    }
+
+    /// Bytes of the shared prefix `[0, shared_bytes)` of every core's
+    /// footprint — row-aligned, and always leaving at least one private
+    /// row.
+    pub fn shared_bytes(&self) -> u64 {
+        let raw = (self.footprint_bytes as f64 * self.sharing.shared_frac()) as u64;
+        let rows = (raw / ROW_BYTES).max(1);
+        let max_rows = (self.footprint_bytes / ROW_BYTES).saturating_sub(1).max(1);
+        rows.min(max_rows) * ROW_BYTES
+    }
+
+    /// Stable workload name, e.g. `ring x4 @mid`.
+    pub fn name(&self) -> String {
+        format!(
+            "{} x{} @{}",
+            self.kind.key(),
+            self.cores,
+            self.sharing.key()
+        )
+    }
+
+    /// Per-core [`WorkloadConfig`]s (named `ring/c0`, `ring/c1`, …). The
+    /// configs carry the footprint/MPKI book-keeping the simulator's
+    /// address map and reports need; the actual streams come from
+    /// [`SharedGen`], not `TraceGen`.
+    pub fn workload_configs(&self) -> Vec<WorkloadConfig> {
+        (0..self.cores)
+            .map(|c| WorkloadConfig {
+                name: format!("{}/c{c}", self.kind.key()),
+                mpki: self.mpki,
+                footprint_bytes: self.footprint_bytes,
+                write_frac: self.core_write_frac(c),
+                dep_frac: self.dep_frac(),
+                pattern: Pattern::stream(),
+                run_lines: 4,
+                phase_insts: None,
+            })
+            .collect()
+    }
+
+    /// Nominal store fraction of `core`'s stream (the producer of a ring
+    /// writes; its consumers mostly read).
+    fn core_write_frac(&self, core: usize) -> f64 {
+        match self.kind {
+            SharedKind::Ring => {
+                if core == 0 {
+                    0.7
+                } else {
+                    0.1
+                }
+            }
+            SharedKind::Lock => 0.5,
+            SharedKind::Frontier => 0.2,
+        }
+    }
+
+    fn dep_frac(&self) -> f64 {
+        match self.kind {
+            SharedKind::Ring => 0.1,
+            SharedKind::Lock => 0.6,
+            SharedKind::Frontier => 0.4,
+        }
+    }
+}
+
+/// Reproducible per-core trace generator over a [`SharedSpec`].
+///
+/// Addresses are virtual, in `[0, footprint_bytes)`; the first
+/// [`SharedSpec::shared_bytes`] are the shared region. The simulator maps
+/// the shared prefix identically for every core and the private remainder
+/// per-core.
+#[derive(Debug, Clone)]
+pub struct SharedGen {
+    spec: SharedSpec,
+    core: usize,
+    rng: Prng,
+    mean_gap: f64,
+    /// Sequential cursor over shared ring slots (Ring) in lines.
+    shared_cursor: u64,
+    /// Sequential cursor over the private region in lines.
+    private_cursor: u64,
+    /// Remaining lines of the current sequential run and its position.
+    run_left: u32,
+    run_line: u64,
+    run_is_write: bool,
+    run_deps: bool,
+    insts: u64,
+}
+
+impl SharedGen {
+    /// Creates the stream `core` of `spec` under `seed`. Streams for
+    /// different cores (or seeds) decorrelate; rebuilding with the same
+    /// triple reproduces the stream exactly.
+    pub fn new(spec: SharedSpec, seed: u64, core: usize) -> SharedGen {
+        assert!(core < spec.cores, "core index out of range");
+        // FNV-1a over the kernel key, then mix in seed and core, matching
+        // the TraceGen convention of name-salted seeds.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+        for b in spec.kind.key().bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= (core as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mean_gap = (1000.0 / spec.mpki - 1.0).max(0.0);
+        let shared_lines = spec.shared_bytes() / LINE_BYTES;
+        SharedGen {
+            core,
+            rng: Prng::new(h),
+            mean_gap,
+            // Consumers start a fraction of the ring behind the producer.
+            shared_cursor: shared_lines * core as u64 / spec.cores.max(1) as u64,
+            private_cursor: 0,
+            run_left: 0,
+            run_line: 0,
+            run_is_write: false,
+            run_deps: false,
+            insts: 0,
+            spec,
+        }
+    }
+
+    /// The spec driving this generator.
+    pub fn spec(&self) -> &SharedSpec {
+        &self.spec
+    }
+
+    /// Instructions represented by the items emitted so far.
+    pub fn insts_emitted(&self) -> u64 {
+        self.insts
+    }
+
+    fn shared_lines(&self) -> u64 {
+        (self.spec.shared_bytes() / LINE_BYTES).max(1)
+    }
+
+    fn private_lines(&self) -> u64 {
+        ((self.spec.footprint_bytes - self.spec.shared_bytes()) / LINE_BYTES).max(1)
+    }
+
+    fn sample_gap(&mut self) -> u32 {
+        if self.mean_gap <= 0.0 {
+            return 0;
+        }
+        let u: f64 = self.rng.range_f64(1e-9, 1.0);
+        let g = -self.mean_gap * u.ln();
+        g.min(self.mean_gap * 8.0).round() as u32
+    }
+
+    /// Probability the next *run* targets the shared region, corrected for
+    /// run lengths so the per-access shared fraction matches
+    /// [`Sharing::shared_frac`] (private runs are longer than shared ones).
+    fn shared_pick_prob(&self) -> f64 {
+        let p = self.spec.sharing.shared_frac();
+        let shared_len = match self.spec.kind {
+            SharedKind::Ring => 2.0,
+            SharedKind::Lock | SharedKind::Frontier => 1.0,
+        };
+        let private_len = 4.0;
+        (p * private_len) / (shared_len + p * (private_len - shared_len))
+    }
+
+    /// Starts the next run of accesses: `(first_line, len, is_write, deps)`
+    /// where `first_line` is an absolute line index in the virtual
+    /// footprint.
+    fn pick_run(&mut self) -> (u64, u32, bool, bool) {
+        let shared = self.rng.gen_bool(self.shared_pick_prob());
+        if !shared {
+            // Private region: per-core sequential sweep (the compute part
+            // of the kernel), moderate store fraction.
+            let lines = self.private_lines();
+            let line = self.shared_lines() + self.private_cursor % lines;
+            self.private_cursor += 4;
+            let w = self.rng.gen_bool(0.3);
+            return (line, 4, w, false);
+        }
+        match self.spec.kind {
+            SharedKind::Ring => {
+                // Sweep the ring in slot order. The producer (core 0)
+                // writes each slot; consumers trail it reading, with an
+                // occasional consumption-flag store.
+                let lines = self.shared_lines();
+                let line = self.shared_cursor % lines;
+                self.shared_cursor += 2;
+                let w = if self.core == 0 {
+                    self.rng.gen_bool(0.85)
+                } else {
+                    self.rng.gen_bool(0.08)
+                };
+                (line, 2, w, false)
+            }
+            SharedKind::Lock => {
+                // A handful of hot lock/counter lines, hammered by every
+                // core with read-modify-write pairs.
+                let locks = (self.shared_lines() / 64).clamp(1, 16);
+                let line = self.rng.range_u64(0, locks) * 64 % self.shared_lines();
+                (line, 1, self.rng.gen_bool(0.5), true)
+            }
+            SharedKind::Frontier => {
+                // Scattered read-mostly probes of the shared frontier.
+                let line = self.rng.range_u64(0, self.shared_lines());
+                (line, 1, self.rng.gen_bool(0.08), true)
+            }
+        }
+    }
+}
+
+impl Iterator for SharedGen {
+    type Item = TraceItem;
+
+    fn next(&mut self) -> Option<TraceItem> {
+        if self.run_left == 0 {
+            let (line, len, is_write, deps) = self.pick_run();
+            self.run_line = line;
+            self.run_left = len;
+            self.run_is_write = is_write;
+            self.run_deps = deps;
+        }
+        let total_lines = self.spec.footprint_bytes / LINE_BYTES;
+        let addr = (self.run_line % total_lines) * LINE_BYTES;
+        self.run_line += 1;
+        self.run_left -= 1;
+        let gap = self.sample_gap();
+        let is_write = self.run_is_write;
+        let depends_on_prev = !is_write && self.run_deps;
+        self.insts += gap as u64 + 1;
+        Some(TraceItem {
+            gap,
+            addr,
+            is_write,
+            depends_on_prev,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: SharedKind) -> SharedSpec {
+        SharedSpec {
+            footprint_bytes: 4 << 20,
+            ..SharedSpec::new(kind, 4, Sharing::Mid)
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed_and_core() {
+        for kind in SharedKind::ALL {
+            let a: Vec<_> = SharedGen::new(spec(kind), 7, 1).take(500).collect();
+            let b: Vec<_> = SharedGen::new(spec(kind), 7, 1).take(500).collect();
+            assert_eq!(a, b, "{kind:?}");
+            let c: Vec<_> = SharedGen::new(spec(kind), 8, 1).take(500).collect();
+            assert_ne!(a, c, "{kind:?} must vary with seed");
+            let d: Vec<_> = SharedGen::new(spec(kind), 7, 2).take(500).collect();
+            assert_ne!(a, d, "{kind:?} cores must decorrelate");
+        }
+    }
+
+    #[test]
+    fn addresses_stay_inside_the_footprint() {
+        for kind in SharedKind::ALL {
+            let s = spec(kind);
+            let fp = s.footprint_bytes;
+            for item in SharedGen::new(s, 3, 0).take(5_000) {
+                assert!(item.addr < fp, "{kind:?}: {:#x}", item.addr);
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_intensity_controls_shared_access_fraction() {
+        for sharing in Sharing::ALL {
+            let s = SharedSpec {
+                footprint_bytes: 4 << 20,
+                ..SharedSpec::new(SharedKind::Frontier, 2, sharing)
+            };
+            let shared_bytes = s.shared_bytes();
+            let items: Vec<_> = SharedGen::new(s, 11, 0).take(20_000).collect();
+            let frac =
+                items.iter().filter(|i| i.addr < shared_bytes).count() as f64 / items.len() as f64;
+            assert!(
+                (frac - sharing.shared_frac()).abs() < 0.05,
+                "{sharing:?}: shared access fraction {frac:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_producer_writes_consumers_read() {
+        let s = spec(SharedKind::Ring);
+        let shared = s.shared_bytes();
+        let writes_in_shared = |core: usize| {
+            let items: Vec<_> = SharedGen::new(spec(SharedKind::Ring), 5, core)
+                .take(20_000)
+                .filter(|i| i.addr < shared)
+                .collect();
+            items.iter().filter(|i| i.is_write).count() as f64 / items.len() as f64
+        };
+        assert!(writes_in_shared(0) > 0.6, "producer mostly writes");
+        assert!(writes_in_shared(1) < 0.2, "consumers mostly read");
+    }
+
+    #[test]
+    fn lock_kernel_concentrates_on_few_lines() {
+        let s = spec(SharedKind::Lock);
+        let shared = s.shared_bytes();
+        let lines: std::collections::HashSet<u64> = SharedGen::new(s, 9, 2)
+            .take(20_000)
+            .filter(|i| i.addr < shared)
+            .map(|i| i.addr / LINE_BYTES)
+            .collect();
+        assert!(
+            lines.len() <= 16,
+            "lock lines should be few: {}",
+            lines.len()
+        );
+    }
+
+    #[test]
+    fn shared_bytes_is_row_aligned_and_leaves_private_space() {
+        for sharing in Sharing::ALL {
+            for factor in [1, 8, 1 << 30] {
+                let s = SharedSpec::new(SharedKind::Ring, 2, sharing).scaled(factor);
+                let sb = s.shared_bytes();
+                assert_eq!(sb % ROW_BYTES, 0);
+                assert!(sb >= ROW_BYTES);
+                assert!(sb < s.footprint_bytes, "private region must survive");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_configs_share_footprint_and_name_cores() {
+        let s = spec(SharedKind::Frontier);
+        let cfgs = s.workload_configs();
+        assert_eq!(cfgs.len(), 4);
+        assert_eq!(cfgs[0].name, "frontier/c0");
+        assert_eq!(cfgs[3].name, "frontier/c3");
+        assert!(cfgs.iter().all(|c| c.footprint_bytes == s.footprint_bytes));
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        for k in SharedKind::ALL {
+            assert_eq!(SharedKind::parse(k.key()), Some(k));
+        }
+        for s in Sharing::ALL {
+            assert_eq!(Sharing::parse(s.key()), Some(s));
+        }
+        assert_eq!(SharedKind::parse("barrier"), None);
+        assert_eq!(Sharing::parse("max"), None);
+    }
+}
