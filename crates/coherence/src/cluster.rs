@@ -97,6 +97,11 @@ pub struct CoherentCluster {
     use_counter: u64,
     bus: SnoopBus,
     stats: CoherenceStats,
+    /// Per-line sharing-induced access counts: how many accesses found
+    /// the line valid in *another* core's L1. Surfaced so fast-level
+    /// placement (cost-aware migration policies) can weight sharing-hot
+    /// rows; purely observational, never read by the protocol.
+    shared_access_counts: HashMap<u64, u32>,
 }
 
 impl CoherentCluster {
@@ -114,6 +119,7 @@ impl CoherentCluster {
             use_counter: 0,
             bus: SnoopBus::new(),
             stats: CoherenceStats::default(),
+            shared_access_counts: HashMap::new(),
         }
     }
 
@@ -133,11 +139,31 @@ impl CoherentCluster {
         self.stats.shared_promotions += 1;
     }
 
+    /// Sharing-induced access count for the line holding `addr`: how many
+    /// accesses found it valid in another core's L1.
+    pub fn shared_accesses(&self, addr: u64) -> u32 {
+        self.shared_access_counts
+            .get(&(addr & !(self.cfg.line_bytes - 1)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct lines that have seen at least one
+    /// sharing-induced access.
+    pub fn sharing_hot_lines(&self) -> usize {
+        self.shared_access_counts.len()
+    }
+
     /// State of `core`'s copy of the line holding `addr`, if any.
     pub fn probe(&self, core: usize, addr: u64) -> Option<CohState> {
         self.l1[core]
             .get(&(addr & !(self.cfg.line_bytes - 1)))
             .map(|&(s, _)| s)
+    }
+
+    fn note_shared_access(&mut self, line: u64) {
+        let n = self.shared_access_counts.entry(line).or_insert(0);
+        *n = n.saturating_add(1);
     }
 
     /// Does any core other than `core` hold a valid copy of `line`?
@@ -223,6 +249,9 @@ impl CoherentCluster {
             // ---- hit ----------------------------------------------------
             self.stats.l1_hits += 1;
             let others = self.others_hold(core, line);
+            if others {
+                self.note_shared_access(line);
+            }
             let out = self.protocol.on_hit(state, is_write, others);
             let mut done = now + self.cfg.hit_cycles;
             if let Some(tx) = out.bus {
@@ -252,6 +281,9 @@ impl CoherentCluster {
             self.l1[core].remove(&line);
         }
         let others = self.others_hold(core, line);
+        if others {
+            self.note_shared_access(line);
+        }
         let out = self.protocol.on_miss(is_write, others);
         self.stats.count_tx(out.tx);
         // Any valid holder supplies under both protocols, so the data phase
@@ -316,6 +348,25 @@ mod tests {
                 hit_cycles: 2,
             },
         )
+    }
+
+    #[test]
+    fn sharing_induced_accesses_are_counted_per_line() {
+        let mut cl = cluster(ProtocolKind::Mesi, 2);
+        // Core 0 alone: nothing is sharing-induced.
+        cl.access(0, 0x100, false, 0);
+        assert_eq!(cl.shared_accesses(0x100), 0);
+        assert_eq!(cl.sharing_hot_lines(), 0);
+        // Core 1 touches the line core 0 holds: sharing-induced.
+        cl.access(1, 0x100, false, 10);
+        assert_eq!(cl.shared_accesses(0x100), 1);
+        // Core 0 hits its own copy while core 1 also holds it: counted.
+        cl.access(0, 0x120, false, 20);
+        assert_eq!(cl.shared_accesses(0x100), 2, "same line, offset addr");
+        assert_eq!(cl.sharing_hot_lines(), 1);
+        // A private line on another core never counts.
+        cl.access(1, 0x2000, false, 30);
+        assert_eq!(cl.shared_accesses(0x2000), 0);
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub mod translation;
 
 pub use groups::{BankGroups, GroupId};
 pub use inclusive::{FillRequest, InclusiveManager};
-pub use management::{DasManager, ManagementConfig, ManagementStats, SwapRequest, Translation};
+pub use management::{
+    DasManager, ManagementConfig, ManagementStats, PolicyCosts, PolicyStats, SwapRequest,
+    Translation, POLICY_EPOCH_ACCESSES,
+};
 pub use migration::{MigrationModel, MigrationStep};
 pub use promotion::{FilterStats, PromotionFilter};
 pub use replacement::{ReplacementPolicy, Replacer};

@@ -10,6 +10,7 @@ use core::fmt;
 use std::collections::{HashMap, HashSet};
 
 use das_dram::geometry::{BankCoord, BankLayout, DramGeometry, FastRatio, GlobalRowId};
+use das_policy::{AccessStats, EpochStats, MigrationPolicy, PolicyAction, PolicyEvent, PolicyKind};
 
 use crate::groups::{BankGroups, GroupId, GroupInvariantError};
 use crate::promotion::{FilterStats, PromotionFilter};
@@ -144,7 +145,7 @@ pub struct SwapRequest {
 }
 
 /// Aggregate management statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ManagementStats {
     /// Data accesses that found their row in the fast level.
     pub fast_hits: u64,
@@ -156,6 +157,58 @@ pub struct ManagementStats {
     pub deferred_busy: u64,
     /// Promotions abandoned after being issued (swap could not complete).
     pub aborted: u64,
+}
+
+/// Backend-specific promotion economics fed to cost-aware policies.
+///
+/// Computed once at assembly from the design's timing set: the benefit
+/// is the per-hit activation-cycle saving of the fast level, the swap
+/// cost is what the backend charges for one promotion (146.25 ns for a
+/// DAS 3-step swap, 48.75 ns for a LISA RBM swap, 97.5 ns = 2×tRC for a
+/// CLR-DRAM morph-exchange).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyCosts {
+    /// Latency saved per future fast-level hit, nanoseconds.
+    pub benefit_ns: f64,
+    /// Cost of one promotion on this backend, nanoseconds.
+    pub swap_cost_ns: f64,
+}
+
+/// Tallies of the actions an installed policy has emitted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// `Promote` actions (promotion requested; the controller may still
+    /// defer on a busy group).
+    pub promotes: u64,
+    /// `Demote` actions (advisory demotion pressure).
+    pub demotes: u64,
+    /// `Hold` actions.
+    pub holds: u64,
+    /// `AdjustThreshold` actions applied (post-clamping).
+    pub threshold_adjusts: u64,
+    /// Policy epochs delivered.
+    pub epochs: u64,
+}
+
+/// Data accesses per policy epoch. Access-count driven (not tick or
+/// telemetry driven) so epoch boundaries are bit-deterministic and
+/// independent of the telemetry configuration.
+pub const POLICY_EPOCH_ACCESSES: u64 = 4096;
+
+/// An installed [`MigrationPolicy`] plus the bookkeeping the manager
+/// needs to drive it: epoch accounting and action tallies.
+#[derive(Debug, Clone)]
+struct PolicyRuntime {
+    policy: Box<dyn MigrationPolicy>,
+    kind: PolicyKind,
+    costs: PolicyCosts,
+    /// Accesses since the last epoch boundary.
+    epoch_fill: u64,
+    /// Index of the next epoch to deliver.
+    epoch_index: u64,
+    /// Stats snapshot at the previous epoch boundary (for deltas).
+    last: ManagementStats,
+    stats: PolicyStats,
 }
 
 /// The §5 management mechanism. See the [module docs](self).
@@ -172,6 +225,9 @@ pub struct DasManager {
     /// Groups with a swap in flight (no second promotion may start).
     busy_groups: HashSet<GroupId>,
     stats: ManagementStats,
+    /// Online migration policy; `None` (the default) is the paper's
+    /// fixed path, byte-identical to the pre-policy code.
+    policy: Option<PolicyRuntime>,
 }
 
 impl DasManager {
@@ -206,7 +262,33 @@ impl DasManager {
             filter: PromotionFilter::new(cfg.promotion_threshold, cfg.filter_counters),
             busy_groups: HashSet::new(),
             stats: ManagementStats::default(),
+            policy: None,
         }
+    }
+
+    /// Installs an online migration policy with the backend's promotion
+    /// economics. Without this call the manager runs the paper's fixed
+    /// promote-at-threshold path, byte-identical to the pre-policy code;
+    /// `PaperFixed` installed here makes the same decisions through the
+    /// policy trait (locked by `crates/sim/tests/policy_identity.rs`).
+    pub fn install_policy(&mut self, policy: Box<dyn MigrationPolicy>, costs: PolicyCosts) {
+        self.policy = Some(PolicyRuntime {
+            kind: policy.kind(),
+            policy,
+            costs,
+            epoch_fill: 0,
+            epoch_index: 0,
+            last: self.stats,
+            stats: PolicyStats::default(),
+        });
+    }
+
+    /// The installed policy's kind, action tallies and the threshold it
+    /// has steered the filter to; `None` when no policy is installed.
+    pub fn policy_stats(&self) -> Option<(PolicyKind, PolicyStats, u32)> {
+        self.policy
+            .as_ref()
+            .map(|rt| (rt.kind, rt.stats, self.filter.threshold()))
     }
 
     /// The configuration in force.
@@ -269,6 +351,22 @@ impl DasManager {
         logical_row: u32,
         now: u64,
     ) -> Option<SwapRequest> {
+        self.on_data_access_shared(bank, logical_row, now, 0)
+    }
+
+    /// [`on_data_access`] with the row's coherence sharing-induced access
+    /// count, so cost-aware policies can weight sharing-hot rows. The
+    /// count is advisory and ignored on the policy-free default path.
+    ///
+    /// [`on_data_access`]: DasManager::on_data_access
+    pub fn on_data_access_shared(
+        &mut self,
+        bank: BankCoord,
+        logical_row: u32,
+        now: u64,
+        shared_count: u32,
+    ) -> Option<SwapRequest> {
+        self.policy_epoch_tick();
         let bank_idx = self.geometry.bank_index(bank);
         let (group, _) = self.groups[bank_idx].locate(logical_row);
         let gid = GroupId {
@@ -287,10 +385,16 @@ impl DasManager {
             return None;
         }
         let row_id = self.geometry.global_row_id(bank, logical_row);
-        if !self.filter.observe(row_id) {
+        let group_busy = self.busy_groups.contains(&gid);
+        let grant = if self.policy.is_some() {
+            self.policy_decide(row_id, shared_count, group_busy)
+        } else {
+            self.filter.observe(row_id)
+        };
+        if !grant {
             return None;
         }
-        if self.busy_groups.contains(&gid) {
+        if group_busy {
             self.stats.deferred_busy += 1;
             return None;
         }
@@ -310,6 +414,85 @@ impl DasManager {
         };
         self.busy_groups.insert(gid);
         Some(req)
+    }
+
+    /// Runs the installed policy for one promotion-candidate access and
+    /// returns whether to promote. The filter still does the counting
+    /// (`PaperFixed` uses the paper's exact counter semantics, adaptive
+    /// policies the always-counted variant) and the policy the deciding.
+    fn policy_decide(&mut self, row_id: GlobalRowId, shared_count: u32, group_busy: bool) -> bool {
+        let threshold = self.filter.threshold();
+        let rt = self.policy.as_mut().expect("caller checked");
+        let count = if rt.kind == PolicyKind::PaperFixed {
+            self.filter.note(row_id)
+        } else {
+            self.filter.note_counted(row_id)
+        };
+        let event = PolicyEvent::Access(AccessStats {
+            count,
+            threshold,
+            shared_count,
+            benefit_ns: rt.costs.benefit_ns,
+            swap_cost_ns: rt.costs.swap_cost_ns,
+            group_busy,
+        });
+        let actions = rt.policy.observe(&event);
+        let grant = actions.contains(&PolicyAction::Promote);
+        self.filter.resolve(row_id, grant);
+        self.apply_policy_actions(&actions);
+        grant
+    }
+
+    /// Counts one access toward the policy epoch and, at the boundary,
+    /// delivers the epoch's stat deltas to the policy.
+    fn policy_epoch_tick(&mut self) {
+        let threshold = self.filter.threshold();
+        let current = self.stats;
+        let actions = {
+            let rt = match self.policy.as_mut() {
+                Some(rt) => rt,
+                None => return,
+            };
+            rt.epoch_fill += 1;
+            if rt.epoch_fill < POLICY_EPOCH_ACCESSES {
+                return;
+            }
+            rt.epoch_fill = 0;
+            let fast = current.fast_hits - rt.last.fast_hits;
+            let slow = current.slow_hits - rt.last.slow_hits;
+            let event = PolicyEvent::Epoch(EpochStats {
+                epoch: rt.epoch_index,
+                accesses: fast + slow,
+                fast_hits: fast,
+                slow_hits: slow,
+                promotions: current.promotions - rt.last.promotions,
+                threshold,
+            });
+            rt.epoch_index += 1;
+            rt.last = current;
+            rt.stats.epochs += 1;
+            rt.policy.observe(&event)
+        };
+        self.apply_policy_actions(&actions);
+    }
+
+    /// Tallies a policy's actions and applies threshold adjustments
+    /// (clamped by the filter). `Promote`/`Demote` are tallied here and
+    /// acted on (or held as advisory pressure) by the caller.
+    fn apply_policy_actions(&mut self, actions: &[PolicyAction]) {
+        for action in actions {
+            let rt = self.policy.as_mut().expect("caller checked");
+            match action {
+                PolicyAction::Promote => rt.stats.promotes += 1,
+                PolicyAction::Demote => rt.stats.demotes += 1,
+                PolicyAction::Hold => rt.stats.holds += 1,
+                PolicyAction::AdjustThreshold(delta) => {
+                    rt.stats.threshold_adjusts += 1;
+                    let next = self.filter.threshold() as i64 + *delta as i64;
+                    self.filter.set_threshold(next);
+                }
+            }
+        }
     }
 
     /// Commits a completed swap: updates the group permutation, keeps the
@@ -715,6 +898,132 @@ mod tests {
             "rebuilt cache should serve most fast rows: {hits}/{}",
             fast_rows.len()
         );
+    }
+
+    fn costs() -> PolicyCosts {
+        PolicyCosts {
+            benefit_ns: 22.5,
+            swap_cost_ns: 146.25,
+        }
+    }
+
+    #[test]
+    fn paper_fixed_policy_decides_exactly_like_the_policy_free_path() {
+        let stream: Vec<u32> = (0..200).map(|i| (i * 37) % 512).collect();
+        for threshold in [1, 4] {
+            let cfg = ManagementConfig {
+                promotion_threshold: threshold,
+                tcache_bytes: 2 << 10,
+                ..ManagementConfig::paper_default()
+            };
+            let mut bare = manager(cfg);
+            let mut ruled = manager(cfg);
+            ruled.install_policy(das_policy::PolicyKind::PaperFixed.build(), costs());
+            for (i, &row) in stream.iter().enumerate() {
+                let a = bare.on_data_access(bank0(), row, i as u64);
+                let b = ruled.on_data_access(bank0(), row, i as u64);
+                assert_eq!(a, b, "threshold {threshold}, access {i}");
+                if let (Some(a), Some(b)) = (a, b) {
+                    bare.commit_swap(&a, i as u64);
+                    ruled.commit_swap(&b, i as u64);
+                }
+            }
+            assert_eq!(bare.stats(), ruled.stats());
+            assert_eq!(bare.filter_stats(), ruled.filter_stats());
+        }
+    }
+
+    #[test]
+    fn policy_promotion_race_with_in_flight_swap_defers() {
+        let mut m = manager(cfg_scaled());
+        m.install_policy(das_policy::PolicyKind::PaperFixed.build(), costs());
+        let r1 = m.on_data_access(bank0(), 17, 1).expect("first promotes");
+        // Same group while the swap is in flight: the policy grants, the
+        // controller must still defer (no second swap may start).
+        assert!(m.on_data_access(bank0(), 18, 2).is_none());
+        assert_eq!(m.stats().deferred_busy, 1);
+        let (_, pstats, _) = m.policy_stats().unwrap();
+        assert_eq!(pstats.promotes, 2, "both grants are tallied");
+        m.commit_swap(&r1, 2);
+        assert!(m.on_data_access(bank0(), 18, 3).is_some());
+        assert_eq!(m.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn demoting_the_last_fast_row_keeps_invariants() {
+        // 1/32 ratio with 32-row groups: exactly one fast slot per group,
+        // so every promotion demotes the group's only fast resident.
+        let g = geometry();
+        let l = BankLayout::build(
+            g.rows_per_bank,
+            FastRatio::new(1, 32),
+            Arrangement::default(),
+            128,
+            512,
+        );
+        let cfg = ManagementConfig {
+            fast_ratio: FastRatio::new(1, 32),
+            tcache_bytes: 2 << 10,
+            ..ManagementConfig::paper_default()
+        };
+        let mut m = DasManager::new(cfg, g, l);
+        let first = m.on_data_access(bank0(), 17, 1).expect("promotes");
+        m.commit_swap(&first, 1);
+        assert!(m.is_fast(bank0(), 17));
+        assert!(!m.is_fast(bank0(), first.victim), "last fast row demoted");
+        assert_eq!(m.check_invariants(), Ok(()));
+        // And again: row 17 is now itself the group's last fast row.
+        let second = m.on_data_access(bank0(), 18, 2).expect("promotes");
+        assert_eq!(second.victim, 17);
+        m.commit_swap(&second, 2);
+        assert!(!m.is_fast(bank0(), 17));
+        assert!(m.is_fast(bank0(), 18));
+        assert_eq!(m.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn cost_aware_policy_waits_for_reuse_on_a_das_swap() {
+        let mut m = manager(cfg_scaled());
+        m.install_policy(das_policy::PolicyKind::CostAware.build(), costs());
+        // ceil(146.25 / 22.5) = 7 observed hits before the swap pays off.
+        for i in 0..6u64 {
+            assert!(m.on_data_access(bank0(), 17, i).is_none(), "hit {i}");
+        }
+        let req = m.on_data_access(bank0(), 17, 6).expect("7th hit promotes");
+        assert_eq!(req.promotee, 17);
+        let (_, pstats, _) = m.policy_stats().unwrap();
+        assert_eq!((pstats.promotes, pstats.holds), (1, 6));
+    }
+
+    #[test]
+    fn cost_aware_policy_weights_sharing_hot_rows() {
+        let mut m = manager(cfg_scaled());
+        m.install_policy(das_policy::PolicyKind::CostAware.build(), costs());
+        // Three private hits alone hold; with four sharing-induced
+        // accesses the expected residency benefit crosses the swap cost.
+        assert!(m.on_data_access_shared(bank0(), 17, 0, 0).is_none());
+        assert!(m.on_data_access_shared(bank0(), 17, 1, 0).is_none());
+        assert!(m.on_data_access_shared(bank0(), 17, 2, 4).is_some());
+    }
+
+    #[test]
+    fn feedback_policy_raises_threshold_on_an_overshooting_epoch() {
+        let mut m = manager(ManagementConfig {
+            promotion_threshold: 4,
+            tcache_bytes: 2 << 10,
+            ..ManagementConfig::paper_default()
+        });
+        m.install_policy(das_policy::PolicyKind::Feedback.build(), costs());
+        // An epoch of pure fast hits: ratio 1.0 overshoots the 0.5 target,
+        // so the controller raises the bar.
+        for i in 0..POLICY_EPOCH_ACCESSES {
+            assert!(m.on_data_access(bank0(), 0, i).is_none());
+        }
+        let (kind, pstats, threshold) = m.policy_stats().unwrap();
+        assert_eq!(kind, das_policy::PolicyKind::Feedback);
+        assert_eq!(pstats.epochs, 1);
+        assert_eq!(pstats.threshold_adjusts, 1);
+        assert_eq!(threshold, 5);
     }
 
     #[test]

@@ -65,6 +65,15 @@ impl PromotionFilter {
         self.threshold
     }
 
+    /// Reprograms the threshold at runtime (adaptive policies), clamped
+    /// into `[THRESHOLD_MIN, THRESHOLD_MAX]` so a policy can never drive
+    /// the filter into the panicking zero configuration. Returns the
+    /// threshold actually installed.
+    pub fn set_threshold(&mut self, raw: i64) -> u32 {
+        self.threshold = das_policy::clamp_threshold(raw);
+        self.threshold
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> FilterStats {
         self.stats
@@ -73,12 +82,54 @@ impl PromotionFilter {
     /// Records a slow-level access to `row`; returns `true` when the row
     /// should be promoted (its counter reached the threshold, and is reset).
     pub fn observe(&mut self, row: GlobalRowId) -> bool {
+        let count = self.note(row);
+        let grant = count >= self.threshold;
+        self.resolve(row, grant);
+        grant
+    }
+
+    /// Tallies a slow-level access and returns the row's counter value
+    /// including this access, without deciding; pair with [`resolve`].
+    ///
+    /// Keeps the paper's exact counter-file semantics: at threshold 1 no
+    /// counters are tracked at all (the returned count is 1), above it
+    /// the LRU counter is recycled when the file is full.
+    ///
+    /// [`resolve`]: PromotionFilter::resolve
+    pub fn note(&mut self, row: GlobalRowId) -> u32 {
         self.stats.observed += 1;
         self.clock += 1;
         if self.threshold == 1 {
-            self.stats.granted += 1;
-            return true;
+            return 1;
         }
+        self.bump(row)
+    }
+
+    /// Like [`note`], but tracks counters even at threshold 1, so
+    /// policies that reason about reuse depth (cost-aware promotion) see
+    /// real counts under the paper's default threshold.
+    ///
+    /// [`note`]: PromotionFilter::note
+    pub fn note_counted(&mut self, row: GlobalRowId) -> u32 {
+        self.stats.observed += 1;
+        self.clock += 1;
+        self.bump(row)
+    }
+
+    /// Applies a promotion decision for a previously [`note`]d access:
+    /// grants reset the row's counter, denials count as suppressed.
+    ///
+    /// [`note`]: PromotionFilter::note
+    pub fn resolve(&mut self, row: GlobalRowId, grant: bool) {
+        if grant {
+            self.counters.remove(&row);
+            self.stats.granted += 1;
+        } else {
+            self.stats.suppressed += 1;
+        }
+    }
+
+    fn bump(&mut self, row: GlobalRowId) -> u32 {
         let clock = self.clock;
         if self.counters.len() >= self.capacity && !self.counters.contains_key(&row) {
             // Recycle the least recently touched counter.
@@ -90,14 +141,7 @@ impl PromotionFilter {
         let entry = self.counters.entry(row).or_insert((0, clock));
         entry.0 += 1;
         entry.1 = clock;
-        if entry.0 >= self.threshold {
-            self.counters.remove(&row);
-            self.stats.granted += 1;
-            true
-        } else {
-            self.stats.suppressed += 1;
-            false
-        }
+        entry.0
     }
 
     /// Forgets any counter for `row` (e.g. because it was promoted through
@@ -166,5 +210,54 @@ mod tests {
     #[should_panic(expected = "threshold must be at least 1")]
     fn zero_threshold_rejected() {
         let _ = PromotionFilter::new(0, 8);
+    }
+
+    #[test]
+    fn runtime_threshold_adjustment_clamps_at_both_rails() {
+        let mut f = PromotionFilter::new(4, 8);
+        // A policy asking for 0 (or below) lands on the floor instead of
+        // tripping the constructor's panic condition.
+        assert_eq!(f.set_threshold(0), das_policy::THRESHOLD_MIN);
+        assert_eq!(f.threshold(), 1);
+        assert_eq!(f.set_threshold(-3), das_policy::THRESHOLD_MIN);
+        assert_eq!(f.set_threshold(7), 7);
+        assert_eq!(
+            f.set_threshold(das_policy::THRESHOLD_MAX as i64 + 500),
+            das_policy::THRESHOLD_MAX
+        );
+        assert_eq!(f.threshold(), das_policy::THRESHOLD_MAX);
+    }
+
+    #[test]
+    fn note_resolve_split_matches_observe() {
+        // Two filters fed the same access stream — one through observe(),
+        // one through the note()/resolve() pair a policy runtime uses —
+        // must agree on every decision and on final stats.
+        let stream: Vec<u64> = (0..40).map(|i| (i * 7) % 5).collect();
+        for threshold in [1, 3] {
+            let mut legacy = PromotionFilter::new(threshold, 4);
+            let mut split = PromotionFilter::new(threshold, 4);
+            for &n in &stream {
+                let want = legacy.observe(row(n));
+                let count = split.note(row(n));
+                let grant = count >= split.threshold();
+                split.resolve(row(n), grant);
+                assert_eq!(grant, want, "threshold {threshold}, row {n}");
+            }
+            assert_eq!(legacy.stats(), split.stats());
+        }
+    }
+
+    #[test]
+    fn note_counted_tracks_reuse_at_threshold_one() {
+        let mut f = PromotionFilter::new(1, 8);
+        assert_eq!(f.note_counted(row(3)), 1);
+        f.resolve(row(3), false);
+        assert_eq!(f.note_counted(row(3)), 2);
+        f.resolve(row(3), false);
+        assert_eq!(f.note_counted(row(3)), 3);
+        // Granting resets the row's progress.
+        f.resolve(row(3), true);
+        assert_eq!(f.note_counted(row(3)), 1);
     }
 }

@@ -34,15 +34,17 @@ pub const BENCH_SAMPLE_EVERY: u32 = 64;
 
 /// The pinned job subset: small enough for CI, varied enough that a
 /// regression in the baseline path, the DAS management path, the
-/// inclusive/TL path, or the coherent front end is visible in isolation.
-/// A `shared:<kind>` workload token runs under the two-core MESI
-/// coherent front end at mid sharing intensity.
-pub const BENCH_JOBS: [(Design, &str); 5] = [
+/// inclusive/TL path, the coherent front end, or the adaptive-policy
+/// path is visible in isolation. A `shared:<kind>` workload token runs
+/// under the two-core MESI coherent front end at mid sharing intensity;
+/// a `policy:<key>:<bench>` token installs that migration policy.
+pub const BENCH_JOBS: [(Design, &str); 6] = [
     (Design::Standard, "mcf"),
     (Design::DasDram, "mcf"),
     (Design::DasDram, "libquantum"),
     (Design::TlDram, "mcf"),
     (Design::DasDram, "shared:lock"),
+    (Design::DasDram, "policy:feedback:mcf"),
 ];
 
 /// Knobs of a bench session (`--insts` / `--scale` pass through from the
@@ -90,6 +92,17 @@ fn run_bench_job(design: Design, workload: &str, opts: &BenchOptions) -> Result<
         start = Instant::now();
         let (res, _tel, stages) =
             run_one_coherent_profiled(&cfg, design, &spec, das_coherence::ProtocolKind::Mesi);
+        (res, stages)
+    } else if let Some(rest) = workload.strip_prefix("policy:") {
+        let (key, bench) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("{id}: policy token needs policy:<key>:<bench>"))?;
+        let kind = das_policy::PolicyKind::parse(key)
+            .ok_or_else(|| format!("{id}: unknown migration policy {key:?}"))?;
+        let cfg = cfg.with_policy(kind);
+        let workloads = vec![spec::by_name(bench)];
+        start = Instant::now();
+        let (res, _tel, stages) = run_one_profiled(&cfg, design, &workloads);
         (res, stages)
     } else {
         let workloads = vec![spec::by_name(workload)];
@@ -287,6 +300,12 @@ mod tests {
             jobs.iter()
                 .any(|j| { j.get("id").and_then(Value::as_str) == Some("bench/das/shared:lock") }),
             "the coherent front end is covered by the pinned suite"
+        );
+        assert!(
+            jobs.iter().any(|j| {
+                j.get("id").and_then(Value::as_str) == Some("bench/das/policy:feedback:mcf")
+            }),
+            "the adaptive-policy path is covered by the pinned suite"
         );
         das_telemetry::json::validate(&doc.render()).expect("bench doc must render as valid JSON");
     }

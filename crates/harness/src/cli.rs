@@ -886,6 +886,32 @@ mod tests {
     }
 
     #[test]
+    fn policy_search_glob_expands_to_the_family() {
+        let m = build_catalog_manifest(
+            &["policy_search_*".to_string()],
+            100_000,
+            64,
+            &["mcf".to_string()],
+        )
+        .unwrap();
+        assert_eq!(
+            m.experiments
+                .iter()
+                .map(|e| e.id.as_str())
+                .collect::<Vec<_>>(),
+            [
+                "policy_search_rank",
+                "policy_search_size",
+                "policy_search_adapt"
+            ]
+        );
+        m.validate().unwrap();
+        // The family vocabulary mentions the new group in diagnostics.
+        let err = build_catalog_manifest(&["warp".to_string()], 100_000, 64, &[]).unwrap_err();
+        assert!(err.contains("policy_search"), "{err}");
+    }
+
+    #[test]
     fn render_experiment_outputs_checks_report_count() {
         let m = build_catalog_manifest(
             &["fig8a".to_string()],

@@ -28,7 +28,11 @@ use das_workloads::{mixes, shared, spec};
 /// * **3** — workload tokens grew `shared:<kind>` (coherent multi-core
 ///   front end) and overrides grew `protocol`/`cores`/`sharing`. Older
 ///   documents still parse.
-pub const MANIFEST_VERSION: u64 = 3;
+/// * **4** — overrides grew `policy:<name>` (adaptive migration policies:
+///   `paper_fixed`, `hysteresis`, `cost_aware`, `phase_adaptive`,
+///   `feedback`), valid only on dynamic exclusive designs. Older documents
+///   still parse.
+pub const MANIFEST_VERSION: u64 = 4;
 
 /// The oldest manifest version this build still reads.
 pub const MANIFEST_MIN_VERSION: u64 = 1;
@@ -126,6 +130,9 @@ pub struct Overrides {
     pub cores: Option<u32>,
     /// Sharing intensity for `shared:*` workloads (`low`, `mid`, `high`).
     pub sharing: Option<String>,
+    /// Migration policy (`paper_fixed`, `hysteresis`, `cost_aware`,
+    /// `phase_adaptive`, `feedback`); dynamic exclusive designs only.
+    pub policy: Option<String>,
 }
 
 /// Default fault-plan seed (the fault-sweep bench's historic constant).
@@ -338,6 +345,17 @@ impl JobSpec {
         if let Some(w) = ov.watchdog_wakes {
             cfg.watchdog_same_tick_wakes = w;
         }
+        if let Some(p) = &ov.policy {
+            let kind = das_policy::PolicyKind::parse(p)
+                .ok_or_else(|| format!("unknown migration policy {p:?}"))?;
+            if !design.is_dynamic() || design.is_inclusive() || design.needs_profile() {
+                return Err(format!(
+                    "policy override needs a dynamic exclusive design, got {:?}",
+                    self.design
+                ));
+            }
+            cfg.policy = Some(kind);
+        }
         Ok((cfg, design, workloads))
     }
 
@@ -376,6 +394,7 @@ impl JobSpec {
         put!(protocol);
         put!(cores as u64);
         put!(sharing);
+        put!(policy);
         Value::obj()
             .set("id", self.id.as_str())
             .set("design", self.design.as_str())
@@ -467,6 +486,7 @@ impl Overrides {
                 "protocol" => ov.protocol = Some(req_str(val, k)?),
                 "cores" => ov.cores = Some(req_u32(val, k)?),
                 "sharing" => ov.sharing = Some(req_str(val, k)?),
+                "policy" => ov.policy = Some(req_str(val, k)?),
                 other => return Err(format!("unknown override {other:?}")),
             }
         }
@@ -780,6 +800,68 @@ mod tests {
         // Round trip preserves the coherent overrides.
         let back = JobSpec::from_value(&job.to_value()).unwrap();
         assert_eq!(back, job);
+    }
+
+    #[test]
+    fn policy_overrides_materialize_and_round_trip() {
+        let mut job = JobSpec {
+            id: "pol/mcf/das".into(),
+            design: "das".into(),
+            workload: "mcf".into(),
+            insts: 100_000,
+            scale: 64,
+            seed: 42,
+            ov: Overrides {
+                policy: Some("cost_aware".into()),
+                ..Overrides::default()
+            },
+        };
+        let (cfg, design, _) = job.materialize().unwrap();
+        assert_eq!(design, Design::DasDram);
+        assert_eq!(cfg.policy, Some(das_policy::PolicyKind::CostAware));
+        let back = JobSpec::from_value(&job.to_value()).unwrap();
+        assert_eq!(back, job);
+        // Every shipped policy key is a valid token.
+        for kind in das_policy::ALL_POLICIES {
+            job.ov.policy = Some(kind.key().into());
+            let (cfg, _, _) = job.materialize().unwrap();
+            assert_eq!(cfg.policy, Some(kind));
+        }
+    }
+
+    #[test]
+    fn policy_override_errors_are_loud() {
+        let mut job = JobSpec {
+            id: "pol/bad".into(),
+            design: "das".into(),
+            workload: "mcf".into(),
+            insts: 1_000,
+            scale: 64,
+            seed: 42,
+            ov: Overrides {
+                policy: Some("oracle".into()),
+                ..Overrides::default()
+            },
+        };
+        assert!(job.materialize().unwrap_err().contains("migration policy"));
+        job.ov.policy = Some("feedback".into());
+        // A policy needs a dynamic exclusive fast level to steer: the
+        // homogeneous baseline, static-profiled placements and the
+        // inclusive-cache managements (das_incl, TL-DRAM) are all rejected.
+        for design in ["std", "salp", "sas", "charm", "das_incl", "tl"] {
+            job.design = design.into();
+            assert!(
+                job.materialize()
+                    .unwrap_err()
+                    .contains("dynamic exclusive design"),
+                "{design} must reject a policy override"
+            );
+        }
+        // Dynamic exclusive designs accept it.
+        for design in ["das", "das_fm", "lisa", "clr"] {
+            job.design = design.into();
+            assert!(job.materialize().is_ok(), "{design} runs policies");
+        }
     }
 
     #[test]

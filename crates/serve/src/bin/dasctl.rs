@@ -873,6 +873,9 @@ mod tests {
             Value::obj()
                 .set("job", "t3/fault_sweep/das/clean")
                 .set("state", "done"),
+            Value::obj()
+                .set("job", "t4/policy_search_rank/mcf/das_feedback")
+                .set("state", "done"),
             Value::obj().set("job", "bogus-id").set("state", "failed"),
         ];
         let resp = proto::ok("list").set("jobs", Value::Arr(jobs));
@@ -886,9 +889,16 @@ mod tests {
         assert_eq!(cross_catalog.len(), 1, "{text}");
         assert!(cross_catalog[0].contains("cross_arch_rank"), "{text}");
         assert!(cross_catalog[0].contains("cross_arch_area"), "{text}");
+        // The policy family folds into its own catalog line too.
+        let policy_catalog: Vec<&str> = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with("policy_search "))
+            .collect();
+        assert_eq!(policy_catalog.len(), 1, "{text}");
+        assert!(policy_catalog[0].contains("policy_search_adapt"), "{text}");
         // Jobs section: grouped headers, members under their family, the
         // hedge-wrapped id resolved by its catalog segment.
-        assert!(text.contains("jobs: 5"), "{text}");
+        assert!(text.contains("jobs: 6"), "{text}");
         let fam_of_line = |needle: &str| {
             let mut fam = "";
             for line in text.lines() {
@@ -909,6 +919,10 @@ mod tests {
             "cross_arch"
         );
         assert_eq!(fam_of_line("t3/fault_sweep/das/clean"), "fault_sweep");
+        assert_eq!(
+            fam_of_line("t4/policy_search_rank/mcf/das_feedback"),
+            "policy_search"
+        );
         assert_eq!(fam_of_line("bogus-id"), "other");
         // States ride along.
         assert!(text.contains("running"), "{text}");

@@ -206,6 +206,31 @@ pub fn render(stats: &Value) -> String {
             }
         }
     }
+    // Per-policy migration-action counters, same nesting as coherence
+    // ({policy: {counter: n}}).
+    if let Some(Value::Obj(policies)) = stats.get("policy") {
+        header(
+            &mut out,
+            "das_policy_actions_total",
+            "counter",
+            "Migration-policy action counters aggregated per policy.",
+        );
+        for (policy, counters) in policies {
+            let Value::Obj(fields) = counters else {
+                continue;
+            };
+            for (k, v) in fields {
+                if let Some(n) = num(Some(v)) {
+                    push_metric(
+                        &mut out,
+                        "das_policy_actions_total",
+                        &format!("{{policy=\"{policy}\",action=\"{k}\"}}"),
+                        n,
+                    );
+                }
+            }
+        }
+    }
     if let Some(lat) = stats.get("request_latency_us") {
         summary_family(
             &mut out,
@@ -284,6 +309,16 @@ mod tests {
                         .set("l1_hit_rate", 0.85),
                 ),
             )
+            .set(
+                "policy",
+                Value::obj().set(
+                    "feedback",
+                    Value::obj()
+                        .set("jobs", 2u64)
+                        .set("promotes", 31u64)
+                        .set("threshold_adjusts", 4u64),
+                ),
+            )
     }
 
     #[test]
@@ -306,6 +341,9 @@ mod tests {
             "# TYPE das_coherence_total counter",
             "das_coherence_total{protocol=\"MESI\",kind=\"bus_transactions\"} 150",
             "das_coherence_total{protocol=\"MESI\",kind=\"invalidations\"} 12",
+            "# TYPE das_policy_actions_total counter",
+            "das_policy_actions_total{policy=\"feedback\",action=\"promotes\"} 31",
+            "das_policy_actions_total{policy=\"feedback\",action=\"threshold_adjusts\"} 4",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -583,6 +583,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
         m.record_job_wall(wall_ms);
         if let Ok(report) = &outcome {
             m.record_coherence(report);
+            m.record_policy(report);
         }
     }
     let mut reg = lock(&shared.registry);
@@ -823,6 +824,9 @@ fn handle_stats(shared: &Arc<Shared>) -> Value {
         .set("job_latency_ms", m.job_latency_value());
     if let Some(c) = m.coherence_value() {
         resp = resp.set("coherence", c);
+    }
+    if let Some(p) = m.policy_value() {
+        resp = resp.set("policy", p);
     }
     if let Some(store) = &shared.store {
         let s = store.stats();

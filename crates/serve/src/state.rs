@@ -215,6 +215,23 @@ pub struct Metrics {
     /// coherent jobs' reports. BTreeMap for deterministic render; empty
     /// (and absent from the stats response) until a coherent job runs.
     coherence: BTreeMap<String, CoherenceAgg>,
+    /// Migration-policy action counters aggregated per policy key from
+    /// finished jobs' reports. Same discipline as `coherence`: BTreeMap
+    /// for deterministic render, absent from the stats response until a
+    /// policy-driven job runs.
+    policy: BTreeMap<String, PolicyAgg>,
+}
+
+/// Summed `metrics/policy` action counters of every finished job under
+/// one policy key.
+#[derive(Debug, Default)]
+struct PolicyAgg {
+    jobs: u64,
+    promotes: u64,
+    demotes: u64,
+    holds: u64,
+    threshold_adjusts: u64,
+    epochs: u64,
 }
 
 /// Summed `metrics/coherence` counters of every finished job under one
@@ -317,6 +334,49 @@ impl Metrics {
                     .set("l1_hits", a.l1_hits)
                     .set("l1_misses", a.l1_misses)
                     .set("l1_hit_rate", hit_rate),
+            );
+        }
+        Some(v)
+    }
+
+    /// Folds a finished job's report into the per-policy action
+    /// aggregates. Policy-free reports (no `metrics/policy` block) are a
+    /// no-op.
+    pub fn record_policy(&mut self, report: &Value) {
+        let Some(p) = report.get_path("metrics/policy") else {
+            return;
+        };
+        let Some(key) = p.get("policy").and_then(Value::as_str) else {
+            return;
+        };
+        let n = |k: &str| p.get(k).and_then(Value::as_u64).unwrap_or(0);
+        let agg = self.policy.entry(key.to_string()).or_default();
+        agg.jobs += 1;
+        agg.promotes += n("promotes");
+        agg.demotes += n("demotes");
+        agg.holds += n("holds");
+        agg.threshold_adjusts += n("threshold_adjusts");
+        agg.epochs += n("epochs");
+    }
+
+    /// The per-policy action aggregates as a JSON object
+    /// (`policy → counters`), or `None` when no policy-driven job has
+    /// finished — the stats response omits the key entirely then.
+    pub fn policy_value(&self) -> Option<Value> {
+        if self.policy.is_empty() {
+            return None;
+        }
+        let mut v = Value::obj();
+        for (key, a) in &self.policy {
+            v = v.set(
+                key,
+                Value::obj()
+                    .set("jobs", a.jobs)
+                    .set("promotes", a.promotes)
+                    .set("demotes", a.demotes)
+                    .set("holds", a.holds)
+                    .set("threshold_adjusts", a.threshold_adjusts)
+                    .set("epochs", a.epochs),
             );
         }
         Some(v)
@@ -447,6 +507,52 @@ mod tests {
         // BTreeMap ordering keeps the render deterministic.
         let text = v.render();
         assert!(text.find("Dragon").unwrap() < text.find("MESI").unwrap());
+    }
+
+    #[test]
+    fn policy_actions_aggregate_per_policy_and_stay_absent_for_policy_free_runs() {
+        let mut m = Metrics::default();
+        assert!(m.policy_value().is_none(), "no policy-driven jobs yet");
+        // Policy-free report: no-op.
+        let classic = Value::obj().set("metrics", Value::obj().set("ipc_sum", 1.0));
+        m.record_policy(&classic);
+        assert!(m.policy_value().is_none());
+        let pol = |key: &str, promotes: u64| {
+            Value::obj().set(
+                "metrics",
+                Value::obj().set(
+                    "policy",
+                    Value::obj()
+                        .set("policy", key)
+                        .set("promotes", promotes)
+                        .set("demotes", 2u64)
+                        .set("holds", 50u64)
+                        .set("threshold_adjusts", 1u64)
+                        .set("epochs", 3u64),
+                ),
+            )
+        };
+        m.record_policy(&pol("feedback", 7));
+        m.record_policy(&pol("feedback", 3));
+        m.record_policy(&pol("cost_aware", 5));
+        let v = m.policy_value().expect("policy jobs aggregated");
+        assert_eq!(v.get_path("feedback/jobs").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            v.get_path("feedback/promotes").and_then(Value::as_u64),
+            Some(10)
+        );
+        assert_eq!(
+            v.get_path("feedback/threshold_adjusts")
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            v.get_path("cost_aware/holds").and_then(Value::as_u64),
+            Some(50)
+        );
+        // BTreeMap ordering keeps the render deterministic.
+        let text = v.render();
+        assert!(text.find("cost_aware").unwrap() < text.find("feedback").unwrap());
     }
 
     #[test]

@@ -280,6 +280,13 @@ pub struct SystemConfig {
     /// Same-tick controller wakes tolerated before the watchdog declares
     /// the event loop stalled ([`crate::system::SimError::Stalled`]).
     pub watchdog_same_tick_wakes: u32,
+    /// Online migration policy installed into the exclusive-cache manager
+    /// (see `das-policy`). `None` — the default — runs the paper's fixed
+    /// promote-at-threshold path, byte-identical to a build without the
+    /// policy layer; `Some(PaperFixed)` makes the same decisions through
+    /// the policy trait (locked by `tests/policy_identity.rs`). Only
+    /// meaningful for designs with dynamic exclusive management.
+    pub policy: Option<das_policy::PolicyKind>,
 }
 
 impl SystemConfig {
@@ -310,6 +317,7 @@ impl SystemConfig {
             stage_profile: StageProfilerConfig::default(),
             event_budget: crate::system::DEFAULT_EVENT_BUDGET,
             watchdog_same_tick_wakes: crate::system::DEFAULT_WATCHDOG_SAME_TICK_WAKES,
+            policy: None,
         }
     }
 
@@ -378,6 +386,12 @@ impl SystemConfig {
             seed: self.seed,
             ..self.management
         }
+    }
+
+    /// Convenience: install an online migration policy.
+    pub fn with_policy(mut self, kind: das_policy::PolicyKind) -> Self {
+        self.policy = Some(kind);
+        self
     }
 
     /// Convenience: set the replacement policy.

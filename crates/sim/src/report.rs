@@ -107,10 +107,24 @@ pub fn metrics_to_value(m: &RunMetrics) -> Value {
                 .set("invariant_checks_passed", m.faults.invariant_checks_passed)
                 .set("tcache_rebuilds", m.faults.tcache_rebuilds),
         );
-    // The key is absent (not null) on classic runs so their reports stay
-    // byte-identical to pre-coherence builds.
-    match coherence {
+    // The keys are absent (not null) on classic runs so their reports stay
+    // byte-identical to pre-coherence / pre-policy builds.
+    let v = match coherence {
         Some(c) => v.set("coherence", c),
+        None => v,
+    };
+    match m.policy.as_ref() {
+        Some(p) => v.set(
+            "policy",
+            Value::obj()
+                .set("policy", p.policy.as_str())
+                .set("promotes", p.promotes)
+                .set("demotes", p.demotes)
+                .set("holds", p.holds)
+                .set("threshold_adjusts", p.threshold_adjusts)
+                .set("epochs", p.epochs)
+                .set("final_threshold", p.final_threshold as u64),
+        ),
         None => v,
     }
 }
@@ -174,6 +188,10 @@ mod tests {
             !json.contains("coherence"),
             "classic reports must not grow a coherence key"
         );
+        assert!(
+            !json.contains("\"policy\""),
+            "classic reports must not grow a policy key"
+        );
     }
 
     #[test]
@@ -197,6 +215,25 @@ mod tests {
         assert!(json.contains("\"coherence\":{\"protocol\":\"MESI\""));
         assert!(json.contains("\"bus_transactions\":15"));
         assert!(json.contains("\"invalidations_per_tx\":0.2"));
+    }
+
+    #[test]
+    fn policy_block_appears_when_a_policy_was_installed() {
+        use crate::stats::PolicyMetrics;
+        let mut m = metrics();
+        m.policy = Some(PolicyMetrics {
+            policy: "feedback".into(),
+            promotes: 12,
+            demotes: 0,
+            holds: 88,
+            threshold_adjusts: 2,
+            epochs: 3,
+            final_threshold: 6,
+        });
+        let json = run_report_json(&m, None);
+        validate(&json).unwrap();
+        assert!(json.contains("\"policy\":{\"policy\":\"feedback\""));
+        assert!(json.contains("\"final_threshold\":6"));
     }
 
     #[test]

@@ -5,6 +5,26 @@ use das_core::promotion::FilterStats;
 use das_core::translation::TranslationStats;
 use das_memctrl::request::ServiceClass;
 
+/// Migration-policy results of a run with an adaptive policy installed
+/// (`None` when the legacy fixed-threshold path decided promotions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyMetrics {
+    /// Policy key (`paper_fixed`, `hysteresis`, ...).
+    pub policy: String,
+    /// Promote actions emitted.
+    pub promotes: u64,
+    /// Demote advisories emitted.
+    pub demotes: u64,
+    /// Hold decisions (observed accesses that did not promote).
+    pub holds: u64,
+    /// Threshold adjustments applied.
+    pub threshold_adjusts: u64,
+    /// Policy epochs elapsed.
+    pub epochs: u64,
+    /// Promotion-filter threshold at the end of the run.
+    pub final_threshold: u32,
+}
+
 /// Coherence results of a run with the multi-core front end mounted
 /// (`None` on every classic run).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -219,6 +239,8 @@ pub struct RunMetrics {
     pub faults: das_faults::FaultStats,
     /// Coherence metrics when the multi-core front end is mounted.
     pub coherence: Option<CoherenceMetrics>,
+    /// Migration-policy metrics when an adaptive policy is installed.
+    pub policy: Option<PolicyMetrics>,
 }
 
 impl RunMetrics {

@@ -333,6 +333,21 @@ impl Management {
             Management::Inclusive(m) => m.stats(),
         }
     }
+
+    /// The installed migration policy's kind, action tallies and current
+    /// threshold (exclusive management only; `None` when no policy runs).
+    fn policy_stats(
+        &self,
+    ) -> Option<(
+        das_policy::PolicyKind,
+        das_core::management::PolicyStats,
+        u32,
+    )> {
+        match self {
+            Management::Exclusive(m) => m.policy_stats(),
+            Management::Inclusive(_) => None,
+        }
+    }
 }
 
 /// Maps the controller's service classification onto telemetry's
@@ -535,6 +550,10 @@ pub struct System {
     /// Coherent front end; `None` for every classic (single-address-space)
     /// run.
     coherence: Option<CoherentFrontEnd>,
+    /// Per-row sharing-induced access heat, aggregated from the cluster's
+    /// per-line counts as accesses happen; feeds the migration policy's
+    /// `shared_count` input. Always empty without a coherent front end.
+    shared_row_heat: HashMap<(BankCoord, u32), u32>,
     line_dirty: HashMap<u64, bool>,
     events: BinaryHeap<Reverse<Ev>>,
     seq: u64,
@@ -784,6 +803,19 @@ impl System {
             if let Some(counts) = profile {
                 m.static_place(counts);
             }
+            if let Some(kind) = cfg.policy.filter(|_| !design.needs_profile()) {
+                // Promotion economics from this backend's timing set: the
+                // per-hit benefit is the activation-cycle gap, the swap
+                // cost is what the backend charges for one promotion
+                // (146.25 ns DAS, 48.75 ns LISA, 97.5 ns CLR morph).
+                m.install_policy(
+                    kind.build(),
+                    das_core::management::PolicyCosts {
+                        benefit_ns: timing.slow.trc().as_ns() - timing.fast.trc().as_ns(),
+                        swap_cost_ns: timing.swap.as_ns(),
+                    },
+                );
+            }
             Some(Management::Exclusive(m))
         } else {
             None
@@ -815,6 +847,7 @@ impl System {
             manager,
             mshr: Mshr::new(1 << 16),
             coherence: None,
+            shared_row_heat: HashMap::new(),
             line_dirty: HashMap::new(),
             events: BinaryHeap::new(),
             seq: 0,
@@ -1196,9 +1229,20 @@ impl System {
             .insert(addr / self.cfg.geometry.row_bytes as u64);
         let now_cycles = t.raw() / self.cfg.core.ticks_per_cycle;
         let line = addr & !(self.cfg.hierarchy.line_bytes - 1);
+        let row_coord = self.cfg.geometry.decode(addr);
         let coh = self.coherence.as_mut().expect("checked above");
+        let shared_before = coh.cluster.shared_accesses(line);
         let before = coh.cluster.stats().clone();
         let out = coh.cluster.access(core, line, is_write, now_cycles);
+        if coh.cluster.shared_accesses(line) > shared_before {
+            // The line was valid in another core's L1: sharing-induced
+            // heat for its DRAM row, surfaced to the migration policy.
+            let heat = self
+                .shared_row_heat
+                .entry((row_coord.bank, row_coord.row))
+                .or_insert(0);
+            *heat = heat.saturating_add(1);
+        }
         let after = coh.cluster.stats();
         let deltas = [
             after.bus_rd - before.bus_rd,
@@ -1761,19 +1805,27 @@ impl System {
                 if is_write && !self.cfg.promote_on_writes {
                     return;
                 }
-                m.on_data_access(bank, logical_row, at.raw()).map(|swap| {
-                    (
-                        PendingMigration::Swap(swap),
-                        SwapOp {
-                            token: 0,
-                            bank,
-                            phys_a: swap.promotee_phys,
-                            phys_b: swap.victim_phys,
-                            kind: das_dram::command::MigrationKind::Swap,
-                            arrival: at,
-                        },
-                    )
-                })
+                // Sharing-induced heat for this row (0 without a coherent
+                // front end); only adaptive policies read it.
+                let shared = self
+                    .shared_row_heat
+                    .get(&(bank, logical_row))
+                    .copied()
+                    .unwrap_or(0);
+                m.on_data_access_shared(bank, logical_row, at.raw(), shared)
+                    .map(|swap| {
+                        (
+                            PendingMigration::Swap(swap),
+                            SwapOp {
+                                token: 0,
+                                bank,
+                                phys_a: swap.promotee_phys,
+                                phys_b: swap.victim_phys,
+                                kind: das_dram::command::MigrationKind::Swap,
+                                arrival: at,
+                            },
+                        )
+                    })
             }
             Some(Management::Inclusive(m)) => {
                 // The inclusive manager always observes writes (dirty
@@ -1907,6 +1959,17 @@ impl System {
                     cores: c.cluster.config().cores,
                     stats: c.cluster.stats().clone(),
                 }),
+            policy: self.manager.as_ref().and_then(|m| m.policy_stats()).map(
+                |(kind, stats, threshold)| crate::stats::PolicyMetrics {
+                    policy: kind.key().to_string(),
+                    promotes: stats.promotes,
+                    demotes: stats.demotes,
+                    holds: stats.holds,
+                    threshold_adjusts: stats.threshold_adjusts,
+                    epochs: stats.epochs,
+                    final_threshold: threshold,
+                },
+            ),
         }
     }
 }
